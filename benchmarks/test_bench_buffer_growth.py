@@ -1,0 +1,59 @@
+"""Benchmark for the Figure 2 case studies — buffer needs under non-IC.
+
+Paper's reading (§3.1): one buffer never suffices (Figure 2a needs 3), for
+every k there is a tree needing more than k buffers (Figure 2b), while
+interruptible communication sidesteps the problem entirely.
+"""
+
+from fractions import Fraction
+
+from repro.platform import figure2a_tree, figure2b_tree
+from repro.protocols import ProtocolConfig, simulate
+from repro.steady_state import min_buffers_nonic_fork, solve_tree
+
+
+def steady_norm(tree, config, tasks=3000):
+    optimal = solve_tree(tree).rate
+    result = simulate(tree, config, tasks)
+    times = result.completion_times
+    x = tasks // 3
+    return float(Fraction(x, times[2 * x - 1] - times[x - 1]) / optimal)
+
+
+def sweep_fig2(ks=(2, 4, 6)):
+    rows = []
+    tree_a = figure2a_tree()
+    for fb in (1, 2, 3):
+        rows.append(("fig2a", fb,
+                     steady_norm(tree_a, ProtocolConfig.non_interruptible(
+                         fb, buffer_growth=False)),
+                     steady_norm(tree_a, ProtocolConfig.interruptible(fb))))
+    for k in ks:
+        tree_b = figure2b_tree(k, x=4)
+        rows.append((f"fig2b k={k}", k,
+                     steady_norm(tree_b, ProtocolConfig.non_interruptible(
+                         k, buffer_growth=False)),
+                     steady_norm(tree_b, ProtocolConfig.interruptible(3))))
+    return rows
+
+
+def test_bench_figure2_case_studies(benchmark, report):
+    rows = benchmark.pedantic(sweep_fig2, rounds=1, iterations=1)
+
+    lines = [f"{'tree':<10} {'buffers':>7} {'non-IC':>8} {'IC':>8}"]
+    for tree, fb, non_ic, ic in rows:
+        lines.append(f"{tree:<10} {fb:>7} {non_ic:>8.4f} {ic:>8.4f}")
+    report("Figure 2 case studies — normalized steady rate\n" + "\n".join(lines))
+
+    by_key = {(t, b): (n, i) for t, b, n, i in rows}
+    # Figure 2(a): non-IC needs exactly min_buffers_nonic_fork(5, 2) == 3.
+    assert min_buffers_nonic_fork(5, 2) == 3
+    assert by_key[("fig2a", 1)][0] < 0.8
+    assert by_key[("fig2a", 3)][0] > 0.99
+    # IC reaches optimal with a single buffer on Figure 2(a).
+    assert by_key[("fig2a", 1)][1] > 0.99
+    # Figure 2(b): k fixed buffers fall short for every k; IC/FB=3 wins.
+    for k in (4, 6):
+        non_ic, ic = by_key[(f"fig2b k={k}", k)]
+        assert non_ic < 0.999
+        assert ic > 0.999

@@ -1,0 +1,22 @@
+"""Ablation benchmark — resilience to dynamically evolving pools (§6).
+
+Random trees suffer churn (a fast cluster joins at the root early in the
+run; separately, a first-level subtree departs); the IC/FB=3 protocol must
+lose no work and its mid-run throughput must converge to the *grown*
+platform's optimal rate.
+"""
+
+from repro.experiments import ExperimentScale, ablation
+
+
+def test_bench_churn_resilience(benchmark, bench_scale, report):
+    scale = ExperimentScale(trees=max(5, bench_scale.trees // 3),
+                            tasks=bench_scale.tasks)
+    result = benchmark.pedantic(
+        lambda: ablation.churn_resilience(scale),
+        rounds=1, iterations=1)
+    report(ablation.format_churn_result(result))
+
+    assert result.all_conserved
+    assert result.all_departed
+    assert result.within_ten_percent >= int(0.7 * len(result.join_norms))

@@ -1,0 +1,27 @@
+"""Benchmark regenerating Figure 3 — windowed throughput of selected trees.
+
+The paper's reading: normalized window rates are noisy early (some trees
+spike above 1.0 before settling), one of the three trees never reaches the
+optimal rate, and a slow climber takes much longer — motivating the
+two-crossings-past-threshold onset heuristic.
+"""
+
+from repro.experiments import fig3
+
+
+def test_bench_fig3(benchmark, bench_scale, report):
+    result = benchmark.pedantic(
+        lambda: fig3.run(bench_scale, candidates=25),
+        rounds=1, iterations=1)
+    report(fig3.format_result(result))
+
+    assert len(result.series) == 3
+    behaviours = {s.behaviour for s in result.series}
+    # The scan must find at least the headline behaviours of the figure.
+    assert "overshoot-then-settle" in behaviours or "slow-climb" in behaviours
+    for series in result.series:
+        rates = [r for _w, r in series.samples]
+        assert all(r >= 0 for r in rates)
+        # normalized rates hover near or below 1 at steady state
+        mid = rates[len(rates) // 2]
+        assert mid < 1.3

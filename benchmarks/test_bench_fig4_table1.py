@@ -1,0 +1,33 @@
+"""Benchmark regenerating Figure 4 and Table 1 (they share one ensemble).
+
+Paper's headline numbers (25 000 trees × 10 000 tasks): IC/FB=3 reaches the
+optimal steady-state rate in 99.57 % of trees, IC/FB=2 in 98.51 %, IC/FB=1
+in ~82 %, non-IC/IB=1 in 20.18 %; and non-IC needs >100 buffers for all but
+5.1 % of the trees it does win on.
+"""
+
+from repro.experiments import fig4, table1
+from repro.experiments.common import sweep
+from repro.experiments.fig4 import FIG4_CONFIGS
+
+
+def test_bench_fig4_and_table1(benchmark, bench_scale, report):
+    cases = benchmark.pedantic(
+        lambda: sweep(FIG4_CONFIGS, bench_scale),
+        rounds=1, iterations=1)
+
+    fig4_result = fig4.summarize(cases, bench_scale)
+    table1_result = table1.from_cases(cases, bench_scale)
+    report(fig4.format_result(fig4_result))
+    report(table1.format_result(table1_result))
+
+    reached = fig4_result.reached
+    # Shape assertions from the paper: IC dominates non-IC; more fixed
+    # buffers never reach fewer trees (up to small-sample noise).
+    assert reached["IC, FB=3"] > reached["non-IC, IB=1"]
+    assert reached["IC, FB=2"] > reached["non-IC, IB=1"]
+    assert reached["IC, FB=3"] >= 80.0
+    # Table 1 shape: non-IC cannot manage with 1-3 occupied buffers.
+    non_ic_row = table1_result.percentages["non-IC, IB=1"]
+    assert non_ic_row[1] <= non_ic_row[100]
+    assert non_ic_row[3] < reached["IC, FB=3"]

@@ -1,0 +1,24 @@
+"""Benchmark regenerating Figure 5 — computation-to-communication ratios.
+
+Paper's reading: IC/FB=3 performs well across all four x classes, while
+non-IC/IB=1 deteriorates sharply as the ratio rises.
+"""
+
+from repro.experiments import ExperimentScale, fig5
+
+
+def test_bench_fig5(benchmark, bench_scale, report):
+    scale = ExperimentScale(trees=max(5, bench_scale.trees // 2),
+                            tasks=bench_scale.tasks)
+    result = benchmark.pedantic(lambda: fig5.run(scale), rounds=1, iterations=1)
+    report(fig5.format_result(result))
+
+    ic_label = fig5.FIG5_CONFIGS[1].label
+    non_ic_label = fig5.FIG5_CONFIGS[0].label
+    # IC/FB=3 stays strong in every class.
+    for x in fig5.X_CLASSES:
+        assert result.reached[(x, ic_label)] >= 80.0
+    # non-IC deteriorates with the ratio: worst class clearly below best.
+    non_ic = [result.reached[(x, non_ic_label)] for x in fig5.X_CLASSES]
+    assert min(non_ic[-2:]) <= min(non_ic[:2])
+    assert non_ic[-1] < result.reached[(fig5.X_CLASSES[-1], ic_label)]

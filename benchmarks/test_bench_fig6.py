@@ -1,0 +1,31 @@
+"""Benchmark regenerating Figure 6 — full trees vs used sub-trees.
+
+Paper's reading: under the default (high) computation-to-communication
+ratios, substantial sub-trees actually compute — usually more than 50
+nodes, typical used depth around 18 — and non-IC occasionally uses a
+slightly larger or deeper sub-tree than IC/FB=3.
+"""
+
+import statistics
+
+from repro.experiments import ExperimentScale, fig6
+
+
+def test_bench_fig6(benchmark, bench_scale, report):
+    result = benchmark.pedantic(lambda: fig6.run(bench_scale),
+                                rounds=1, iterations=1)
+    report(fig6.format_result(result))
+
+    all_nodes = result.node_series["all"]
+    used_ic = result.node_series["used, IC, FB=3"]
+    used_depth_ic = result.depth_series["used, IC, FB=3"]
+
+    # Used sub-trees are substantial (paper: usually > 50 nodes) ...
+    assert statistics.median(used_ic) > 20
+    # ... but strictly smaller than the full trees on average.
+    assert statistics.mean(used_ic) < statistics.mean(all_nodes)
+    # Typical used depth well above 1 (paper: around 18).
+    assert statistics.median(used_depth_ic) >= 4
+    # PDFs integrate to 1.
+    _lefts, fractions = result.node_pdf("all")
+    assert abs(fractions.sum() - 1.0) < 1e-9

@@ -1,0 +1,22 @@
+"""Benchmark regenerating Figure 7 — adaptability to platform changes.
+
+Paper's reading: after each mid-run change (c1: 1→3 or w1: 3→1 at 200 of
+1000 tasks) the protocol's completion-rate slope adjusts to closely
+approximate the new optimal steady-state rate.
+"""
+
+from repro.experiments import fig7
+
+
+def test_bench_fig7(benchmark, report):
+    result = benchmark.pedantic(lambda: fig7.run(), rounds=3, iterations=1)
+    report(fig7.format_result(result))
+
+    base, contention, relief = result.scenarios
+    assert contention.optimal_after < base.optimal_before
+    assert relief.optimal_after > base.optimal_before
+    for scenario in result.scenarios:
+        assert scenario.tracking_error < 0.05
+    # Contention slows completion; relief speeds it up (final timestamps).
+    assert contention.curve[-1][0] > base.curve[-1][0]
+    assert relief.curve[-1][0] < base.curve[-1][0]

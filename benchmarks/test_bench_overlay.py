@@ -1,0 +1,22 @@
+"""Ablation benchmark — overlay-tree construction strategies (§6 future work).
+
+Compares BFS / shortest-path / MST / random spanning trees of random
+physical topologies by the optimal steady-state rate of the resulting
+platform tree.
+"""
+
+from repro.experiments import ablation
+
+
+def test_bench_overlay_strategies(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: ablation.overlay_strategies(graphs=25, hosts=40),
+        rounds=1, iterations=1)
+    report(ablation.format_overlay_result(result))
+
+    rates = result.mean_relative_rate
+    assert set(rates) == {"bfs", "shortest-path", "mst", "random"}
+    # Cost-aware constructions should not lose to random spanning trees.
+    best_aware = max(rates["bfs"], rates["shortest-path"], rates["mst"])
+    assert best_aware >= rates["random"] - 0.05
+    assert sum(result.wins.values()) == result.graphs

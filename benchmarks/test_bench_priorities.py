@@ -1,0 +1,23 @@
+"""Ablation benchmark — why priorities must follow bandwidth, not speed.
+
+Not in the paper's evaluation, but it quantifies the design choice §2.1
+argues for: ordering children by edge cost (bandwidth-centric) versus by
+CPU speed (compute-centric) versus no ordering at all (FIFO).
+"""
+
+from repro.experiments import ExperimentScale, ablation
+
+
+def test_bench_priority_rules(benchmark, bench_scale, report):
+    scale = ExperimentScale(trees=max(5, bench_scale.trees // 3),
+                            tasks=bench_scale.tasks)
+    result = benchmark.pedantic(lambda: ablation.priority_rules(scale),
+                                rounds=1, iterations=1)
+    report(ablation.format_priority_result(result))
+
+    bw = result.mean_normalized_rate["non-IC, FB=3"]
+    cc = result.mean_normalized_rate["non-IC, FB=3 [compute-centric]"]
+    fifo = result.mean_normalized_rate["non-IC, FB=3 [fifo]"]
+    assert bw >= cc - 0.02
+    assert bw >= fifo - 0.02
+    assert bw > 0.85

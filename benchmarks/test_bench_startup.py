@@ -1,0 +1,56 @@
+"""Benchmark — startup-phase length (a §4.2 claim the paper measured but
+did not plot: "for all protocols the startup time increases as the
+computation-to-communication ratio increases"; also FB=1 starts up faster
+than FB=3).
+"""
+
+import statistics
+
+from repro.experiments import ExperimentScale
+from repro.metrics import phase_breakdown
+from repro.platform.generator import PAPER_DEFAULTS, generate_tree
+from repro.protocols import ProtocolConfig, simulate
+from repro.steady_state import solve_tree
+
+X_CLASSES = (500, 10000)
+CONFIGS = (ProtocolConfig.interruptible(1), ProtocolConfig.interruptible(3))
+
+
+def startup_sweep(trees: int, tasks: int):
+    rows = {}
+    for x in X_CLASSES:
+        params = PAPER_DEFAULTS.with_max_comp(x)
+        for config in CONFIGS:
+            startups = []
+            for seed in range(trees):
+                tree = generate_tree(params, seed=seed)
+                optimal = solve_tree(tree).rate
+                result = simulate(tree, config, tasks)
+                phases = phase_breakdown(result, optimal)
+                if phases.startup is not None:
+                    startups.append(phases.startup)
+            rows[(x, config.label)] = startups
+    return rows
+
+
+def test_bench_startup_phases(benchmark, bench_scale, report):
+    trees = max(5, bench_scale.trees // 3)
+    rows = benchmark.pedantic(
+        lambda: startup_sweep(trees, bench_scale.tasks),
+        rounds=1, iterations=1)
+
+    lines = [f"{'x class':>8} {'protocol':<10} {'median startup':>15} {'trees':>6}"]
+    medians = {}
+    for (x, label), startups in rows.items():
+        med = statistics.median(startups) if startups else float("nan")
+        medians[(x, label)] = med
+        lines.append(f"{x:>8} {label:<10} {med:>15.0f} {len(startups):>6}")
+    report("Startup-phase length (timesteps to onset of optimal rate)\n"
+           + "\n".join(lines))
+
+    # Startup grows with the computation-to-communication ratio...
+    for config in CONFIGS:
+        assert medians[(10000, config.label)] > medians[(500, config.label)]
+    # ...and with the number of fixed buffers where buffers matter (at the
+    # high ratio, pipelines are long; at x=500 the difference is noise).
+    assert medians[(10000, "IC, FB=3")] >= medians[(10000, "IC, FB=1")]

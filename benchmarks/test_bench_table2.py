@@ -1,0 +1,25 @@
+"""Benchmark regenerating Table 2 — non-IC buffer usage by tree class.
+
+Paper's reading: rampant buffer growth for non-IC, rising steeply with the
+computation-to-communication ratio (medians 3 → 561, maxima 165 → 1951
+across x = 500 → 10 000).
+"""
+
+from repro.experiments import ExperimentScale, fig5, table2
+
+
+def test_bench_table2(benchmark, bench_scale, report):
+    scale = ExperimentScale(trees=max(5, bench_scale.trees // 2),
+                            tasks=bench_scale.tasks)
+    result = benchmark.pedantic(lambda: table2.run(scale),
+                                rounds=1, iterations=1)
+    report(table2.format_result(result))
+
+    finals = {x: result.medians[x][-1] for x in fig5.X_CLASSES}
+    # Buffer usage rises with the computation parameter x.
+    assert finals[10000] > finals[500]
+    assert result.maxima[10000] > result.maxima[500]
+    # The highest class needs far more than the 3 buffers IC gets by with.
+    assert result.maxima[10000] > 30
+    # Pool growth (over-requesting) dwarfs actual occupancy.
+    assert result.pool_maxima[10000] >= result.maxima[10000]

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Multi-site grid deployment with mid-run resource changes.
+
+Recreates the paper's motivating scenario (Figure 1 + §4.2.3): a
+three-site grid runs a 1 000-task parameter sweep; partway through, the
+network to the best worker degrades (communication contention), and in a
+second run that worker instead gets faster (processor contention ends).
+The autonomous protocol adapts in both cases without any global
+coordination — each node only reacts to its own request traffic.
+
+Run:  python examples/grid_deployment.py
+"""
+
+from fractions import Fraction
+
+from repro.platform import Mutation, MutationSchedule, figure1_tree
+from repro.protocols import ProtocolConfig, simulate
+from repro.steady_state import solve_tree
+
+NUM_TASKS = 1000
+CHANGE_AT = 200
+CONFIG = ProtocolConfig.non_interruptible(2, buffer_growth=False)
+
+
+def phase_rates(result, change_at):
+    """Measured rates before the change and over the final stretch."""
+    times = result.completion_times
+    before = Fraction(change_at, times[change_at - 1])
+    tail_start = 2 * change_at
+    tail = Fraction(len(times) - tail_start, times[-1] - times[tail_start - 1])
+    return before, tail
+
+
+def report(name, mutation):
+    tree = figure1_tree()
+    optimal_before = solve_tree(tree).rate
+    schedule = MutationSchedule([mutation] if mutation else [])
+    mutated = schedule.phases(tree)[-1][1]
+    optimal_after = solve_tree(mutated).rate
+
+    result = simulate(tree, CONFIG, NUM_TASKS, mutations=schedule)
+    before, after = phase_rates(result, CHANGE_AT)
+
+    print(f"\n=== {name} ===")
+    print(f"optimal rate  : {float(optimal_before):.4f} -> {float(optimal_after):.4f}")
+    print(f"measured rate : {float(before):.4f} -> {float(after):.4f}")
+    print(f"makespan      : {result.makespan} steps")
+    print(f"worker P1 computed {result.per_node_computed[1]} tasks; "
+          f"site 3 computed "
+          f"{sum(result.per_node_computed[i] for i in (5, 6, 7))}")
+    gap = abs(float(after / optimal_after) - 1)
+    print(f"post-change tracking error: {100 * gap:.2f}%")
+    return gap
+
+
+def main() -> None:
+    print("Three-site grid (Figure 1), 1000 independent tasks,",
+          f"protocol {CONFIG.label}")
+    gaps = [
+        report("steady platform", None),
+        report("network contention: c1 1 -> 3 after 200 tasks",
+               Mutation(node=1, attribute="c", value=3, after_tasks=CHANGE_AT)),
+        report("processor relief: w1 3 -> 1 after 200 tasks",
+               Mutation(node=1, attribute="w", value=1, after_tasks=CHANGE_AT)),
+    ]
+    assert all(gap < 0.05 for gap in gaps), "protocol failed to adapt"
+    print("\nAll scenarios tracked the (new) optimal rate within 5%.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""SETI@home-style volunteer computing over a deep peer-to-peer overlay.
+
+The paper motivates bandwidth-centric scheduling with Internet-computing
+projects: one repository, thousands of heterogeneous volunteer PCs, and no
+possibility of central coordination.  This example builds a random
+peer-to-peer overlay tree (the paper's generator), compares the two
+autonomous protocols on it, and shows why the interruptible protocol with
+3 buffers is the one you would deploy:
+
+* it reaches the provably optimal steady-state rate, and
+* it needs constant memory per node, while the growing non-interruptible
+  protocol both falls short of optimal and balloons its buffer pools.
+
+Run:  python examples/volunteer_computing.py [seed]
+"""
+
+import sys
+from fractions import Fraction
+
+from repro.metrics import detect_onset, reached_optimal, window_rate
+from repro.platform import generate_tree
+from repro.protocols import ProtocolConfig, simulate
+from repro.steady_state import solve_tree
+
+NUM_TASKS = 4000
+
+
+def evaluate(tree, config, optimal):
+    result = simulate(tree, config, NUM_TASKS)
+    x = NUM_TASKS // 3
+    steady = window_rate(result.completion_times, x)
+    onset = detect_onset(result.completion_times, optimal)
+    return {
+        "label": config.label,
+        "steady": float(steady / optimal),
+        "onset": onset,
+        "max_pool": result.max_buffers,
+        "max_held": result.max_held,
+        "used": result.num_used_nodes,
+        "makespan": result.makespan,
+        "preemptions": result.preemptions,
+    }
+
+
+def main() -> None:
+    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 11
+    tree = generate_tree(seed=seed)  # the paper's default distribution
+    optimal = solve_tree(tree).rate
+    print(f"volunteer overlay: {tree.num_nodes} peers, depth {tree.max_depth}, "
+          f"optimal rate {float(optimal):.5f} tasks/step")
+    print(f"workunits: {NUM_TASKS}\n")
+
+    rows = [
+        evaluate(tree, ProtocolConfig.interruptible(3), optimal),
+        evaluate(tree, ProtocolConfig.interruptible(1), optimal),
+        evaluate(tree, ProtocolConfig.non_interruptible(), optimal),
+    ]
+    header = (f"{'protocol':<16} {'steady/opt':>10} {'onset':>7} "
+              f"{'pool':>6} {'held':>6} {'peers used':>10} {'makespan':>10}")
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        onset = row["onset"] if row["onset"] is not None else "never"
+        print(f"{row['label']:<16} {row['steady']:>10.4f} {onset!s:>7} "
+              f"{row['max_pool']:>6} {row['max_held']:>6} "
+              f"{row['used']:>10} {row['makespan']:>10}")
+
+    best = rows[0]
+    assert best["steady"] > 0.97, "IC/FB=3 should sustain ~optimal throughput"
+    assert best["max_pool"] == 3, "IC/FB=3 must use constant memory"
+    print("\nIC/FB=3 sustains the optimal rate with 3 buffers per peer —")
+    print("the property that makes the protocol deployable at internet scale.")
+
+
+if __name__ == "__main__":
+    main()

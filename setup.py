@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Keeps ``pip install -e .`` / ``python setup.py develop`` working in offline
+environments whose setuptools cannot build PEP 660 editable wheels (no
+``wheel`` package available).  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,68 @@
+"""repro — bandwidth-centric autonomous scheduling on tree overlays.
+
+A complete, from-scratch reproduction of *"Autonomous Protocols for
+Bandwidth-Centric Scheduling of Independent-task Applications"*
+(Kreaseck, Carter, Casanova, Ferrante — IPDPS 2003), including:
+
+* :mod:`repro.sim` — a discrete-event simulation kernel (SimGrid substitute),
+* :mod:`repro.platform` — node/edge-weighted platform trees, the paper's
+  random generator, dynamic mutations, overlay construction,
+* :mod:`repro.steady_state` — the optimal steady-state theory (Theorem 1 and
+  the bottom-up tree solver) in exact rational arithmetic,
+* :mod:`repro.protocols` — the autonomous non-interruptible (non-IC) and
+  interruptible (IC) communication protocols plus ablation baselines,
+* :mod:`repro.metrics` — windowed throughput, steady-state onset detection,
+  buffer and used-subtree statistics,
+* :mod:`repro.experiments` — harness regenerating every table and figure of
+  the paper's evaluation section.
+
+Quickstart::
+
+    from repro import generate_tree, solve_tree, simulate, ProtocolConfig
+
+    tree = generate_tree(seed=7)
+    optimal = solve_tree(tree)
+    result = simulate(tree, ProtocolConfig.interruptible(buffers=3), num_tasks=2000)
+    print(result.makespan, float(optimal.rate))
+"""
+
+from ._version import __version__
+from .errors import (
+    ExperimentError,
+    PlatformError,
+    ProtocolError,
+    ReproError,
+    SimulationError,
+    SolverError,
+)
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "SimulationError",
+    "PlatformError",
+    "SolverError",
+    "ProtocolError",
+    "ExperimentError",
+]
+
+
+def __getattr__(name):
+    """Lazy re-exports of the main public API (keeps import cost low)."""
+    if name in ("PlatformTree", "TreeNode"):
+        from .platform import tree as _tree
+
+        return getattr(_tree, name)
+    if name in ("generate_tree", "TreeGeneratorParams"):
+        from .platform import generator as _generator
+
+        return getattr(_generator, name)
+    if name in ("solve_tree", "solve_fork", "SteadyStateSolution", "ForkSolution"):
+        from . import steady_state as _ss
+
+        return getattr(_ss, name)
+    if name in ("simulate", "ProtocolConfig", "SimulationResult"):
+        from . import protocols as _protocols
+
+        return getattr(_protocols, name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,32 @@
+"""Exception hierarchy for :mod:`repro`.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class SimulationError(ReproError):
+    """Raised for invalid operations on the discrete-event kernel."""
+
+
+class PlatformError(ReproError):
+    """Raised for malformed platform trees or invalid mutations."""
+
+
+class SolverError(ReproError):
+    """Raised when steady-state analysis is given an infeasible input."""
+
+
+class ProtocolError(ReproError):
+    """Raised for invalid protocol configurations or engine misuse."""
+
+
+class ExperimentError(ReproError):
+    """Raised for invalid experiment configurations."""

@@ -1,0 +1,30 @@
+"""Experiment harness: one module per table/figure of the paper's §4.
+
+Every module exposes ``run(scale) -> <Result>`` and
+``format_result(result) -> str`` printing the same rows the paper reports.
+The CLI (``python -m repro <experiment>``) wires them together.
+"""
+
+from .common import ConfigOutcome, ExperimentScale, TreeCase, run_case, sweep
+from . import export
+from . import ablation, fig3, fig4, fig5, fig6, fig7, table1, table2
+from .cli import EXPERIMENTS, main
+
+__all__ = [
+    "ExperimentScale",
+    "ConfigOutcome",
+    "TreeCase",
+    "run_case",
+    "sweep",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "table1",
+    "table2",
+    "ablation",
+    "export",
+    "EXPERIMENTS",
+    "main",
+]

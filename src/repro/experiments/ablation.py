@@ -1,0 +1,278 @@
+"""Ablation experiments beyond the paper's evaluation.
+
+* :func:`priority_rules` — what the bandwidth-centric ordering buys over
+  FIFO and compute-centric ordering (the design choice §2.1 argues for).
+* :func:`overlay_strategies` — how the overlay tree construction (the §6
+  future-work question) affects the achievable optimal rate on random
+  physical topologies.
+* :func:`buffer_decay_ablation` — §2.2's "optimally, buffer decay": effect
+  of decay on reached-optimal rates and buffer pools.
+* :func:`churn_resilience` — §6's dynamically evolving pools: joins and
+  graceful departures under IC/FB=3.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Sequence, Tuple
+
+from ..metrics import detect_onset, percentage_reached
+from ..platform.generator import PAPER_DEFAULTS, TreeGeneratorParams, generate_tree
+from ..platform.overlay import PhysicalTopology, compare_overlays
+from ..protocols import PriorityRule, ProtocolConfig, simulate
+from ..steady_state import solve_tree
+from .common import ExperimentScale
+from .reporting import fmt_num, fmt_pct, format_table
+
+__all__ = [
+    "PriorityAblationResult",
+    "priority_rules",
+    "format_priority_result",
+    "OverlayAblationResult",
+    "overlay_strategies",
+    "format_overlay_result",
+    "DecayAblationResult",
+    "buffer_decay_ablation",
+    "format_decay_result",
+    "ChurnResilienceResult",
+    "churn_resilience",
+    "format_churn_result",
+]
+
+PRIORITY_CONFIGS: Tuple[ProtocolConfig, ...] = (
+    ProtocolConfig.non_interruptible(3, buffer_growth=False),
+    ProtocolConfig.non_interruptible(
+        3, buffer_growth=False, priority_rule=PriorityRule.COMPUTE_CENTRIC),
+    ProtocolConfig.non_interruptible(
+        3, buffer_growth=False, priority_rule=PriorityRule.FIFO),
+)
+
+
+@dataclass(frozen=True)
+class PriorityAblationResult:
+    scale: ExperimentScale
+    #: label → % of trees reaching optimal steady state.
+    reached: Dict[str, float]
+    #: label → mean normalized steady-window rate.
+    mean_normalized_rate: Dict[str, float]
+
+
+def priority_rules(scale: ExperimentScale = ExperimentScale(),
+                   params: TreeGeneratorParams = PAPER_DEFAULTS,
+                   progress=None) -> PriorityAblationResult:
+    """Compare child-ordering rules over a random ensemble."""
+    onsets: Dict[str, List] = {c.label: [] for c in PRIORITY_CONFIGS}
+    norms: Dict[str, List[float]] = {c.label: [] for c in PRIORITY_CONFIGS}
+    for i in range(scale.trees):
+        tree = generate_tree(params, seed=scale.base_seed + i)
+        optimal = solve_tree(tree).rate
+        for config in PRIORITY_CONFIGS:
+            result = simulate(tree, config, scale.tasks)
+            onsets[config.label].append(
+                detect_onset(result.completion_times, optimal, scale.threshold))
+            times = result.completion_times
+            x = len(times) // 3
+            rate = Fraction(x, times[2 * x - 1] - times[x - 1])
+            norms[config.label].append(float(rate / optimal))
+        if progress is not None:
+            progress(i + 1, scale.trees)
+    return PriorityAblationResult(
+        scale=scale,
+        reached={k: percentage_reached(v) for k, v in onsets.items()},
+        mean_normalized_rate={k: sum(v) / len(v) for k, v in norms.items()},
+    )
+
+
+def format_priority_result(result: PriorityAblationResult) -> str:
+    rows = [[label, fmt_pct(result.reached[label]),
+             fmt_num(result.mean_normalized_rate[label])]
+            for label in result.reached]
+    return format_table(
+        ["priority rule", "reached optimal", "mean normalized steady rate"],
+        rows,
+        title=(f"Ablation — child-ordering rules ({result.scale.trees} trees, "
+               f"{result.scale.tasks} tasks)"))
+
+
+@dataclass(frozen=True)
+class OverlayAblationResult:
+    graphs: int
+    #: strategy → mean optimal rate (normalized to the best strategy per graph).
+    mean_relative_rate: Dict[str, float]
+    #: strategy → how often it produced the best tree.
+    wins: Dict[str, int]
+
+
+def _random_topology(rng: random.Random, hosts: int) -> PhysicalTopology:
+    """Connected random host graph: a random tree plus extra chords."""
+    w = [rng.randint(10, 1000) for _ in range(hosts)]
+    links = []
+    for node in range(1, hosts):
+        links.append((rng.randrange(node), node, rng.randint(1, 100)))
+    extra = hosts // 2
+    for _ in range(extra):
+        u, v = rng.randrange(hosts), rng.randrange(hosts)
+        if u != v:
+            links.append((u, v, rng.randint(1, 100)))
+    return PhysicalTopology(w, links)
+
+
+def overlay_strategies(graphs: int = 30, hosts: int = 40,
+                       base_seed: int = 0) -> OverlayAblationResult:
+    """Compare overlay constructions by achievable optimal rate."""
+    totals: Dict[str, float] = {}
+    wins: Dict[str, int] = {}
+    for i in range(graphs):
+        rng = random.Random(base_seed + i)
+        topology = _random_topology(rng, hosts)
+        rows = compare_overlays(topology, seed=base_seed + i)
+        best = rows[0].rate
+        wins[rows[0].strategy] = wins.get(rows[0].strategy, 0) + 1
+        for row in rows:
+            totals[row.strategy] = totals.get(row.strategy, 0.0) + row.rate / best
+    return OverlayAblationResult(
+        graphs=graphs,
+        mean_relative_rate={k: v / graphs for k, v in sorted(totals.items())},
+        wins=wins,
+    )
+
+
+def format_overlay_result(result: OverlayAblationResult) -> str:
+    rows = [[strategy, fmt_num(rel), result.wins.get(strategy, 0)]
+            for strategy, rel in sorted(result.mean_relative_rate.items(),
+                                        key=lambda kv: -kv[1])]
+    return format_table(
+        ["overlay strategy", "mean rate vs best", "wins"],
+        rows,
+        title=(f"Ablation — overlay construction on {result.graphs} random "
+               "physical topologies (§6 future work)"))
+
+
+@dataclass(frozen=True)
+class DecayAblationResult:
+    """Decay on/off comparison for the growing non-IC protocol."""
+
+    scale: ExperimentScale
+    #: variant label → % of trees that reached optimal steady state.
+    reached: Dict[str, float]
+    #: variant label → mean buffer-pool high-water across trees.
+    mean_max_pool: Dict[str, float]
+    #: variant label → total buffers shed by decay (0 for the off variant).
+    decayed: Dict[str, int]
+
+
+def buffer_decay_ablation(scale: ExperimentScale = ExperimentScale(),
+                          params: TreeGeneratorParams = PAPER_DEFAULTS,
+                          progress=None) -> DecayAblationResult:
+    """Quantify §2.2's "optimally, buffer decay" over a random ensemble."""
+    variants = (
+        ("non-IC, IB=1", ProtocolConfig.non_interruptible()),
+        ("non-IC, IB=1 +decay",
+         ProtocolConfig.non_interruptible(buffer_decay=True)),
+    )
+    onsets: Dict[str, List] = {label: [] for label, _cfg in variants}
+    pools: Dict[str, List[int]] = {label: [] for label, _cfg in variants}
+    decayed: Dict[str, int] = {label: 0 for label, _cfg in variants}
+    for i in range(scale.trees):
+        tree = generate_tree(params, seed=scale.base_seed + i)
+        optimal = solve_tree(tree).rate
+        for label, config in variants:
+            result = simulate(tree, config, scale.tasks)
+            onsets[label].append(
+                detect_onset(result.completion_times, optimal, scale.threshold))
+            pools[label].append(result.max_buffers)
+            decayed[label] += result.buffers_decayed
+        if progress is not None:
+            progress(i + 1, scale.trees)
+    return DecayAblationResult(
+        scale=scale,
+        reached={k: percentage_reached(v) for k, v in onsets.items()},
+        mean_max_pool={k: sum(v) / len(v) for k, v in pools.items()},
+        decayed=decayed,
+    )
+
+
+def format_decay_result(result: DecayAblationResult) -> str:
+    rows = [[label, fmt_pct(result.reached[label]),
+             fmt_num(result.mean_max_pool[label], 1),
+             result.decayed[label]]
+            for label in result.reached]
+    return format_table(
+        ["variant", "reached optimal", "mean max pool", "buffers decayed"],
+        rows,
+        title=(f"Ablation — buffer decay ({result.scale.trees} trees, "
+               f"{result.scale.tasks} tasks)"))
+
+
+@dataclass(frozen=True)
+class ChurnResilienceResult:
+    """Join/leave resilience of IC/FB=3 over a random ensemble."""
+
+    scale: ExperimentScale
+    #: Per-tree normalized mid-run rate after a cluster join.
+    join_norms: Tuple[float, ...]
+    #: All tasks conserved in every join and leave scenario.
+    all_conserved: bool
+    #: Every leave scenario produced at least one graceful departure.
+    all_departed: bool
+
+    @property
+    def mean_join_norm(self) -> float:
+        return sum(self.join_norms) / len(self.join_norms)
+
+    @property
+    def within_ten_percent(self) -> int:
+        return sum(1 for n in self.join_norms if 0.9 <= n <= 1.1)
+
+
+def churn_resilience(scale: ExperimentScale = ExperimentScale(),
+                     params: TreeGeneratorParams = PAPER_DEFAULTS,
+                     progress=None) -> ChurnResilienceResult:
+    """Measure §6's dynamically-evolving-pool resilience under IC/FB=3."""
+    from ..platform import ChurnSchedule, JoinEvent, LeaveEvent
+    from ..platform.tree import PlatformTree
+
+    config = ProtocolConfig.interruptible(3)
+    norms: List[float] = []
+    conserved = True
+    departed = True
+    for i in range(scale.trees):
+        base = generate_tree(params, seed=scale.base_seed + i)
+        cluster = PlatformTree([3, 2, 2], [(0, 1, 1), (0, 2, 1)])
+        join = ChurnSchedule([
+            JoinEvent(at_time=200, parent=base.root, subtree=cluster,
+                      attach_cost=1)])
+        result = simulate(base, config, scale.tasks, churn=join)
+        grown_optimal = solve_tree(result.tree).rate
+        times = result.completion_times
+        lo, hi = scale.tasks // 2, (3 * scale.tasks) // 4
+        mid = Fraction(hi - lo, times[hi - 1] - times[lo - 1])
+        norms.append(float(mid / grown_optimal))
+        conserved &= sum(result.per_node_computed) == scale.tasks
+
+        victim = base.children[base.root][0]
+        leave = ChurnSchedule([LeaveEvent(at_time=200, node=victim)])
+        leave_result = simulate(base, config, scale.tasks, churn=leave)
+        conserved &= sum(leave_result.per_node_computed) == scale.tasks
+        departed &= len(leave_result.departed_node_ids) >= 1
+        if progress is not None:
+            progress(i + 1, scale.trees)
+    return ChurnResilienceResult(
+        scale=scale, join_norms=tuple(norms),
+        all_conserved=conserved, all_departed=departed)
+
+
+def format_churn_result(result: ChurnResilienceResult) -> str:
+    return (
+        f"Ablation — churn resilience (IC/FB=3, {result.scale.trees} trees, "
+        f"{result.scale.tasks} tasks)\n"
+        f"{'=' * 60}\n"
+        f"tasks conserved in every join/leave scenario : "
+        f"{result.all_conserved}\n"
+        f"graceful departures on every leave           : "
+        f"{result.all_departed}\n"
+        f"mid-run rate / grown-platform optimal        : mean "
+        f"{result.mean_join_norm:.3f}, within +-10% on "
+        f"{result.within_ten_percent}/{len(result.join_norms)} trees")

@@ -1,0 +1,120 @@
+"""Analysis of user-supplied platforms: the library as a planning tool.
+
+``python -m repro analyze --tree platform.json`` reports everything the
+theory knows about a platform (optimal rate, per-node allocation,
+bottleneck classification, best upgrades); ``python -m repro simulate
+--tree platform.json --protocol ic3 --tasks 5000`` runs an autonomous
+protocol on it and compares achieved throughput against the optimum.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict
+
+from ..errors import ExperimentError
+from ..metrics import detect_onset, phase_breakdown, window_rate
+from ..platform import PlatformTree, from_json
+from ..protocols import ProtocolConfig, simulate
+from ..steady_state import (
+    allocate,
+    classify_bottlenecks,
+    solve_tree,
+    top_improvements,
+)
+from .reporting import fmt_num, fmt_opt, format_table
+
+__all__ = ["PROTOCOL_PRESETS", "load_tree", "analyze_tree", "simulate_tree"]
+
+#: Named protocol presets accepted by the CLI.
+PROTOCOL_PRESETS: Dict[str, ProtocolConfig] = {
+    "ic1": ProtocolConfig.interruptible(1),
+    "ic2": ProtocolConfig.interruptible(2),
+    "ic3": ProtocolConfig.interruptible(3),
+    "non-ic": ProtocolConfig.non_interruptible(),
+    "non-ic-decay": ProtocolConfig.non_interruptible(buffer_decay=True),
+    "non-ic-fb3": ProtocolConfig.non_interruptible(3, buffer_growth=False),
+}
+
+
+def load_tree(path: str) -> PlatformTree:
+    """Read a platform from a JSON file (see :mod:`repro.platform.serialize`)."""
+    try:
+        with open(path) as handle:
+            text = handle.read()
+    except OSError as exc:
+        raise ExperimentError(f"cannot read platform file {path!r}: {exc}") from exc
+    return from_json(text)
+
+
+def analyze_tree(tree: PlatformTree) -> str:
+    """Full theoretical report for one platform."""
+    solution = solve_tree(tree)
+    allocation = allocate(tree, solution)
+    bottlenecks = {b.node: b for b in classify_bottlenecks(tree, solution)}
+
+    rows = []
+    for node_id in range(tree.num_nodes):
+        parent = tree.parent[node_id]
+        rate = allocation.compute_rates[node_id]
+        rows.append([
+            f"P{node_id}",
+            tree.w[node_id],
+            tree.c[node_id] if parent is not None else "-",
+            fmt_num(float(rate), 4) if rate > 0 else "starved",
+            fmt_num(float(allocation.inflow_rates[node_id]), 4),
+            bottlenecks[node_id].kind,
+        ])
+    node_table = format_table(
+        ["node", "w", "c", "compute rate", "subtree inflow", "bottleneck"],
+        rows, title=f"Platform analysis — {tree.num_nodes} nodes, "
+                    f"optimal rate {float(solution.rate):.5f} tasks/step "
+                    f"(w_tree = {solution.w_tree})")
+
+    upgrades = top_improvements(tree, k=min(5, 2 * tree.num_nodes - 1))
+    upgrade_rows = [[
+        f"{'CPU' if e.attribute == 'w' else 'link'} of P{e.node}",
+        fmt_num(float(e.new_value), 3),
+        fmt_num(float(e.rate_delta), 6),
+    ] for e in upgrades]
+    upgrade_table = format_table(
+        ["10% upgrade of", "new weight", "rate gain"],
+        upgrade_rows, title="Best single-resource upgrades")
+
+    return node_table + "\n\n" + upgrade_table
+
+
+def simulate_tree(tree: PlatformTree, protocol: str, tasks: int) -> str:
+    """Run a named protocol preset on the platform and report the outcome."""
+    if protocol not in PROTOCOL_PRESETS:
+        raise ExperimentError(
+            f"unknown protocol {protocol!r}; choose from "
+            f"{sorted(PROTOCOL_PRESETS)}")
+    if tasks < 2:
+        raise ExperimentError(f"tasks must be >= 2, got {tasks}")
+    config = PROTOCOL_PRESETS[protocol]
+    optimal = solve_tree(tree).rate
+    result = simulate(tree, config, tasks)
+
+    x = max(1, tasks // 3)
+    steady = window_rate(result.completion_times, x)
+    onset = detect_onset(result.completion_times, optimal)
+    phases = phase_breakdown(result, optimal)
+
+    rows = [
+        ["protocol", config.label],
+        ["tasks", tasks],
+        ["makespan (steps)", result.makespan],
+        ["optimal rate", fmt_num(float(optimal), 5)],
+        ["steady-window rate", fmt_num(float(steady), 5)],
+        ["normalized", fmt_num(float(steady / optimal), 4)],
+        ["onset window", fmt_opt(onset, "never reached")],
+        ["startup (steps)", fmt_opt(phases.startup)],
+        ["wind-down (steps)", phases.wind_down],
+        ["nodes used", f"{result.num_used_nodes}/{tree.num_nodes}"],
+        ["max buffer pool", result.max_buffers],
+        ["max buffers occupied", result.max_held],
+        ["preemptions", result.preemptions],
+    ]
+    return format_table(["metric", "value"], rows,
+                        title="Protocol simulation report")

@@ -1,0 +1,225 @@
+"""Command-line entry point: regenerate any table or figure of the paper.
+
+Examples::
+
+    python -m repro fig4 --trees 200 --tasks 2000
+    python -m repro table2 --trees 50
+    python -m repro fig7
+    python -m repro all --trees 60 --tasks 1500 --out results.txt
+    python -m repro fig4 --scale paper        # the full 25 000-tree run
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, Optional
+
+from .common import ExperimentScale
+from . import ablation, fig3, fig4, fig5, fig6, fig7, table1, table2
+
+__all__ = ["main", "build_parser", "EXPERIMENTS"]
+
+
+def _progress(label: str):
+    def update(done: int, total: int) -> None:
+        sys.stderr.write(f"\r{label}: {done}/{total} trees")
+        sys.stderr.flush()
+        if done == total:
+            sys.stderr.write("\n")
+
+    return update
+
+
+def _svg(renderer, result):
+    """Defer the viz import so text-only runs never pay for it."""
+    return renderer(result)
+
+
+def _run_fig3(scale: ExperimentScale, workers: int = 1):
+    from ..viz import fig3_svg
+
+    result = fig3.run(scale)
+    return fig3.format_result(result), _svg(fig3_svg, result)
+
+
+def _run_fig4(scale: ExperimentScale, workers: int = 1):
+    from ..viz import fig4_svg
+
+    result = fig4.run(scale, progress=_progress("fig4"), workers=workers)
+    return fig4.format_result(result), _svg(fig4_svg, result)
+
+
+def _run_fig5(scale: ExperimentScale, workers: int = 1):
+    from ..viz import fig5_svg
+
+    result = fig5.run(scale, progress=_progress("fig5"), workers=workers)
+    return fig5.format_result(result), _svg(fig5_svg, result)
+
+
+def _run_fig6(scale: ExperimentScale, workers: int = 1):
+    from ..viz import fig6_svg
+
+    result = fig6.run(scale, progress=_progress("fig6"), workers=workers)
+    return fig6.format_result(result), _svg(fig6_svg, result)
+
+
+def _run_fig7(scale: ExperimentScale, workers: int = 1):
+    from ..viz import fig7_svg
+
+    result = fig7.run()
+    return fig7.format_result(result), _svg(fig7_svg, result)
+
+
+def _run_table1(scale: ExperimentScale, workers: int = 1):
+    return table1.format_result(
+        table1.run(scale, progress=_progress("table1"), workers=workers)), None
+
+
+def _run_table2(scale: ExperimentScale, workers: int = 1):
+    return table2.format_result(
+        table2.run(scale, progress=_progress("table2"), workers=workers)), None
+
+
+def _run_priorities(scale: ExperimentScale, workers: int = 1):
+    return ablation.format_priority_result(
+        ablation.priority_rules(scale, progress=_progress("priorities"))), None
+
+
+def _run_overlays(scale: ExperimentScale, workers: int = 1):
+    return ablation.format_overlay_result(
+        ablation.overlay_strategies(graphs=max(5, scale.trees // 5))), None
+
+
+def _run_decay(scale: ExperimentScale, workers: int = 1):
+    return ablation.format_decay_result(
+        ablation.buffer_decay_ablation(scale, progress=_progress("decay"))), None
+
+
+def _run_churn(scale: ExperimentScale, workers: int = 1):
+    return ablation.format_churn_result(
+        ablation.churn_resilience(scale, progress=_progress("churn"))), None
+
+
+#: name → runner returning ``(report text, svg text or None)``.
+EXPERIMENTS: Dict[str, Callable[[ExperimentScale], tuple]] = {
+    "fig3": _run_fig3,
+    "fig4": _run_fig4,
+    "fig5": _run_fig5,
+    "fig6": _run_fig6,
+    "fig7": _run_fig7,
+    "table1": _run_table1,
+    "table2": _run_table2,
+    "priorities": _run_priorities,
+    "overlays": _run_overlays,
+    "decay": _run_decay,
+    "churn": _run_churn,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the tables and figures of the IPDPS'03 "
+                    "bandwidth-centric scheduling paper.")
+    parser.add_argument("experiment",
+                        choices=sorted(EXPERIMENTS) + ["all", "analyze",
+                                       "simulate"],
+                        help="table/figure to regenerate, or "
+                             "'analyze'/'simulate' for a --tree file")
+    parser.add_argument("--tree", type=str, default=None, metavar="FILE",
+                        help="platform JSON (required for analyze/simulate)")
+    parser.add_argument("--protocol", type=str, default="ic3",
+                        help="protocol preset for 'simulate' "
+                             "(ic1/ic2/ic3/non-ic/non-ic-decay/non-ic-fb3)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="process-pool size for ensemble experiments")
+    parser.add_argument("--trees", type=int, default=None,
+                        help="ensemble size (default: 150)")
+    parser.add_argument("--tasks", type=int, default=None,
+                        help="tasks per application (default: 2000)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="base seed for the ensemble (default: 0)")
+    parser.add_argument("--threshold", type=int, default=None,
+                        help="onset threshold window (default: scaled from "
+                             "the paper's 300)")
+    parser.add_argument("--scale", choices=["default", "smoke", "paper"],
+                        default="default",
+                        help="preset scale; --trees/--tasks override it")
+    parser.add_argument("--out", type=str, default=None,
+                        help="also write the report to this file")
+    parser.add_argument("--svg", type=str, default=None, metavar="DIR",
+                        help="also render figures as SVG into this directory")
+    return parser
+
+
+def resolve_scale(args: argparse.Namespace) -> ExperimentScale:
+    presets = {
+        "default": ExperimentScale(),
+        "smoke": ExperimentScale.smoke(),
+        "paper": ExperimentScale.paper(),
+    }
+    scale = presets[args.scale]
+    if args.trees is not None:
+        scale = scale.with_trees(args.trees)
+    if args.tasks is not None:
+        scale = scale.with_tasks(args.tasks)
+    if args.seed:
+        scale = ExperimentScale(trees=scale.trees, tasks=scale.tasks,
+                                base_seed=args.seed,
+                                threshold_window=scale.threshold_window)
+    if args.threshold is not None:
+        scale = ExperimentScale(trees=scale.trees, tasks=scale.tasks,
+                                base_seed=scale.base_seed,
+                                threshold_window=args.threshold)
+    return scale
+
+
+def _run_tree_command(args) -> str:
+    from .analyze import analyze_tree, load_tree, simulate_tree
+
+    if not args.tree:
+        raise SystemExit(f"'{args.experiment}' requires --tree FILE")
+    tree = load_tree(args.tree)
+    if args.experiment == "analyze":
+        return analyze_tree(tree)
+    tasks = args.tasks if args.tasks is not None else 2000
+    return simulate_tree(tree, args.protocol, tasks)
+
+
+def main(argv: Optional[list] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.experiment in ("analyze", "simulate"):
+        text = _run_tree_command(args)
+        print(text)
+        if args.out:
+            with open(args.out, "w") as handle:
+                handle.write(text + "\n")
+        return 0
+    scale = resolve_scale(args)
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    reports = []
+    for name in names:
+        start = time.time()
+        report, svg_text = EXPERIMENTS[name](scale, workers=args.workers)
+        elapsed = time.time() - start
+        if args.svg and svg_text is not None:
+            import os
+
+            os.makedirs(args.svg, exist_ok=True)
+            svg_path = os.path.join(args.svg, f"{name}.svg")
+            with open(svg_path, "w") as handle:
+                handle.write(svg_text)
+            report += f"\n[figure written to {svg_path}]"
+        reports.append(f"{report}\n\n[{name} completed in {elapsed:.1f}s]")
+    text = ("\n\n" + "#" * 72 + "\n\n").join(reports)
+    print(text)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text + "\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

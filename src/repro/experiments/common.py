@@ -1,0 +1,196 @@
+"""Shared experiment plumbing: scales, per-tree cases, ensemble sweeps.
+
+The paper's evaluation runs 25 000 trees × 10 000 tasks; that scale needs a
+2003 cluster (or a week).  Every experiment here takes an
+:class:`ExperimentScale` so the same code runs the paper's parameters
+(``ExperimentScale.paper()``) or laptop-sized ensembles (the default), with
+the steady-state threshold window scaled proportionally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ExperimentError
+from ..metrics import default_threshold, detect_onset
+from ..platform.generator import PAPER_DEFAULTS, TreeGeneratorParams, generate_tree
+from ..protocols import ProtocolConfig, simulate
+from ..steady_state import solve_tree
+
+__all__ = ["ExperimentScale", "ConfigOutcome", "TreeCase", "run_case", "sweep"]
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Ensemble size, application size, and detection threshold.
+
+    ``threshold_window=None`` scales the paper's window-300 criterion
+    proportionally to ``tasks`` (see :func:`repro.metrics.default_threshold`).
+    """
+
+    trees: int = 150
+    tasks: int = 2000
+    base_seed: int = 0
+    threshold_window: Optional[int] = None
+
+    def __post_init__(self):
+        if self.trees < 1:
+            raise ExperimentError(f"trees must be >= 1, got {self.trees}")
+        if self.tasks < 2:
+            raise ExperimentError(f"tasks must be >= 2, got {self.tasks}")
+
+    @property
+    def threshold(self) -> int:
+        """The effective onset-threshold window."""
+        if self.threshold_window is not None:
+            return self.threshold_window
+        return default_threshold(self.tasks)
+
+    @classmethod
+    def paper(cls) -> "ExperimentScale":
+        """The scale used in the paper's §4.2.1 (hours of CPU time)."""
+        return cls(trees=25_000, tasks=10_000, threshold_window=300)
+
+    @classmethod
+    def smoke(cls) -> "ExperimentScale":
+        """A seconds-scale setting for CI smoke runs and benchmarks.
+
+        Tasks stay at 2000: much below that, the IC/FB=3 startup (three
+        buffers filling through the whole tree) eats into the detection
+        horizon and the onset criterion under-reports the best protocol.
+        """
+        return cls(trees=20, tasks=2000)
+
+    def with_trees(self, trees: int) -> "ExperimentScale":
+        return replace(self, trees=trees)
+
+    def with_tasks(self, tasks: int) -> "ExperimentScale":
+        return replace(self, tasks=tasks)
+
+
+@dataclass(frozen=True)
+class ConfigOutcome:
+    """Per-(tree, protocol) measurements used by the tables and figures."""
+
+    onset: Optional[int]
+    #: Largest buffer *pool* any node grew (requests outstanding capacity).
+    max_buffers: int
+    #: Largest number of buffers any node had *occupied* at once — the
+    #: "buffers used" reading for Tables 1 and 2.
+    max_held: int
+    used_nodes: int
+    used_depth: int
+    makespan: int
+    #: ``completed-task count → occupied-buffer high water`` samples
+    #: (Table 2), present only when the sweep asked for buffer recording.
+    buffer_samples: Dict[int, Optional[int]] = field(default_factory=dict)
+
+    @property
+    def reached(self) -> bool:
+        return self.onset is not None
+
+
+@dataclass(frozen=True)
+class TreeCase:
+    """One ensemble tree with its per-protocol outcomes."""
+
+    seed: int
+    num_nodes: int
+    max_depth: int
+    optimal_rate: Fraction
+    outcomes: Dict[str, ConfigOutcome]
+
+    def outcome(self, config: ProtocolConfig) -> ConfigOutcome:
+        return self.outcomes[config.label]
+
+
+def run_case(seed: int, params: TreeGeneratorParams,
+             configs: Sequence[ProtocolConfig], scale: ExperimentScale,
+             *, record_buffers: bool = False,
+             sample_counts: Sequence[int] = ()) -> TreeCase:
+    """Generate tree ``seed``, run every protocol on it, measure everything."""
+    tree = generate_tree(params, seed=seed)
+    optimal = solve_tree(tree).rate
+    outcomes: Dict[str, ConfigOutcome] = {}
+    for config in configs:
+        result = simulate(tree, config, scale.tasks,
+                          record_buffer_timeline=record_buffers)
+        onset = detect_onset(result.completion_times, optimal, scale.threshold)
+        samples: Dict[int, Optional[int]] = {}
+        if record_buffers:
+            timeline = result.held_high_water_at_completion
+            for count in sample_counts:
+                samples[count] = (timeline[count - 1]
+                                  if 1 <= count <= len(timeline) else None)
+        outcomes[config.label] = ConfigOutcome(
+            onset=onset,
+            max_buffers=result.max_buffers,
+            max_held=result.max_held,
+            used_nodes=result.num_used_nodes,
+            used_depth=result.used_depth,
+            makespan=result.makespan,
+            buffer_samples=samples,
+        )
+    return TreeCase(
+        seed=seed,
+        num_nodes=tree.num_nodes,
+        max_depth=tree.max_depth,
+        optimal_rate=optimal,
+        outcomes=outcomes,
+    )
+
+
+def sweep(configs: Sequence[ProtocolConfig], scale: ExperimentScale,
+          params: TreeGeneratorParams = PAPER_DEFAULTS,
+          *, record_buffers: bool = False,
+          sample_counts: Sequence[int] = (),
+          progress=None, workers: int = 1) -> List[TreeCase]:
+    """Run every protocol over the whole ensemble (seeds base..base+trees-1).
+
+    ``progress`` is an optional callable ``(done, total)`` invoked after each
+    tree — the CLI uses it for a live counter.  ``workers > 1`` fans the
+    (embarrassingly parallel, per-tree-seeded) ensemble out over a process
+    pool; results are returned in seed order either way, so parallel and
+    serial sweeps are bit-identical.
+    """
+    labels = [c.label for c in configs]
+    if len(set(labels)) != len(labels):
+        raise ExperimentError(f"duplicate protocol labels in sweep: {labels}")
+    if workers < 1:
+        raise ExperimentError(f"workers must be >= 1, got {workers}")
+    seeds = [scale.base_seed + i for i in range(scale.trees)]
+
+    if workers == 1:
+        cases = []
+        for i, seed in enumerate(seeds):
+            cases.append(run_case(seed, params, configs, scale,
+                                  record_buffers=record_buffers,
+                                  sample_counts=sample_counts))
+            if progress is not None:
+                progress(i + 1, scale.trees)
+        return cases
+
+    from concurrent.futures import ProcessPoolExecutor
+    from functools import partial
+
+    worker_fn = partial(_run_case_for_pool, params=params,
+                        configs=tuple(configs), scale=scale,
+                        record_buffers=record_buffers,
+                        sample_counts=tuple(sample_counts))
+    cases = []
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        for i, case in enumerate(pool.map(worker_fn, seeds)):
+            cases.append(case)
+            if progress is not None:
+                progress(i + 1, scale.trees)
+    return cases
+
+
+def _run_case_for_pool(seed: int, *, params, configs, scale,
+                       record_buffers, sample_counts) -> TreeCase:
+    """Module-level wrapper so :func:`sweep` workers can be pickled."""
+    return run_case(seed, params, list(configs), scale,
+                    record_buffers=record_buffers,
+                    sample_counts=list(sample_counts))

@@ -1,0 +1,90 @@
+"""Tabular export of ensemble results (CSV / JSON).
+
+The text tables are for reading; this module is for *keeping* — flatten a
+sweep's :class:`~repro.experiments.common.TreeCase` list into one row per
+(tree, protocol) and write it as CSV or JSON for downstream analysis
+(pandas, R, spreadsheets).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Dict, List, Sequence, Tuple, Union
+
+from ..errors import ExperimentError
+from .common import TreeCase
+
+__all__ = ["CASE_COLUMNS", "case_rows", "write_csv", "write_json", "cases_to_csv"]
+
+#: Column order of :func:`case_rows`.
+CASE_COLUMNS: Tuple[str, ...] = (
+    "seed", "num_nodes", "max_depth", "optimal_rate", "protocol",
+    "onset", "reached", "max_buffers", "max_held",
+    "used_nodes", "used_depth", "makespan",
+)
+
+
+def case_rows(cases: Sequence[TreeCase]) -> List[Dict[str, object]]:
+    """One flat dict per (tree, protocol) outcome."""
+    rows: List[Dict[str, object]] = []
+    for case in cases:
+        for label, outcome in case.outcomes.items():
+            rows.append({
+                "seed": case.seed,
+                "num_nodes": case.num_nodes,
+                "max_depth": case.max_depth,
+                "optimal_rate": float(case.optimal_rate),
+                "protocol": label,
+                "onset": outcome.onset,
+                "reached": outcome.reached,
+                "max_buffers": outcome.max_buffers,
+                "max_held": outcome.max_held,
+                "used_nodes": outcome.used_nodes,
+                "used_depth": outcome.used_depth,
+                "makespan": outcome.makespan,
+            })
+    return rows
+
+
+def write_csv(target: Union[str, io.TextIOBase],
+              rows: Sequence[Dict[str, object]],
+              columns: Sequence[str] = CASE_COLUMNS) -> None:
+    """Write dict rows as CSV (header row first, '' for ``None``)."""
+    if not rows:
+        raise ExperimentError("no rows to export")
+    missing = set(columns) - set(rows[0])
+    if missing:
+        raise ExperimentError(f"rows lack columns: {sorted(missing)}")
+
+    def dump(handle) -> None:
+        writer = csv.writer(handle)
+        writer.writerow(columns)
+        for row in rows:
+            writer.writerow(["" if row[col] is None else row[col]
+                             for col in columns])
+
+    if isinstance(target, str):
+        with open(target, "w", newline="") as handle:
+            dump(handle)
+    else:
+        dump(target)
+
+
+def write_json(target: Union[str, io.TextIOBase],
+               rows: Sequence[Dict[str, object]]) -> None:
+    """Write dict rows as a JSON array."""
+    if not rows:
+        raise ExperimentError("no rows to export")
+    if isinstance(target, str):
+        with open(target, "w") as handle:
+            json.dump(list(rows), handle, indent=1)
+    else:
+        json.dump(list(rows), target, indent=1)
+
+
+def cases_to_csv(target: Union[str, io.TextIOBase],
+                 cases: Sequence[TreeCase]) -> None:
+    """Convenience: flatten ``cases`` and write them as CSV."""
+    write_csv(target, case_rows(cases))

@@ -1,0 +1,82 @@
+"""Figure 5 — Impact of computation-to-communication ratios.
+
+Four tree classes vary the computation parameter x over
+{500, 1000, 5000, 10000} with communication fixed at [1, 100]; for
+non-IC/IB=1 and IC/FB=3, the percentage of trees reaching optimal steady
+state within the application (4000 tasks in the paper).  The paper's
+reading: IC/FB=3 stays strong across all classes; non-IC suffers badly as
+the ratio rises, and startup lengthens with the ratio for all protocols.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..metrics import onset_cdf, percentage_reached
+from ..platform.generator import PAPER_DEFAULTS, TreeGeneratorParams
+from ..protocols import ProtocolConfig
+from .common import ExperimentScale, TreeCase, sweep
+from .reporting import fmt_pct, format_table
+
+__all__ = ["X_CLASSES", "FIG5_CONFIGS", "Fig5Result", "run", "format_result"]
+
+#: The paper's four computation-parameter classes.
+X_CLASSES: Tuple[int, ...] = (500, 1000, 5000, 10000)
+
+FIG5_CONFIGS: Tuple[ProtocolConfig, ...] = (
+    ProtocolConfig.non_interruptible(1),
+    ProtocolConfig.interruptible(3),
+)
+
+
+@dataclass(frozen=True)
+class Fig5Result:
+    scale: ExperimentScale
+    grid: Tuple[int, ...]
+    #: (x-class, label) → CDF percentages over the grid.
+    cdf: Dict[Tuple[int, str], Tuple[float, ...]]
+    #: (x-class, label) → final % reached.
+    reached: Dict[Tuple[int, str], float]
+
+
+def run(scale: ExperimentScale = ExperimentScale(),
+        params: TreeGeneratorParams = PAPER_DEFAULTS,
+        progress=None, workers: int = 1) -> Fig5Result:
+    max_window = scale.tasks // 2
+    grid = tuple(int(v) for v in np.linspace(scale.threshold, max_window, 10))
+    cdf: Dict[Tuple[int, str], Tuple[float, ...]] = {}
+    reached: Dict[Tuple[int, str], float] = {}
+    for x in X_CLASSES:
+        class_params = params.with_max_comp(x)
+        cases = sweep(FIG5_CONFIGS, scale, class_params, progress=progress,
+                      workers=workers)
+        for config in FIG5_CONFIGS:
+            onsets = [case.outcomes[config.label].onset for case in cases]
+            cdf[(x, config.label)] = tuple(
+                100.0 * v for v in onset_cdf(onsets, grid))
+            reached[(x, config.label)] = percentage_reached(onsets)
+    return Fig5Result(scale=scale, grid=grid, cdf=cdf, reached=reached)
+
+
+def format_result(result: Fig5Result) -> str:
+    headers = ["x class"] + [c.label for c in FIG5_CONFIGS]
+    rows = [[x] + [fmt_pct(result.reached[(x, c.label)]) for c in FIG5_CONFIGS]
+            for x in X_CLASSES]
+    summary = format_table(
+        headers, rows,
+        title=(f"Figure 5 — % of trees reaching optimal steady state by "
+               f"computation-to-communication class "
+               f"({result.scale.trees} trees/class, {result.scale.tasks} tasks)"))
+
+    curve_headers = ["tasks completed"] + [
+        f"x={x} {c.label}" for x in X_CLASSES for c in FIG5_CONFIGS]
+    curve_rows = []
+    for i, g in enumerate(result.grid):
+        curve_rows.append([g] + [
+            fmt_pct(result.cdf[(x, c.label)][i])
+            for x in X_CLASSES for c in FIG5_CONFIGS])
+    curves = format_table(curve_headers, curve_rows)
+    return summary + "\n\n" + curves

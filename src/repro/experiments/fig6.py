@@ -1,0 +1,79 @@
+"""Figure 6 — Tree characteristics: all nodes vs used nodes.
+
+Probability distributions of (a) the number of nodes and (b) the maximum
+depth, comparing the full trees against the sub-trees of *used* nodes
+(nodes that computed at least one task) under non-IC/IB=1 and IC/FB=3.
+
+The paper's reading: with the default (high) computation-to-communication
+ratios, significant sub-trees do real work — usually more than 50 nodes,
+typical used depth around 18 — and non-IC occasionally uses a slightly
+larger/deeper sub-tree than IC/FB=3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..metrics import histogram_pdf, summarize
+from ..platform.generator import PAPER_DEFAULTS, TreeGeneratorParams
+from ..protocols import ProtocolConfig
+from .common import ExperimentScale, TreeCase, sweep
+from .reporting import fmt_num, format_table
+
+__all__ = ["FIG6_CONFIGS", "Fig6Result", "run", "format_result"]
+
+FIG6_CONFIGS: Tuple[ProtocolConfig, ...] = (
+    ProtocolConfig.non_interruptible(1),
+    ProtocolConfig.interruptible(3),
+)
+
+
+@dataclass(frozen=True)
+class Fig6Result:
+    scale: ExperimentScale
+    #: series label → list of per-tree values; keys: "all" plus one per
+    #: protocol, for both "nodes" and "depth" dimensions.
+    node_series: Dict[str, List[int]]
+    depth_series: Dict[str, List[int]]
+
+    def node_pdf(self, label: str, bin_width: int = 25):
+        """Binned PDF of a node-count series (Figure 6(a))."""
+        return histogram_pdf(self.node_series[label], bin_width)
+
+    def depth_pdf(self, label: str, bin_width: int = 4):
+        """Binned PDF of a depth series (Figure 6(b))."""
+        return histogram_pdf(self.depth_series[label], bin_width)
+
+
+def run(scale: ExperimentScale = ExperimentScale(),
+        params: TreeGeneratorParams = PAPER_DEFAULTS,
+        progress=None, workers: int = 1) -> Fig6Result:
+    cases = sweep(FIG6_CONFIGS, scale, params, progress=progress,
+                  workers=workers)
+    node_series: Dict[str, List[int]] = {"all": [c.num_nodes for c in cases]}
+    depth_series: Dict[str, List[int]] = {"all": [c.max_depth for c in cases]}
+    for config in FIG6_CONFIGS:
+        label = f"used, {config.label}"
+        node_series[label] = [c.outcomes[config.label].used_nodes for c in cases]
+        depth_series[label] = [c.outcomes[config.label].used_depth for c in cases]
+    return Fig6Result(scale=scale, node_series=node_series,
+                      depth_series=depth_series)
+
+
+def format_result(result: Fig6Result) -> str:
+    sections = []
+    for name, series in (("tree size (nodes)", result.node_series),
+                         ("tree depth", result.depth_series)):
+        rows = []
+        for label, values in series.items():
+            stats = summarize([float(v) for v in values])
+            rows.append([label, fmt_num(stats["mean"], 1),
+                         fmt_num(stats["median"], 1),
+                         int(stats["min"]), int(stats["max"])])
+        sections.append(format_table(
+            ["series", "mean", "median", "min", "max"], rows,
+            title=f"Figure 6 — {name} ({result.scale.trees} trees)"))
+    return "\n\n".join(sections)

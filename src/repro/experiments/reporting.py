@@ -1,0 +1,46 @@
+"""Plain-text rendering of experiment outputs (paper-style rows)."""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+__all__ = ["format_table", "fmt_pct", "fmt_num", "fmt_opt"]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]],
+                 title: Optional[str] = None) -> str:
+    """Fixed-width text table (right-aligned numbers, left-aligned first col)."""
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def render(cells):
+        parts = []
+        for i, cell in enumerate(cells):
+            parts.append(cell.ljust(widths[i]) if i == 0 else cell.rjust(widths[i]))
+        return "  ".join(parts).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(render(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(render(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def fmt_pct(value: float, digits: int = 1) -> str:
+    """``42.5%`` style."""
+    return f"{value:.{digits}f}%"
+
+
+def fmt_num(value: float, digits: int = 3) -> str:
+    return f"{value:.{digits}f}"
+
+
+def fmt_opt(value, placeholder: str = "-") -> str:
+    """Render ``None`` as a placeholder (e.g. 'never reached')."""
+    return placeholder if value is None else str(value)

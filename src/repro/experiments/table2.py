@@ -1,0 +1,87 @@
+"""Table 2 — Median and maximum buffers used by non-IC across tree classes.
+
+For each computation-parameter class x ∈ {500, 1000, 5000, 10000}, the
+median (over trees) buffer high-water when 100 / 1000 / 4000 tasks have
+completed, plus the class-wide maximum.  The paper's reading: buffer growth
+is rampant at high computation-to-communication ratios (median 551–561 and
+max 1951 at x = 10 000) but modest at x = 500 (median 3, max 165).
+
+Sample task counts scale with the application size: for the paper's
+4000-task runs they are exactly 100/1000/4000.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..metrics import median_or_none
+from ..platform.generator import PAPER_DEFAULTS, TreeGeneratorParams
+from ..protocols import ProtocolConfig
+from .common import ExperimentScale, TreeCase, sweep
+from .fig5 import X_CLASSES
+from .reporting import fmt_opt, format_table
+
+__all__ = ["Table2Result", "run", "sample_counts_for", "format_result"]
+
+NON_IC = ProtocolConfig.non_interruptible(1)
+
+#: The paper's sample points, defined for 4000-task applications.
+PAPER_SAMPLE_FRACTIONS: Tuple[float, ...] = (100 / 4000, 1000 / 4000, 1.0)
+
+
+def sample_counts_for(tasks: int) -> Tuple[int, ...]:
+    """Scale the paper's 100/1000/4000 sample points to ``tasks``."""
+    return tuple(max(1, round(tasks * f)) for f in PAPER_SAMPLE_FRACTIONS)
+
+
+@dataclass(frozen=True)
+class Table2Result:
+    scale: ExperimentScale
+    sample_counts: Tuple[int, ...]
+    #: x-class → median occupied-buffer high-water at each sample count.
+    medians: Dict[int, Tuple[Optional[float], ...]]
+    #: x-class → maximum occupied-buffer high-water over the whole class.
+    maxima: Dict[int, int]
+    #: x-class → maximum buffer *pool* grown over the whole class (the
+    #: over-requesting the paper's §3.1 case 4 warns about).
+    pool_maxima: Dict[int, int]
+
+
+def run(scale: ExperimentScale = ExperimentScale(),
+        params: TreeGeneratorParams = PAPER_DEFAULTS,
+        progress=None, workers: int = 1) -> Table2Result:
+    counts = sample_counts_for(scale.tasks)
+    medians: Dict[int, Tuple[Optional[float], ...]] = {}
+    maxima: Dict[int, int] = {}
+    pool_maxima: Dict[int, int] = {}
+    for x in X_CLASSES:
+        class_params = params.with_max_comp(x)
+        cases = sweep([NON_IC], scale, class_params,
+                      record_buffers=True, sample_counts=counts,
+                      progress=progress, workers=workers)
+        outcomes = [case.outcomes[NON_IC.label] for case in cases]
+        medians[x] = tuple(
+            median_or_none([o.buffer_samples[count] for o in outcomes])
+            for count in counts)
+        maxima[x] = max(o.max_held for o in outcomes)
+        pool_maxima[x] = max(o.max_buffers for o in outcomes)
+    return Table2Result(scale=scale, sample_counts=counts,
+                        medians=medians, maxima=maxima,
+                        pool_maxima=pool_maxima)
+
+
+def format_result(result: Table2Result) -> str:
+    headers = ["x"] + [f"median @ {c} tasks" for c in result.sample_counts] + [
+        "maximum"]
+    rows: List[List[str]] = []
+    for x in X_CLASSES:
+        rows.append([x] + [fmt_opt(m) for m in result.medians[x]] + [
+            result.maxima[x]])
+    table = format_table(
+        headers, rows,
+        title=(f"Table 2 — buffers used (occupied high-water) by non-IC/IB=1 "
+               f"({result.scale.trees} trees/class, {result.scale.tasks} "
+               f"tasks; paper medians at x=10000: 551/560/561, max 1951)"))
+    pools = ", ".join(f"x={x}: {result.pool_maxima[x]}" for x in X_CLASSES)
+    return table + f"\n\nmax buffer pools grown (over-requesting): {pools}"

@@ -1,0 +1,43 @@
+"""Measurement layer: windowed throughput, onset detection, buffer and
+used-subtree statistics, ensemble aggregation (§4.1 methodology)."""
+
+from .windows import (
+    normalized_window_rates,
+    num_windows,
+    window_rate,
+    window_rates,
+)
+from .onset import (
+    PAPER_NUM_TASKS,
+    PAPER_THRESHOLD_WINDOW,
+    default_threshold,
+    detect_onset,
+    reached_optimal,
+)
+from .buffers import buffers_at_completions, reached_within_buffers
+from .usage import UsageStats, histogram_pdf, usage_stats
+from .ensemble import median_or_none, onset_cdf, percentage_reached, summarize
+from .phases import PhaseBreakdown, phase_breakdown
+
+__all__ = [
+    "window_rate",
+    "window_rates",
+    "normalized_window_rates",
+    "num_windows",
+    "detect_onset",
+    "reached_optimal",
+    "default_threshold",
+    "PAPER_THRESHOLD_WINDOW",
+    "PAPER_NUM_TASKS",
+    "buffers_at_completions",
+    "reached_within_buffers",
+    "UsageStats",
+    "usage_stats",
+    "histogram_pdf",
+    "median_or_none",
+    "onset_cdf",
+    "percentage_reached",
+    "summarize",
+    "PhaseBreakdown",
+    "phase_breakdown",
+]

@@ -1,0 +1,36 @@
+"""Buffer-usage statistics (Table 1 / Table 2 inputs)."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from ..errors import ReproError
+from ..protocols.result import SimulationResult
+
+__all__ = ["buffers_at_completions", "reached_within_buffers"]
+
+
+def buffers_at_completions(result: SimulationResult,
+                           task_counts: Sequence[int]) -> Dict[int, Optional[int]]:
+    """Global buffer high-water when each of ``task_counts`` tasks completed.
+
+    Requires the run to have been made with ``record_buffer_timeline=True``;
+    counts beyond the run's task total map to ``None``.
+    """
+    timeline = result.buffer_high_water_at_completion
+    if result.num_tasks > 0 and not timeline:
+        raise ReproError(
+            "run was not recorded with record_buffer_timeline=True")
+    out: Dict[int, Optional[int]] = {}
+    for count in task_counts:
+        if count < 1:
+            raise ReproError(f"task count must be >= 1, got {count}")
+        out[count] = timeline[count - 1] if count <= len(timeline) else None
+    return out
+
+
+def reached_within_buffers(onset: Optional[int], max_buffers: int,
+                           budget: int) -> bool:
+    """Table 1's cell predicate: reached optimal using at most ``budget``
+    buffers per node."""
+    return onset is not None and max_buffers <= budget

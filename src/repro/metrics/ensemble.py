@@ -1,0 +1,60 @@
+"""Ensemble aggregation: CDFs over trees, medians, percentage tables.
+
+These helpers turn per-tree metrics (onset task counts, buffer usage,
+usage statistics) into the rows the paper's figures and tables report.
+``None`` onsets mean "never reached optimal" and are excluded from CDF
+numerators but kept in the denominator, exactly like the paper's
+percentage-of-trees plots.
+"""
+
+from __future__ import annotations
+
+import statistics
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ReproError
+
+__all__ = ["onset_cdf", "percentage_reached", "median_or_none", "summarize"]
+
+
+def onset_cdf(onsets: Sequence[Optional[int]],
+              xs: Sequence[int]) -> np.ndarray:
+    """Fraction of trees whose onset is ``<= x`` for each x (Figure 4/5).
+
+    ``None`` entries (never reached) count in the denominator only.
+    """
+    if not onsets:
+        raise ReproError("onset_cdf needs at least one tree")
+    reached = np.array(sorted(o for o in onsets if o is not None), dtype=np.int64)
+    xs_arr = np.asarray(list(xs), dtype=np.int64)
+    counts = np.searchsorted(reached, xs_arr, side="right")
+    return counts / len(onsets)
+
+
+def percentage_reached(onsets: Sequence[Optional[int]]) -> float:
+    """Percentage of trees that reached optimal steady state (0–100)."""
+    if not onsets:
+        raise ReproError("percentage_reached needs at least one tree")
+    return 100.0 * sum(1 for o in onsets if o is not None) / len(onsets)
+
+
+def median_or_none(values: Iterable[Optional[float]]) -> Optional[float]:
+    """Median of the non-``None`` values (``None`` if all missing)."""
+    present = [v for v in values if v is not None]
+    if not present:
+        return None
+    return statistics.median(present)
+
+
+def summarize(values: Sequence[float]) -> Dict[str, float]:
+    """Mean / median / min / max of a metric across an ensemble."""
+    if not values:
+        raise ReproError("summarize needs at least one value")
+    return {
+        "mean": statistics.fmean(values),
+        "median": statistics.median(values),
+        "min": min(values),
+        "max": max(values),
+    }

@@ -1,0 +1,75 @@
+"""Execution-phase analysis: startup / steady state / wind-down (§2.1).
+
+The paper describes a complete schedule as "a startup interval where some
+nodes are not yet running at full speed, then a periodic steady-state
+interval where b tasks are executed every t time units, and finally a
+wind-down interval where some but not all nodes are finished", and observes
+(from simulations not displayed) that *"for all protocols the startup time
+increases as the computation-to-communication ratio increases"* and that
+more fixed buffers lengthen startup.  This module makes those phases
+measurable for a single run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Optional, Union
+
+from ..errors import ReproError
+from ..protocols.result import SimulationResult
+from .onset import detect_onset
+
+__all__ = ["PhaseBreakdown", "phase_breakdown"]
+
+
+@dataclass(frozen=True)
+class PhaseBreakdown:
+    """Durations (virtual timesteps) of one run's three phases.
+
+    ``startup`` runs to the completion of the onset window's first task
+    (``None`` when the run never reached optimal steady state — then
+    ``steady`` is ``None`` too and the whole middle counts as ``other``).
+    ``wind_down`` starts when the repository hands out its last task.
+    """
+
+    makespan: int
+    onset_window: Optional[int]
+    startup: Optional[int]
+    steady: Optional[int]
+    wind_down: int
+
+    @property
+    def reached_steady_state(self) -> bool:
+        return self.onset_window is not None
+
+    @property
+    def startup_fraction(self) -> Optional[float]:
+        """Share of the makespan spent starting up."""
+        if self.startup is None or self.makespan == 0:
+            return None
+        return self.startup / self.makespan
+
+
+def phase_breakdown(result: SimulationResult,
+                    optimal_rate: Union[Fraction, int],
+                    threshold_window: Optional[int] = None) -> PhaseBreakdown:
+    """Split one run into startup / steady / wind-down durations."""
+    times = result.completion_times
+    if not times:
+        raise ReproError("phase_breakdown needs a non-empty run")
+    makespan = times[-1]
+    exhausted = result.repository_exhausted_at
+    if exhausted is None:  # pragma: no cover - engine always sets it
+        raise ReproError("run did not record repository exhaustion")
+    wind_down = makespan - exhausted
+
+    onset = detect_onset(times, optimal_rate, threshold_window)
+    if onset is None:
+        return PhaseBreakdown(makespan=makespan, onset_window=None,
+                              startup=None, steady=None, wind_down=wind_down)
+    startup = times[onset - 1]  # completion time of the onset window's start
+    steady = max(0, exhausted - startup)
+    return PhaseBreakdown(makespan=makespan, onset_window=onset,
+                          startup=startup, steady=steady,
+                          wind_down=wind_down)

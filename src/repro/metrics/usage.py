@@ -1,0 +1,63 @@
+"""Used-subtree statistics (Figure 6): which part of the tree does work.
+
+The paper compares, over the ensemble, the distribution of tree sizes and
+depths of *all* nodes against the sub-tree of *used* nodes (nodes that
+computed at least one task during the protocol simulation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ReproError
+from ..protocols.result import SimulationResult
+
+__all__ = ["UsageStats", "usage_stats", "histogram_pdf"]
+
+
+@dataclass(frozen=True)
+class UsageStats:
+    """Size/depth of the full tree vs its used sub-tree for one run."""
+
+    total_nodes: int
+    used_nodes: int
+    total_depth: int
+    used_depth: int
+
+    @property
+    def used_fraction(self) -> float:
+        """Share of nodes that computed at least one task."""
+        return self.used_nodes / self.total_nodes
+
+
+def usage_stats(result: SimulationResult) -> UsageStats:
+    """Extract Figure-6 statistics from one simulation result."""
+    tree = result.tree
+    return UsageStats(
+        total_nodes=tree.num_nodes,
+        used_nodes=result.num_used_nodes,
+        total_depth=tree.max_depth,
+        used_depth=result.used_depth,
+    )
+
+
+def histogram_pdf(values: Sequence[int], bin_width: int = 1,
+                  upper: int = None) -> Tuple[np.ndarray, np.ndarray]:
+    """Empirical PDF over integer values binned by ``bin_width``.
+
+    Returns ``(bin_lefts, fractions)`` with fractions summing to 1 (empty
+    input returns two empty arrays).  Used to regenerate Figure 6's curves.
+    """
+    if bin_width < 1:
+        raise ReproError(f"bin_width must be >= 1, got {bin_width}")
+    data = np.asarray(list(values), dtype=np.int64)
+    if data.size == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0)
+    top = int(data.max()) if upper is None else upper
+    edges = np.arange(0, top + 2 * bin_width, bin_width)
+    counts, _ = np.histogram(data, bins=edges)
+    fractions = counts / data.size
+    return edges[:-1], fractions

@@ -1,0 +1,62 @@
+"""Sliding growing-window throughput rates (§4.1 methodology).
+
+The paper measures the average execution rate between the completion of task
+``x`` and task ``2x``: the point at x on the x-axis is
+``(2x - x) / (t_2x - t_x)``.  As the run proceeds the window grows, so it
+eventually excludes the startup phase while covering at least one full
+period of the steady-state schedule.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..errors import ReproError
+
+__all__ = ["window_rate", "window_rates", "normalized_window_rates", "num_windows"]
+
+
+def num_windows(num_completions: int) -> int:
+    """Largest valid window index (x needs both t_x and t_2x)."""
+    return num_completions // 2
+
+
+def window_rate(completion_times: Sequence[int], x: int) -> Fraction:
+    """Exact average rate over the window from task ``x`` to task ``2x``."""
+    if x < 1 or 2 * x > len(completion_times):
+        raise ReproError(
+            f"window {x} out of range for {len(completion_times)} completions")
+    dt = completion_times[2 * x - 1] - completion_times[x - 1]
+    if dt <= 0:
+        # x tasks completed in zero time (burst at one timestep): treat as
+        # an infinite spike; callers compare rates, so saturate high.
+        return Fraction(x, 1) * 10**9
+    return Fraction(x, dt)
+
+
+def window_rates(completion_times: Sequence[int]) -> np.ndarray:
+    """Float rates for every window ``x = 1 .. N//2`` (vectorized).
+
+    Intended for plotting/reporting; use :func:`window_rate` (exact) or the
+    onset detector when comparing against the optimal rate.
+    """
+    times = np.asarray(completion_times, dtype=np.float64)
+    n = num_windows(len(times))
+    if n == 0:
+        return np.empty(0)
+    xs = np.arange(1, n + 1, dtype=np.float64)
+    dt = times[2 * np.arange(1, n + 1) - 1] - times[np.arange(1, n + 1) - 1]
+    with np.errstate(divide="ignore"):
+        return np.where(dt > 0, xs / np.maximum(dt, 1e-300), np.inf)
+
+
+def normalized_window_rates(completion_times: Sequence[int],
+                            optimal_rate: Union[Fraction, float]) -> np.ndarray:
+    """Window rates divided by the optimal steady-state rate (floats)."""
+    optimal = float(optimal_rate)
+    if optimal <= 0:
+        raise ReproError(f"optimal rate must be > 0, got {optimal_rate!r}")
+    return window_rates(completion_times) / optimal

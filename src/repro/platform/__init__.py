@@ -1,0 +1,42 @@
+"""Platform model: weighted trees, random generation, examples, overlays.
+
+The tree model (§2.1 of the paper): nodes are compute resources with
+per-task compute time ``w``, edges are links with per-task transfer time
+``c`` (input plus returned output).  See :class:`PlatformTree`.
+"""
+
+from .tree import PlatformTree, TreeNode
+from .generator import (
+    PAPER_DEFAULTS,
+    TreeGeneratorParams,
+    generate_ensemble,
+    generate_tree,
+)
+from .examples import figure1_tree, figure2a_tree, figure2b_tree
+from .mutation import Mutation, MutationSchedule
+from .churn import ChurnSchedule, JoinEvent, LeaveEvent
+from .serialize import from_dict, from_json, to_dict, to_dot, to_json
+from . import overlay
+
+__all__ = [
+    "PlatformTree",
+    "TreeNode",
+    "TreeGeneratorParams",
+    "PAPER_DEFAULTS",
+    "generate_tree",
+    "generate_ensemble",
+    "figure1_tree",
+    "figure2a_tree",
+    "figure2b_tree",
+    "Mutation",
+    "MutationSchedule",
+    "ChurnSchedule",
+    "JoinEvent",
+    "LeaveEvent",
+    "to_dict",
+    "from_dict",
+    "to_json",
+    "from_json",
+    "to_dot",
+    "overlay",
+]

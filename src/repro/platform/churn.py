@@ -1,0 +1,106 @@
+"""Dynamic resource pools: nodes joining and (gracefully) leaving mid-run.
+
+The paper's §6 future work: *"we will also conduct simulations and
+experiments to assess the resilience of our scheduling approach to …
+dynamically evolving pools of resources"*, and §3 claims scalability
+because "it is very straightforward to add subtrees of nodes below any
+currently connected node".  This module provides the events; the protocol
+engine consumes them:
+
+* :class:`JoinEvent` — at a virtual time, a whole subtree of fresh nodes
+  attaches below an existing node and starts requesting work, with zero
+  global coordination;
+* :class:`LeaveEvent` — at a virtual time, a subtree *gracefully departs*:
+  it withdraws its outstanding requests, accepts whatever is already in
+  flight, finishes the tasks it holds (no work is lost), and never asks
+  for more.
+
+Abrupt failure (losing in-flight tasks) would need an application-level
+retry protocol the paper does not define, so it is out of scope here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Union
+
+from ..errors import PlatformError
+from .tree import PlatformTree
+
+__all__ = ["JoinEvent", "LeaveEvent", "ChurnSchedule"]
+
+
+@dataclass(frozen=True)
+class JoinEvent:
+    """A subtree of new nodes attaches below ``parent`` at ``at_time``."""
+
+    at_time: int
+    #: Node id (in the tree as it stands when the event fires) to attach under.
+    parent: int
+    #: The joining platform; its root becomes ``parent``'s new child.
+    subtree: PlatformTree
+    #: Edge cost from ``parent`` to the subtree's root.
+    attach_cost: int
+
+    def __post_init__(self):
+        if self.at_time < 0:
+            raise PlatformError("at_time must be >= 0")
+        if self.parent < 0:
+            raise PlatformError("parent id must be >= 0")
+        if not isinstance(self.subtree, PlatformTree):
+            raise PlatformError("subtree must be a PlatformTree")
+        if not self.attach_cost > 0:
+            raise PlatformError("attach_cost must be > 0")
+
+
+@dataclass(frozen=True)
+class LeaveEvent:
+    """The subtree rooted at ``node`` departs gracefully at ``at_time``."""
+
+    at_time: int
+    node: int
+
+    def __post_init__(self):
+        if self.at_time < 0:
+            raise PlatformError("at_time must be >= 0")
+        if self.node < 0:
+            raise PlatformError("node id must be >= 0")
+
+
+ChurnEvent = Union[JoinEvent, LeaveEvent]
+
+
+class ChurnSchedule:
+    """Time-ordered joins and leaves for one run."""
+
+    def __init__(self, events: Iterable[ChurnEvent] = ()):
+        self.events: List[ChurnEvent] = sorted(
+            events, key=lambda e: e.at_time)
+
+    def validate(self, tree: PlatformTree) -> None:
+        """Static checks against the *initial* tree.
+
+        Joins may reference nodes added by earlier joins and leaves may
+        target joined subtrees, so id-range checks for those happen when
+        the event fires; here we only reject what can never become valid.
+        """
+        size = tree.num_nodes
+        for event in self.events:
+            if isinstance(event, JoinEvent):
+                size += event.subtree.num_nodes
+            else:
+                if event.node == tree.root:
+                    raise PlatformError("the repository root cannot leave")
+                if event.node >= size:
+                    raise PlatformError(
+                        f"leave targets node {event.node}, which cannot exist "
+                        f"by t={event.at_time} (at most {size} nodes)")
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __bool__(self) -> bool:
+        return bool(self.events)

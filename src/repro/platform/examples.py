@@ -1,0 +1,64 @@
+"""The paper's hand-constructed example platforms.
+
+* :func:`figure1_tree` — the 8-node, 3-site tree of Figure 1 used by the
+  adaptability study (§4.2.3).  The paper pins down node ``P1``'s weights
+  there (``c1 = 1``, ``w1 = 3``); the remaining weights are chosen to be
+  representative of the figure (moderate heterogeneity, sites reachable
+  through single gateways) and are documented per node below.
+* :func:`figure2a_tree` — the fork of Figure 2(a): one buffer does not
+  suffice (fast child B starves while the parent serves slow child C).
+* :func:`figure2b_tree` — the parametric fork of Figure 2(b): for every
+  ``k`` there is a tree where child B needs more than ``k`` buffers.
+"""
+
+from __future__ import annotations
+
+from .tree import PlatformTree
+
+__all__ = ["figure1_tree", "figure2a_tree", "figure2b_tree"]
+
+#: Node weights of the Figure 1 tree (id → per-task compute time).
+FIGURE1_W = [4, 3, 5, 6, 4, 2, 6, 4]
+#: Edges of the Figure 1 tree as (parent, child, cost).
+FIGURE1_EDGES = [
+    (0, 1, 1),   # P0 → P1   (site 1; §4.2.3: c1 = 1, w1 = 3)
+    (0, 2, 3),   # P0 → P2   (site 1 gateway into site 2)
+    (2, 3, 5),   # P2 → P3   (site 2)
+    (2, 4, 6),   # P2 → P4   (site 2)
+    (0, 5, 2),   # P0 → P5   (site 3 gateway)
+    (5, 6, 1),   # P5 → P6   (site 3)
+    (5, 7, 4),   # P5 → P7   (site 3)
+]
+
+
+def figure1_tree() -> PlatformTree:
+    """The three-site example platform of Figure 1 (root ``P0``)."""
+    return PlatformTree(FIGURE1_W, FIGURE1_EDGES)
+
+
+def figure2a_tree(parent_w: int = 10**9) -> PlatformTree:
+    """Figure 2(a): root A with children B (c=1, w=2) and C (c=5, w=8).
+
+    While A spends 5 time units sending one task to C, the high-priority
+    child B consumes 2.5 tasks, so B needs at least 3 buffered tasks to keep
+    busy under non-interruptible communication.  ``parent_w`` defaults to an
+    effectively-infinite compute time so the study isolates B and C, as in
+    the paper's figure.
+    """
+    return PlatformTree.fork(parent_w, [(1, 2), (5, 8)])
+
+
+def figure2b_tree(k: int, x: int = 4, parent_w: int = 10**9,
+                  c_w: int = 4) -> PlatformTree:
+    """Figure 2(b): B (c=1, w=x) and C (c=k*x+1, w=c_w), x > 1.
+
+    While A sends one task to C — taking ``k*x + 1`` time units — B consumes
+    ``k + 1/x`` tasks, so B needs more than ``k`` buffered tasks to sustain
+    its rate: non-interruptible communication with any fixed buffer count
+    ``k`` fails on the instance built with that ``k``.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if x <= 1:
+        raise ValueError(f"the construction requires x > 1, got {x}")
+    return PlatformTree.fork(parent_w, [(1, x), (k * x + 1, c_w)])

@@ -1,0 +1,151 @@
+"""Random platform-tree generator following the paper's methodology (§4.1).
+
+Each tree is described by five parameters ``m, n, b, d, x``:
+
+* the number of nodes is uniform in ``[m, n]``;
+* edges are chosen one at a time between two uniformly random nodes and kept
+  iff they do not create a cycle (i.e. a uniform evolution of a random forest
+  into a spanning tree);
+* each edge's task communication time is uniform in ``[b, d]`` timesteps;
+* each node's task computation time is uniform in ``[x/100, x]`` timesteps.
+
+The paper's defaults are ``m=10, n=500, b=1, d=100, x=10 000``, which
+produced trees averaging 245 nodes with depths 2–82.  Node 0 is the root
+(node labels are themselves random, so this is a uniformly random root).
+All draws use a caller-supplied seed for reproducibility.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from typing import Iterator, Optional
+
+from ..errors import PlatformError
+from .tree import PlatformTree
+
+__all__ = ["TreeGeneratorParams", "generate_tree", "generate_ensemble", "PAPER_DEFAULTS"]
+
+
+@dataclass(frozen=True)
+class TreeGeneratorParams:
+    """The five generator parameters of §4.1 (naming follows the paper)."""
+
+    #: Minimum number of nodes (paper: ``m``).
+    min_nodes: int = 10
+    #: Maximum number of nodes (paper: ``n``).
+    max_nodes: int = 500
+    #: Minimum task communication time per edge (paper: ``b``).
+    min_comm: int = 1
+    #: Maximum task communication time per edge (paper: ``d``).
+    max_comm: int = 100
+    #: Maximum task computation time per node (paper: ``x``); the minimum is
+    #: ``max(1, x // comp_divisor)``.
+    max_comp: int = 10_000
+    #: Divisor giving the lower computation bound (paper: 100).
+    comp_divisor: int = 100
+
+    def __post_init__(self):
+        if not 1 <= self.min_nodes <= self.max_nodes:
+            raise PlatformError(
+                f"need 1 <= min_nodes <= max_nodes, got {self.min_nodes}, {self.max_nodes}")
+        if not 1 <= self.min_comm <= self.max_comm:
+            raise PlatformError(
+                f"need 1 <= min_comm <= max_comm, got {self.min_comm}, {self.max_comm}")
+        if self.max_comp < 1 or self.comp_divisor < 1:
+            raise PlatformError("max_comp and comp_divisor must be >= 1")
+
+    @property
+    def min_comp(self) -> int:
+        """Lower bound of the computation-time distribution."""
+        return max(1, self.max_comp // self.comp_divisor)
+
+    def with_max_comp(self, x: int) -> "TreeGeneratorParams":
+        """Copy with a different ``x`` (used by the Figure 5 / Table 2 sweeps)."""
+        return replace(self, max_comp=x)
+
+
+#: The exact parameter set used for the bulk of the paper's simulations.
+PAPER_DEFAULTS = TreeGeneratorParams()
+
+
+def generate_tree(params: Optional[TreeGeneratorParams] = None, *,
+                  seed: Optional[int] = None,
+                  rng: Optional[random.Random] = None) -> PlatformTree:
+    """Generate one random platform tree.
+
+    Exactly one source of randomness may be given: a ``seed`` (creates a
+    private :class:`random.Random`) or an existing ``rng``.  With neither, a
+    fresh unseeded generator is used (non-reproducible).
+    """
+    if params is None:
+        params = PAPER_DEFAULTS
+    if rng is not None and seed is not None:
+        raise PlatformError("pass either seed or rng, not both")
+    if rng is None:
+        rng = random.Random(seed)
+
+    n = rng.randint(params.min_nodes, params.max_nodes)
+
+    # Random forest-to-tree evolution with a union-find accept/reject loop,
+    # exactly as described in the paper ("edges are chosen one by one to
+    # connect two randomly-chosen nodes, provided that adding the edge
+    # doesn't create a cycle").
+    find_parent = list(range(n))
+
+    def find(i: int) -> int:
+        root = i
+        while find_parent[root] != root:
+            root = find_parent[root]
+        while find_parent[i] != root:  # path compression
+            find_parent[i], i = root, find_parent[i]
+        return root
+
+    adjacency: list[list[int]] = [[] for _ in range(n)]
+    accepted = 0
+    while accepted < n - 1:
+        a = rng.randrange(n)
+        b = rng.randrange(n)
+        ra, rb = find(a), find(b)
+        if ra == rb:
+            continue
+        find_parent[ra] = rb
+        adjacency[a].append(b)
+        adjacency[b].append(a)
+        accepted += 1
+
+    # Root the undirected tree at node 0 and draw weights.
+    parent_of = [-1] * n
+    order = [0]
+    seen = [False] * n
+    seen[0] = True
+    idx = 0
+    while idx < len(order):
+        u = order[idx]
+        idx += 1
+        for v in adjacency[u]:
+            if not seen[v]:
+                seen[v] = True
+                parent_of[v] = u
+                order.append(v)
+
+    lo_w, hi_w = params.min_comp, params.max_comp
+    w = [rng.randint(lo_w, hi_w) for _ in range(n)]
+    edges = [
+        (parent_of[child], child, rng.randint(params.min_comm, params.max_comm))
+        for child in range(1, n)
+    ]
+    return PlatformTree(w, edges, root=0)
+
+
+def generate_ensemble(count: int, params: Optional[TreeGeneratorParams] = None,
+                      *, base_seed: int = 0) -> Iterator[PlatformTree]:
+    """Yield ``count`` trees with per-tree seeds ``base_seed + i``.
+
+    Per-tree seeding (rather than one shared stream) lets experiments
+    regenerate tree *i* in isolation — e.g. to re-run a single outlier.
+    """
+    if count < 0:
+        raise PlatformError(f"count must be >= 0, got {count}")
+    for i in range(count):
+        yield generate_tree(params, seed=base_seed + i)

@@ -1,0 +1,113 @@
+"""Dynamic platform changes for the adaptability experiments (§4.2.3).
+
+The paper perturbs the Figure 1 platform mid-run: after 200 of 1000 tasks
+complete, either the communication time ``c1`` rises from 1 to 3 (network
+contention) or the compute time ``w1`` drops from 3 to 1 (processor
+contention relief).  A :class:`Mutation` describes one such change, fired
+either when a given number of tasks has completed or at a virtual time; a
+:class:`MutationSchedule` is an ordered collection the protocol engine
+consumes during a run.
+
+Activities already in progress keep their original duration; the new weight
+applies from the next transfer/computation on, which models a rate change
+observed only by subsequent operations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Literal, Optional, Tuple
+
+from ..errors import PlatformError
+from .tree import PlatformTree
+
+__all__ = ["Mutation", "MutationSchedule"]
+
+
+@dataclass(frozen=True)
+class Mutation:
+    """One weight change: set ``attribute`` of ``node`` to ``value``.
+
+    Exactly one of ``after_tasks`` (completed-task trigger) and ``at_time``
+    (virtual-time trigger) must be given.
+    """
+
+    node: int
+    attribute: Literal["c", "w"]
+    value: int
+    after_tasks: Optional[int] = None
+    at_time: Optional[int] = None
+
+    def __post_init__(self):
+        if self.attribute not in ("c", "w"):
+            raise PlatformError(f"attribute must be 'c' or 'w', got {self.attribute!r}")
+        if not self.value > 0:
+            raise PlatformError(f"mutated weight must be > 0, got {self.value!r}")
+        if (self.after_tasks is None) == (self.at_time is None):
+            raise PlatformError("specify exactly one of after_tasks / at_time")
+        if self.after_tasks is not None and self.after_tasks < 0:
+            raise PlatformError("after_tasks must be >= 0")
+        if self.at_time is not None and self.at_time < 0:
+            raise PlatformError("at_time must be >= 0")
+
+    def apply(self, tree: PlatformTree) -> None:
+        """Apply this change to ``tree`` in place."""
+        if self.attribute == "c":
+            tree.set_edge_cost(self.node, self.value)
+        else:
+            tree.set_compute_weight(self.node, self.value)
+
+
+class MutationSchedule:
+    """An ordered set of mutations validated against a tree.
+
+    Iterating yields mutations; :meth:`task_triggered` and
+    :meth:`time_triggered` split them by trigger kind for the engine.
+    """
+
+    def __init__(self, mutations: Iterable[Mutation] = ()):
+        self.mutations: List[Mutation] = list(mutations)
+
+    def validate(self, tree: PlatformTree) -> None:
+        """Check every mutation references a legal node/edge of ``tree``."""
+        for m in self.mutations:
+            if not 0 <= m.node < tree.num_nodes:
+                raise PlatformError(f"mutation references unknown node {m.node}")
+            if m.attribute == "c" and tree.parent[m.node] is None:
+                raise PlatformError("cannot mutate the root's (nonexistent) parent edge")
+
+    def task_triggered(self) -> List[Mutation]:
+        """Mutations firing on completed-task counts, sorted by trigger."""
+        out = [m for m in self.mutations if m.after_tasks is not None]
+        out.sort(key=lambda m: m.after_tasks)
+        return out
+
+    def time_triggered(self) -> List[Mutation]:
+        """Mutations firing at virtual times, sorted by trigger."""
+        out = [m for m in self.mutations if m.at_time is not None]
+        out.sort(key=lambda m: m.at_time)
+        return out
+
+    def phases(self, tree: PlatformTree) -> List[Tuple[Optional[int], PlatformTree]]:
+        """Successive platform states as ``(task_trigger, tree)`` pairs.
+
+        The first entry is ``(None, original tree)``; each task-triggered
+        mutation contributes the platform as it stands after that mutation.
+        Used to draw the per-phase optimal-rate reference lines of Fig. 7(b).
+        """
+        out: List[Tuple[Optional[int], PlatformTree]] = [(None, tree.copy())]
+        current = tree.copy()
+        for m in self.task_triggered():
+            current = current.copy()
+            m.apply(current)
+            out.append((m.after_tasks, current))
+        return out
+
+    def __iter__(self) -> Iterator[Mutation]:
+        return iter(self.mutations)
+
+    def __len__(self) -> int:
+        return len(self.mutations)
+
+    def __bool__(self) -> bool:
+        return bool(self.mutations)

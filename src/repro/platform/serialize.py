@@ -1,0 +1,70 @@
+"""Serialization of platform trees: JSON round-trips and Graphviz export.
+
+The JSON schema is intentionally boring and stable::
+
+    {"root": 0,
+     "nodes": [{"id": 0, "w": 4}, ...],
+     "edges": [{"parent": 0, "child": 1, "c": 1}, ...]}
+
+so ensembles can be archived, diffed and shared between experiment runs.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from ..errors import PlatformError
+from .tree import PlatformTree
+
+__all__ = ["to_dict", "from_dict", "to_json", "from_json", "to_dot"]
+
+
+def to_dict(tree: PlatformTree) -> Dict[str, Any]:
+    """Plain-data representation of ``tree``."""
+    return {
+        "root": tree.root,
+        "nodes": [{"id": i, "w": tree.w[i]} for i in range(tree.num_nodes)],
+        "edges": [{"parent": p, "child": ch, "c": c} for p, ch, c in tree.edges()],
+    }
+
+
+def from_dict(data: Dict[str, Any]) -> PlatformTree:
+    """Rebuild a tree from :func:`to_dict` output (validating as it goes)."""
+    try:
+        nodes = sorted(data["nodes"], key=lambda nd: nd["id"])
+        expected_ids = list(range(len(nodes)))
+        if [nd["id"] for nd in nodes] != expected_ids:
+            raise PlatformError(f"node ids must be 0..{len(nodes) - 1}")
+        w = [nd["w"] for nd in nodes]
+        edges = [(e["parent"], e["child"], e["c"]) for e in data["edges"]]
+        root = data["root"]
+    except (KeyError, TypeError) as exc:
+        raise PlatformError(f"malformed tree document: {exc!r}") from exc
+    return PlatformTree(w, edges, root=root)
+
+
+def to_json(tree: PlatformTree, *, indent: int = None) -> str:
+    """JSON text for ``tree``."""
+    return json.dumps(to_dict(tree), indent=indent)
+
+
+def from_json(text: str) -> PlatformTree:
+    """Parse JSON text produced by :func:`to_json`."""
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise PlatformError(f"invalid JSON: {exc}") from exc
+    return from_dict(data)
+
+
+def to_dot(tree: PlatformTree, *, name: str = "platform") -> str:
+    """Graphviz DOT text: nodes labelled ``P<i> w=<w>``, edges with ``c``."""
+    lines = [f"digraph {name} {{", "  rankdir=TB;"]
+    for i in range(tree.num_nodes):
+        shape = "doublecircle" if i == tree.root else "circle"
+        lines.append(f'  n{i} [label="P{i}\\nw={tree.w[i]}" shape={shape}];')
+    for parent, child, cost in tree.edges():
+        lines.append(f'  n{parent} -> n{child} [label="{cost}"];')
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,333 @@
+"""Node- and edge-weighted rooted trees modelling heterogeneous platforms.
+
+The paper's formal model is a tree ``T = (V, E, w, c)``: node weight ``w_i``
+is the time node *i* needs to compute one task, edge weight ``c_i`` the time
+to ship one task (input data plus returned result) from *i*'s parent down to
+*i*.  Larger values mean slower resources.  The root holds the task
+repository; it has no parent edge.
+
+:class:`PlatformTree` stores the tree in flat parallel arrays (parent id,
+edge cost, node weight, children lists) for cheap traversal by the
+steady-state solver and the protocol engine, and offers validated
+construction, traversals, structural queries, deep copies and mutation of
+weights (the dynamic-platform experiments of §4.2.3 rewrite ``c``/``w``
+mid-run).
+"""
+
+from __future__ import annotations
+
+from numbers import Real
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..errors import PlatformError
+
+__all__ = ["PlatformTree", "TreeNode"]
+
+Weight = Real  # ints keep virtual time exact; floats/Fractions also accepted
+
+
+class TreeNode:
+    """Read-only convenience view of one node of a :class:`PlatformTree`."""
+
+    __slots__ = ("tree", "id")
+
+    def __init__(self, tree: "PlatformTree", node_id: int):
+        self.tree = tree
+        self.id = node_id
+
+    @property
+    def w(self) -> Weight:
+        """Computation time of one task at this node."""
+        return self.tree.w[self.id]
+
+    @property
+    def c(self) -> Weight:
+        """Communication time from the parent (0 for the root)."""
+        return self.tree.c[self.id]
+
+    @property
+    def parent(self) -> Optional["TreeNode"]:
+        """Parent node view, or ``None`` at the root."""
+        pid = self.tree.parent[self.id]
+        return None if pid is None else TreeNode(self.tree, pid)
+
+    @property
+    def children(self) -> List["TreeNode"]:
+        """Child node views in id order."""
+        return [TreeNode(self.tree, cid) for cid in self.tree.children[self.id]]
+
+    @property
+    def is_root(self) -> bool:
+        return self.tree.parent[self.id] is None
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.tree.children[self.id]
+
+    @property
+    def depth(self) -> int:
+        """Number of edges on the path to the root."""
+        return self.tree.depth(self.id)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"TreeNode(id={self.id}, w={self.w}, c={self.c})"
+
+
+class PlatformTree:
+    """A rooted platform tree with per-node compute and per-edge transfer costs.
+
+    Parameters
+    ----------
+    w:
+        Sequence of node weights; ``w[i] > 0`` is the per-task compute time
+        of node ``i``.
+    edges:
+        ``(parent, child, cost)`` triples; every node except ``root`` must
+        appear exactly once as a child, costs must be positive.
+    root:
+        Id of the repository node (default 0).
+
+    The node ids are ``0 .. len(w)-1``.
+    """
+
+    __slots__ = ("w", "c", "parent", "children", "root", "_depths")
+
+    def __init__(self, w: Sequence[Weight],
+                 edges: Iterable[Tuple[int, int, Weight]], root: int = 0):
+        n = len(w)
+        if n == 0:
+            raise PlatformError("a platform tree needs at least one node")
+        if not 0 <= root < n:
+            raise PlatformError(f"root id {root} out of range 0..{n - 1}")
+        for i, wi in enumerate(w):
+            if not wi > 0:
+                raise PlatformError(f"node {i}: compute weight must be > 0, got {wi!r}")
+
+        self.w: List[Weight] = list(w)
+        self.c: List[Weight] = [0] * n  # c[root] stays 0 (no parent edge)
+        self.parent: List[Optional[int]] = [None] * n
+        self.children: List[List[int]] = [[] for _ in range(n)]
+        self.root = root
+        self._depths: Optional[List[int]] = None
+
+        edge_count = 0
+        for parent, child, cost in edges:
+            if not 0 <= parent < n or not 0 <= child < n:
+                raise PlatformError(f"edge ({parent}, {child}) references unknown node")
+            if child == root:
+                raise PlatformError("the root cannot have a parent edge")
+            if self.parent[child] is not None:
+                raise PlatformError(f"node {child} has two parents")
+            if not cost > 0:
+                raise PlatformError(
+                    f"edge ({parent}, {child}): cost must be > 0, got {cost!r}")
+            self.parent[child] = parent
+            self.c[child] = cost
+            self.children[parent].append(child)
+            edge_count += 1
+
+        if edge_count != n - 1:
+            raise PlatformError(
+                f"a tree on {n} nodes needs exactly {n - 1} edges, got {edge_count}")
+        # Exactly n-1 edges and every non-root node has one parent; cycles
+        # would leave some node unreachable — verify by traversal.
+        if len(list(self.bfs_order())) != n:
+            raise PlatformError("edges do not form a single tree rooted at the root")
+
+    # ----------------------------------------------------------- factories
+    @classmethod
+    def single_node(cls, w: Weight) -> "PlatformTree":
+        """A platform consisting of only the repository node."""
+        return cls([w], [])
+
+    @classmethod
+    def fork(cls, w0: Weight, children: Sequence[Tuple[Weight, Weight]]) -> "PlatformTree":
+        """Single-level fork: root plus children given as ``(c_i, w_i)`` pairs.
+
+        This is the shape Theorem 1 is stated on.
+        """
+        w = [w0] + [wi for _ci, wi in children]
+        edges = [(0, i + 1, ci) for i, (ci, _wi) in enumerate(children)]
+        return cls(w, edges)
+
+    @classmethod
+    def linear_chain(cls, weights: Sequence[Weight],
+                     costs: Sequence[Weight]) -> "PlatformTree":
+        """A path ``0 → 1 → … → n-1``; ``costs[i]`` is the edge into node i+1."""
+        if len(costs) != len(weights) - 1:
+            raise PlatformError("need exactly len(weights)-1 costs for a chain")
+        edges = [(i, i + 1, costs[i]) for i in range(len(costs))]
+        return cls(weights, edges)
+
+    # ------------------------------------------------------------- queries
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes in the tree."""
+        return len(self.w)
+
+    def node(self, node_id: int) -> TreeNode:
+        """A :class:`TreeNode` view of node ``node_id``."""
+        if not 0 <= node_id < self.num_nodes:
+            raise PlatformError(f"no node {node_id}")
+        return TreeNode(self, node_id)
+
+    def nodes(self) -> Iterator[TreeNode]:
+        """Iterate node views in id order."""
+        return (TreeNode(self, i) for i in range(self.num_nodes))
+
+    @property
+    def leaves(self) -> List[int]:
+        """Ids of all leaf nodes."""
+        return [i for i in range(self.num_nodes) if not self.children[i]]
+
+    def depth(self, node_id: int) -> int:
+        """Edge distance from the root to ``node_id`` (cached)."""
+        if self._depths is None:
+            depths = [0] * self.num_nodes
+            for nid in self.bfs_order():
+                pid = self.parent[nid]
+                if pid is not None:
+                    depths[nid] = depths[pid] + 1
+            self._depths = depths
+        return self._depths[node_id]
+
+    @property
+    def max_depth(self) -> int:
+        """Depth of the deepest node."""
+        return max(self.depth(i) for i in range(self.num_nodes))
+
+    def bfs_order(self) -> Iterator[int]:
+        """Node ids in breadth-first order from the root."""
+        queue = [self.root]
+        idx = 0
+        while idx < len(queue):
+            nid = queue[idx]
+            idx += 1
+            queue.extend(self.children[nid])
+            yield nid
+
+    def postorder(self) -> Iterator[int]:
+        """Node ids with every child before its parent (solver order)."""
+        order = list(self.bfs_order())
+        return reversed(order)
+
+    def subtree_ids(self, node_id: int) -> List[int]:
+        """All ids in the subtree rooted at ``node_id`` (inclusive)."""
+        out = [node_id]
+        idx = 0
+        while idx < len(out):
+            out.extend(self.children[out[idx]])
+            idx += 1
+        return out
+
+    def path_to_root(self, node_id: int) -> List[int]:
+        """Ids from ``node_id`` up to and including the root."""
+        path = [node_id]
+        while self.parent[path[-1]] is not None:
+            path.append(self.parent[path[-1]])
+        return path
+
+    def edges(self) -> Iterator[Tuple[int, int, Weight]]:
+        """Iterate ``(parent, child, cost)`` triples in child-id order."""
+        for child in range(self.num_nodes):
+            pid = self.parent[child]
+            if pid is not None:
+                yield (pid, child, self.c[child])
+
+    # ----------------------------------------------------------- mutation
+    def set_edge_cost(self, node_id: int, cost: Weight) -> None:
+        """Set the cost of the edge from ``node_id``'s parent (in place)."""
+        if self.parent[node_id] is None:
+            raise PlatformError("the root has no parent edge")
+        if not cost > 0:
+            raise PlatformError(f"edge cost must be > 0, got {cost!r}")
+        self.c[node_id] = cost
+
+    def set_compute_weight(self, node_id: int, w: Weight) -> None:
+        """Set node ``node_id``'s per-task compute time (in place)."""
+        if not 0 <= node_id < self.num_nodes:
+            raise PlatformError(f"no node {node_id}")
+        if not w > 0:
+            raise PlatformError(f"compute weight must be > 0, got {w!r}")
+        self.w[node_id] = w
+
+    def attach_subtree(self, parent_id: int, subtree: "PlatformTree",
+                       cost: Weight) -> Dict[int, int]:
+        """Graft ``subtree`` below ``parent_id`` (in place).
+
+        The subtree's root is connected to ``parent_id`` with edge ``cost``;
+        its nodes get fresh ids appended after the current ones.  Returns
+        the mapping from subtree-local ids to new ids.  This is the
+        structural half of the paper's claim that "it is very
+        straightforward to add subtrees of nodes below any currently
+        connected node".
+        """
+        if not 0 <= parent_id < self.num_nodes:
+            raise PlatformError(f"no node {parent_id} to attach under")
+        if not cost > 0:
+            raise PlatformError(f"attach cost must be > 0, got {cost!r}")
+        base = self.num_nodes
+        order = list(subtree.bfs_order())
+        mapping = {old: base + i for i, old in enumerate(order)}
+        for old in order:
+            new = mapping[old]
+            self.w.append(subtree.w[old])
+            self.children.append([])
+            old_parent = subtree.parent[old]
+            if old_parent is None:
+                self.parent.append(parent_id)
+                self.c.append(cost)
+                self.children[parent_id].append(new)
+            else:
+                new_parent = mapping[old_parent]
+                self.parent.append(new_parent)
+                self.c.append(subtree.c[old])
+                self.children[new_parent].append(new)
+        self._depths = None
+        return mapping
+
+    def pruned(self, node_id: int) -> "PlatformTree":
+        """A new tree with the subtree rooted at ``node_id`` removed.
+
+        Node ids are relabelled to stay contiguous (order preserved).
+        Pruning the root is an error — there would be nothing left.
+        """
+        if node_id == self.root:
+            raise PlatformError("cannot prune the root")
+        if not 0 <= node_id < self.num_nodes:
+            raise PlatformError(f"no node {node_id}")
+        removed = set(self.subtree_ids(node_id))
+        keep = [i for i in range(self.num_nodes) if i not in removed]
+        relabel = {old: new for new, old in enumerate(keep)}
+        w = [self.w[i] for i in keep]
+        edges = [(relabel[p], relabel[ch], c) for p, ch, c in self.edges()
+                 if ch not in removed and p not in removed]
+        return PlatformTree(w, edges, root=relabel[self.root])
+
+    def copy(self) -> "PlatformTree":
+        """Deep copy (weights and structure)."""
+        clone = object.__new__(PlatformTree)
+        clone.w = list(self.w)
+        clone.c = list(self.c)
+        clone.parent = list(self.parent)
+        clone.children = [list(ch) for ch in self.children]
+        clone.root = self.root
+        clone._depths = None
+        return clone
+
+    # ------------------------------------------------------------- dunder
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PlatformTree):
+            return NotImplemented
+        return (self.root == other.root and self.w == other.w
+                and self.c == other.c and self.parent == other.parent)
+
+    def __hash__(self) -> int:
+        return hash((self.root, tuple(self.w), tuple(self.c), tuple(self.parent)))
+
+    def __len__(self) -> int:
+        return self.num_nodes
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"PlatformTree(nodes={self.num_nodes}, root={self.root}, "
+                f"max_depth={self.max_depth})")

@@ -1,0 +1,31 @@
+"""Autonomous bandwidth-centric scheduling protocols (§3 of the paper).
+
+High-level entry point::
+
+    from repro.protocols import ProtocolConfig, simulate
+
+    result = simulate(tree, ProtocolConfig.interruptible(buffers=3), 10_000)
+    print(result.makespan, result.max_buffers)
+"""
+
+from .config import PriorityRule, ProtocolConfig, ProtocolVariant
+from .agents import NodeAgent, Transfer
+from .engine import ProtocolEngine, simulate
+from .result import SimulationResult
+from .trace import Tracer, TraceEvent, ascii_gantt
+from . import trace
+
+__all__ = [
+    "ProtocolConfig",
+    "ProtocolVariant",
+    "PriorityRule",
+    "ProtocolEngine",
+    "NodeAgent",
+    "Transfer",
+    "SimulationResult",
+    "simulate",
+    "Tracer",
+    "TraceEvent",
+    "ascii_gantt",
+    "trace",
+]

@@ -1,0 +1,443 @@
+"""Autonomous node agents implementing the bandwidth-centric protocols (§3).
+
+Every node runs the same purely local algorithm:
+
+* it keeps a pool of task buffers and sends its parent **one request per
+  empty buffer** (initially, and whenever a buffer frees up — i.e. when a
+  task starts computing locally or starts being forwarded to a child);
+* an idle CPU always grabs a buffered task (the local CPU is the
+  highest-priority "child": it costs no link time — see Theorem 1's ``1/w0``
+  term, which is always fully served);
+* the single send port delegates buffered tasks to requesting children,
+  highest priority first (bandwidth-centric: ascending edge cost ``c``);
+* under **non-interruptible communication** a started transfer always runs
+  to completion, and nodes may *grow* extra buffers per §3.1's three rules
+  (all buffers empty + a child is requesting; send completed with empty
+  buffers + a child is requesting; computation completed with empty
+  buffers), damped to at most one growth per task arrival
+  (see :class:`~repro.protocols.config.ProtocolConfig.growth_cooldown`);
+* under **interruptible communication** a request from a higher-priority
+  child preempts the in-flight transfer: the partial transfer is shelved
+  (one staging slot per child) and resumed — possibly after further
+  preemptions — when its child is again the best choice.  Shelved resumption
+  is always preferred over starting a second transfer to the same child.
+
+The agents are event-driven callbacks on the kernel's low-level timer API;
+control messages (requests) are delivered synchronously in zero virtual
+time, as the paper assumes.  All state transitions keep the invariant
+``buffers_total == tasks_held + requested + incoming`` (checked in tests).
+The root holds the repository: it has no parent, never requests or grows,
+and dispenses exactly ``num_tasks`` tasks.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, TYPE_CHECKING
+
+from ..errors import ProtocolError
+from .config import PriorityRule, ProtocolConfig, ProtocolVariant
+from . import trace as _trace
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .engine import ProtocolEngine
+
+__all__ = ["NodeAgent", "Transfer"]
+
+
+class Transfer:
+    """One task in flight from ``parent`` to ``child`` (possibly shelved)."""
+
+    __slots__ = ("child", "remaining", "started_at", "timer")
+
+    def __init__(self, child: "NodeAgent", remaining):
+        self.child = child
+        #: Transfer time still owed when not actively being sent.
+        self.remaining = remaining
+        #: Virtual time the current (re)transmission leg began.
+        self.started_at = None
+        self.timer = None
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Transfer to={self.child.id} remaining={self.remaining}>"
+
+
+class NodeAgent:
+    """One platform node running the autonomous protocol.
+
+    Not constructed directly — :class:`~repro.protocols.engine.ProtocolEngine`
+    builds one agent per tree node and wires the parent/child references.
+    """
+
+    __slots__ = (
+        "engine", "id", "w", "c", "parent", "children", "sorted_children",
+        "is_root", "interruptible", "growth", "max_buffers", "priority_rule",
+        "buffers_total", "tasks_held", "requested", "incoming",
+        "child_requests", "fifo_queue", "growth_cooldown", "growth_armed",
+        "decay", "decay_threshold", "decay_pending", "surplus_streak",
+        "idle_arrival_streak", "initial_buffers", "decay_floor",
+        "buffers_decayed", "departed",
+        "undispensed", "cpu_busy", "cpu_timer",
+        "current_transfer", "shelf",
+        "computed", "max_buffers_seen", "max_held_seen",
+        "transfers_started", "preemptions",
+    )
+
+    def __init__(self, engine: "ProtocolEngine", node_id: int, w, c,
+                 config: ProtocolConfig, is_root: bool):
+        self.engine = engine
+        self.id = node_id
+        self.w = w
+        self.c = c  # cost of the edge from the parent (0 at the root)
+        self.parent: Optional[NodeAgent] = None
+        self.children: List[NodeAgent] = []
+        self.sorted_children: List[NodeAgent] = []
+        self.is_root = is_root
+
+        self.interruptible = config.variant is ProtocolVariant.INTERRUPTIBLE
+        self.growth = config.buffer_growth and not is_root
+        self.growth_cooldown = config.growth_cooldown
+        self.growth_armed = True  # a node may always make its first grow
+        self.decay = config.buffer_decay and not is_root
+        self.decay_threshold = config.decay_threshold
+        # Never decay below 3 buffers: a served child needs that much
+        # request pipelining to keep its parent's leftover port time usable
+        # (the same constant the paper's IC protocol settles on).
+        self.decay_floor = max(config.initial_buffers, 3)
+        self.decay_pending = 0
+        self.surplus_streak = 0
+        self.idle_arrival_streak = 0
+        self.initial_buffers = config.initial_buffers
+        self.buffers_decayed = 0
+        self.max_buffers = config.max_buffers
+        self.priority_rule = config.priority_rule
+
+        self.buffers_total = config.initial_buffers
+        self.tasks_held = 0
+        self.requested = 0    # outstanding requests at the parent
+        self.incoming = 0     # granted requests whose transfer is in flight
+        self.child_requests = 0  # sum of children's `requested`
+        self.fifo_queue: Optional[Deque[NodeAgent]] = (
+            deque() if config.priority_rule is PriorityRule.FIFO else None)
+
+        self.departed = False  # left the pool (graceful drain mode)
+        self.undispensed = 0  # repository size; set by the engine on the root
+        self.cpu_busy = False
+        self.cpu_timer = None
+        self.current_transfer: Optional[Transfer] = None
+        self.shelf: Dict[int, Transfer] = {}  # child id → shelved transfer
+
+        self.computed = 0
+        self.max_buffers_seen = config.initial_buffers
+        self.max_held_seen = 0  # high-water of simultaneously occupied buffers
+        self.transfers_started = 0
+        self.preemptions = 0
+
+    # ------------------------------------------------------------ ordering
+    def _priority_key(self, child: "NodeAgent"):
+        if self.priority_rule is PriorityRule.COMPUTE_CENTRIC:
+            return (child.w, child.id)
+        return (child.c, child.id)  # bandwidth-centric (and FIFO never sorts)
+
+    def resort_children(self) -> None:
+        """Recompute the child priority order (start-up and after mutations)."""
+        self.sorted_children = sorted(self.children, key=self._priority_key)
+
+    # ------------------------------------------------------- task sourcing
+    def has_task(self) -> bool:
+        """A task is available for the CPU or the send port."""
+        if self.is_root:
+            return self.undispensed > 0
+        return self.tasks_held > 0
+
+    def _take_task(self) -> None:
+        """Consume one available task (buffer frees → request + growth rule 1).
+
+        A pending decay destroys the freed buffer instead of re-requesting
+        it, which keeps the ledger invariant intact without ever having to
+        withdraw a request from the parent's queue.
+        """
+        if self.is_root:
+            self.undispensed -= 1
+            if self.undispensed == 0:
+                self.engine._on_repository_exhausted()
+            return
+        self.tasks_held -= 1
+        if self.departed:
+            # Drain mode: the freed buffer is retired, never re-requested.
+            self.buffers_total -= 1
+            return
+        if self.decay_pending > 0 and self.buffers_total > self.decay_floor:
+            self.decay_pending -= 1
+            self.buffers_total -= 1
+            self.buffers_decayed += 1
+            return
+        self.requested += 1
+        self.parent._on_request(self)
+        # Growth rule 1: all buffers just became empty while a child is
+        # still waiting for a task.
+        if self.growth and self.tasks_held == 0 and self.child_requests > 0:
+            self._grow_buffer()
+
+    def _grow_buffer(self) -> None:
+        if self.max_buffers is not None and self.buffers_total >= self.max_buffers:
+            return
+        if self.growth_cooldown:
+            if not self.growth_armed:
+                return
+            # Re-armed by the next task arrival (one growth per cycle).
+            self.growth_armed = False
+        self.buffers_total += 1
+        if self.buffers_total > self.max_buffers_seen:
+            self.max_buffers_seen = self.buffers_total
+            self.engine._note_buffer_high_water(self.buffers_total)
+        tracer = self.engine.tracer
+        if tracer is not None:
+            tracer.record(self.engine.env.now, _trace.GROW, self.id)
+        self.requested += 1
+        self.parent._on_request(self)
+
+    # --------------------------------------------------------------- churn
+    def announce_join(self) -> None:
+        """A freshly attached node starts participating: one request per
+        (empty) buffer, delivered live so the parent can react — including
+        preempting a lower-priority transfer under IC."""
+        for _ in range(self.buffers_total):
+            self.requested += 1
+            self.parent._on_request(self)
+
+    def depart(self) -> None:
+        """Gracefully leave the pool: withdraw outstanding requests, keep
+        accepting what is already in flight, finish held tasks, never ask
+        again.  No work is lost."""
+        if self.departed:
+            return
+        self.departed = True
+        self.growth = False
+        self.decay = False
+        if self.requested:
+            self.parent.child_requests -= self.requested
+            self.buffers_total -= self.requested
+            self.requested = 0
+
+    def _decay_tick(self) -> None:
+        """Account one completion/forward toward shedding surplus buffers.
+
+        A streak of ``decay_threshold`` events during which the node still
+        held spare tasks means the pool exceeds what its service gaps need;
+        one buffer is marked for destruction (performed lazily by
+        :meth:`_take_task` when a buffer next frees up).
+        """
+        if self.tasks_held > 0:
+            self.surplus_streak += 1
+            if (self.surplus_streak >= self.decay_threshold
+                    and self.buffers_total - self.decay_pending
+                    > self.initial_buffers):
+                self.decay_pending += 1
+                self.surplus_streak = 0
+        else:
+            self.surplus_streak = 0
+
+    # ------------------------------------------------------------ requests
+    def send_initial_requests(self) -> None:
+        """Register one request per (empty) initial buffer — no sends yet.
+
+        The engine registers every node's requests before any send decision
+        so that t=0 sends already respect priorities (otherwise whichever
+        child registered first would grab the port).
+        """
+        if self.is_root:
+            return
+        self.requested = self.buffers_total
+        self.parent.child_requests += self.buffers_total
+        if self.parent.fifo_queue is not None:
+            self.parent.fifo_queue.extend([self] * self.buffers_total)
+
+    def _on_request(self, child: "NodeAgent") -> None:
+        """A child announced an empty buffer (synchronous, zero time)."""
+        tracer = self.engine.tracer
+        if tracer is not None:
+            tracer.record(self.engine.env.now, _trace.REQUEST, child.id, self.id)
+        self.child_requests += 1
+        if self.fifo_queue is not None:
+            self.fifo_queue.append(child)
+        if self.current_transfer is None:
+            self.try_send()
+        elif self.interruptible:
+            self._maybe_preempt()
+
+    # ------------------------------------------------------------- compute
+    def try_start_compute(self) -> None:
+        """Feed the local CPU if it is idle and a task is available."""
+        if self.cpu_busy or not self.has_task():
+            return
+        self._take_task()
+        self.cpu_busy = True
+        tracer = self.engine.tracer
+        if tracer is not None:
+            tracer.record(self.engine.env.now, _trace.COMPUTE_START, self.id)
+        self.cpu_timer = self.engine.env.call_in(self.w, self._cpu_done)
+
+    def _cpu_done(self) -> None:
+        self.cpu_busy = False
+        self.computed += 1
+        tracer = self.engine.tracer
+        if tracer is not None:
+            tracer.record(self.engine.env.now, _trace.COMPUTE_DONE, self.id)
+        self.engine._on_completion(self)
+        # Growth rule 3: computation finished and the buffers are all empty.
+        if self.growth and self.tasks_held == 0:
+            self._grow_buffer()
+        if self.decay:
+            self._decay_tick()
+        self.try_start_compute()
+
+    # -------------------------------------------------------------- sending
+    def _choose_next(self) -> Optional["NodeAgent"]:
+        """Best child to serve now, or None.  Shelved resumes need no task."""
+        if self.fifo_queue is not None:
+            if self.fifo_queue and self.has_task():
+                return self.fifo_queue[0]
+            return None
+        shelf = self.shelf
+        if shelf:
+            task_ready = self.has_task()
+            for child in self.sorted_children:
+                if child.id in shelf:
+                    return child
+                if task_ready and child.requested > 0:
+                    return child
+            return None
+        if not self.has_task() or self.child_requests == 0:
+            return None
+        for child in self.sorted_children:
+            if child.requested > 0:
+                return child
+        return None
+
+    def try_send(self) -> None:
+        """Start (or resume) the highest-priority eligible transfer."""
+        if self.current_transfer is not None:
+            return
+        child = self._choose_next()
+        if child is None:
+            return
+        transfer = self.shelf.pop(child.id, None)
+        tracer = self.engine.tracer
+        if transfer is None:
+            if self.fifo_queue is not None:
+                self.fifo_queue.popleft()
+            self._take_task()
+            child.requested -= 1
+            self.child_requests -= 1
+            child.incoming += 1
+            transfer = Transfer(child, child.c)
+            self.transfers_started += 1
+            if tracer is not None:
+                tracer.record(self.engine.env.now, _trace.SEND_START,
+                              self.id, child.id)
+        elif tracer is not None:
+            tracer.record(self.engine.env.now, _trace.SEND_RESUME,
+                          self.id, child.id)
+        env = self.engine.env
+        transfer.started_at = env.now
+        transfer.timer = env.call_in(transfer.remaining, self._send_done, transfer)
+        self.current_transfer = transfer
+
+    def _send_done(self, transfer: Transfer) -> None:
+        self.current_transfer = None
+        child = transfer.child
+        tracer = self.engine.tracer
+        if tracer is not None:
+            tracer.record(self.engine.env.now, _trace.SEND_DONE,
+                          self.id, child.id)
+        child.incoming -= 1
+        child.tasks_held += 1
+        child.growth_armed = True  # one growth permitted per arrival cycle
+        if child.tasks_held > child.max_held_seen:
+            child.max_held_seen = child.tasks_held
+            self.engine._note_held_high_water(child.tasks_held)
+        # Growth rule 2: a send completed, a child is still requesting, and
+        # this node's buffers are all empty.
+        if self.growth and self.tasks_held == 0 and self.child_requests > 0:
+            self._grow_buffer()
+        if self.decay:
+            self._decay_tick()
+        child._on_task_arrival()
+        self.try_send()
+
+    def _on_task_arrival(self) -> None:
+        if self.decay:
+            # A streak of arrivals that each find the CPU idle marks a
+            # bandwidth-starved node whose extra buffers (and requests)
+            # buy nothing — the over-requesting of §3.1 case 4.  Nodes
+            # that are merely refilling a stock see back-to-back arrivals
+            # with a busy CPU, which resets the streak.
+            if self.cpu_busy:
+                self.idle_arrival_streak = 0
+            else:
+                self.idle_arrival_streak += 1
+                if (self.idle_arrival_streak >= self.decay_threshold
+                        and self.requested >= 2
+                        and self.buffers_total - self.decay_pending
+                        > self.decay_floor):
+                    self.decay_pending += 1
+                    self.idle_arrival_streak = 0
+        self.try_start_compute()
+        if self.current_transfer is None:
+            self.try_send()
+        elif self.interruptible:
+            # A fresh task may enable serving a child with higher priority
+            # than the transfer currently on the port.
+            self._maybe_preempt()
+
+    # ---------------------------------------------------------- preemption
+    def _maybe_preempt(self) -> None:
+        """Interruptible rule: shelve the port's transfer for a better child."""
+        current = self.current_transfer
+        if current is None:
+            return
+        best = self._choose_next()
+        if best is None or best is current.child:
+            return
+        if self._priority_key(best) >= self._priority_key(current.child):
+            return
+        env = self.engine.env
+        elapsed = env.now - current.started_at
+        if elapsed >= current.remaining:
+            # The transfer's completion timer is due this very timestep (it
+            # just has a later calendar sequence number): let it finish.
+            return
+        current.timer.cancel()
+        current.remaining -= elapsed
+        current.started_at = None
+        current.timer = None
+        self.shelf[current.child.id] = current
+        self.current_transfer = None
+        self.preemptions += 1
+        tracer = self.engine.tracer
+        if tracer is not None:
+            tracer.record(env.now, _trace.PREEMPT, self.id, current.child.id)
+        self.try_send()
+
+    # ------------------------------------------------------------ mutation
+    def apply_weight_change(self, attribute: str, value) -> None:
+        """Apply a dynamic platform change (activities in flight keep their
+        original durations; new decisions see the new weight)."""
+        if attribute == "w":
+            self.w = value
+            return
+        if self.is_root:
+            raise ProtocolError("the root has no parent edge to mutate")
+        self.c = value
+        parent = self.parent
+        parent.resort_children()
+        # Priorities changed: the port may now be serving the wrong child.
+        if parent.interruptible and parent.current_transfer is not None:
+            parent._maybe_preempt()
+        elif parent.current_transfer is None:
+            parent.try_send()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<NodeAgent {self.id} held={self.tasks_held} "
+                f"buffers={self.buffers_total} computed={self.computed}>")

@@ -1,0 +1,226 @@
+"""Protocol engine: wires a platform tree onto the kernel and runs one job.
+
+The engine owns a private copy of the tree (mutations rewrite it), builds
+one :class:`~repro.protocols.agents.NodeAgent` per node, registers every
+node's initial requests *before* the first scheduling decision (so t=0
+already respects priorities), and then lets the event loop run until all
+``num_tasks`` tasks have been computed.
+
+Dynamic platform changes (§4.2.3) are applied either when a completion
+counter is reached or at a virtual time; in both cases activities already
+in flight keep their original durations.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import List, Optional, Sequence
+
+from ..errors import ProtocolError
+from ..platform.churn import ChurnSchedule, JoinEvent, LeaveEvent
+from ..platform.mutation import Mutation, MutationSchedule
+from ..platform.tree import PlatformTree
+from ..sim import Environment
+from .agents import NodeAgent
+from .config import PriorityRule, ProtocolConfig
+from .result import SimulationResult
+
+__all__ = ["ProtocolEngine", "simulate"]
+
+# Deep trees drive synchronous request chains up the ancestry; give the
+# interpreter room well beyond the deepest generated platforms.
+_MIN_RECURSION_LIMIT = 20_000
+
+
+class ProtocolEngine:
+    """One simulation of ``num_tasks`` independent tasks on ``tree``."""
+
+    def __init__(self, tree: PlatformTree, config: ProtocolConfig,
+                 num_tasks: int,
+                 mutations: Optional[MutationSchedule] = None,
+                 churn: Optional[ChurnSchedule] = None,
+                 record_buffer_timeline: bool = False):
+        if num_tasks < 0:
+            raise ProtocolError(f"num_tasks must be >= 0, got {num_tasks}")
+        self.tree = tree.copy()  # mutations must not leak into caller's tree
+        self.config = config
+        self.num_tasks = num_tasks
+        self.mutations = mutations if mutations is not None else MutationSchedule()
+        self.mutations.validate(self.tree)
+        self.churn = churn if churn is not None else ChurnSchedule()
+        self.churn.validate(self.tree)
+        if self.churn and config.priority_rule is PriorityRule.FIFO:
+            raise ProtocolError(
+                "churn with FIFO ordering is unsupported (withdrawing a "
+                "departed node's queued requests is ill-defined)")
+        self.record_buffer_timeline = record_buffer_timeline
+
+        self.env = Environment()
+        #: Optional :class:`repro.protocols.trace.Tracer` recording protocol
+        #: events; assign before calling :meth:`run`.
+        self.tracer = None
+        self.nodes: List[NodeAgent] = []
+        self.completed = 0
+        self.completion_times: List[int] = []
+        self.buffer_high_water = config.initial_buffers
+        self.held_high_water = 0
+        self.buffer_timeline: List[int] = []
+        self.held_timeline: List[int] = []
+        self._task_mutations = self.mutations.task_triggered()
+        self._next_task_mutation = 0
+        self._finished = False
+        self.repository_exhausted_at: Optional[int] = None
+
+        self._build_agents()
+
+    # ------------------------------------------------------------ assembly
+    def _build_agents(self) -> None:
+        tree, config = self.tree, self.config
+        for node_id in range(tree.num_nodes):
+            agent = NodeAgent(self, node_id, tree.w[node_id], tree.c[node_id],
+                              config, is_root=(node_id == tree.root))
+            self.nodes.append(agent)
+        for node_id in range(tree.num_nodes):
+            agent = self.nodes[node_id]
+            parent_id = tree.parent[node_id]
+            if parent_id is not None:
+                agent.parent = self.nodes[parent_id]
+            agent.children = [self.nodes[cid] for cid in tree.children[node_id]]
+            agent.resort_children()
+        self.nodes[tree.root].undispensed = self.num_tasks
+
+    # ----------------------------------------------------------- callbacks
+    def _on_completion(self, node: NodeAgent) -> None:
+        self.completed += 1
+        self.completion_times.append(self.env.now)
+        if self.record_buffer_timeline:
+            self.buffer_timeline.append(self.buffer_high_water)
+            self.held_timeline.append(self.held_high_water)
+        while (self._next_task_mutation < len(self._task_mutations)
+               and self._task_mutations[self._next_task_mutation].after_tasks
+               <= self.completed):
+            mutation = self._task_mutations[self._next_task_mutation]
+            self._next_task_mutation += 1
+            self._apply_mutation(mutation)
+
+    def _note_buffer_high_water(self, buffers: int) -> None:
+        if buffers > self.buffer_high_water:
+            self.buffer_high_water = buffers
+
+    def _note_held_high_water(self, held: int) -> None:
+        if held > self.held_high_water:
+            self.held_high_water = held
+
+    def _on_repository_exhausted(self) -> None:
+        self.repository_exhausted_at = self.env.now
+
+    def _apply_mutation(self, mutation: Mutation) -> None:
+        mutation.apply(self.tree)  # keep the tree snapshot in sync
+        if self.tracer is not None:
+            from .trace import MUTATION
+
+            self.tracer.record(self.env.now, MUTATION, mutation.node)
+        self.nodes[mutation.node].apply_weight_change(
+            mutation.attribute, mutation.value)
+
+    def _apply_join(self, join: JoinEvent) -> None:
+        if not 0 <= join.parent < self.tree.num_nodes:
+            raise ProtocolError(
+                f"join at t={join.at_time} targets unknown node {join.parent}")
+        if self.nodes[join.parent].departed:
+            raise ProtocolError(
+                f"join at t={join.at_time}: node {join.parent} has departed")
+        mapping = self.tree.attach_subtree(join.parent, join.subtree,
+                                           join.attach_cost)
+        new_ids = sorted(mapping.values())
+        for node_id in new_ids:
+            agent = NodeAgent(self, node_id, self.tree.w[node_id],
+                              self.tree.c[node_id], self.config, is_root=False)
+            self.nodes.append(agent)
+        for node_id in new_ids:
+            agent = self.nodes[node_id]
+            agent.parent = self.nodes[self.tree.parent[node_id]]
+            agent.children = [self.nodes[cid]
+                              for cid in self.tree.children[node_id]]
+            agent.resort_children()
+        attach_parent = self.nodes[join.parent]
+        attach_parent.children = [self.nodes[cid]
+                                  for cid in self.tree.children[join.parent]]
+        attach_parent.resort_children()
+        # New nodes start participating NOW: live requests (which may
+        # immediately preempt lower-priority transfers under IC).
+        for node_id in new_ids:
+            self.nodes[node_id].announce_join()
+
+    def _apply_leave(self, leave: LeaveEvent) -> None:
+        if not 0 <= leave.node < self.tree.num_nodes:
+            raise ProtocolError(
+                f"leave at t={leave.at_time} targets unknown node {leave.node}")
+        if leave.node == self.tree.root:
+            raise ProtocolError("the repository root cannot leave")
+        for node_id in self.tree.subtree_ids(leave.node):
+            self.nodes[node_id].depart()
+
+    # ----------------------------------------------------------------- run
+    def run(self) -> SimulationResult:
+        """Execute the simulation to completion and return its result."""
+        if self._finished:
+            raise ProtocolError("engine already ran; build a new one")
+        self._finished = True
+
+        limit = sys.getrecursionlimit()
+        if limit < _MIN_RECURSION_LIMIT:
+            sys.setrecursionlimit(_MIN_RECURSION_LIMIT)
+        try:
+            for mutation in self.mutations.time_triggered():
+                self.env.call_at(mutation.at_time, self._apply_mutation, mutation)
+            for event in self.churn:
+                handler = (self._apply_join if isinstance(event, JoinEvent)
+                           else self._apply_leave)
+                self.env.call_at(event.at_time, handler, event)
+
+            # Phase 1: every node registers its initial requests.
+            for agent in self.nodes:
+                agent.send_initial_requests()
+            # Phase 2: scheduling starts with full knowledge of t=0 demand.
+            for agent in self.nodes:
+                agent.try_start_compute()
+                agent.try_send()
+
+            self.env.run()
+        finally:
+            sys.setrecursionlimit(limit)
+
+        if self.completed != self.num_tasks:  # pragma: no cover - invariant
+            raise ProtocolError(
+                f"run ended with {self.completed}/{self.num_tasks} tasks "
+                "completed — a task was lost")
+
+        return SimulationResult(
+            tree=self.tree,
+            config=self.config,
+            num_tasks=self.num_tasks,
+            completion_times=tuple(self.completion_times),
+            per_node_computed=tuple(a.computed for a in self.nodes),
+            per_node_max_buffers=tuple(a.max_buffers_seen for a in self.nodes),
+            per_node_max_held=tuple(a.max_held_seen for a in self.nodes),
+            buffer_high_water_at_completion=tuple(self.buffer_timeline),
+            held_high_water_at_completion=tuple(self.held_timeline),
+            departed_node_ids=tuple(a.id for a in self.nodes if a.departed),
+            buffers_decayed=sum(a.buffers_decayed for a in self.nodes),
+            preemptions=sum(a.preemptions for a in self.nodes),
+            transfers=sum(a.transfers_started for a in self.nodes),
+            events_processed=self.env.processed_count,
+            repository_exhausted_at=self.repository_exhausted_at,
+        )
+
+
+def simulate(tree: PlatformTree, config: ProtocolConfig, num_tasks: int,
+             *, mutations: Optional[MutationSchedule] = None,
+             churn: Optional[ChurnSchedule] = None,
+             record_buffer_timeline: bool = False) -> SimulationResult:
+    """Run one protocol simulation (one-line convenience wrapper)."""
+    engine = ProtocolEngine(tree, config, num_tasks, mutations=mutations,
+                            churn=churn,
+                            record_buffer_timeline=record_buffer_timeline)
+    return engine.run()

@@ -1,0 +1,88 @@
+"""Result record of one protocol simulation run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..platform.tree import PlatformTree
+from .config import ProtocolConfig
+
+__all__ = ["SimulationResult"]
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Everything a protocol run produced, ready for the metrics layer.
+
+    Completion times are in virtual timesteps and non-decreasing;
+    ``completion_times[i]`` is when the ``i+1``-th task finished computing.
+    """
+
+    #: The platform as it stood at the *end* of the run (mutations applied).
+    tree: PlatformTree
+    config: ProtocolConfig
+    num_tasks: int
+    #: Time of each task completion (length == num_tasks).
+    completion_times: Tuple[int, ...]
+    #: Tasks computed by each node (length == tree.num_nodes).
+    per_node_computed: Tuple[int, ...]
+    #: High-water buffer *pool* size of each node (grown buffers).
+    per_node_max_buffers: Tuple[int, ...]
+    #: High-water of *simultaneously occupied* buffers of each node — the
+    #: "buffers used" figure Tables 1 and 2 are read against (the root's
+    #: repository is not buffered, so its entry is 0).
+    per_node_max_held: Tuple[int, ...]
+    #: Global pool high-water as of each completion (empty if not recorded).
+    buffer_high_water_at_completion: Tuple[int, ...]
+    #: Global occupied high-water as of each completion (empty if not recorded).
+    held_high_water_at_completion: Tuple[int, ...]
+    #: Nodes that left the pool during the run (graceful churn departures).
+    departed_node_ids: Tuple[int, ...]
+    #: Total buffers shed by decay across all nodes (0 unless enabled).
+    buffers_decayed: int
+    #: Total preemptions across all nodes (0 under non-IC).
+    preemptions: int
+    #: Total transfers started (resumed legs not re-counted).
+    transfers: int
+    #: Calendar entries processed by the kernel.
+    events_processed: int
+    #: Virtual time at which the repository handed out its last task
+    #: (``None`` for empty runs); everything after it is wind-down.
+    repository_exhausted_at: Optional[int] = None
+
+    @property
+    def makespan(self) -> int:
+        """Virtual time of the last completion (0 for an empty run)."""
+        return self.completion_times[-1] if self.completion_times else 0
+
+    @property
+    def max_buffers(self) -> int:
+        """Largest buffer pool any node grew during the run."""
+        return max(self.per_node_max_buffers, default=0)
+
+    @property
+    def max_held(self) -> int:
+        """Largest number of buffers any node had occupied at once."""
+        return max(self.per_node_max_held, default=0)
+
+    @property
+    def used_node_ids(self) -> List[int]:
+        """Nodes that computed at least one task (Figure 6's "used nodes")."""
+        return [i for i, n in enumerate(self.per_node_computed) if n > 0]
+
+    @property
+    def num_used_nodes(self) -> int:
+        return sum(1 for n in self.per_node_computed if n > 0)
+
+    @property
+    def used_depth(self) -> int:
+        """Maximum depth among used nodes (0 if only the root computed)."""
+        used = self.used_node_ids
+        return max((self.tree.depth(i) for i in used), default=0)
+
+    def mean_rate(self) -> float:
+        """Overall tasks-per-timestep over the whole run (0 if trivial)."""
+        if self.makespan == 0:
+            return 0.0
+        return self.num_tasks / self.makespan

@@ -1,0 +1,293 @@
+"""Discrete-event simulation kernel: the event loop.
+
+This module is the substrate that replaces the SimGrid toolkit used in the
+paper.  It provides a :class:`Environment` with a binary-heap event calendar,
+virtual (integer- or float-valued) time, and two scheduling APIs:
+
+* a **high-level API** in the style of SimPy — :class:`~repro.sim.events.Event`,
+  :class:`~repro.sim.events.Timeout`, generator-based
+  :class:`~repro.sim.process.Process` coroutines, shared resources and stores —
+  used by the examples and available to downstream users, and
+* a **low-level timer API** (:meth:`Environment.call_in` /
+  :meth:`Environment.call_at`) returning cancellable :class:`Timer` handles,
+  used by the protocol engine on its hot path where coroutine overhead would
+  dominate.
+
+Both APIs share one calendar, so they can be mixed freely.  Determinism:
+entries are ordered by ``(time, priority, sequence)`` where the sequence
+number increases monotonically with scheduling order, so runs with the same
+seed replay identically.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from typing import Any, Callable, Iterable, Optional, Union
+
+from ..errors import SimulationError
+from .events import AllOf, AnyOf, Event, Timeout, PENDING
+
+__all__ = ["Environment", "Timer", "Infinity", "NORMAL", "URGENT"]
+
+#: Placeholder for "run forever" / "never".
+Infinity: float = float("inf")
+
+#: Default scheduling priority (larger runs later at equal times).
+NORMAL = 1
+#: Priority used for loop-control entries such as ``run(until=...)`` stops.
+URGENT = 0
+
+
+class Timer:
+    """A cancellable low-level callback scheduled on the event calendar.
+
+    Timers are the fast path of the kernel: one heap entry, one attribute
+    check, one call.  They are returned by :meth:`Environment.call_in` and
+    :meth:`Environment.call_at` and can be revoked with :meth:`cancel` at any
+    point before they fire.
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time, seq: int, fn: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def __lt__(self, other: "Timer") -> bool:  # heap tie-break safety net
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def cancel(self) -> None:
+        """Revoke the timer.  Cancelling an already-fired timer is a no-op."""
+        self.cancelled = True
+        # Drop references so cancelled entries sitting in the heap do not pin
+        # arbitrary object graphs alive until they are popped.
+        self.fn = _noop
+        self.args = ()
+
+    @property
+    def active(self) -> bool:
+        """``True`` while the timer is still pending (not fired, not cancelled)."""
+        return not self.cancelled and self.fn is not _fired
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<Timer t={self.time} seq={self.seq} {state}>"
+
+
+def _noop(*_args: Any) -> None:
+    return None
+
+
+def _fired(*_args: Any) -> None:  # sentinel assigned after a timer runs
+    return None
+
+
+class _StopRun(Exception):
+    """Internal control-flow exception used by ``run(until=...)``."""
+
+    def __init__(self, value: Any = None):
+        self.value = value
+
+
+class Environment:
+    """A discrete-event simulation environment.
+
+    Parameters
+    ----------
+    initial_time:
+        Virtual time at which the clock starts (default ``0``).  Integer
+        initial times combined with integer delays keep the whole simulation
+        in exact integer arithmetic, which the reproduction relies on for
+        exact rate comparisons.
+
+    Notes
+    -----
+    The calendar orders entries by ``(time, priority, seq)``.  ``priority``
+    is :data:`NORMAL` for user entries and :data:`URGENT` for loop-control
+    entries, matching the convention that ``run(until=t)`` stops *before*
+    processing events scheduled exactly at ``t``.
+    """
+
+    def __init__(self, initial_time: Union[int, float] = 0):
+        self._now = initial_time
+        self._heap: list[tuple] = []
+        self._seq = 0
+        #: Number of calendar entries processed so far (monitoring hook).
+        self.processed_count = 0
+        #: Optional callable ``(time, item)`` invoked before each entry runs.
+        self.trace_hook: Optional[Callable[[Any, Any], None]] = None
+        self._active_process = None  # set by Process while executing
+
+    # ------------------------------------------------------------------ time
+    @property
+    def now(self) -> Union[int, float]:
+        """Current virtual time."""
+        return self._now
+
+    @property
+    def active_process(self):
+        """The :class:`~repro.sim.process.Process` currently executing, if any."""
+        return self._active_process
+
+    def peek(self) -> Union[int, float]:
+        """Time of the next calendar entry, or :data:`Infinity` if empty."""
+        heap = self._heap
+        while heap:
+            entry = heap[0]
+            item = entry[3]
+            if item.__class__ is Timer and item.cancelled:
+                heappop(heap)
+                continue
+            return entry[0]
+        return Infinity
+
+    def is_empty(self) -> bool:
+        """``True`` when no live calendar entries remain."""
+        return self.peek() is Infinity
+
+    # ----------------------------------------------------------- low level
+    def call_at(self, time, fn: Callable[..., Any], *args: Any) -> Timer:
+        """Schedule ``fn(*args)`` at absolute virtual ``time``.
+
+        Returns a :class:`Timer` handle whose :meth:`Timer.cancel` revokes
+        the call.  Scheduling in the past raises :class:`SimulationError`.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time!r} before now={self._now!r}"
+            )
+        self._seq += 1
+        timer = Timer(time, self._seq, fn, args)
+        heappush(self._heap, (time, NORMAL, self._seq, timer))
+        return timer
+
+    def call_in(self, delay, fn: Callable[..., Any], *args: Any) -> Timer:
+        """Schedule ``fn(*args)`` after ``delay`` time units (``delay >= 0``)."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        return self.call_at(self._now + delay, fn, *args)
+
+    # ---------------------------------------------------------- high level
+    def schedule(self, event: Event, delay: Union[int, float] = 0,
+                 priority: int = NORMAL) -> None:
+        """Insert a triggered :class:`Event` into the calendar.
+
+        Normally invoked through :meth:`Event.succeed` / :meth:`Event.fail`
+        rather than directly.
+        """
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        self._seq += 1
+        heappush(self._heap, (self._now + delay, priority, self._seq, event))
+
+    def event(self) -> Event:
+        """Create a new untriggered :class:`Event` bound to this environment."""
+        return Event(self)
+
+    def timeout(self, delay, value: Any = None) -> Timeout:
+        """Create and schedule a :class:`Timeout` firing after ``delay``."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator) -> "Process":
+        """Start a coroutine :class:`~repro.sim.process.Process`."""
+        from .process import Process
+
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Condition event that fires once *all* ``events`` have fired."""
+        return AllOf(self, list(events))
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Condition event that fires once *any* of ``events`` has fired."""
+        return AnyOf(self, list(events))
+
+    # ---------------------------------------------------------------- loop
+    def step(self) -> None:
+        """Process exactly one calendar entry.
+
+        Raises :class:`SimulationError` when the calendar is empty.  Failed
+        events with no registered callbacks propagate their exception out of
+        the loop (they would otherwise be silently lost).
+        """
+        heap = self._heap
+        while True:
+            if not heap:
+                raise SimulationError("step() on an empty calendar")
+            time, _prio, _seq, item = heappop(heap)
+            if item.__class__ is Timer:
+                if item.cancelled:
+                    continue
+                self._now = time
+                self.processed_count += 1
+                if self.trace_hook is not None:
+                    self.trace_hook(time, item)
+                fn, args = item.fn, item.args
+                item.fn = _fired
+                item.args = ()
+                fn(*args)
+                return
+            # High-level Event
+            self._now = time
+            self.processed_count += 1
+            if self.trace_hook is not None:
+                self.trace_hook(time, item)
+            item._process()
+            return
+
+    def run(self, until: Union[None, int, float, Event] = None) -> Any:
+        """Run the event loop.
+
+        Parameters
+        ----------
+        until:
+            * ``None`` — run until the calendar is exhausted;
+            * a number — advance the clock to that time, processing every
+              entry scheduled strictly before it;
+            * an :class:`Event` — run until that event has been processed and
+              return its value (re-raising its exception if it failed).
+        """
+        if until is None:
+            stop_event = None
+        elif isinstance(until, Event):
+            stop_event = until
+            if stop_event.processed:
+                return stop_event._ok_value()
+            stop_event.callbacks.append(self._stop_on_event)
+        else:
+            if until < self._now:
+                raise SimulationError(
+                    f"run(until={until!r}) is in the past (now={self._now!r})"
+                )
+            stop_event = None
+            self._seq += 1
+            timer = Timer(until, self._seq, self._stop_at, ())
+            heappush(self._heap, (until, URGENT, self._seq, timer))
+
+        try:
+            while not self.is_empty():
+                self.step()
+        except _StopRun as stop:
+            return stop.value
+        if isinstance(until, Event):
+            raise SimulationError(
+                "run() terminated: calendar exhausted before the 'until' "
+                "event was triggered"
+            )
+        if until is not None:
+            # Heap drained before reaching the stop time: clock jumps to it.
+            self._now = until
+        return None
+
+    # Internal ----------------------------------------------------------
+    def _stop_at(self) -> None:
+        raise _StopRun(None)
+
+    def _stop_on_event(self, event: Event) -> None:
+        if event.failed and not event.defused:
+            event.defused = True
+            raise event._value from None
+        raise _StopRun(event._value if event._value is not PENDING else None)

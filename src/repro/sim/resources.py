@@ -1,0 +1,236 @@
+"""Shared resources with optional priorities and preemption.
+
+:class:`Resource` models a server pool with fixed capacity and FIFO queueing.
+:class:`PriorityResource` orders waiting requests by ``(priority, time, seq)``
+(lower is more important).  :class:`PreemptiveResource` additionally evicts a
+lower-priority *user* when a higher-priority request arrives and the resource
+is full: the victim's process receives an :class:`~repro.sim.process.Interrupt`
+whose cause is a :class:`Preempted` record.
+
+The preemptive resource is the high-level counterpart of the paper's
+*interruptible communication*: the parent's uplink is a capacity-1 preemptive
+server and child requests carry their bandwidth-centric priority.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from typing import Any, List, Optional
+
+from ..errors import SimulationError
+from .events import Event
+
+__all__ = [
+    "Resource",
+    "PriorityResource",
+    "PreemptiveResource",
+    "Preempted",
+    "Request",
+    "PriorityRequest",
+    "Release",
+]
+
+
+class Preempted:
+    """Cause object delivered to a process evicted from a preemptive resource."""
+
+    __slots__ = ("by", "usage_since", "resource")
+
+    def __init__(self, by: "PriorityRequest", usage_since, resource: "Resource"):
+        #: The request that caused the preemption.
+        self.by = by
+        #: Virtual time at which the victim acquired the resource.
+        self.usage_since = usage_since
+        #: The resource the victim was evicted from.
+        self.resource = resource
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Preempted(by={self.by!r}, usage_since={self.usage_since!r})"
+
+
+class Request(Event):
+    """Request event for :class:`Resource`; usable as a context manager."""
+
+    __slots__ = ("resource", "usage_since", "proc")
+
+    def __init__(self, resource: "Resource"):
+        super().__init__(resource.env)
+        self.resource = resource
+        self.usage_since = None
+        self.proc = resource.env.active_process
+        resource._do_request(self)
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.cancel()
+
+    def cancel(self) -> None:
+        """Release the slot if acquired, or withdraw from the wait queue."""
+        self.resource.release(self)
+
+
+class PriorityRequest(Request):
+    """Request with a priority for :class:`PriorityResource` subclasses."""
+
+    __slots__ = ("priority", "preempt", "time", "key")
+
+    def __init__(self, resource: "PriorityResource", priority: int = 0,
+                 preempt: bool = True):
+        self.priority = priority
+        self.preempt = preempt
+        self.time = resource.env.now
+        # Earlier-submitted requests win ties; preempt flag breaks exact ties.
+        self.key = (priority, self.time, not preempt)
+        super().__init__(resource)
+
+
+class Release(Event):
+    """Immediate event confirming a :meth:`Resource.release`."""
+
+    __slots__ = ("resource", "request")
+
+    def __init__(self, resource: "Resource", request: Request):
+        super().__init__(resource.env)
+        self.resource = resource
+        self.request = request
+        self.succeed(None)
+
+
+class Resource:
+    """A server pool with ``capacity`` slots and FIFO waiters.
+
+    Usage from a process::
+
+        with resource.request() as req:
+            yield req
+            yield env.timeout(5)
+    """
+
+    def __init__(self, env, capacity: int = 1):
+        if capacity <= 0:
+            raise SimulationError(f"capacity must be positive, got {capacity!r}")
+        self.env = env
+        self._capacity = capacity
+        self.users: List[Request] = []
+        self.queue: List[Request] = []
+
+    # ---------------------------------------------------------------- state
+    @property
+    def capacity(self) -> int:
+        """Total number of slots."""
+        return self._capacity
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently in use."""
+        return len(self.users)
+
+    # ----------------------------------------------------------------- API
+    def request(self) -> Request:
+        """Submit a request; the returned event fires upon acquisition."""
+        return Request(self)
+
+    def release(self, request: Request) -> Release:
+        """Release ``request``'s slot (or withdraw it from the queue)."""
+        if request in self.users:
+            self.users.remove(request)
+            self._wake_waiters()
+        else:
+            try:
+                self.queue.remove(request)
+            except ValueError:
+                pass  # releasing twice or a never-granted request is benign
+        return Release(self, request)
+
+    # ------------------------------------------------------------ internals
+    def _do_request(self, request: Request) -> None:
+        if len(self.users) < self._capacity:
+            self._grant(request)
+        else:
+            self.queue.append(request)
+
+    def _grant(self, request: Request) -> None:
+        request.usage_since = self.env.now
+        self.users.append(request)
+        request.succeed(None)
+
+    def _wake_waiters(self) -> None:
+        while self.queue and len(self.users) < self._capacity:
+            self._grant(self.queue.pop(0))
+
+
+class PriorityResource(Resource):
+    """Resource whose waiters are served in ``(priority, time)`` order."""
+
+    def request(self, priority: int = 0, preempt: bool = True) -> PriorityRequest:  # type: ignore[override]
+        """Submit a prioritized request (lower ``priority`` value wins)."""
+        return PriorityRequest(self, priority, preempt)
+
+    def _do_request(self, request: Request) -> None:
+        if len(self.users) < self._capacity:
+            self._grant(request)
+        else:
+            heappush(self.queue, _QueueEntry(request))  # type: ignore[arg-type]
+
+    def release(self, request: Request) -> Release:
+        if request in self.users:
+            self.users.remove(request)
+            self._wake_waiters()
+        else:
+            for i, entry in enumerate(self.queue):
+                if entry.request is request:  # type: ignore[union-attr]
+                    del self.queue[i]
+                    break
+        return Release(self, request)
+
+    def _wake_waiters(self) -> None:
+        while self.queue and len(self.users) < self._capacity:
+            entry = heappop(self.queue)  # type: ignore[arg-type]
+            self._grant(entry.request)
+
+
+class _QueueEntry:
+    """Heap wrapper keeping request ordering stable."""
+
+    __slots__ = ("key", "request")
+
+    _counter = 0
+
+    def __init__(self, request: PriorityRequest):
+        _QueueEntry._counter += 1
+        self.key = (*request.key, _QueueEntry._counter)
+        self.request = request
+
+    def __lt__(self, other: "_QueueEntry") -> bool:
+        return self.key < other.key
+
+
+class PreemptiveResource(PriorityResource):
+    """Priority resource that evicts lower-priority users when full.
+
+    A request with ``preempt=True`` arriving at a full resource compares its
+    priority against the worst current user; if strictly more important, the
+    victim is removed and its owning process interrupted with a
+    :class:`Preempted` cause.
+    """
+
+    def _do_request(self, request: Request) -> None:
+        assert isinstance(request, PriorityRequest)
+        if len(self.users) >= self._capacity and request.preempt:
+            victim = max(
+                self.users,
+                key=lambda user: user.key,  # type: ignore[attr-defined]
+            )
+            if victim.key > request.key:  # type: ignore[attr-defined]
+                self.users.remove(victim)
+                if victim.proc is None:
+                    raise SimulationError(
+                        "preempted a request not owned by a process"
+                    )
+                victim.proc.interrupt(
+                    Preempted(by=request, usage_since=victim.usage_since,
+                              resource=self)
+                )
+        super()._do_request(request)

@@ -1,0 +1,159 @@
+"""Producer/consumer stores for the discrete-event kernel.
+
+:class:`Store` is a bounded buffer of arbitrary items with FIFO put/get
+queues.  :class:`FilterStore` lets consumers wait for items matching a
+predicate.  :class:`PriorityStore` hands out the smallest item first (items
+must be orderable; :class:`PriorityItem` pairs a priority with a payload).
+
+The protocol agents' task buffers are conceptually stores of task tokens;
+the engine inlines the counting for speed, and these classes back the
+examples and the high-level API.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from typing import Any, Callable, List, Optional
+
+from ..errors import SimulationError
+from .events import Event
+
+__all__ = ["Store", "FilterStore", "PriorityStore", "PriorityItem", "StorePut", "StoreGet"]
+
+
+class StorePut(Event):
+    """Event firing once the item has been accepted by the store."""
+
+    __slots__ = ("item",)
+
+    def __init__(self, store: "Store", item: Any):
+        super().__init__(store.env)
+        self.item = item
+        store._put_queue.append(self)
+        store._dispatch()
+
+
+class StoreGet(Event):
+    """Event firing with the retrieved item as its value."""
+
+    __slots__ = ("filter",)
+
+    def __init__(self, store: "Store", filter: Optional[Callable[[Any], bool]] = None):
+        super().__init__(store.env)
+        self.filter = filter
+        store._get_queue.append(self)
+        store._dispatch()
+
+
+class Store:
+    """Bounded FIFO buffer of arbitrary Python objects."""
+
+    def __init__(self, env, capacity: float = float("inf")):
+        if capacity <= 0:
+            raise SimulationError(f"capacity must be positive, got {capacity!r}")
+        self.env = env
+        self._capacity = capacity
+        self.items: List[Any] = []
+        self._put_queue: List[StorePut] = []
+        self._get_queue: List[StoreGet] = []
+
+    @property
+    def capacity(self) -> float:
+        """Maximum number of items the store holds."""
+        return self._capacity
+
+    def put(self, item: Any) -> StorePut:
+        """Offer ``item``; the returned event fires when accepted."""
+        return StorePut(self, item)
+
+    def get(self) -> StoreGet:
+        """Request an item; the returned event fires with the item."""
+        return StoreGet(self)
+
+    # ------------------------------------------------------------ internals
+    def _do_put(self, event: StorePut) -> bool:
+        if len(self.items) < self._capacity:
+            self._add_item(event.item)
+            event.succeed(None)
+            return True
+        return False
+
+    def _do_get(self, event: StoreGet) -> bool:
+        if self.items:
+            event.succeed(self._take_item(event))
+            return True
+        return False
+
+    def _add_item(self, item: Any) -> None:
+        self.items.append(item)
+
+    def _take_item(self, event: StoreGet) -> Any:
+        return self.items.pop(0)
+
+    def _dispatch(self) -> None:
+        """Match queued puts and gets until no further progress is possible."""
+        progress = True
+        while progress:
+            progress = False
+            idx = 0
+            while idx < len(self._put_queue):
+                if self._do_put(self._put_queue[idx]):
+                    del self._put_queue[idx]
+                    progress = True
+                else:
+                    idx += 1
+            idx = 0
+            while idx < len(self._get_queue):
+                if self._do_get(self._get_queue[idx]):
+                    del self._get_queue[idx]
+                    progress = True
+                else:
+                    idx += 1
+
+
+class FilterStore(Store):
+    """Store whose consumers may request only items satisfying a predicate."""
+
+    def get(self, filter: Callable[[Any], bool] = lambda item: True) -> StoreGet:  # type: ignore[override]
+        """Request the first item for which ``filter(item)`` is true."""
+        return StoreGet(self, filter)
+
+    def _do_get(self, event: StoreGet) -> bool:
+        assert event.filter is not None
+        for i, item in enumerate(self.items):
+            if event.filter(item):
+                del self.items[i]
+                event.succeed(item)
+                return True
+        return False
+
+
+class PriorityItem:
+    """Orderable wrapper pairing a ``priority`` with an arbitrary ``item``."""
+
+    __slots__ = ("priority", "item")
+
+    def __init__(self, priority: Any, item: Any):
+        self.priority = priority
+        self.item = item
+
+    def __lt__(self, other: "PriorityItem") -> bool:
+        return self.priority < other.priority
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PriorityItem):
+            return NotImplemented
+        return self.priority == other.priority and self.item == other.item
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"PriorityItem({self.priority!r}, {self.item!r})"
+
+
+class PriorityStore(Store):
+    """Store that always hands out the smallest item first."""
+
+    def _add_item(self, item: Any) -> None:
+        heappush(self.items, item)
+
+    def _take_item(self, event: StoreGet) -> Any:
+        return heappop(self.items)

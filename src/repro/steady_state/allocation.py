@@ -1,0 +1,110 @@
+"""Top-down bandwidth-centric allocation: who computes what, at which rate.
+
+The bottom-up solver gives each subtree's *capacity*; this module pushes the
+root's achievable rate back down to individual nodes, yielding the exact
+per-node compute rates and per-edge task flows of the optimal steady state.
+At every node the available inflow is spent greedily in bandwidth-centric
+order — the local CPU first (it costs no link time), then children by
+ascending edge cost — subject to the two local constraints:
+
+* inflow conservation: a node cannot hand out more tasks than it receives;
+* send-port capacity: the time shares ``rate_i * c_i`` must sum to <= 1.
+
+This reconstruction lets tests cross-validate the solver (flows conserve,
+rates sum to the tree rate) and powers the "used subtree" statistics of
+Figure 6 from theory as well as from simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import List, Tuple
+
+from ..errors import SolverError
+from ..platform.tree import PlatformTree
+from .solver import SteadyStateSolution, solve_tree
+
+__all__ = ["allocate", "TreeAllocation"]
+
+
+@dataclass(frozen=True)
+class TreeAllocation:
+    """Exact optimal steady-state flows for one tree."""
+
+    tree: PlatformTree
+    solution: SteadyStateSolution
+    #: Per-node local compute rate (tasks per timestep).
+    compute_rates: Tuple[Fraction, ...]
+    #: Per-node inflow rate (tasks per timestep entering the subtree);
+    #: at the root this equals the tree rate.
+    inflow_rates: Tuple[Fraction, ...]
+
+    @property
+    def rate(self) -> Fraction:
+        """Total task completion rate (== solver's optimal rate)."""
+        return self.inflow_rates[self.tree.root]
+
+    @property
+    def used_nodes(self) -> List[int]:
+        """Ids of nodes with a positive compute rate in the optimal schedule."""
+        return [i for i, r in enumerate(self.compute_rates) if r > 0]
+
+    def link_utilization(self, node_id: int) -> Fraction:
+        """Fraction of time node ``node_id``'s send port is busy."""
+        total = Fraction(0)
+        for cid in self.tree.children[node_id]:
+            total += self.inflow_rates[cid] * self.tree.c[cid]
+        return total
+
+
+def allocate(tree: PlatformTree,
+             solution: SteadyStateSolution = None) -> TreeAllocation:
+    """Compute the optimal per-node compute rates and per-edge flows.
+
+    ``solution`` may be passed to reuse an existing :func:`solve_tree` run.
+    """
+    if solution is None:
+        solution = solve_tree(tree)
+    elif solution.tree is not tree:
+        raise SolverError("solution was computed for a different tree object")
+
+    n = tree.num_nodes
+    compute = [Fraction(0)] * n
+    inflow = [Fraction(0)] * n
+    inflow[tree.root] = solution.rate
+
+    for node_id in tree.bfs_order():
+        available = inflow[node_id]
+        # Local CPU first: costs no link time, capacity 1/w.
+        local = min(available, Fraction(1) / Fraction(tree.w[node_id]))
+        compute[node_id] = local
+        available -= local
+
+        link_budget = Fraction(1)  # send-port time share
+        child_ids = sorted(
+            tree.children[node_id],
+            key=lambda cid: (Fraction(tree.c[cid]), cid),
+        )
+        for cid in child_ids:
+            if available <= 0 or link_budget <= 0:
+                break
+            c = Fraction(tree.c[cid])
+            capacity = Fraction(1) / solution.subtree_weights[cid]
+            give = min(available, capacity, link_budget / c)
+            inflow[cid] = give
+            available -= give
+            link_budget -= give * c
+
+        if available > 0:
+            # The bottom-up capacity guarantees the inflow is consumable.
+            raise SolverError(
+                f"allocation failed at node {node_id}: {available} tasks/step "
+                "left over — solver and allocator disagree")
+
+    return TreeAllocation(
+        tree=tree,
+        solution=solution,
+        compute_rates=tuple(compute),
+        inflow_rates=tuple(inflow),
+    )

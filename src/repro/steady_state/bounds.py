@@ -1,0 +1,105 @@
+"""Buffer-requirement analysis (§2.2 limitation 1 and the Figure 2 studies).
+
+The optimality proof of Theorem 1 assumes each node can queue every task it
+has received but not yet processed; the period of the optimal schedule — and
+hence the buffer bound — is governed by the least common multiple of the
+rate denominators, which is *prohibitively large in practice* (the paper's
+first practical limitation).  This module computes:
+
+* :func:`schedule_period` — the exact LCM period ``t`` (with ``b = rate*t``
+  tasks per period) of a tree's optimal steady-state allocation, making the
+  blow-up observable;
+* :func:`min_buffers_nonic_fork` — the analytic minimum number of task
+  buffers the *highest-priority* child of a fork needs under
+  non-interruptible communication (reproduces Figure 2's ``ceil(c_C / w_B)``
+  arguments: 3 buffers in Figure 2(a), ``k+1`` in Figure 2(b));
+* :func:`burst_bound` — a per-node upper estimate for arbitrary forks: the
+  longest send burst to lower-priority children divided by the node's
+  consumption time.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from typing import List, Optional
+
+from ..errors import SolverError
+from ..platform.tree import PlatformTree
+from .allocation import TreeAllocation, allocate
+
+__all__ = ["schedule_period", "min_buffers_nonic_fork", "burst_bound"]
+
+
+def schedule_period(allocation: TreeAllocation) -> int:
+    """Exact period ``t`` of the optimal periodic schedule.
+
+    The period is the least common multiple of the denominators of every
+    positive node compute rate and edge inflow rate: after ``t`` timesteps
+    each node has computed an integral number of tasks and each edge has
+    carried an integral number.  For the paper's random trees this is
+    usually astronomically large — which is the point.
+    """
+    lcm = 1
+    for rate in list(allocation.compute_rates) + list(allocation.inflow_rates):
+        if rate > 0:
+            lcm = math.lcm(lcm, Fraction(rate).denominator)
+    return lcm
+
+
+def tasks_per_period(allocation: TreeAllocation) -> int:
+    """Number of tasks ``b`` completed in one :func:`schedule_period`."""
+    period = schedule_period(allocation)
+    b = allocation.rate * period
+    if b.denominator != 1:  # pragma: no cover - period construction forbids this
+        raise SolverError("period does not yield an integral task count")
+    return int(b)
+
+
+def min_buffers_nonic_fork(c_slow, w_fast) -> int:
+    """Minimum buffers the fast child needs under non-IC communication.
+
+    While the parent's send port is pinned for ``c_slow`` timesteps
+    delivering one task to a lower-priority child, the high-priority child
+    consumes one task every ``w_fast`` timesteps and receives nothing, so it
+    must enter the burst holding at least ``ceil(c_slow / w_fast)`` tasks.
+
+    Figure 2(a): ``ceil(5/2) = 3``.  Figure 2(b): ``ceil((k*x+1)/x) = k+1``.
+    """
+    c_slow = Fraction(c_slow)
+    w_fast = Fraction(w_fast)
+    if c_slow <= 0 or w_fast <= 0:
+        raise SolverError("c_slow and w_fast must be > 0")
+    return math.ceil(c_slow / w_fast)
+
+
+def burst_bound(tree: PlatformTree, node_id: int,
+                allocation: Optional[TreeAllocation] = None) -> int:
+    """Upper estimate of buffers node ``node_id`` needs under non-IC.
+
+    The worst case for a child is its parent serving every lower-priority
+    *used* sibling back to back: a burst of ``sum(c_j)`` timesteps during
+    which the child receives nothing while consuming one task per ``W_i``
+    timesteps (its subtree weight).  Returns
+    ``ceil(burst / W_i) + 1`` (the ``+1`` is the task in service).  Exact
+    minimums depend on the global schedule; this bound is what the protocol's
+    buffer growth converges under (§3.1).
+    """
+    if allocation is None:
+        allocation = allocate(tree)
+    parent = tree.parent[node_id]
+    if parent is None:
+        return 1  # the root draws from the repository, one buffer suffices
+    my_c = Fraction(tree.c[node_id])
+    burst = Fraction(0)
+    for sibling in tree.children[parent]:
+        if sibling == node_id:
+            continue
+        sib_c = Fraction(tree.c[sibling])
+        lower_priority = (sib_c, sibling) > (my_c, node_id)
+        if lower_priority and allocation.inflow_rates[sibling] > 0:
+            burst += sib_c
+    if burst == 0:
+        return 1
+    my_weight = allocation.solution.subtree_weights[node_id]
+    return math.ceil(burst / my_weight) + 1

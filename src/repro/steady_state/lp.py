@@ -1,0 +1,128 @@
+"""Independent LP formulation of the steady-state problem (cross-validation).
+
+Theorem 1 plus bottom-up composition is a *greedy* solution to what is
+really a linear program over the whole tree:
+
+maximize    Σ_i r_i                      (total task completion rate)
+subject to  r_i ≤ 1/w_i                  (CPU capacity)
+            f_i = r_i + Σ_{j∈child(i)} f_j      (flow conservation)
+            Σ_{j∈child(i)} c_j · f_j ≤ 1        (send-port time share)
+            f_i · c_i ≤ 1                        (receive-port time share)
+            r_i, f_i ≥ 0
+
+with ``f_i`` the task rate entering node *i*'s subtree (``f_root`` is the
+total rate).  This module builds that LP explicitly and solves it with
+scipy's HiGHS backend.  :func:`solve_tree_lp` is used by the test suite to
+cross-validate :func:`repro.steady_state.solve_tree` on arbitrary trees —
+the two must agree to numerical precision — and is exposed publicly as an
+alternative solver for users who want the dual values (shadow prices of
+links and CPUs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import SolverError
+from ..platform.tree import PlatformTree
+
+__all__ = ["solve_tree_lp", "LpSolution"]
+
+
+@dataclass(frozen=True)
+class LpSolution:
+    """Solution of the steady-state LP."""
+
+    #: Optimal total task rate (float; exact solver gives the Fraction).
+    rate: float
+    #: Per-node compute rates r_i.
+    compute_rates: Tuple[float, ...]
+    #: Per-node subtree inflow rates f_i (f_root == rate).
+    inflow_rates: Tuple[float, ...]
+    #: Shadow price of each node's send-port constraint (None if unbound).
+    link_duals: Tuple[Optional[float], ...]
+
+
+def solve_tree_lp(tree: PlatformTree) -> LpSolution:
+    """Solve the whole-tree steady-state LP with scipy (HiGHS).
+
+    Raises :class:`SolverError` if scipy is unavailable or the solve fails
+    (the LP is always feasible — zero rates — so failures indicate numeric
+    trouble, not modelling).
+    """
+    try:
+        from scipy.optimize import linprog
+    except ImportError as exc:  # pragma: no cover - scipy ships in CI env
+        raise SolverError("solve_tree_lp requires scipy") from exc
+
+    n = tree.num_nodes
+    # Variables: x = [r_0..r_{n-1}, f_0..f_{n-1}]
+    num_vars = 2 * n
+
+    c = np.zeros(num_vars)
+    c[:n] = -1.0  # maximize Σ r_i
+
+    a_eq_rows: List[np.ndarray] = []
+    b_eq: List[float] = []
+    # Flow conservation per node: f_i - r_i - Σ f_child = 0.
+    for i in range(n):
+        row = np.zeros(num_vars)
+        row[n + i] = 1.0
+        row[i] = -1.0
+        for j in tree.children[i]:
+            row[n + j] = -1.0
+        a_eq_rows.append(row)
+        b_eq.append(0.0)
+
+    a_ub_rows: List[np.ndarray] = []
+    b_ub: List[float] = []
+    send_port_row_index: List[Optional[int]] = [None] * n
+    # Send-port per node: Σ c_j f_j ≤ 1 (only for nodes with children).
+    for i in range(n):
+        if tree.children[i]:
+            row = np.zeros(num_vars)
+            for j in tree.children[i]:
+                row[n + j] = float(tree.c[j])
+            send_port_row_index[i] = len(a_ub_rows)
+            a_ub_rows.append(row)
+            b_ub.append(1.0)
+
+    bounds: List[Tuple[float, Optional[float]]] = []
+    for i in range(n):
+        bounds.append((0.0, 1.0 / float(tree.w[i])))  # r_i ≤ 1/w_i
+    for i in range(n):
+        if tree.parent[i] is None:
+            bounds.append((0.0, None))  # f_root unconstrained above
+        else:
+            bounds.append((0.0, 1.0 / float(tree.c[i])))  # receive port
+
+    result = linprog(
+        c,
+        A_ub=np.array(a_ub_rows) if a_ub_rows else None,
+        b_ub=np.array(b_ub) if b_ub else None,
+        A_eq=np.array(a_eq_rows),
+        b_eq=np.array(b_eq),
+        bounds=bounds,
+        method="highs",
+    )
+    if result.status != 0:
+        raise SolverError(f"steady-state LP failed: {result.message}")
+
+    x = result.x
+    duals: List[Optional[float]] = [None] * n
+    marginals = getattr(getattr(result, "ineqlin", None), "marginals", None)
+    if marginals is not None:
+        for i in range(n):
+            idx = send_port_row_index[i]
+            if idx is not None:
+                duals[i] = float(-marginals[idx])
+
+    return LpSolution(
+        rate=float(-result.fun),
+        compute_rates=tuple(float(v) for v in x[:n]),
+        inflow_rates=tuple(float(v) for v in x[n:]),
+        link_duals=tuple(duals),
+    )

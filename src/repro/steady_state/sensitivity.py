@@ -1,0 +1,126 @@
+"""Bottleneck and sensitivity analysis of the optimal steady-state rate.
+
+Theorem 1 tells us the rate; operators want to know *what to upgrade*.
+This module answers two questions exactly (rational arithmetic throughout):
+
+* :func:`classify_bottlenecks` — for every node, is its subtree's weight
+  pinned by its **uplink** (``W_i = c_i``, bandwidth-bound) or by its
+  **consumption capacity** (compute/port-bound)?  Which children does the
+  optimal schedule starve?
+* :func:`rate_sensitivity` — the exact change of the whole-tree optimal
+  rate if one node's ``w`` or one edge's ``c`` improved by a given factor.
+  Improving off-critical resources yields exactly zero — the analysis makes
+  the *bandwidth-centric* insight quantitative: a starving child's CPU
+  speed is worthless, its link is everything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import SolverError
+from ..platform.tree import PlatformTree
+from .fork import STARVED
+from .solver import SteadyStateSolution, solve_tree
+
+__all__ = [
+    "classify_bottlenecks",
+    "rate_sensitivity",
+    "top_improvements",
+    "NodeBottleneck",
+    "SensitivityEntry",
+    "UPLINK_BOUND",
+    "CAPACITY_BOUND",
+]
+
+#: The subtree cannot consume faster than its uplink delivers (``W = c``).
+UPLINK_BOUND = "uplink-bound"
+#: The subtree's own compute + send-port capacity is the limit.
+CAPACITY_BOUND = "capacity-bound"
+
+
+@dataclass(frozen=True)
+class NodeBottleneck:
+    """Bottleneck classification of one node's subtree."""
+
+    node: int
+    #: :data:`UPLINK_BOUND` or :data:`CAPACITY_BOUND`.
+    kind: str
+    #: Children the optimal schedule sends nothing to (their whole subtrees
+    #: idle regardless of compute power).
+    starved_children: Tuple[int, ...]
+
+
+def classify_bottlenecks(tree: PlatformTree,
+                         solution: Optional[SteadyStateSolution] = None
+                         ) -> List[NodeBottleneck]:
+    """Classify every node's subtree as uplink- or capacity-bound."""
+    if solution is None:
+        solution = solve_tree(tree)
+    elif solution.tree is not tree:
+        raise SolverError("solution was computed for a different tree object")
+    out = []
+    for node_id in range(tree.num_nodes):
+        fork = solution.forks[node_id]
+        kind = UPLINK_BOUND if fork.bandwidth_limited else CAPACITY_BOUND
+        child_ids = tree.children[node_id]
+        starved = tuple(child_ids[alloc.index]
+                        for alloc in fork.children if alloc.status == STARVED)
+        out.append(NodeBottleneck(node_id, kind, starved))
+    return out
+
+
+@dataclass(frozen=True)
+class SensitivityEntry:
+    """Rate effect of improving one resource by the given factor."""
+
+    #: "w" (a node's CPU) or "c" (a node's uplink edge).
+    attribute: str
+    node: int
+    #: The improved weight that was evaluated.
+    new_value: Fraction
+    #: Exact rate delta (>= 0; improving a weight never hurts).
+    rate_delta: Fraction
+
+
+def rate_sensitivity(tree: PlatformTree,
+                     improvement: Fraction = Fraction(9, 10)
+                     ) -> List[SensitivityEntry]:
+    """Exact rate deltas for scaling each ``w``/``c`` by ``improvement``.
+
+    ``improvement`` must be in (0, 1); the default evaluates a 10 % speedup
+    of each resource in turn (one exact re-solve each, so ``O(V^2 log V)``
+    overall — fine for the paper's ≤500-node platforms).
+    """
+    improvement = Fraction(improvement)
+    if not 0 < improvement < 1:
+        raise SolverError(
+            f"improvement must be a factor in (0, 1), got {improvement}")
+    base_rate = solve_tree(tree).rate
+    entries: List[SensitivityEntry] = []
+    for node_id in range(tree.num_nodes):
+        new_w = Fraction(tree.w[node_id]) * improvement
+        variant = tree.copy()
+        variant.set_compute_weight(node_id, new_w)
+        delta = solve_tree(variant).rate - base_rate
+        entries.append(SensitivityEntry("w", node_id, new_w, delta))
+        if tree.parent[node_id] is not None:
+            new_c = Fraction(tree.c[node_id]) * improvement
+            variant = tree.copy()
+            variant.set_edge_cost(node_id, new_c)
+            delta = solve_tree(variant).rate - base_rate
+            entries.append(SensitivityEntry("c", node_id, new_c, delta))
+    return entries
+
+
+def top_improvements(tree: PlatformTree, k: int = 5,
+                     improvement: Fraction = Fraction(9, 10)
+                     ) -> List[SensitivityEntry]:
+    """The ``k`` single-resource upgrades with the largest rate gain."""
+    if k < 1:
+        raise SolverError(f"k must be >= 1, got {k}")
+    entries = rate_sensitivity(tree, improvement)
+    entries.sort(key=lambda e: (-e.rate_delta, e.attribute, e.node))
+    return entries[:k]

@@ -1,0 +1,78 @@
+"""Bottom-up optimal steady-state analysis of a whole platform tree.
+
+A bottom-up traversal applies Theorem 1 (:func:`repro.steady_state.fork.solve_fork`)
+at every node: the computational weight ``W_i`` of the subtree rooted at
+node *i* is the fork solution of *i* with its children's subtree weights,
+clamped by *i*'s own uplink cost ``c_i``.  The root's ``W`` is the tree's
+optimal computational weight ``w_tree``; its reciprocal is the optimal
+steady-state task completion rate the autonomous protocols try to reach.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import SolverError
+from ..platform.tree import PlatformTree
+from .fork import ForkSolution, solve_fork
+
+__all__ = ["solve_tree", "SteadyStateSolution"]
+
+
+@dataclass(frozen=True)
+class SteadyStateSolution:
+    """Optimal steady-state analysis of one platform tree."""
+
+    #: The analysed platform (snapshot reference; not copied).
+    tree: PlatformTree
+    #: Per-node subtree computational weight ``W_i`` (time per task).
+    subtree_weights: Tuple[Fraction, ...]
+    #: Per-node fork solutions (leaf forks have no children).
+    forks: Tuple[ForkSolution, ...]
+
+    @property
+    def w_tree(self) -> Fraction:
+        """Optimal computational weight of the whole tree."""
+        return self.subtree_weights[self.tree.root]
+
+    @property
+    def rate(self) -> Fraction:
+        """Optimal steady-state task completion rate (tasks per timestep)."""
+        return 1 / self.w_tree
+
+    def subtree_rate(self, node_id: int) -> Fraction:
+        """Maximal consumption rate of the subtree rooted at ``node_id``."""
+        return 1 / self.subtree_weights[node_id]
+
+    def fork(self, node_id: int) -> ForkSolution:
+        """The Theorem-1 solution at ``node_id``."""
+        return self.forks[node_id]
+
+
+def solve_tree(tree: PlatformTree) -> SteadyStateSolution:
+    """Compute the optimal steady-state rate of ``tree`` (exact).
+
+    Runs in one postorder pass; every node's fork is solved with its
+    children's already-computed subtree weights, so the whole analysis is
+    ``O(V log V)`` (the log from sorting children by edge cost).
+    """
+    n = tree.num_nodes
+    weights: List[Optional[Fraction]] = [None] * n
+    forks: List[Optional[ForkSolution]] = [None] * n
+
+    for node_id in tree.postorder():
+        child_ids = tree.children[node_id]
+        children = [(tree.c[cid], weights[cid]) for cid in child_ids]
+        if any(w is None for _c, w in children):  # pragma: no cover - defensive
+            raise SolverError("postorder traversal visited a parent before a child")
+        solution = solve_fork(tree.w[node_id], children, c0=tree.c[node_id])
+        forks[node_id] = solution
+        weights[node_id] = solution.w_tree
+
+    return SteadyStateSolution(
+        tree=tree,
+        subtree_weights=tuple(weights),  # type: ignore[arg-type]
+        forks=tuple(forks),  # type: ignore[arg-type]
+    )

@@ -1,0 +1,17 @@
+"""Dependency-free SVG rendering of the paper's figures."""
+
+from .svg import LineChart, PALETTE, StepChart, nice_ticks
+from .figures import fig3_svg, fig4_svg, fig5_svg, fig6_svg, fig7_svg, save_all
+
+__all__ = [
+    "LineChart",
+    "StepChart",
+    "nice_ticks",
+    "PALETTE",
+    "fig3_svg",
+    "fig4_svg",
+    "fig5_svg",
+    "fig6_svg",
+    "fig7_svg",
+    "save_all",
+]

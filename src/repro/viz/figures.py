@@ -1,0 +1,131 @@
+"""Render the paper's figures from experiment results as SVG documents.
+
+Each ``figN_svg`` takes the corresponding experiment's result object (from
+:mod:`repro.experiments`) and returns SVG text; :func:`save_all` runs a set
+of experiments at a given scale and writes one ``figN.svg`` per figure.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Optional
+
+from ..experiments import fig3, fig4, fig5, fig6, fig7
+from ..experiments.common import ExperimentScale
+from .svg import LineChart, PALETTE, StepChart
+
+__all__ = ["fig3_svg", "fig4_svg", "fig5_svg", "fig6_svg", "fig7_svg", "save_all"]
+
+
+def fig3_svg(result: "fig3.Fig3Result") -> str:
+    """Figure 3 — normalized window throughput for three selected trees."""
+    chart = LineChart(
+        "Figure 3 — throughput over sliding growing window (IC/FB=3)",
+        "tasks completed at beginning of window",
+        "rate normalized to optimal steady state")
+    chart.y_min, chart.y_max = 0.0, 1.3
+    chart.add_hline(1.0)
+    for series in result.series:
+        chart.add_series(f"seed {series.seed} ({series.behaviour})",
+                         series.samples)
+    return chart.render()
+
+
+def fig4_svg(result: "fig4.Fig4Result") -> str:
+    """Figure 4 — CDF of trees reaching optimal steady state."""
+    chart = LineChart(
+        "Figure 4 — achieving maximal steady state",
+        "number of tasks completed",
+        "% of trees at optimal steady state")
+    chart.y_min, chart.y_max = 0.0, 100.0
+    for label, series in result.cdf.items():
+        chart.add_series(label, list(zip(result.grid, series)))
+    return chart.render()
+
+
+def fig5_svg(result: "fig5.Fig5Result") -> str:
+    """Figure 5 — the same CDFs split by computation-to-communication class."""
+    chart = LineChart(
+        "Figure 5 — impact of computation-to-communication ratios",
+        "number of tasks completed",
+        "% of trees at optimal steady state")
+    chart.y_min, chart.y_max = 0.0, 100.0
+    for i, x in enumerate(fig5.X_CLASSES):
+        for config in fig5.FIG5_CONFIGS:
+            series = result.cdf[(x, config.label)]
+            chart.add_series(
+                f"x={x} {config.label}",
+                list(zip(result.grid, series)),
+                color=PALETTE[i % len(PALETTE)],
+                dashed=(config is fig5.FIG5_CONFIGS[0]))
+    return chart.render()
+
+
+def fig6_svg(result: "fig6.Fig6Result", *, dimension: str = "nodes") -> str:
+    """Figure 6 — PDFs of tree size (``dimension='nodes'``) or depth."""
+    if dimension == "nodes":
+        title = "Figure 6(a) — tree size: all vs used nodes"
+        x_label = "number of nodes in a tree"
+        pdf, bin_width = result.node_pdf, 25
+        series_map = result.node_series
+    else:
+        title = "Figure 6(b) — tree depth: all vs used nodes"
+        x_label = "maximum depth of nodes in a tree"
+        pdf, bin_width = result.depth_pdf, 4
+        series_map = result.depth_series
+    chart = StepChart(title, x_label, "fraction of trees")
+    for label in series_map:
+        lefts, fractions = pdf(label, bin_width)
+        chart.add_distribution(label, lefts, fractions, bin_width)
+    return chart.render()
+
+
+def fig7_svg(result: "fig7.Fig7Result") -> str:
+    """Figure 7 — cumulative completions under platform changes, with the
+    per-phase optimal slopes as dashed references."""
+    chart = LineChart(
+        "Figure 7 — adaptability to platform changes (non-IC/FB=2)",
+        "number of timesteps",
+        "number of tasks completed")
+    for i, scenario in enumerate(result.scenarios):
+        chart.add_series(scenario.name, scenario.curve,
+                         color=PALETTE[i % len(PALETTE)])
+        # Post-change optimal slope, anchored at the change point.
+        t_end, n_end = scenario.curve[-1]
+        anchor_t, anchor_n = None, None
+        for t, n in scenario.curve:
+            if n >= 200:
+                anchor_t, anchor_n = t, n
+                break
+        if anchor_t is not None:
+            slope = float(scenario.optimal_after)
+            ref = [(anchor_t, anchor_n),
+                   (t_end, anchor_n + slope * (t_end - anchor_t))]
+            chart.add_series(f"optimal after ({scenario.name})", ref,
+                             color=PALETTE[i % len(PALETTE)], dashed=True)
+    return chart.render()
+
+
+def save_all(directory: str,
+             scale: Optional[ExperimentScale] = None) -> Dict[str, str]:
+    """Run the figure experiments and write ``fig*.svg`` into ``directory``.
+
+    Returns figure-name → file path.  This is the programmatic face of the
+    CLI's ``--svg`` option.
+    """
+    scale = scale if scale is not None else ExperimentScale()
+    os.makedirs(directory, exist_ok=True)
+    outputs = {
+        "fig3": fig3_svg(fig3.run(scale)),
+        "fig4": fig4_svg(fig4.run(scale)),
+        "fig5": fig5_svg(fig5.run(scale)),
+        "fig6a": fig6_svg(fig6.run(scale), dimension="nodes"),
+        "fig7": fig7_svg(fig7.run()),
+    }
+    paths = {}
+    for name, svg_text in outputs.items():
+        path = os.path.join(directory, f"{name}.svg")
+        with open(path, "w") as handle:
+            handle.write(svg_text)
+        paths[name] = path
+    return paths

@@ -1,0 +1,261 @@
+"""Minimal, dependency-free SVG charting.
+
+The experiment harness renders the paper's figures as standalone SVG files
+(no matplotlib in the runtime environment).  Two chart types cover every
+figure in the paper:
+
+* :class:`LineChart` — multiple named series over numeric axes, with ticks,
+  axis labels, an optional horizontal reference line (the "optimal rate"
+  line of Figure 3) and a legend;
+* :class:`StepChart` — step/бar-style probability distributions (Figure 6).
+
+Charts produce plain SVG 1.1 text; everything is deterministic so tests can
+parse the output with ``xml.etree``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import ReproError
+
+__all__ = ["LineChart", "StepChart", "nice_ticks", "PALETTE"]
+
+#: Color-blind-safe default palette (Okabe–Ito).
+PALETTE = ("#0072B2", "#D55E00", "#009E73", "#CC79A7",
+           "#E69F00", "#56B4E9", "#F0E442", "#000000")
+
+
+def nice_ticks(lo: float, hi: float, target: int = 6) -> List[float]:
+    """Round tick positions covering [lo, hi] (1/2/5 × 10^k spacing)."""
+    if not (math.isfinite(lo) and math.isfinite(hi)):
+        raise ReproError(f"non-finite axis range [{lo}, {hi}]")
+    if hi < lo:
+        lo, hi = hi, lo
+    if hi == lo:
+        hi = lo + 1
+    raw_step = (hi - lo) / max(1, target - 1)
+    magnitude = 10 ** math.floor(math.log10(raw_step))
+    for multiple in (1, 2, 5, 10):
+        step = multiple * magnitude
+        if raw_step <= step:
+            break
+    first = math.floor(lo / step) * step
+    ticks = []
+    value = first
+    while value <= hi + step * 1e-9:
+        if value >= lo - step * 1e-9:
+            ticks.append(round(value, 10))
+        value += step
+    return ticks
+
+
+def _fmt(value: float) -> str:
+    """Compact numeric label."""
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:g}"
+
+
+@dataclass
+class _Series:
+    name: str
+    points: List[Tuple[float, float]]
+    color: str
+    dashed: bool = False
+
+
+class _Frame:
+    """Shared plot-frame geometry and SVG assembly."""
+
+    def __init__(self, title: str, x_label: str, y_label: str,
+                 width: int, height: int):
+        if width < 100 or height < 80:
+            raise ReproError("chart too small to draw a frame")
+        self.title = title
+        self.x_label = x_label
+        self.y_label = y_label
+        self.width = width
+        self.height = height
+        self.margin_left = 62
+        self.margin_right = 16
+        self.margin_top = 34
+        self.margin_bottom = 46
+
+    @property
+    def plot_w(self) -> int:
+        return self.width - self.margin_left - self.margin_right
+
+    @property
+    def plot_h(self) -> int:
+        return self.height - self.margin_top - self.margin_bottom
+
+    def x_pos(self, x, lo, hi) -> float:
+        span = (hi - lo) or 1
+        return self.margin_left + (x - lo) / span * self.plot_w
+
+    def y_pos(self, y, lo, hi) -> float:
+        span = (hi - lo) or 1
+        return self.margin_top + self.plot_h - (y - lo) / span * self.plot_h
+
+    def header(self) -> List[str]:
+        return [
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{self.width}" '
+            f'height="{self.height}" viewBox="0 0 {self.width} {self.height}" '
+            f'font-family="sans-serif" font-size="11">',
+            f'<rect width="{self.width}" height="{self.height}" fill="white"/>',
+            f'<text x="{self.width / 2:.1f}" y="18" text-anchor="middle" '
+            f'font-size="13">{_esc(self.title)}</text>',
+        ]
+
+    def frame_and_axes(self, x_ticks, y_ticks, x_range, y_range) -> List[str]:
+        parts = []
+        x0, y0 = self.margin_left, self.margin_top
+        parts.append(
+            f'<rect x="{x0}" y="{y0}" width="{self.plot_w}" '
+            f'height="{self.plot_h}" fill="none" stroke="#444"/>')
+        for tick in x_ticks:
+            px = self.x_pos(tick, *x_range)
+            parts.append(
+                f'<line x1="{px:.1f}" y1="{y0 + self.plot_h}" x2="{px:.1f}" '
+                f'y2="{y0 + self.plot_h + 4}" stroke="#444"/>')
+            parts.append(
+                f'<text x="{px:.1f}" y="{y0 + self.plot_h + 16}" '
+                f'text-anchor="middle">{_esc(_fmt(tick))}</text>')
+        for tick in y_ticks:
+            py = self.y_pos(tick, *y_range)
+            parts.append(
+                f'<line x1="{x0 - 4}" y1="{py:.1f}" x2="{x0}" y2="{py:.1f}" '
+                f'stroke="#444"/>')
+            parts.append(
+                f'<text x="{x0 - 7}" y="{py + 3.5:.1f}" '
+                f'text-anchor="end">{_esc(_fmt(tick))}</text>')
+        parts.append(
+            f'<text x="{x0 + self.plot_w / 2:.1f}" y="{self.height - 10}" '
+            f'text-anchor="middle">{_esc(self.x_label)}</text>')
+        parts.append(
+            f'<text x="16" y="{y0 + self.plot_h / 2:.1f}" '
+            f'text-anchor="middle" transform="rotate(-90 16 '
+            f'{y0 + self.plot_h / 2:.1f})">{_esc(self.y_label)}</text>')
+        return parts
+
+    def legend(self, series: Sequence[_Series]) -> List[str]:
+        parts = []
+        x = self.margin_left + 10
+        y = self.margin_top + 12
+        for s in series:
+            dash = ' stroke-dasharray="5 3"' if s.dashed else ""
+            parts.append(
+                f'<line x1="{x}" y1="{y - 3}" x2="{x + 18}" y2="{y - 3}" '
+                f'stroke="{s.color}" stroke-width="2"{dash}/>')
+            parts.append(
+                f'<text x="{x + 23}" y="{y}">{_esc(s.name)}</text>')
+            y += 15
+        return parts
+
+
+def _esc(text: str) -> str:
+    return (str(text).replace("&", "&amp;").replace("<", "&lt;")
+            .replace(">", "&gt;"))
+
+
+class LineChart:
+    """Multi-series line chart with axes, legend and reference lines."""
+
+    def __init__(self, title: str, x_label: str, y_label: str,
+                 width: int = 640, height: int = 400):
+        self._frame = _Frame(title, x_label, y_label, width, height)
+        self._series: List[_Series] = []
+        self._hlines: List[Tuple[float, str]] = []
+        self.y_min: Optional[float] = None
+        self.y_max: Optional[float] = None
+
+    def add_series(self, name: str, points: Sequence[Tuple[float, float]],
+                   *, color: Optional[str] = None,
+                   dashed: bool = False) -> "LineChart":
+        """Add a named polyline (at least one point required)."""
+        if not points:
+            raise ReproError(f"series {name!r} has no points")
+        color = color or PALETTE[len(self._series) % len(PALETTE)]
+        self._series.append(_Series(name, [(float(x), float(y))
+                                           for x, y in points], color, dashed))
+        return self
+
+    def add_hline(self, y: float, color: str = "#888") -> "LineChart":
+        """Horizontal reference line (e.g. the optimal-rate level)."""
+        self._hlines.append((float(y), color))
+        return self
+
+    def render(self) -> str:
+        """Produce the SVG document text."""
+        if not self._series:
+            raise ReproError("chart has no series")
+        xs = [x for s in self._series for x, _y in s.points]
+        ys = [y for s in self._series for _x, y in s.points]
+        ys += [y for y, _c in self._hlines]
+        x_range = (min(xs), max(xs))
+        y_lo = self.y_min if self.y_min is not None else min(ys)
+        y_hi = self.y_max if self.y_max is not None else max(ys)
+        if y_hi == y_lo:
+            y_hi = y_lo + 1
+        y_range = (y_lo, y_hi)
+
+        frame = self._frame
+        parts = frame.header()
+        parts += frame.frame_and_axes(nice_ticks(*x_range),
+                                      nice_ticks(*y_range),
+                                      x_range, y_range)
+        for y, color in self._hlines:
+            py = frame.y_pos(y, *y_range)
+            parts.append(
+                f'<line x1="{frame.margin_left}" y1="{py:.1f}" '
+                f'x2="{frame.margin_left + frame.plot_w}" y2="{py:.1f}" '
+                f'stroke="{color}" stroke-dasharray="2 4"/>')
+        for s in self._series:
+            coords = " ".join(
+                f"{frame.x_pos(x, *x_range):.1f},"
+                f"{_clamp(frame.y_pos(y, *y_range), frame):.1f}"
+                for x, y in s.points)
+            dash = ' stroke-dasharray="5 3"' if s.dashed else ""
+            parts.append(
+                f'<polyline points="{coords}" fill="none" '
+                f'stroke="{s.color}" stroke-width="2"{dash}/>')
+        parts += frame.legend(self._series)
+        parts.append("</svg>")
+        return "\n".join(parts)
+
+
+def _clamp(py: float, frame: _Frame) -> float:
+    top = frame.margin_top
+    bottom = frame.margin_top + frame.plot_h
+    return min(max(py, top), bottom)
+
+
+class StepChart:
+    """Step-style distribution chart (used for the Figure 6 PDFs)."""
+
+    def __init__(self, title: str, x_label: str, y_label: str,
+                 width: int = 640, height: int = 400):
+        self._chart = LineChart(title, x_label, y_label, width, height)
+        self._chart.y_min = 0.0
+
+    def add_distribution(self, name: str, lefts: Sequence[float],
+                         fractions: Sequence[float], bin_width: float,
+                         **kwargs) -> "StepChart":
+        """Add one binned PDF as a step outline."""
+        if len(lefts) != len(fractions):
+            raise ReproError("lefts and fractions must have equal length")
+        if not len(lefts):
+            raise ReproError(f"distribution {name!r} is empty")
+        points: List[Tuple[float, float]] = []
+        for left, frac in zip(lefts, fractions):
+            points.append((float(left), float(frac)))
+            points.append((float(left) + float(bin_width), float(frac)))
+        self._chart.add_series(name, points, **kwargs)
+        return self
+
+    def render(self) -> str:
+        """Produce the SVG document text."""
+        return self._chart.render()

@@ -1,0 +1,49 @@
+"""Unit tests for the ablation experiments (decay, churn)."""
+
+import pytest
+
+from repro.experiments import ExperimentScale, ablation
+from repro.platform.generator import TreeGeneratorParams
+
+MICRO_PARAMS = TreeGeneratorParams(min_nodes=10, max_nodes=50)
+MICRO = ExperimentScale(trees=4, tasks=900)
+
+
+class TestDecayAblation:
+    def test_variants_and_counters(self):
+        result = ablation.buffer_decay_ablation(MICRO, MICRO_PARAMS)
+        assert set(result.reached) == {"non-IC, IB=1", "non-IC, IB=1 +decay"}
+        assert result.decayed["non-IC, IB=1"] == 0
+        assert result.decayed["non-IC, IB=1 +decay"] >= 0
+        for pool in result.mean_max_pool.values():
+            assert pool >= 1
+
+    def test_format(self):
+        result = ablation.buffer_decay_ablation(MICRO, MICRO_PARAMS)
+        text = ablation.format_decay_result(result)
+        assert "buffer decay" in text
+        assert "+decay" in text
+
+    def test_progress_callback(self):
+        seen = []
+        ablation.buffer_decay_ablation(
+            ExperimentScale(trees=2, tasks=300), MICRO_PARAMS,
+            progress=lambda d, t: seen.append((d, t)))
+        assert seen == [(1, 2), (2, 2)]
+
+
+class TestChurnResilience:
+    def test_conservation_and_norms(self):
+        result = ablation.churn_resilience(MICRO, MICRO_PARAMS)
+        assert result.all_conserved
+        assert result.all_departed
+        assert len(result.join_norms) == MICRO.trees
+        assert 0 < result.mean_join_norm < 2
+        assert 0 <= result.within_ten_percent <= MICRO.trees
+
+    def test_format(self):
+        result = ablation.churn_resilience(
+            ExperimentScale(trees=2, tasks=600), MICRO_PARAMS)
+        text = ablation.format_churn_result(result)
+        assert "churn resilience" in text
+        assert "conserved" in text

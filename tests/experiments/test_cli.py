@@ -1,0 +1,81 @@
+"""Tests for the CLI and the ablation experiments."""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, ablation
+from repro.experiments.cli import build_parser, main, resolve_scale
+from repro.experiments.common import ExperimentScale
+
+
+class TestParser:
+    def test_all_experiments_listed(self):
+        parser = build_parser()
+        args = parser.parse_args(["fig4"])
+        assert args.experiment == "fig4"
+        for name in EXPERIMENTS:
+            parser.parse_args([name])
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+    def test_scale_resolution(self):
+        args = build_parser().parse_args(
+            ["fig4", "--scale", "smoke", "--trees", "5"])
+        scale = resolve_scale(args)
+        assert scale.trees == 5
+        assert scale.tasks == ExperimentScale.smoke().tasks
+
+    def test_paper_scale(self):
+        args = build_parser().parse_args(["fig4", "--scale", "paper"])
+        scale = resolve_scale(args)
+        assert scale.trees == 25_000 and scale.threshold == 300
+
+    def test_threshold_override(self):
+        args = build_parser().parse_args(["fig4", "--threshold", "42"])
+        assert resolve_scale(args).threshold == 42
+
+    def test_seed_override(self):
+        args = build_parser().parse_args(["fig4", "--seed", "99"])
+        assert resolve_scale(args).base_seed == 99
+
+
+class TestMain:
+    def test_fig7_runs_and_prints(self, capsys):
+        assert main(["fig7"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 7" in out
+        assert "completed in" in out
+
+    def test_out_file(self, tmp_path, capsys):
+        target = tmp_path / "report.txt"
+        assert main(["fig7", "--out", str(target)]) == 0
+        assert "Figure 7" in target.read_text()
+
+
+class TestPriorityAblation:
+    def test_bandwidth_centric_at_least_as_good(self):
+        from repro.platform.generator import TreeGeneratorParams
+
+        scale = ExperimentScale(trees=5, tasks=800)
+        result = ablation.priority_rules(
+            scale, TreeGeneratorParams(min_nodes=10, max_nodes=40))
+        bw = result.mean_normalized_rate["non-IC, FB=3"]
+        cc = result.mean_normalized_rate["non-IC, FB=3 [compute-centric]"]
+        fifo = result.mean_normalized_rate["non-IC, FB=3 [fifo]"]
+        assert bw >= cc - 0.02
+        assert bw >= fifo - 0.02
+        text = ablation.format_priority_result(result)
+        assert "Ablation" in text
+
+
+class TestOverlayAblation:
+    def test_strategies_compared(self):
+        result = ablation.overlay_strategies(graphs=5, hosts=20)
+        assert set(result.mean_relative_rate) == {
+            "bfs", "shortest-path", "mst", "random"}
+        for value in result.mean_relative_rate.values():
+            assert 0 < value <= 1.0 + 1e-9
+        assert sum(result.wins.values()) == 5
+        text = ablation.format_overlay_result(result)
+        assert "overlay" in text

@@ -1,0 +1,97 @@
+"""Tests for the experiment plumbing (scales, cases, sweeps)."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import ExperimentScale, run_case, sweep
+from repro.platform.generator import TreeGeneratorParams
+from repro.protocols import ProtocolConfig
+
+SMALL_PARAMS = TreeGeneratorParams(min_nodes=5, max_nodes=20,
+                                   max_comm=10, max_comp=60)
+TINY = ExperimentScale(trees=3, tasks=120)
+CONFIGS = [ProtocolConfig.interruptible(3), ProtocolConfig.non_interruptible()]
+
+
+class TestScale:
+    def test_defaults(self):
+        scale = ExperimentScale()
+        assert scale.trees == 150 and scale.tasks == 2000
+
+    def test_threshold_scaling(self):
+        assert ExperimentScale(tasks=2000).threshold == 60
+        assert ExperimentScale(tasks=10_000).threshold == 300
+
+    def test_explicit_threshold_wins(self):
+        assert ExperimentScale(tasks=2000, threshold_window=10).threshold == 10
+
+    def test_paper_preset(self):
+        paper = ExperimentScale.paper()
+        assert paper.trees == 25_000
+        assert paper.tasks == 10_000
+        assert paper.threshold == 300
+
+    def test_smoke_preset_is_small(self):
+        smoke = ExperimentScale.smoke()
+        assert smoke.trees <= 30
+
+    def test_with_helpers(self):
+        scale = ExperimentScale().with_trees(7).with_tasks(500)
+        assert scale.trees == 7 and scale.tasks == 500
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            ExperimentScale(trees=0)
+        with pytest.raises(ExperimentError):
+            ExperimentScale(tasks=1)
+
+
+class TestRunCase:
+    def test_case_contents(self):
+        case = run_case(1, SMALL_PARAMS, CONFIGS, TINY)
+        assert case.seed == 1
+        assert case.num_nodes >= 5
+        assert case.optimal_rate > 0
+        assert set(case.outcomes) == {c.label for c in CONFIGS}
+        outcome = case.outcome(CONFIGS[0])
+        assert outcome.makespan > 0
+        assert outcome.max_buffers >= 1
+        assert outcome.max_held >= 0
+
+    def test_buffer_sampling(self):
+        case = run_case(1, SMALL_PARAMS, CONFIGS, TINY,
+                        record_buffers=True, sample_counts=(10, 120, 500))
+        samples = case.outcome(CONFIGS[1]).buffer_samples
+        assert samples[10] >= 0
+        assert samples[120] >= samples[10]
+        assert samples[500] is None
+
+    def test_reached_property(self):
+        case = run_case(1, SMALL_PARAMS, CONFIGS, TINY)
+        outcome = case.outcome(CONFIGS[0])
+        assert outcome.reached == (outcome.onset is not None)
+
+
+class TestSweep:
+    def test_sweep_count_and_seeds(self):
+        cases = sweep(CONFIGS, TINY, SMALL_PARAMS)
+        assert [case.seed for case in cases] == [0, 1, 2]
+
+    def test_sweep_deterministic(self):
+        a = sweep(CONFIGS, TINY, SMALL_PARAMS)
+        b = sweep(CONFIGS, TINY, SMALL_PARAMS)
+        assert [(c.seed, c.optimal_rate) for c in a] == [
+            (c.seed, c.optimal_rate) for c in b]
+        for ca, cb in zip(a, b):
+            for label in ca.outcomes:
+                assert ca.outcomes[label].makespan == cb.outcomes[label].makespan
+
+    def test_progress_callback(self):
+        seen = []
+        sweep(CONFIGS, TINY, SMALL_PARAMS,
+              progress=lambda done, total: seen.append((done, total)))
+        assert seen == [(1, 3), (2, 3), (3, 3)]
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(ExperimentError):
+            sweep([CONFIGS[0], CONFIGS[0]], TINY, SMALL_PARAMS)

@@ -1,0 +1,94 @@
+"""Tests for CSV/JSON result export."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import ExperimentScale, sweep
+from repro.experiments.export import (
+    CASE_COLUMNS,
+    case_rows,
+    cases_to_csv,
+    write_csv,
+    write_json,
+)
+from repro.platform.generator import TreeGeneratorParams
+from repro.protocols import ProtocolConfig
+
+
+@pytest.fixture(scope="module")
+def cases():
+    params = TreeGeneratorParams(min_nodes=5, max_nodes=15,
+                                 max_comm=10, max_comp=50)
+    configs = [ProtocolConfig.interruptible(3),
+               ProtocolConfig.non_interruptible()]
+    return sweep(configs, ExperimentScale(trees=3, tasks=150), params)
+
+
+class TestCaseRows:
+    def test_one_row_per_tree_and_protocol(self, cases):
+        rows = case_rows(cases)
+        assert len(rows) == 3 * 2
+        assert {row["protocol"] for row in rows} == {
+            "IC, FB=3", "non-IC, IB=1"}
+
+    def test_columns_complete(self, cases):
+        for row in case_rows(cases):
+            assert set(CASE_COLUMNS) <= set(row)
+
+    def test_values_plain_python(self, cases):
+        row = case_rows(cases)[0]
+        assert isinstance(row["optimal_rate"], float)
+        assert isinstance(row["reached"], bool)
+
+
+class TestCsv:
+    def test_round_trip(self, cases):
+        buffer = io.StringIO()
+        cases_to_csv(buffer, cases)
+        buffer.seek(0)
+        parsed = list(csv.DictReader(buffer))
+        assert len(parsed) == 6
+        assert parsed[0]["seed"] == "0"
+        assert set(parsed[0]) == set(CASE_COLUMNS)
+
+    def test_none_becomes_empty(self):
+        rows = [dict.fromkeys(CASE_COLUMNS, None)]
+        buffer = io.StringIO()
+        write_csv(buffer, rows)
+        data_line = buffer.getvalue().splitlines()[1]
+        assert data_line == "," * (len(CASE_COLUMNS) - 1)
+
+    def test_file_target(self, cases, tmp_path):
+        path = tmp_path / "cases.csv"
+        cases_to_csv(str(path), cases)
+        assert path.read_text().startswith("seed,")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            write_csv(io.StringIO(), [])
+
+    def test_missing_columns_rejected(self):
+        with pytest.raises(ExperimentError):
+            write_csv(io.StringIO(), [{"seed": 1}])
+
+
+class TestJson:
+    def test_round_trip(self, cases, tmp_path):
+        path = tmp_path / "cases.json"
+        write_json(str(path), case_rows(cases))
+        parsed = json.loads(path.read_text())
+        assert len(parsed) == 6
+        assert parsed[0]["num_nodes"] >= 5
+
+    def test_buffer_target(self, cases):
+        buffer = io.StringIO()
+        write_json(buffer, case_rows(cases))
+        assert json.loads(buffer.getvalue())
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            write_json(io.StringIO(), [])

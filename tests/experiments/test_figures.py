@@ -1,0 +1,164 @@
+"""Smoke + semantics tests for the per-figure experiment modules.
+
+These run micro-scale ensembles (seconds) and assert the structural and
+qualitative properties each table/figure depends on, not the paper's exact
+percentages (benchmarks regenerate those at larger scales).
+"""
+
+import pytest
+
+from repro.experiments import ExperimentScale, fig3, fig4, fig5, fig6, fig7, table1, table2
+from repro.experiments.fig4 import FIG4_CONFIGS
+from repro.platform.generator import TreeGeneratorParams
+
+#: Small trees keep micro-ensembles fast while still exercising hierarchy.
+MICRO_PARAMS = TreeGeneratorParams(min_nodes=10, max_nodes=60)
+MICRO = ExperimentScale(trees=6, tasks=900)
+
+
+class TestFig3:
+    def test_three_series_with_samples(self):
+        result = fig3.run(MICRO, MICRO_PARAMS, candidates=8, sample_points=10)
+        assert len(result.series) == 3
+        seeds = [s.seed for s in result.series]
+        assert len(set(seeds)) == 3
+        for series in result.series:
+            assert len(series.samples) >= 2
+            windows = [w for w, _ in series.samples]
+            assert windows == sorted(windows)
+            for _w, rate in series.samples:
+                assert rate >= 0
+
+    def test_candidate_floor(self):
+        with pytest.raises(Exception):
+            fig3.run(MICRO, MICRO_PARAMS, candidates=2)
+
+    def test_format(self):
+        result = fig3.run(MICRO, MICRO_PARAMS, candidates=6, sample_points=6)
+        text = fig3.format_result(result)
+        assert "Figure 3" in text
+        assert "onset" in text
+
+
+class TestFig4:
+    def test_structure_and_monotonicity(self):
+        result = fig4.run(MICRO, MICRO_PARAMS)
+        assert set(result.cdf) == {c.label for c in FIG4_CONFIGS}
+        for label, series in result.cdf.items():
+            assert len(series) == len(result.grid)
+            assert all(a <= b for a, b in zip(series, series[1:]))
+            assert series[-1] == pytest.approx(result.reached[label])
+
+    def test_ic_beats_non_ic(self):
+        result = fig4.run(MICRO, MICRO_PARAMS)
+        assert result.reached["IC, FB=3"] >= result.reached["non-IC, IB=1"]
+
+    def test_format(self):
+        result = fig4.run(MICRO, MICRO_PARAMS)
+        text = fig4.format_result(result)
+        assert "Figure 4" in text and "reached (paper)" in text
+
+
+class TestTable1:
+    def test_from_fig4_cases(self):
+        fig4_result = fig4.run(MICRO, MICRO_PARAMS)
+        result = table1.from_cases(fig4_result.cases, MICRO)
+        non_ic = result.percentages["non-IC, IB=1"]
+        values = [non_ic[b] for b in table1.BUFFER_BUDGETS]
+        assert all(a <= b for a, b in zip(values, values[1:]))  # monotone in n
+        assert result.non_ic_unbounded >= values[-1]
+        ic3 = result.percentages["IC, FB=3"]
+        assert ic3[3] is not None and ic3[1] is None
+
+    def test_format(self):
+        result = table1.run(MICRO, MICRO_PARAMS)
+        text = table1.format_result(result)
+        assert "Table 1" in text and "unbounded" in text
+
+
+class TestFig5:
+    def test_all_classes_and_configs_present(self):
+        scale = ExperimentScale(trees=3, tasks=600)
+        result = fig5.run(scale, MICRO_PARAMS)
+        for x in fig5.X_CLASSES:
+            for config in fig5.FIG5_CONFIGS:
+                assert (x, config.label) in result.reached
+                series = result.cdf[(x, config.label)]
+                assert all(a <= b for a, b in zip(series, series[1:]))
+
+    def test_format(self):
+        scale = ExperimentScale(trees=3, tasks=600)
+        text = fig5.format_result(fig5.run(scale, MICRO_PARAMS))
+        assert "Figure 5" in text
+
+
+class TestTable2:
+    def test_sample_count_scaling(self):
+        assert table2.sample_counts_for(4000) == (100, 1000, 4000)
+        assert table2.sample_counts_for(2000) == (50, 500, 2000)
+
+    def test_medians_monotone_in_task_count(self):
+        scale = ExperimentScale(trees=4, tasks=800)
+        result = table2.run(scale, MICRO_PARAMS)
+        for x in fig5.X_CLASSES:
+            meds = [m for m in result.medians[x] if m is not None]
+            assert all(a <= b for a, b in zip(meds, meds[1:]))
+            assert result.maxima[x] <= result.pool_maxima[x]
+
+    def test_format(self):
+        scale = ExperimentScale(trees=3, tasks=600)
+        text = table2.format_result(table2.run(scale, MICRO_PARAMS))
+        assert "Table 2" in text and "pool" in text
+
+
+class TestFig6:
+    def test_series_shapes(self):
+        result = fig6.run(MICRO, MICRO_PARAMS)
+        assert set(result.node_series) == {
+            "all", "used, non-IC, IB=1", "used, IC, FB=3"}
+        n = MICRO.trees
+        for series in result.node_series.values():
+            assert len(series) == n
+        # Used sub-trees can never exceed the full tree.
+        for label in ("used, non-IC, IB=1", "used, IC, FB=3"):
+            for used, total in zip(result.node_series[label],
+                                   result.node_series["all"]):
+                assert used <= total
+            for used, total in zip(result.depth_series[label],
+                                   result.depth_series["all"]):
+                assert used <= total
+
+    def test_pdf_helpers(self):
+        result = fig6.run(ExperimentScale(trees=4, tasks=600), MICRO_PARAMS)
+        lefts, fractions = result.node_pdf("all", bin_width=10)
+        assert fractions.sum() == pytest.approx(1.0)
+        lefts, fractions = result.depth_pdf("all", bin_width=2)
+        assert fractions.sum() == pytest.approx(1.0)
+
+    def test_format(self):
+        text = fig6.format_result(fig6.run(ExperimentScale(trees=4, tasks=600),
+                                           MICRO_PARAMS))
+        assert "Figure 6" in text
+
+
+class TestFig7:
+    def test_scenarios_and_tracking(self):
+        result = fig7.run(num_tasks=600)
+        assert len(result.scenarios) == 3
+        base, contention, relief = result.scenarios
+        assert base.optimal_before == base.optimal_after
+        assert contention.optimal_after < contention.optimal_before
+        assert relief.optimal_after > relief.optimal_before
+        # The protocol must track each new optimum within a few percent.
+        for scenario in result.scenarios:
+            assert scenario.tracking_error < 0.05
+        # Curves are cumulative.
+        for scenario in result.scenarios:
+            times = [t for t, _n in scenario.curve]
+            counts = [n for _t, n in scenario.curve]
+            assert times == sorted(times)
+            assert counts == sorted(counts)
+
+    def test_format(self):
+        text = fig7.format_result(fig7.run(num_tasks=600))
+        assert "Figure 7" in text and "tracking error" in text

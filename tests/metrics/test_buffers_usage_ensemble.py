@@ -1,0 +1,104 @@
+"""Tests for buffer stats, usage stats, and ensemble aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.metrics import (
+    UsageStats,
+    buffers_at_completions,
+    histogram_pdf,
+    median_or_none,
+    onset_cdf,
+    percentage_reached,
+    reached_within_buffers,
+    summarize,
+    usage_stats,
+)
+from repro.platform import figure1_tree, figure2a_tree
+from repro.protocols import ProtocolConfig, simulate
+
+
+class TestBuffersAt:
+    def test_timeline_lookup(self):
+        result = simulate(figure2a_tree(), ProtocolConfig.non_interruptible(),
+                          300, record_buffer_timeline=True)
+        stats = buffers_at_completions(result, [1, 100, 300, 999])
+        assert stats[1] >= 1
+        assert stats[1] <= stats[100] <= stats[300]
+        assert stats[999] is None  # run was shorter
+
+    def test_requires_recording(self):
+        result = simulate(figure2a_tree(), ProtocolConfig.non_interruptible(), 50)
+        with pytest.raises(ReproError):
+            buffers_at_completions(result, [10])
+
+    def test_invalid_count(self):
+        result = simulate(figure2a_tree(), ProtocolConfig.non_interruptible(),
+                          10, record_buffer_timeline=True)
+        with pytest.raises(ReproError):
+            buffers_at_completions(result, [0])
+
+    def test_reached_within_buffers_predicate(self):
+        assert reached_within_buffers(onset=500, max_buffers=3, budget=3)
+        assert not reached_within_buffers(onset=500, max_buffers=4, budget=3)
+        assert not reached_within_buffers(onset=None, max_buffers=1, budget=3)
+
+
+class TestUsage:
+    def test_usage_stats_figure1(self):
+        result = simulate(figure1_tree(), ProtocolConfig.interruptible(3), 1000)
+        stats = usage_stats(result)
+        assert stats.total_nodes == 8
+        assert stats.total_depth == 2
+        assert 1 <= stats.used_nodes <= 8
+        assert 0 <= stats.used_depth <= 2
+        assert 0 < stats.used_fraction <= 1
+
+    def test_histogram_pdf_sums_to_one(self):
+        lefts, fractions = histogram_pdf([1, 1, 2, 5, 5, 5], bin_width=1)
+        assert fractions.sum() == pytest.approx(1.0)
+        assert fractions[1] == pytest.approx(2 / 6)  # value 1
+        assert fractions[5] == pytest.approx(3 / 6)  # value 5
+
+    def test_histogram_pdf_binning(self):
+        lefts, fractions = histogram_pdf([0, 9, 10, 19, 20], bin_width=10)
+        assert lefts[0] == 0 and lefts[1] == 10
+        assert fractions[0] == pytest.approx(2 / 5)
+
+    def test_histogram_pdf_empty(self):
+        lefts, fractions = histogram_pdf([])
+        assert lefts.size == 0 and fractions.size == 0
+
+    def test_histogram_pdf_invalid_bin(self):
+        with pytest.raises(ReproError):
+            histogram_pdf([1], bin_width=0)
+
+
+class TestEnsemble:
+    def test_onset_cdf(self):
+        onsets = [100, 200, None, 400]
+        cdf = onset_cdf(onsets, [50, 100, 250, 1000])
+        assert np.allclose(cdf, [0, 0.25, 0.5, 0.75])  # None never counts
+
+    def test_onset_cdf_empty_raises(self):
+        with pytest.raises(ReproError):
+            onset_cdf([], [1])
+
+    def test_percentage_reached(self):
+        assert percentage_reached([1, None, 3, None]) == 50.0
+        assert percentage_reached([None]) == 0.0
+        with pytest.raises(ReproError):
+            percentage_reached([])
+
+    def test_median_or_none(self):
+        assert median_or_none([5, None, 1, 3]) == 3
+        assert median_or_none([None, None]) is None
+
+    def test_summarize(self):
+        stats = summarize([1.0, 2.0, 3.0, 10.0])
+        assert stats["mean"] == 4.0
+        assert stats["median"] == 2.5
+        assert stats["min"] == 1.0 and stats["max"] == 10.0
+        with pytest.raises(ReproError):
+            summarize([])

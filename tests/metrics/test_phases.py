@@ -1,0 +1,72 @@
+"""Tests for startup / steady / wind-down phase analysis."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.metrics import phase_breakdown
+from repro.platform import PlatformTree, figure1_tree, figure2a_tree
+from repro.protocols import ProtocolConfig, simulate
+from repro.steady_state import solve_tree
+
+IC3 = ProtocolConfig.interruptible(3)
+
+
+class TestBreakdownStructure:
+    def test_phases_partition_the_makespan(self):
+        tree = figure1_tree()
+        result = simulate(tree, IC3, 1500)
+        phases = phase_breakdown(result, solve_tree(tree).rate)
+        assert phases.reached_steady_state
+        assert phases.startup + phases.steady + phases.wind_down == \
+            phases.makespan
+        assert phases.startup > 0
+        assert phases.steady > 0
+        assert phases.wind_down >= 0
+        assert 0 < phases.startup_fraction < 1
+
+    def test_never_reached_gives_none_phases(self):
+        tree = figure2a_tree()
+        cfg = ProtocolConfig.non_interruptible(1, buffer_growth=False)
+        result = simulate(tree, cfg, 1200)
+        phases = phase_breakdown(result, solve_tree(tree).rate)
+        assert not phases.reached_steady_state
+        assert phases.startup is None and phases.steady is None
+        assert phases.startup_fraction is None
+        assert phases.wind_down >= 0
+
+    def test_empty_run_rejected(self):
+        result = simulate(figure1_tree(), IC3, 0)
+        with pytest.raises(ReproError):
+            phase_breakdown(result, 1)
+
+    def test_repository_exhaustion_recorded(self):
+        result = simulate(figure1_tree(), IC3, 500)
+        assert result.repository_exhausted_at is not None
+        assert result.repository_exhausted_at <= result.makespan
+
+
+class TestPaperClaims:
+    @pytest.mark.parametrize("seed", [11, 42])
+    def test_more_buffers_longer_startup(self, seed):
+        """§4.2.1: 'with FB=3 we see longer startup phases' than FB=1 — on
+        the paper's tree distribution (buffers must fill through the whole
+        hierarchy before steady rates emerge)."""
+        from repro.platform import generate_tree
+
+        tree = generate_tree(seed=seed)
+        optimal = solve_tree(tree).rate
+        fb1 = phase_breakdown(simulate(tree, ProtocolConfig.interruptible(1),
+                                       2000), optimal)
+        fb3 = phase_breakdown(simulate(tree, ProtocolConfig.interruptible(3),
+                                       2000), optimal)
+        assert fb1.reached_steady_state and fb3.reached_steady_state
+        assert fb3.startup > fb1.startup
+
+    def test_wind_down_grows_with_slow_straggler(self):
+        slow = PlatformTree.fork(3, [(1, 2), (3, 2000)])
+        fast = PlatformTree.fork(3, [(1, 2), (3, 20)])
+        r_slow = simulate(slow, IC3, 400)
+        r_fast = simulate(fast, IC3, 400)
+        p_slow = phase_breakdown(r_slow, solve_tree(slow).rate)
+        p_fast = phase_breakdown(r_fast, solve_tree(fast).rate)
+        assert p_slow.wind_down > p_fast.wind_down

@@ -1,0 +1,72 @@
+"""Tests for sliding growing-window rates."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.metrics import (
+    normalized_window_rates,
+    num_windows,
+    window_rate,
+    window_rates,
+)
+
+
+class TestWindowRate:
+    def test_paper_definition(self):
+        """rate(x) = (2x - x) / (t_2x - t_x)."""
+        times = [10, 20, 30, 40, 50, 60]
+        assert window_rate(times, 1) == Fraction(1, 10)    # (t2 - t1) = 10
+        assert window_rate(times, 2) == Fraction(2, 20)    # (t4 - t2) = 20
+        assert window_rate(times, 3) == Fraction(3, 30)
+
+    def test_constant_rate_stream(self):
+        times = [5 * i for i in range(1, 41)]
+        for x in range(1, 21):
+            assert window_rate(times, x) == Fraction(1, 5)
+
+    def test_out_of_range(self):
+        with pytest.raises(ReproError):
+            window_rate([1, 2, 3, 4], 3)  # needs t_6
+        with pytest.raises(ReproError):
+            window_rate([1, 2], 0)
+
+    def test_zero_duration_window_saturates(self):
+        times = [7, 7, 7, 7]  # burst: four tasks at one timestep
+        assert window_rate(times, 2) > 10**6
+
+
+class TestWindowRates:
+    def test_matches_exact_computation(self):
+        times = [3, 7, 10, 18, 21, 30, 33, 40]
+        rates = window_rates(times)
+        assert len(rates) == num_windows(len(times)) == 4
+        for x in range(1, 5):
+            assert rates[x - 1] == pytest.approx(float(window_rate(times, x)))
+
+    def test_empty_input(self):
+        assert window_rates([]).size == 0
+        assert window_rates([5]).size == 0  # a single completion has no window
+
+    def test_num_windows(self):
+        assert num_windows(0) == 0
+        assert num_windows(9) == 4
+        assert num_windows(10) == 5
+
+
+class TestNormalized:
+    def test_steady_stream_normalizes_to_one(self):
+        times = [4 * i for i in range(1, 101)]
+        normalized = normalized_window_rates(times, Fraction(1, 4))
+        assert np.allclose(normalized, 1.0)
+
+    def test_below_optimal_stream(self):
+        times = [8 * i for i in range(1, 101)]
+        normalized = normalized_window_rates(times, Fraction(1, 4))
+        assert np.allclose(normalized, 0.5)
+
+    def test_invalid_optimal(self):
+        with pytest.raises(ReproError):
+            normalized_window_rates([1, 2], 0)

@@ -1,0 +1,54 @@
+"""Tests for the paper's example platforms (Figures 1 and 2)."""
+
+import pytest
+
+from repro.platform import figure1_tree, figure2a_tree, figure2b_tree
+
+
+class TestFigure1:
+    def test_shape(self):
+        tree = figure1_tree()
+        assert tree.num_nodes == 8
+        assert tree.root == 0
+        # Three sites: P1/P2 off the root, P3/P4 behind P2, P5..P7 site 3.
+        assert tree.children[0] == [1, 2, 5]
+        assert tree.children[2] == [3, 4]
+        assert tree.children[5] == [6, 7]
+
+    def test_section_423_weights(self):
+        """§4.2.3 pins down c1 = 1 and w1 = 3 for the adaptability study."""
+        tree = figure1_tree()
+        assert tree.c[1] == 1
+        assert tree.w[1] == 3
+
+    def test_fresh_copy_each_call(self):
+        a, b = figure1_tree(), figure1_tree()
+        assert a == b
+        a.set_edge_cost(1, 3)
+        assert figure1_tree().c[1] == 1
+
+
+class TestFigure2a:
+    def test_parameters(self):
+        tree = figure2a_tree()
+        assert tree.num_nodes == 3
+        assert (tree.c[1], tree.w[1]) == (1, 2)   # child B
+        assert (tree.c[2], tree.w[2]) == (5, 8)   # child C
+
+    def test_parent_weight_override(self):
+        assert figure2a_tree(parent_w=7).w[0] == 7
+
+
+class TestFigure2b:
+    def test_parameters(self):
+        tree = figure2b_tree(k=3, x=4)
+        assert (tree.c[1], tree.w[1]) == (1, 4)        # child B: c=1, w=x
+        assert tree.c[2] == 3 * 4 + 1                  # child C: c = k*x + 1
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            figure2b_tree(k=0)
+
+    def test_invalid_x(self):
+        with pytest.raises(ValueError):
+            figure2b_tree(k=2, x=1)

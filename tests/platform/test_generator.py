@@ -1,0 +1,111 @@
+"""Tests for the paper's random tree generator (§4.1)."""
+
+import random
+import statistics
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import PlatformError
+from repro.platform import (
+    PAPER_DEFAULTS,
+    TreeGeneratorParams,
+    generate_ensemble,
+    generate_tree,
+)
+
+
+class TestParams:
+    def test_paper_defaults(self):
+        assert PAPER_DEFAULTS.min_nodes == 10
+        assert PAPER_DEFAULTS.max_nodes == 500
+        assert PAPER_DEFAULTS.min_comm == 1
+        assert PAPER_DEFAULTS.max_comm == 100
+        assert PAPER_DEFAULTS.max_comp == 10_000
+        assert PAPER_DEFAULTS.min_comp == 100
+
+    def test_min_comp_floor(self):
+        assert TreeGeneratorParams(max_comp=50).min_comp == 1
+
+    def test_with_max_comp(self):
+        params = PAPER_DEFAULTS.with_max_comp(500)
+        assert params.max_comp == 500
+        assert params.min_comp == 5
+        assert params.max_nodes == PAPER_DEFAULTS.max_nodes
+
+    def test_invalid_node_range(self):
+        with pytest.raises(PlatformError):
+            TreeGeneratorParams(min_nodes=10, max_nodes=5)
+        with pytest.raises(PlatformError):
+            TreeGeneratorParams(min_nodes=0)
+
+    def test_invalid_comm_range(self):
+        with pytest.raises(PlatformError):
+            TreeGeneratorParams(min_comm=5, max_comm=2)
+        with pytest.raises(PlatformError):
+            TreeGeneratorParams(min_comm=0)
+
+    def test_invalid_comp(self):
+        with pytest.raises(PlatformError):
+            TreeGeneratorParams(max_comp=0)
+
+
+class TestGeneration:
+    def test_deterministic_with_seed(self):
+        assert generate_tree(seed=5) == generate_tree(seed=5)
+
+    def test_different_seeds_differ(self):
+        assert generate_tree(seed=1) != generate_tree(seed=2)
+
+    def test_seed_and_rng_conflict(self):
+        with pytest.raises(PlatformError):
+            generate_tree(seed=1, rng=random.Random(1))
+
+    def test_rng_stream_advances(self):
+        rng = random.Random(0)
+        first = generate_tree(rng=rng)
+        second = generate_tree(rng=rng)
+        assert first != second
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_weights_within_bounds(self, seed):
+        params = TreeGeneratorParams(min_nodes=5, max_nodes=40)
+        tree = generate_tree(params, seed=seed)
+        assert params.min_nodes <= tree.num_nodes <= params.max_nodes
+        for i in range(tree.num_nodes):
+            assert params.min_comp <= tree.w[i] <= params.max_comp
+        for _p, _c, cost in tree.edges():
+            assert params.min_comm <= cost <= params.max_comm
+
+    def test_matches_paper_average_size(self):
+        """Paper: average of 245 nodes with the default parameters."""
+        sizes = [generate_tree(seed=s).num_nodes for s in range(150)]
+        assert 220 <= statistics.mean(sizes) <= 270
+
+    def test_depth_spread(self):
+        """Paper reports depths from 2 to 82; a modest sample should show
+        clearly heterogeneous depths."""
+        depths = [generate_tree(seed=s).max_depth for s in range(60)]
+        assert min(depths) < 12
+        assert max(depths) > 25
+
+
+class TestEnsemble:
+    def test_count_and_determinism(self):
+        trees = list(generate_ensemble(5, base_seed=100))
+        assert len(trees) == 5
+        again = list(generate_ensemble(5, base_seed=100))
+        assert trees == again
+
+    def test_per_tree_seed_isolation(self):
+        """Tree i of an ensemble equals the tree generated with its seed."""
+        trees = list(generate_ensemble(4, base_seed=40))
+        assert trees[2] == generate_tree(seed=42)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(PlatformError):
+            list(generate_ensemble(-1))
+
+    def test_empty_ensemble(self):
+        assert list(generate_ensemble(0)) == []

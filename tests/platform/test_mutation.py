@@ -1,0 +1,93 @@
+"""Tests for dynamic platform mutation schedules."""
+
+import pytest
+
+from repro.errors import PlatformError
+from repro.platform import Mutation, MutationSchedule, figure1_tree
+
+
+class TestMutation:
+    def test_task_triggered(self):
+        m = Mutation(node=1, attribute="c", value=3, after_tasks=200)
+        assert m.after_tasks == 200 and m.at_time is None
+
+    def test_time_triggered(self):
+        m = Mutation(node=1, attribute="w", value=1, at_time=500)
+        assert m.at_time == 500
+
+    def test_exactly_one_trigger_required(self):
+        with pytest.raises(PlatformError):
+            Mutation(node=1, attribute="c", value=3)
+        with pytest.raises(PlatformError):
+            Mutation(node=1, attribute="c", value=3, after_tasks=1, at_time=1)
+
+    def test_invalid_attribute(self):
+        with pytest.raises(PlatformError):
+            Mutation(node=1, attribute="z", value=3, after_tasks=1)
+
+    def test_invalid_value(self):
+        with pytest.raises(PlatformError):
+            Mutation(node=1, attribute="c", value=0, after_tasks=1)
+
+    def test_negative_triggers(self):
+        with pytest.raises(PlatformError):
+            Mutation(node=1, attribute="c", value=3, after_tasks=-1)
+        with pytest.raises(PlatformError):
+            Mutation(node=1, attribute="c", value=3, at_time=-1)
+
+    def test_apply_edge_cost(self):
+        tree = figure1_tree()
+        Mutation(node=1, attribute="c", value=3, after_tasks=200).apply(tree)
+        assert tree.c[1] == 3
+
+    def test_apply_compute_weight(self):
+        tree = figure1_tree()
+        Mutation(node=1, attribute="w", value=1, after_tasks=200).apply(tree)
+        assert tree.w[1] == 1
+
+
+class TestSchedule:
+    def test_split_by_trigger_kind(self):
+        sched = MutationSchedule([
+            Mutation(node=1, attribute="c", value=3, at_time=100),
+            Mutation(node=1, attribute="w", value=1, after_tasks=200),
+            Mutation(node=2, attribute="w", value=2, after_tasks=50),
+        ])
+        assert [m.after_tasks for m in sched.task_triggered()] == [50, 200]
+        assert [m.at_time for m in sched.time_triggered()] == [100]
+
+    def test_validate_unknown_node(self):
+        sched = MutationSchedule([
+            Mutation(node=99, attribute="w", value=1, after_tasks=1)])
+        with pytest.raises(PlatformError):
+            sched.validate(figure1_tree())
+
+    def test_validate_root_edge(self):
+        sched = MutationSchedule([
+            Mutation(node=0, attribute="c", value=1, after_tasks=1)])
+        with pytest.raises(PlatformError):
+            sched.validate(figure1_tree())
+
+    def test_validate_ok(self):
+        MutationSchedule([
+            Mutation(node=1, attribute="c", value=3, after_tasks=200)
+        ]).validate(figure1_tree())
+
+    def test_phases(self):
+        tree = figure1_tree()
+        sched = MutationSchedule([
+            Mutation(node=1, attribute="c", value=3, after_tasks=200)])
+        phases = sched.phases(tree)
+        assert len(phases) == 2
+        trigger0, tree0 = phases[0]
+        trigger1, tree1 = phases[1]
+        assert trigger0 is None and tree0 == tree
+        assert trigger1 == 200 and tree1.c[1] == 3
+        assert tree.c[1] == 1  # original untouched
+
+    def test_dunder_protocol(self):
+        m = Mutation(node=1, attribute="c", value=3, after_tasks=1)
+        sched = MutationSchedule([m])
+        assert list(sched) == [m]
+        assert len(sched) == 1 and bool(sched)
+        assert not MutationSchedule()

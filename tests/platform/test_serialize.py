@@ -1,0 +1,78 @@
+"""Tests for JSON/DOT serialization."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import PlatformError
+from repro.platform import (
+    PlatformTree,
+    TreeGeneratorParams,
+    figure1_tree,
+    from_dict,
+    from_json,
+    generate_tree,
+    to_dict,
+    to_dot,
+    to_json,
+)
+
+
+class TestJsonRoundTrip:
+    def test_figure1_round_trip(self):
+        tree = figure1_tree()
+        assert from_json(to_json(tree)) == tree
+
+    def test_indent_is_cosmetic(self):
+        tree = figure1_tree()
+        assert from_json(to_json(tree, indent=2)) == tree
+
+    @given(seed=st.integers(0, 1000))
+    @settings(max_examples=15, deadline=None)
+    def test_random_tree_round_trip(self, seed):
+        tree = generate_tree(TreeGeneratorParams(min_nodes=3, max_nodes=30),
+                             seed=seed)
+        assert from_dict(to_dict(tree)) == tree
+
+    def test_non_zero_root_round_trip(self):
+        tree = PlatformTree([1, 2, 3], [(1, 0, 4), (1, 2, 5)], root=1)
+        assert from_json(to_json(tree)) == tree
+
+    def test_dict_schema(self):
+        data = to_dict(PlatformTree([4, 2], [(0, 1, 7)]))
+        assert data == {
+            "root": 0,
+            "nodes": [{"id": 0, "w": 4}, {"id": 1, "w": 2}],
+            "edges": [{"parent": 0, "child": 1, "c": 7}],
+        }
+
+
+class TestMalformedInput:
+    def test_invalid_json_text(self):
+        with pytest.raises(PlatformError):
+            from_json("{not json")
+
+    def test_missing_keys(self):
+        with pytest.raises(PlatformError):
+            from_dict({"root": 0})
+
+    def test_non_contiguous_ids(self):
+        with pytest.raises(PlatformError):
+            from_dict({"root": 0, "nodes": [{"id": 0, "w": 1}, {"id": 5, "w": 1}],
+                       "edges": []})
+
+    def test_structural_errors_still_raise(self):
+        with pytest.raises(PlatformError):
+            from_dict({"root": 0, "nodes": [{"id": 0, "w": 1}, {"id": 1, "w": 1}],
+                       "edges": []})  # missing edge
+
+
+class TestDot:
+    def test_dot_contains_nodes_and_edges(self):
+        dot = to_dot(figure1_tree())
+        assert dot.startswith("digraph platform {")
+        assert 'n0 [label="P0\\nw=4" shape=doublecircle]' in dot
+        assert 'n0 -> n1 [label="1"]' in dot
+        assert dot.rstrip().endswith("}")
+
+    def test_dot_custom_name(self):
+        assert to_dot(figure1_tree(), name="grid").startswith("digraph grid {")

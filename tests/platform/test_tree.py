@@ -1,0 +1,182 @@
+"""Tests for the PlatformTree model."""
+
+import pytest
+
+from repro.errors import PlatformError
+from repro.platform import PlatformTree
+
+
+@pytest.fixture
+def small_tree():
+    #      0 (w=4)
+    #    1/   \3
+    #  1(w=2)  2(w=6)
+    #           \5
+    #            3(w=8)
+    return PlatformTree([4, 2, 6, 8], [(0, 1, 1), (0, 2, 3), (2, 3, 5)])
+
+
+class TestConstruction:
+    def test_basic_shape(self, small_tree):
+        assert small_tree.num_nodes == 4
+        assert small_tree.root == 0
+        assert small_tree.parent == [None, 0, 0, 2]
+        assert small_tree.children[0] == [1, 2]
+        assert small_tree.c == [0, 1, 3, 5]
+
+    def test_empty_tree_rejected(self):
+        with pytest.raises(PlatformError):
+            PlatformTree([], [])
+
+    def test_root_out_of_range(self):
+        with pytest.raises(PlatformError):
+            PlatformTree([1, 1], [(0, 1, 1)], root=5)
+
+    def test_nonpositive_weight_rejected(self):
+        with pytest.raises(PlatformError):
+            PlatformTree([0], [])
+        with pytest.raises(PlatformError):
+            PlatformTree([1, -2], [(0, 1, 1)])
+
+    def test_nonpositive_edge_cost_rejected(self):
+        with pytest.raises(PlatformError):
+            PlatformTree([1, 1], [(0, 1, 0)])
+
+    def test_two_parents_rejected(self):
+        with pytest.raises(PlatformError):
+            PlatformTree([1, 1, 1], [(0, 2, 1), (1, 2, 1)])
+
+    def test_root_with_parent_rejected(self):
+        with pytest.raises(PlatformError):
+            PlatformTree([1, 1], [(1, 0, 1)])
+
+    def test_wrong_edge_count_rejected(self):
+        with pytest.raises(PlatformError):
+            PlatformTree([1, 1, 1], [(0, 1, 1)])
+
+    def test_unknown_node_in_edge_rejected(self):
+        with pytest.raises(PlatformError):
+            PlatformTree([1, 1], [(0, 7, 1)])
+
+    def test_disconnected_cycle_rejected(self):
+        # 0 isolated; 1→2→1 impossible by single-parent rule, so use a
+        # subtree not hanging off the root: 1→2, 2→... cannot form n-1 edges
+        # while keeping single parents without disconnecting from root.
+        with pytest.raises(PlatformError):
+            PlatformTree([1, 1, 1, 1], [(1, 2, 1), (2, 3, 1), (3, 1, 1)])
+
+    def test_single_node_factory(self):
+        tree = PlatformTree.single_node(7)
+        assert tree.num_nodes == 1
+        assert tree.leaves == [0]
+
+    def test_fork_factory(self):
+        tree = PlatformTree.fork(2, [(1, 4), (5, 8)])
+        assert tree.num_nodes == 3
+        assert tree.c == [0, 1, 5]
+        assert tree.w == [2, 4, 8]
+
+    def test_chain_factory(self):
+        tree = PlatformTree.linear_chain([1, 2, 3], [10, 20])
+        assert tree.parent == [None, 0, 1]
+        assert tree.c == [0, 10, 20]
+
+    def test_chain_factory_wrong_costs(self):
+        with pytest.raises(PlatformError):
+            PlatformTree.linear_chain([1, 2, 3], [10])
+
+    def test_non_zero_root(self):
+        tree = PlatformTree([1, 2], [(1, 0, 3)], root=1)
+        assert tree.parent == [1, None]
+        assert list(tree.bfs_order()) == [1, 0]
+
+
+class TestQueries:
+    def test_depths(self, small_tree):
+        assert [small_tree.depth(i) for i in range(4)] == [0, 1, 1, 2]
+        assert small_tree.max_depth == 2
+
+    def test_leaves(self, small_tree):
+        assert small_tree.leaves == [1, 3]
+
+    def test_bfs_order(self, small_tree):
+        assert list(small_tree.bfs_order()) == [0, 1, 2, 3]
+
+    def test_postorder_children_before_parents(self, small_tree):
+        order = list(small_tree.postorder())
+        position = {nid: i for i, nid in enumerate(order)}
+        for parent, child, _c in small_tree.edges():
+            assert position[child] < position[parent]
+
+    def test_subtree_ids(self, small_tree):
+        assert sorted(small_tree.subtree_ids(2)) == [2, 3]
+        assert sorted(small_tree.subtree_ids(0)) == [0, 1, 2, 3]
+
+    def test_path_to_root(self, small_tree):
+        assert small_tree.path_to_root(3) == [3, 2, 0]
+        assert small_tree.path_to_root(0) == [0]
+
+    def test_edges_iteration(self, small_tree):
+        assert list(small_tree.edges()) == [(0, 1, 1), (0, 2, 3), (2, 3, 5)]
+
+    def test_len(self, small_tree):
+        assert len(small_tree) == 4
+
+    def test_node_view(self, small_tree):
+        node = small_tree.node(3)
+        assert node.w == 8 and node.c == 5
+        assert node.parent.id == 2
+        assert node.is_leaf and not node.is_root
+        assert node.depth == 2
+        root = small_tree.node(0)
+        assert root.is_root and root.parent is None
+        assert [ch.id for ch in root.children] == [1, 2]
+
+    def test_node_view_out_of_range(self, small_tree):
+        with pytest.raises(PlatformError):
+            small_tree.node(99)
+
+    def test_nodes_iterator(self, small_tree):
+        assert [n.id for n in small_tree.nodes()] == [0, 1, 2, 3]
+
+
+class TestMutation:
+    def test_set_edge_cost(self, small_tree):
+        small_tree.set_edge_cost(1, 9)
+        assert small_tree.c[1] == 9
+
+    def test_set_edge_cost_on_root_rejected(self, small_tree):
+        with pytest.raises(PlatformError):
+            small_tree.set_edge_cost(0, 9)
+
+    def test_set_edge_cost_nonpositive_rejected(self, small_tree):
+        with pytest.raises(PlatformError):
+            small_tree.set_edge_cost(1, 0)
+
+    def test_set_compute_weight(self, small_tree):
+        small_tree.set_compute_weight(2, 11)
+        assert small_tree.w[2] == 11
+
+    def test_set_compute_weight_invalid(self, small_tree):
+        with pytest.raises(PlatformError):
+            small_tree.set_compute_weight(2, 0)
+        with pytest.raises(PlatformError):
+            small_tree.set_compute_weight(42, 1)
+
+    def test_copy_is_independent(self, small_tree):
+        clone = small_tree.copy()
+        clone.set_edge_cost(1, 50)
+        clone.set_compute_weight(0, 99)
+        assert small_tree.c[1] == 1
+        assert small_tree.w[0] == 4
+        assert clone == clone.copy()
+
+    def test_equality_and_hash(self, small_tree):
+        clone = small_tree.copy()
+        assert clone == small_tree
+        assert hash(clone) == hash(small_tree)
+        clone.set_edge_cost(1, 2)
+        assert clone != small_tree
+
+    def test_equality_other_type(self, small_tree):
+        assert small_tree.__eq__("nope") is NotImplemented

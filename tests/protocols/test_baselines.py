@@ -1,0 +1,77 @@
+"""Ablation tests: bandwidth-centric priorities vs FIFO / compute-centric."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.platform import PlatformTree
+from repro.protocols import PriorityRule, ProtocolConfig, simulate
+from repro.steady_state import solve_tree
+
+#: A platform where the rules disagree hard: child A has the cheap edge but
+#: a slow CPU, child B has a fast CPU behind an expensive edge.  The root
+#: computes essentially nothing.  Optimal: saturate A (share 2/2 = 1).
+CONTRAST = PlatformTree.fork(10**9, [(2, 2), (3, 1)])
+
+
+def steady_rate(result, fraction=3):
+    times = result.completion_times
+    x = len(times) // fraction
+    return Fraction(x, times[2 * x - 1] - times[x - 1])
+
+
+class TestComputeCentric:
+    def test_bandwidth_centric_beats_compute_centric(self):
+        optimal = solve_tree(CONTRAST).rate
+        bw = simulate(CONTRAST, ProtocolConfig.non_interruptible(
+            3, buffer_growth=False), 2000)
+        cc = simulate(CONTRAST, ProtocolConfig.non_interruptible(
+            3, buffer_growth=False,
+            priority_rule=PriorityRule.COMPUTE_CENTRIC), 2000)
+        bw_norm = steady_rate(bw) / optimal
+        cc_norm = steady_rate(cc) / optimal
+        assert bw_norm > Fraction(99, 100)
+        # Compute-centric funnels tasks to B at one per c=3 → rate 1/3
+        # instead of 1/2: at best ~2/3 of optimal.
+        assert cc_norm < Fraction(3, 4)
+
+    def test_compute_centric_prefers_fast_cpu(self):
+        cc = simulate(CONTRAST, ProtocolConfig.non_interruptible(
+            3, buffer_growth=False,
+            priority_rule=PriorityRule.COMPUTE_CENTRIC), 500)
+        assert cc.per_node_computed[2] > cc.per_node_computed[1]
+
+    def test_bandwidth_centric_prefers_cheap_edge(self):
+        bw = simulate(CONTRAST, ProtocolConfig.non_interruptible(
+            3, buffer_growth=False), 500)
+        assert bw.per_node_computed[1] > bw.per_node_computed[2]
+
+
+class TestFifo:
+    def test_fifo_conserves_tasks(self):
+        cfg = ProtocolConfig.non_interruptible(
+            2, buffer_growth=False, priority_rule=PriorityRule.FIFO)
+        result = simulate(CONTRAST, cfg, 600)
+        assert sum(result.per_node_computed) == 600
+
+    def test_fifo_splits_by_demand_not_priority(self):
+        """FIFO serves requests in arrival order, so the slow-edge child
+        still gets a large share — unlike bandwidth-centric."""
+        cfg = ProtocolConfig.non_interruptible(
+            2, buffer_growth=False, priority_rule=PriorityRule.FIFO)
+        result = simulate(CONTRAST, cfg, 600)
+        assert result.per_node_computed[2] > 100
+
+    def test_fifo_at_most_bandwidth_centric(self):
+        optimal = solve_tree(CONTRAST).rate
+        cfg = ProtocolConfig.non_interruptible(
+            2, buffer_growth=False, priority_rule=PriorityRule.FIFO)
+        result = simulate(CONTRAST, cfg, 2000)
+        assert steady_rate(result) <= optimal
+
+    def test_fifo_deterministic(self):
+        cfg = ProtocolConfig.non_interruptible(
+            2, buffer_growth=False, priority_rule=PriorityRule.FIFO)
+        a = simulate(CONTRAST, cfg, 400)
+        b = simulate(CONTRAST, cfg, 400)
+        assert a.completion_times == b.completion_times

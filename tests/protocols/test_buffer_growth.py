@@ -1,0 +1,81 @@
+"""Tests for buffer-growth semantics: damping, held high-water, literal mode."""
+
+import pytest
+
+from repro.platform import PlatformTree, figure2a_tree, generate_tree
+from repro.platform.generator import TreeGeneratorParams
+from repro.protocols import ProtocolConfig, simulate
+
+GROWING = ProtocolConfig.non_interruptible()
+
+
+class TestHeldHighWater:
+    def test_held_never_exceeds_pool(self):
+        result = simulate(figure2a_tree(), GROWING, 400)
+        for held, pool in zip(result.per_node_max_held,
+                              result.per_node_max_buffers):
+            assert held <= pool
+
+    def test_root_holds_nothing(self):
+        """The repository is not buffered: the root's held count stays 0."""
+        result = simulate(figure2a_tree(), GROWING, 200)
+        assert result.per_node_max_held[0] == 0
+
+    def test_fed_child_holds_at_least_one(self):
+        result = simulate(figure2a_tree(), GROWING, 200)
+        assert result.per_node_max_held[1] >= 1
+
+    def test_max_held_property(self):
+        result = simulate(figure2a_tree(), GROWING, 200)
+        assert result.max_held == max(result.per_node_max_held)
+
+    def test_fixed_ic_held_bounded_by_fb(self):
+        result = simulate(figure2a_tree(), ProtocolConfig.interruptible(3), 400)
+        assert result.max_held <= 3
+
+    def test_held_timeline_recorded(self):
+        result = simulate(figure2a_tree(), GROWING, 200,
+                          record_buffer_timeline=True)
+        timeline = result.held_high_water_at_completion
+        assert len(timeline) == 200
+        assert all(a <= b for a, b in zip(timeline, timeline[1:]))
+        assert timeline[-1] == result.max_held
+
+
+class TestGrowthDamping:
+    def test_damped_growth_bounded_by_arrivals(self):
+        """With the per-arrival cooldown, a node grows at most once per task
+        it receives (plus its initial buffer)."""
+        tree = generate_tree(
+            TreeGeneratorParams(min_nodes=8, max_nodes=25), seed=5)
+        result = simulate(tree, GROWING, 200)
+        # Arrivals at node i == tasks its subtree consumed.
+        subtree_tasks = [0] * tree.num_nodes
+        for node_id in tree.postorder():
+            subtree_tasks[node_id] = result.per_node_computed[node_id] + sum(
+                subtree_tasks[cid] for cid in tree.children[node_id])
+        for node_id in range(tree.num_nodes):
+            if node_id != tree.root:
+                assert (result.per_node_max_buffers[node_id]
+                        <= subtree_tasks[node_id] + 1)
+
+    def test_literal_mode_grows_more(self):
+        """growth_cooldown=False is the undamped literal reading — it must
+        over-grow relative to the damped default on a forwarding platform."""
+        tree = generate_tree(
+            TreeGeneratorParams(min_nodes=30, max_nodes=60, max_comp=500),
+            seed=3)
+        damped = simulate(tree, GROWING, 500)
+        literal = simulate(
+            tree, ProtocolConfig.non_interruptible(growth_cooldown=False), 500)
+        assert literal.max_buffers > damped.max_buffers
+
+    def test_damping_still_reaches_figure2a_need(self):
+        """Damping must not prevent growing the 3 buffers Figure 2(a) needs."""
+        result = simulate(figure2a_tree(), GROWING, 500)
+        assert result.per_node_max_buffers[1] >= 3
+
+    def test_growth_disabled_never_grows(self):
+        cfg = ProtocolConfig.non_interruptible(2, buffer_growth=False)
+        result = simulate(figure2a_tree(), cfg, 300)
+        assert result.max_buffers == 2

@@ -1,0 +1,59 @@
+"""Tests for protocol configuration."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.protocols import PriorityRule, ProtocolConfig, ProtocolVariant
+
+
+class TestFactories:
+    def test_interruptible_defaults(self):
+        cfg = ProtocolConfig.interruptible()
+        assert cfg.variant is ProtocolVariant.INTERRUPTIBLE
+        assert cfg.initial_buffers == 3
+        assert not cfg.buffer_growth
+        assert cfg.max_buffers is None
+        assert cfg.priority_rule is PriorityRule.BANDWIDTH_CENTRIC
+
+    def test_interruptible_buffers(self):
+        assert ProtocolConfig.interruptible(1).initial_buffers == 1
+
+    def test_non_interruptible_defaults(self):
+        cfg = ProtocolConfig.non_interruptible()
+        assert cfg.variant is ProtocolVariant.NON_INTERRUPTIBLE
+        assert cfg.initial_buffers == 1
+        assert cfg.buffer_growth
+
+    def test_non_interruptible_fixed(self):
+        cfg = ProtocolConfig.non_interruptible(2, buffer_growth=False)
+        assert cfg.initial_buffers == 2 and not cfg.buffer_growth
+
+
+class TestValidation:
+    def test_initial_buffers_at_least_one(self):
+        with pytest.raises(ProtocolError):
+            ProtocolConfig.interruptible(0)
+
+    def test_max_buffers_consistency(self):
+        with pytest.raises(ProtocolError):
+            ProtocolConfig.non_interruptible(5, max_buffers=3)
+        cfg = ProtocolConfig.non_interruptible(1, max_buffers=10)
+        assert cfg.max_buffers == 10
+
+    def test_fifo_cannot_be_interruptible(self):
+        with pytest.raises(ProtocolError):
+            ProtocolConfig.interruptible(3, priority_rule=PriorityRule.FIFO)
+        ProtocolConfig.non_interruptible(priority_rule=PriorityRule.FIFO)
+
+
+class TestLabels:
+    def test_paper_legend_labels(self):
+        assert ProtocolConfig.interruptible(3).label == "IC, FB=3"
+        assert ProtocolConfig.non_interruptible().label == "non-IC, IB=1"
+        assert ProtocolConfig.non_interruptible(
+            2, buffer_growth=False).label == "non-IC, FB=2"
+
+    def test_baseline_labels_flag_the_rule(self):
+        cfg = ProtocolConfig.non_interruptible(
+            priority_rule=PriorityRule.COMPUTE_CENTRIC)
+        assert "compute-centric" in cfg.label

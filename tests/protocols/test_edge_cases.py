@@ -1,0 +1,98 @@
+"""Edge cases: float weights, extreme shapes, deep chains, wide forks."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.platform import PlatformTree
+from repro.protocols import ProtocolConfig, simulate
+from repro.steady_state import solve_tree
+
+IC3 = ProtocolConfig.interruptible(3)
+
+
+class TestFloatWeights:
+    """Integer timesteps are the default, but nothing in the engine or the
+    solver requires them; sub-unit float weights must work end to end."""
+
+    def test_float_chain(self):
+        tree = PlatformTree.linear_chain([0.5, 0.25], [0.125])
+        result = simulate(tree, IC3, 400)
+        assert len(result.completion_times) == 400
+        assert result.makespan == pytest.approx(
+            result.completion_times[-1])
+
+    def test_float_rate_matches_solver(self):
+        tree = PlatformTree.fork(2.5, [(0.5, 1.25), (1.5, 3.75)])
+        optimal = float(solve_tree(tree).rate)
+        result = simulate(tree, IC3, 3000)
+        times = result.completion_times
+        x = 1000
+        rate = x / (times[2 * x - 1] - times[x - 1])
+        assert rate == pytest.approx(optimal, rel=0.02)
+
+    def test_mixed_int_float(self):
+        tree = PlatformTree([3, 1.5], [(0, 1, 2)])
+        result = simulate(tree, IC3, 100)
+        assert sum(result.per_node_computed) == 100
+
+
+class TestExtremeShapes:
+    def test_deep_chain_does_not_blow_recursion(self):
+        """Synchronous request cascades climb the whole ancestry; a
+        600-node chain exceeds Python's default 1000-frame limit several
+        times over and must still run (the engine raises the limit)."""
+        n = 600
+        tree = PlatformTree.linear_chain([5] * n, [1] * (n - 1))
+        result = simulate(tree, IC3, 300)
+        assert sum(result.per_node_computed) == 300
+
+    def test_star_with_many_children(self):
+        n = 400
+        tree = PlatformTree([10**6] + [7] * (n - 1),
+                            [(0, i, 1 + (i % 5)) for i in range(1, n)])
+        result = simulate(tree, IC3, 500)
+        assert sum(result.per_node_computed) == 500
+        # Bandwidth-centric: the c=1 children do (almost) all the work.
+        cheap = [i for i in range(1, n) if tree.c[i] == 1]
+        cheap_work = sum(result.per_node_computed[i] for i in cheap)
+        assert cheap_work > 400
+
+    def test_single_task(self):
+        result = simulate(PlatformTree.linear_chain([5, 1], [1]), IC3, 1)
+        assert sum(result.per_node_computed) == 1
+
+    def test_tasks_fewer_than_nodes(self):
+        tree = PlatformTree([4] + [2] * 6, [(0, i, 1) for i in range(1, 7)])
+        result = simulate(tree, IC3, 3)
+        assert sum(result.per_node_computed) == 3
+
+    def test_identical_edge_costs_tie_break_by_id(self):
+        """Equal c: the lower-id child is served first (deterministic)."""
+        tree = PlatformTree.fork(10**6, [(3, 5), (3, 5)])
+        result = simulate(tree, ProtocolConfig.interruptible(1), 2)
+        # Both tasks go through node 1 first (one computed each eventually,
+        # but the first dispatch targets node 1).
+        assert result.per_node_computed[1] >= result.per_node_computed[2]
+
+    def test_huge_weight_disparity(self):
+        tree = PlatformTree.fork(10**9, [(1, 1), (10**6, 10**6)])
+        result = simulate(tree, IC3, 50)
+        assert result.per_node_computed[1] >= 48
+
+
+class TestWindDown:
+    def test_last_tasks_at_slow_nodes_still_complete(self):
+        # Root computes nothing useful; slow child holds stragglers.
+        tree = PlatformTree.fork(10**9, [(1, 3), (2, 10**4)])
+        result = simulate(tree, IC3, 60)
+        assert sum(result.per_node_computed) == 60
+        assert result.makespan >= 10**4  # the straggler really ran
+
+    def test_makespan_includes_root_cpu(self):
+        """The root's own (slow) CPU takes a task at t=0 and holds the
+        makespan — the wind-down semantics the model implies."""
+        tree = PlatformTree.linear_chain([10**6, 1], [1])
+        result = simulate(tree, IC3, 10)
+        assert result.makespan == 10**6
+        assert result.per_node_computed[0] == 1

@@ -1,0 +1,85 @@
+"""Run-time invariant checks on agent state, verified after every event.
+
+The buffer ledger of §3 must balance at all times:
+``buffers_total == tasks_held + requested + incoming`` for every non-root
+node, and a parent's aggregate request counter must equal the sum of its
+children's outstanding requests.  We attach a kernel trace hook and verify
+after every processed calendar entry.
+"""
+
+import pytest
+
+from repro.platform import figure1_tree, figure2a_tree
+from repro.platform.generator import TreeGeneratorParams, generate_tree
+from repro.protocols import ProtocolConfig, ProtocolEngine
+
+
+class InvariantChecker:
+    def __init__(self, engine):
+        self.engine = engine
+        self.checks = 0
+
+    def __call__(self, time, item):
+        for node in self.engine.nodes:
+            if not node.is_root:
+                ledger = node.tasks_held + node.requested + node.incoming
+                assert node.buffers_total == ledger, (
+                    f"node {node.id} at t={time}: buffers={node.buffers_total} "
+                    f"held={node.tasks_held} requested={node.requested} "
+                    f"incoming={node.incoming}")
+                assert node.undispensed == 0
+            assert node.tasks_held >= 0
+            assert node.incoming >= 0
+            assert node.child_requests == sum(
+                ch.requested for ch in node.children)
+            if node.current_transfer is not None:
+                assert node.current_transfer.remaining > 0
+            for child_id in node.shelf:
+                assert node.shelf[child_id].remaining > 0
+        self.checks += 1
+
+
+def run_checked(tree, config, num_tasks):
+    engine = ProtocolEngine(tree, config, num_tasks)
+    checker = InvariantChecker(engine)
+    engine.env.trace_hook = checker
+    result = engine.run()
+    assert checker.checks > 0
+    return result
+
+
+CONFIGS = [
+    ProtocolConfig.interruptible(1),
+    ProtocolConfig.interruptible(3),
+    ProtocolConfig.non_interruptible(),
+    ProtocolConfig.non_interruptible(2, buffer_growth=False),
+]
+
+
+@pytest.mark.parametrize("config", CONFIGS, ids=lambda c: c.label)
+class TestInvariants:
+    def test_figure1(self, config):
+        run_checked(figure1_tree(), config, 300)
+
+    def test_figure2a(self, config):
+        run_checked(figure2a_tree(parent_w=20), config, 300)
+
+    def test_random_trees(self, config):
+        params = TreeGeneratorParams(min_nodes=5, max_nodes=30,
+                                     max_comm=10, max_comp=50)
+        for seed in (1, 2, 3):
+            run_checked(generate_tree(params, seed=seed), config, 150)
+
+
+class TestFinalState:
+    @pytest.mark.parametrize("config", CONFIGS, ids=lambda c: c.label)
+    def test_everything_quiescent_at_end(self, config):
+        engine = ProtocolEngine(figure1_tree(), config, 200)
+        engine.run()
+        for node in engine.nodes:
+            assert node.tasks_held == 0
+            assert node.incoming == 0
+            assert not node.cpu_busy
+            assert node.current_transfer is None
+            assert not node.shelf
+            assert node.undispensed == 0

@@ -1,0 +1,94 @@
+"""Tests for dynamic platform changes during a run (§4.2.3 adaptability)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.platform import Mutation, MutationSchedule, figure1_tree
+from repro.protocols import ProtocolConfig, simulate
+from repro.steady_state import solve_tree
+
+NONIC_FB2 = ProtocolConfig.non_interruptible(2, buffer_growth=False)
+
+
+def tail_rate(result, skip):
+    """Exact rate over completions after the first ``skip``."""
+    times = result.completion_times
+    count = len(times) - skip
+    return Fraction(count, times[-1] - times[skip - 1])
+
+
+class TestTaskTriggered:
+    def test_result_tree_reflects_mutation(self):
+        sched = MutationSchedule([
+            Mutation(node=1, attribute="c", value=3, after_tasks=200)])
+        result = simulate(figure1_tree(), NONIC_FB2, 1000, mutations=sched)
+        assert result.tree.c[1] == 3
+
+    def test_contention_slows_throughput(self):
+        """Paper Fig. 7: raising c1 from 1 to 3 after 200 tasks lowers the
+        achieved rate to approximately the new optimum."""
+        mutated_tree = figure1_tree()
+        mutated_tree.set_edge_cost(1, 3)
+        new_optimal = solve_tree(mutated_tree).rate
+
+        sched = MutationSchedule([
+            Mutation(node=1, attribute="c", value=3, after_tasks=200)])
+        result = simulate(figure1_tree(), NONIC_FB2, 1000, mutations=sched)
+        rate = tail_rate(result, skip=400)  # well past the change
+        assert abs(rate - new_optimal) / new_optimal < Fraction(3, 100)
+
+    def test_relief_speeds_throughput(self):
+        """Paper Fig. 7: dropping w1 from 3 to 1 raises the rate."""
+        mutated_tree = figure1_tree()
+        mutated_tree.set_compute_weight(1, 1)
+        new_optimal = solve_tree(mutated_tree).rate
+        base_optimal = solve_tree(figure1_tree()).rate
+        assert new_optimal > base_optimal
+
+        sched = MutationSchedule([
+            Mutation(node=1, attribute="w", value=1, after_tasks=200)])
+        result = simulate(figure1_tree(), NONIC_FB2, 1000, mutations=sched)
+        rate = tail_rate(result, skip=400)
+        assert rate > base_optimal  # clearly faster than the old optimum
+        assert abs(rate - new_optimal) / new_optimal < Fraction(3, 100)
+
+    def test_multiple_mutations_apply_in_order(self):
+        sched = MutationSchedule([
+            Mutation(node=1, attribute="c", value=3, after_tasks=100),
+            Mutation(node=1, attribute="c", value=2, after_tasks=300),
+        ])
+        result = simulate(figure1_tree(), NONIC_FB2, 600, mutations=sched)
+        assert result.tree.c[1] == 2
+
+    def test_ic_adapts_too(self):
+        sched = MutationSchedule([
+            Mutation(node=1, attribute="c", value=3, after_tasks=200)])
+        mutated_tree = figure1_tree()
+        mutated_tree.set_edge_cost(1, 3)
+        new_optimal = solve_tree(mutated_tree).rate
+        result = simulate(figure1_tree(), ProtocolConfig.interruptible(3),
+                          1000, mutations=sched)
+        rate = tail_rate(result, skip=400)
+        assert abs(rate - new_optimal) / new_optimal < Fraction(3, 100)
+
+
+class TestTimeTriggered:
+    def test_applied_at_virtual_time(self):
+        sched = MutationSchedule([
+            Mutation(node=1, attribute="w", value=9, at_time=50)])
+        result = simulate(figure1_tree(), NONIC_FB2, 400, mutations=sched)
+        assert result.tree.w[1] == 9
+
+    def test_priorities_reorder_after_c_change(self):
+        """Making P1's edge the most expensive must redirect tasks to other
+        children (P1 was the root's favourite before)."""
+        sched = MutationSchedule([
+            Mutation(node=1, attribute="c", value=50, after_tasks=100)])
+        base = simulate(figure1_tree(), NONIC_FB2, 1000)
+        changed = simulate(figure1_tree(), NONIC_FB2, 1000, mutations=sched)
+        assert changed.per_node_computed[1] < base.per_node_computed[1]
+        # The freed bandwidth flows to site 3 (P5's subtree).
+        site3_base = sum(base.per_node_computed[i] for i in (5, 6, 7))
+        site3_changed = sum(changed.per_node_computed[i] for i in (5, 6, 7))
+        assert site3_changed > site3_base

@@ -1,0 +1,71 @@
+"""Performance contracts: the engine must stay fast enough for ensembles.
+
+Not micro-benchmarks (those live in ``benchmarks/``) but hard ceilings on
+algorithmic behaviour — event counts and memory shape — that would
+silently blow up ensemble experiments if a change made them quadratic.
+"""
+
+import pytest
+
+from repro.platform import PlatformTree, generate_tree
+from repro.protocols import ProtocolConfig, simulate
+
+IC3 = ProtocolConfig.interruptible(3)
+
+
+class TestEventComplexity:
+    def test_events_linear_in_tasks(self):
+        """Calendar entries per task must be bounded (no re-queueing storms)."""
+        tree = generate_tree(seed=3)
+        small = simulate(tree, IC3, 500)
+        large = simulate(tree, IC3, 2000)
+        per_task_small = small.events_processed / 500
+        per_task_large = large.events_processed / 2000
+        # Amortized entries per task must not grow with the task count.
+        assert per_task_large <= per_task_small * 1.5 + 2
+        # And stay modest in absolute terms (compute + a few transfer hops).
+        assert per_task_large < 60
+
+    def test_events_bounded_on_star(self):
+        """A 300-child star must not devolve into per-request rescans that
+        multiply events: entries stay linear in tasks."""
+        n = 300
+        tree = PlatformTree([10**6] + [5] * (n - 1),
+                            [(0, i, 1 + i % 7) for i in range(1, n)])
+        result = simulate(tree, IC3, 600)
+        assert result.events_processed < 600 * 30
+
+    def test_preemptions_bounded_per_task(self):
+        """Each delivered task can trigger at most a handful of preemptions
+        (one per strictly-better child appearing mid-transfer)."""
+        tree = generate_tree(seed=11)
+        result = simulate(tree, IC3, 1500)
+        assert result.preemptions < 6 * 1500
+
+
+class TestMemoryShape:
+    def test_result_size_independent_of_makespan(self):
+        """Only per-node arrays and one entry per completion are retained —
+        a long virtual run must not retain per-event state."""
+        tree = PlatformTree.fork(10**6, [(1, 10**4), (2, 10**4)])
+        result = simulate(tree, IC3, 50)  # huge makespan, tiny run
+        assert len(result.completion_times) == 50
+        assert len(result.per_node_computed) == 3
+        assert result.buffer_high_water_at_completion == ()
+
+    def test_ic_shelf_bounded_by_children(self):
+        from repro.protocols import ProtocolEngine
+
+        tree = generate_tree(seed=7)
+        engine = ProtocolEngine(tree, IC3, 400)
+        max_shelf = [0]
+
+        def watch(time, item):
+            for node in engine.nodes:
+                if len(node.shelf) > max_shelf[0]:
+                    max_shelf[0] = len(node.shelf)
+                assert len(node.shelf) <= len(node.children)
+
+        engine.env.trace_hook = watch
+        engine.run()
+        assert max_shelf[0] >= 1  # shelving actually happened

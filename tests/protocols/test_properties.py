@@ -1,0 +1,84 @@
+"""Property-based tests of the protocol engine on random platforms."""
+
+from fractions import Fraction
+
+from hypothesis import given, settings, strategies as st
+
+from repro.platform.generator import TreeGeneratorParams, generate_tree
+from repro.protocols import ProtocolConfig, simulate
+from repro.steady_state import solve_tree
+
+SMALL = TreeGeneratorParams(min_nodes=2, max_nodes=20, max_comm=10, max_comp=60)
+
+config_strategy = st.sampled_from([
+    ProtocolConfig.interruptible(1),
+    ProtocolConfig.interruptible(2),
+    ProtocolConfig.interruptible(3),
+    ProtocolConfig.non_interruptible(),
+    ProtocolConfig.non_interruptible(3, buffer_growth=False),
+])
+
+
+@given(seed=st.integers(0, 10_000), config=config_strategy,
+       num_tasks=st.integers(1, 120))
+@settings(max_examples=60, deadline=None)
+def test_conservation_and_ordering(seed, config, num_tasks):
+    tree = generate_tree(SMALL, seed=seed)
+    result = simulate(tree, config, num_tasks)
+    assert sum(result.per_node_computed) == num_tasks
+    times = result.completion_times
+    assert len(times) == num_tasks
+    assert all(a <= b for a, b in zip(times, times[1:]))
+    assert all(t > 0 for t in times)
+
+
+@given(seed=st.integers(0, 10_000), config=config_strategy)
+@settings(max_examples=40, deadline=None)
+def test_makespan_lower_bound(seed, config):
+    """No protocol can finish N tasks faster than the steady-state optimum
+    allows: makespan >= N * w_tree (up to the very first task's pipeline
+    fill, which only increases the makespan)."""
+    tree = generate_tree(SMALL, seed=seed)
+    num_tasks = 60
+    result = simulate(tree, config, num_tasks)
+    w_tree = solve_tree(tree).w_tree
+    assert result.makespan >= num_tasks * w_tree - w_tree  # first-task slack
+
+
+@given(seed=st.integers(0, 10_000), buffers=st.integers(1, 4))
+@settings(max_examples=30, deadline=None)
+def test_fixed_buffer_configs_never_grow(seed, buffers):
+    """Fixed-buffer protocols must never allocate extra buffers, and only
+    interruptible runs may preempt.  (Note the paper's own caveat: *more*
+    fixed buffers can lengthen startup and wind-down, so makespan is not
+    monotone in the buffer count — we assert the ledger, not speed.)"""
+    tree = generate_tree(SMALL, seed=seed)
+    ic = simulate(tree, ProtocolConfig.interruptible(buffers), 150)
+    assert all(b == buffers for b in ic.per_node_max_buffers)
+    non_ic = simulate(
+        tree, ProtocolConfig.non_interruptible(buffers, buffer_growth=False), 150)
+    assert all(b == buffers for b in non_ic.per_node_max_buffers)
+    assert non_ic.preemptions == 0
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(max_examples=30, deadline=None)
+def test_used_nodes_form_connected_region(seed):
+    """Used nodes + forwarding ancestors reach the root: a task can only be
+    computed where a chain of transfers delivered it."""
+    tree = generate_tree(SMALL, seed=seed)
+    result = simulate(tree, ProtocolConfig.interruptible(3), 100)
+    for node_id in result.used_node_ids:
+        path = tree.path_to_root(node_id)
+        assert path[-1] == tree.root
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(max_examples=30, deadline=None)
+def test_non_ic_buffer_count_bounded_by_tasks(seed):
+    """Growth is event-driven: a node cannot grow more buffers than there
+    were triggering events (completions + transfers)."""
+    tree = generate_tree(SMALL, seed=seed)
+    num_tasks = 80
+    result = simulate(tree, ProtocolConfig.non_interruptible(), num_tasks)
+    assert result.max_buffers <= num_tasks + result.transfers + 1

@@ -1,0 +1,123 @@
+"""Cross-validation of the protocols against the steady-state theory.
+
+The central claims of the paper, checked on exact instances:
+
+* IC with 3 buffers sustains the provably optimal steady-state rate;
+* non-IC with too few fixed buffers falls short on the Figure 2 platforms;
+* the buffer counts at which non-IC recovers match the analytic bounds.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.platform import figure1_tree, figure2a_tree, figure2b_tree
+from repro.platform.generator import TreeGeneratorParams, generate_tree
+from repro.protocols import ProtocolConfig, simulate
+from repro.steady_state import min_buffers_nonic_fork, solve_tree
+
+
+def steady_window_rate(result, fraction=3):
+    """Average rate over the window [N/f, 2N/f] of completions (exact)."""
+    times = result.completion_times
+    x = len(times) // fraction
+    return Fraction(x, times[2 * x - 1] - times[x - 1])
+
+
+def normalized_steady_rate(tree, config, num_tasks=3000):
+    optimal = solve_tree(tree).rate
+    result = simulate(tree, config, num_tasks)
+    return steady_window_rate(result) / optimal
+
+
+class TestHeadlineResult:
+    """IC/FB=3 reaches optimal steady state (the paper's 99.5% claim)."""
+
+    @pytest.mark.parametrize("seed", [3, 11, 42, 100, 7, 23, 55])
+    def test_ic3_reaches_optimal_on_random_trees(self, seed):
+        tree = generate_tree(seed=seed)
+        norm = normalized_steady_rate(tree, ProtocolConfig.interruptible(3),
+                                      num_tasks=3000)
+        assert norm > Fraction(97, 100)
+
+    def test_ic3_reaches_optimal_on_figure1(self):
+        norm = normalized_steady_rate(figure1_tree(),
+                                      ProtocolConfig.interruptible(3))
+        assert norm > Fraction(99, 100)
+
+    def test_steady_rate_never_beats_optimal_by_much(self):
+        """Windowed rates wiggle around optimal but cannot exceed it
+        systematically (here: by more than 2%)."""
+        for seed in (3, 11, 42):
+            tree = generate_tree(seed=seed)
+            norm = normalized_steady_rate(tree, ProtocolConfig.interruptible(3))
+            assert norm < Fraction(102, 100)
+
+
+class TestFigure2a:
+    """One buffer does not suffice under non-IC (paper §3.1, case 1)."""
+
+    def test_one_fixed_buffer_falls_short(self):
+        norm = normalized_steady_rate(
+            figure2a_tree(), ProtocolConfig.non_interruptible(1, buffer_growth=False))
+        assert norm < Fraction(3, 4)
+
+    def test_two_fixed_buffers_still_short(self):
+        norm = normalized_steady_rate(
+            figure2a_tree(), ProtocolConfig.non_interruptible(2, buffer_growth=False))
+        assert norm < Fraction(99, 100)
+
+    def test_three_fixed_buffers_suffice(self):
+        """min_buffers_nonic_fork(5, 2) == 3, and indeed 3 buffers work."""
+        assert min_buffers_nonic_fork(5, 2) == 3
+        norm = normalized_steady_rate(
+            figure2a_tree(), ProtocolConfig.non_interruptible(3, buffer_growth=False))
+        assert norm > Fraction(99, 100)
+
+    def test_ic_needs_only_one_buffer_here(self):
+        """Interruptible sends mean B never waits on C: FB=1 already works."""
+        norm = normalized_steady_rate(
+            figure2a_tree(), ProtocolConfig.interruptible(1))
+        assert norm > Fraction(99, 100)
+
+    def test_buffer_growth_recovers_optimal(self):
+        norm = normalized_steady_rate(
+            figure2a_tree(), ProtocolConfig.non_interruptible(1))
+        assert norm > Fraction(99, 100)
+
+
+class TestFigure2b:
+    """For every k there is a tree needing more than k buffers (§3.1 case 2)."""
+
+    @pytest.mark.parametrize("k", [3, 4, 6])
+    def test_k_buffers_insufficient_k_plus_one_sufficient(self, k):
+        tree = figure2b_tree(k, x=4)
+        with_k = normalized_steady_rate(
+            tree, ProtocolConfig.non_interruptible(k, buffer_growth=False))
+        with_k1 = normalized_steady_rate(
+            tree, ProtocolConfig.non_interruptible(k + 1, buffer_growth=False))
+        assert with_k < Fraction(999, 1000)
+        assert with_k1 > Fraction(999, 1000)
+
+    @pytest.mark.parametrize("k", [3, 6])
+    def test_ic3_handles_any_k(self, k):
+        norm = normalized_steady_rate(figure2b_tree(k, x=4),
+                                      ProtocolConfig.interruptible(3))
+        assert norm > Fraction(999, 1000)
+
+
+class TestFlawedProtocolGuard:
+    """§3.1 case 4: unlimited buffers may over-request and rob siblings; the
+    growth rules must keep the damage bounded enough to still reach optimal
+    on the canonical examples."""
+
+    def test_growth_does_not_prevent_optimal_on_figure1(self):
+        norm = normalized_steady_rate(figure1_tree(),
+                                      ProtocolConfig.non_interruptible())
+        assert norm > Fraction(98, 100)
+
+    def test_growth_overgrows_buffers(self):
+        """The flip side the paper reports (Table 2): rampant growth."""
+        result = simulate(figure2a_tree(), ProtocolConfig.non_interruptible(),
+                          3000)
+        assert result.max_buffers > 50

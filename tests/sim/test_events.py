@@ -1,0 +1,189 @@
+"""Tests for Event lifecycle, Timeout, and condition events."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import AllOf, AnyOf, ConditionValue, Environment
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestEventLifecycle:
+    def test_initial_state(self, env):
+        ev = env.event()
+        assert ev.pending and not ev.triggered and not ev.processed
+
+    def test_succeed_sets_value(self, env):
+        ev = env.event()
+        ev.succeed(5)
+        assert ev.triggered and ev.value == 5
+
+    def test_processed_after_run(self, env):
+        ev = env.event()
+        ev.succeed()
+        env.run()
+        assert ev.processed
+
+    def test_double_succeed_raises(self, env):
+        ev = env.event()
+        ev.succeed()
+        with pytest.raises(SimulationError):
+            ev.succeed()
+
+    def test_succeed_after_fail_raises(self, env):
+        ev = env.event()
+        ev.fail(RuntimeError())
+        ev.defused = True
+        with pytest.raises(SimulationError):
+            ev.succeed()
+
+    def test_value_before_trigger_raises(self, env):
+        with pytest.raises(SimulationError):
+            env.event().value
+
+    def test_fail_requires_exception(self, env):
+        with pytest.raises(TypeError):
+            env.event().fail("not an exception")
+
+    def test_callbacks_receive_event(self, env):
+        ev = env.event()
+        seen = []
+        ev.add_callback(seen.append)
+        ev.succeed("v")
+        env.run()
+        assert seen == [ev]
+
+    def test_callback_on_processed_event_raises(self, env):
+        ev = env.event()
+        ev.succeed()
+        env.run()
+        with pytest.raises(SimulationError):
+            ev.add_callback(lambda e: None)
+
+    def test_unhandled_failure_propagates_from_run(self, env):
+        ev = env.event()
+        ev.fail(ValueError("lost"))
+        with pytest.raises(ValueError, match="lost"):
+            env.run()
+
+    def test_defused_failure_does_not_propagate(self, env):
+        ev = env.event()
+        ev.fail(ValueError("ok"))
+        ev.defused = True
+        env.run()  # must not raise
+
+    def test_trigger_copies_success(self, env):
+        src, dst = env.event(), env.event()
+        src.succeed(11)
+        dst.trigger(src)
+        assert dst.value == 11
+
+    def test_trigger_copies_failure(self, env):
+        src, dst = env.event(), env.event()
+        exc = RuntimeError("x")
+        src.fail(exc)
+        src.defused = True
+        dst.trigger(src)
+        dst.defused = True
+        assert dst.failed and dst.value is exc
+        env.run()
+
+
+class TestTimeout:
+    def test_fires_after_delay(self, env):
+        to = env.timeout(4, value="v")
+        env.run()
+        assert env.now == 4 and to.value == "v"
+
+    def test_negative_delay_raises(self, env):
+        with pytest.raises(SimulationError):
+            env.timeout(-1)
+
+    def test_zero_delay(self, env):
+        env.timeout(0)
+        env.run()
+        assert env.now == 0
+
+    def test_timeouts_keep_schedule_order(self, env):
+        order = []
+        a, b = env.timeout(2), env.timeout(2)
+        a.add_callback(lambda e: order.append("a"))
+        b.add_callback(lambda e: order.append("b"))
+        env.run()
+        assert order == ["a", "b"]
+
+
+class TestConditions:
+    def test_all_of_waits_for_all(self, env):
+        t1, t2 = env.timeout(1, value=1), env.timeout(5, value=2)
+        cond = AllOf(env, [t1, t2])
+        env.run(until=cond)
+        assert env.now == 5
+        assert cond.value == {t1: 1, t2: 2}
+
+    def test_any_of_fires_on_first(self, env):
+        t1, t2 = env.timeout(1, value=1), env.timeout(5, value=2)
+        cond = AnyOf(env, [t1, t2])
+        env.run(until=cond)
+        assert env.now == 1
+        assert cond.value == {t1: 1}
+
+    def test_operator_and(self, env):
+        t1, t2 = env.timeout(2), env.timeout(3)
+        env.run(until=t1 & t2)
+        assert env.now == 3
+
+    def test_operator_or(self, env):
+        t1, t2 = env.timeout(2), env.timeout(3)
+        env.run(until=t1 | t2)
+        assert env.now == 2
+
+    def test_empty_all_of_fires_immediately(self, env):
+        cond = env.all_of([])
+        env.run(until=cond)
+        assert env.now == 0
+
+    def test_all_of_propagates_failure(self, env):
+        ev = env.event()
+        cond = env.all_of([env.timeout(1), ev])
+        env.call_in(2, ev.fail, RuntimeError("child failed"))
+        with pytest.raises(RuntimeError, match="child failed"):
+            env.run(until=cond)
+
+    def test_condition_value_mapping(self, env):
+        t1 = env.timeout(1, value="a")
+        cv = ConditionValue([t1])
+        env.run()
+        assert t1 in cv
+        assert cv[t1] == "a"
+        assert list(cv.keys()) == [t1]
+        assert list(cv.values()) == ["a"]
+        assert dict(cv.items()) == {t1: "a"}
+        assert len(cv) == 1
+        assert cv.todict() == {t1: "a"}
+
+    def test_condition_value_missing_key(self, env):
+        cv = ConditionValue([])
+        with pytest.raises(KeyError):
+            cv[env.event()]
+
+    def test_cross_environment_mix_raises(self, env):
+        other = Environment()
+        with pytest.raises(SimulationError):
+            AllOf(env, [env.timeout(1), other.timeout(1)])
+
+    def test_all_of_with_pretriggered_events(self, env):
+        t1 = env.timeout(0)
+        env.run()  # t1 now processed
+        t2 = env.timeout(3)
+        cond = AllOf(env, [t1, t2])
+        env.run(until=cond)
+        assert env.now == 3
+
+    def test_nested_conditions(self, env):
+        cond = (env.timeout(1) & env.timeout(2)) | env.timeout(10)
+        env.run(until=cond)
+        assert env.now == 2

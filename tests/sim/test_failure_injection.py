@@ -1,0 +1,107 @@
+"""Failure injection into the kernel: errors must surface, never vanish."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Environment, Store
+
+
+class TestTimerFailures:
+    def test_exception_in_timer_propagates(self):
+        env = Environment()
+
+        def boom():
+            raise RuntimeError("timer exploded")
+
+        env.call_in(3, boom)
+        with pytest.raises(RuntimeError, match="timer exploded"):
+            env.run()
+        # The clock stopped at the failure point; the kernel is inspectable.
+        assert env.now == 3
+
+    def test_failure_does_not_corrupt_remaining_calendar(self):
+        env = Environment()
+        ran = []
+
+        def boom():
+            raise ValueError("x")
+
+        env.call_in(1, boom)
+        env.call_in(2, ran.append, "later")
+        with pytest.raises(ValueError):
+            env.run()
+        env.run()  # resume past the failure
+        assert ran == ["later"]
+
+
+class TestProcessFailures:
+    def test_unwaited_process_failure_propagates(self):
+        env = Environment()
+
+        def crasher(env):
+            yield env.timeout(2)
+            raise KeyError("lost")
+
+        env.process(crasher(env))
+        with pytest.raises(KeyError):
+            env.run()
+
+    def test_waited_process_failure_consumed_by_waiter(self):
+        env = Environment()
+        caught = []
+
+        def crasher(env):
+            yield env.timeout(2)
+            raise KeyError("handled")
+
+        def guardian(env):
+            try:
+                yield env.process(crasher(env))
+            except KeyError as exc:
+                caught.append(str(exc))
+
+        env.process(guardian(env))
+        env.run()
+        assert caught == ["'handled'"]
+
+    def test_generator_cleanup_error_propagates(self):
+        env = Environment()
+
+        def crasher(env):
+            raise ZeroDivisionError("before first yield")
+            yield  # pragma: no cover
+
+        env.process(crasher(env))
+        with pytest.raises(ZeroDivisionError):
+            env.run()
+
+
+class TestStoreMisuse:
+    def test_pending_get_at_exhaustion_is_not_an_error(self):
+        """A consumer left waiting when the calendar drains is a deadlock
+        the caller can inspect, not a crash."""
+        env = Environment()
+        store = Store(env)
+        got = []
+
+        def consumer(env):
+            got.append((yield store.get()))
+
+        proc = env.process(consumer(env))
+        env.run()
+        assert got == []
+        assert proc.is_alive  # visibly stuck, diagnosable
+
+    def test_events_after_resume(self):
+        env = Environment()
+        store = Store(env)
+        got = []
+
+        def consumer(env):
+            got.append((yield store.get()))
+
+        env.process(consumer(env))
+        env.run()
+        store.put("late delivery")
+        env.run()
+        assert got == ["late delivery"]

@@ -1,0 +1,73 @@
+"""Tests for kernel instrumentation hooks."""
+
+import pytest
+
+from repro.sim import Environment
+from repro.sim.monitor import KindCounter, TraceRecorder, attach, detach
+
+
+class TestTraceRecorder:
+    def test_records_time_and_kind(self):
+        env = Environment()
+        rec = TraceRecorder()
+        attach(env, rec)
+        env.call_in(2, lambda: None)
+        env.timeout(5)
+        env.run()
+        assert [t for t, _ in rec.records] == [2, 5]
+        assert [k for _, k in rec.records] == ["Timer", "Timeout"]
+
+    def test_limit_drops_oldest(self):
+        env = Environment()
+        rec = TraceRecorder(limit=3)
+        attach(env, rec)
+        for i in range(5):
+            env.call_in(i + 1, lambda: None)
+        env.run()
+        assert len(rec) == 3
+        assert rec.dropped == 2
+        assert rec.records[0][0] == 3
+
+    def test_unlimited(self):
+        env = Environment()
+        rec = TraceRecorder(limit=None)
+        attach(env, rec)
+        for i in range(10):
+            env.call_in(1, lambda: None)
+        env.run()
+        assert len(rec) == 10 and rec.dropped == 0
+
+
+class TestKindCounter:
+    def test_counts_by_class(self):
+        env = Environment()
+        counter = KindCounter()
+        attach(env, counter)
+        env.call_in(1, lambda: None)
+        env.timeout(1)
+        env.timeout(2)
+        env.run()
+        assert counter.counts["Timer"] == 1
+        assert counter.counts["Timeout"] == 2
+        assert counter.total() == 3
+
+
+class TestAttachDetach:
+    def test_attach_conflict_raises(self):
+        env = Environment()
+        attach(env, KindCounter())
+        with pytest.raises(ValueError):
+            attach(env, KindCounter())
+
+    def test_attach_same_hook_twice_ok(self):
+        env = Environment()
+        hook = KindCounter()
+        attach(env, hook)
+        attach(env, hook)
+
+    def test_detach(self):
+        env = Environment()
+        attach(env, KindCounter())
+        detach(env)
+        assert env.trace_hook is None
+        attach(env, KindCounter())  # free slot again

@@ -1,0 +1,275 @@
+"""Tests for coroutine processes: sequencing, return values, interrupts."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Environment, Interrupt
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestBasics:
+    def test_sequential_timeouts(self, env):
+        log = []
+
+        def proc(env):
+            yield env.timeout(2)
+            log.append(env.now)
+            yield env.timeout(3)
+            log.append(env.now)
+
+        env.process(proc(env))
+        env.run()
+        assert log == [2, 5]
+
+    def test_return_value_becomes_event_value(self, env):
+        def proc(env):
+            yield env.timeout(1)
+            return "result"
+
+        assert env.run(until=env.process(proc(env))) == "result"
+
+    def test_non_generator_raises(self, env):
+        with pytest.raises(SimulationError):
+            env.process(lambda: None)
+
+    def test_body_does_not_run_before_loop(self, env):
+        log = []
+
+        def proc(env):
+            log.append("started")
+            yield env.timeout(1)
+
+        env.process(proc(env))
+        assert log == []
+        env.run()
+        assert log == ["started"]
+
+    def test_timeout_value_passed_to_yield(self, env):
+        got = []
+
+        def proc(env):
+            got.append((yield env.timeout(1, value="tv")))
+
+        env.process(proc(env))
+        env.run()
+        assert got == ["tv"]
+
+    def test_yield_non_event_fails_process(self, env):
+        def proc(env):
+            yield 42
+
+        p = env.process(proc(env))
+        with pytest.raises(SimulationError, match="non-event"):
+            env.run(until=p)
+
+    def test_yield_foreign_event_fails_process(self, env):
+        other = Environment()
+
+        def proc(env):
+            yield other.timeout(1)
+
+        p = env.process(proc(env))
+        with pytest.raises(SimulationError, match="different environment"):
+            env.run(until=p)
+
+    def test_exception_in_body_propagates(self, env):
+        def proc(env):
+            yield env.timeout(1)
+            raise KeyError("inside")
+
+        p = env.process(proc(env))
+        with pytest.raises(KeyError):
+            env.run(until=p)
+
+    def test_is_alive_transitions(self, env):
+        def proc(env):
+            yield env.timeout(5)
+
+        p = env.process(proc(env))
+        assert p.is_alive
+        env.run()
+        assert not p.is_alive
+
+
+class TestComposition:
+    def test_wait_for_another_process(self, env):
+        def child(env):
+            yield env.timeout(3)
+            return "child-done"
+
+        def parent(env):
+            value = yield env.process(child(env))
+            return (env.now, value)
+
+        assert env.run(until=env.process(parent(env))) == (3, "child-done")
+
+    def test_wait_for_already_finished_process(self, env):
+        def child(env):
+            yield env.timeout(1)
+            return 9
+
+        c = env.process(child(env))
+
+        def parent(env):
+            yield env.timeout(5)
+            value = yield c  # c processed long ago
+            return (env.now, value)
+
+        assert env.run(until=env.process(parent(env))) == (5, 9)
+
+    def test_failure_propagates_to_waiter(self, env):
+        def child(env):
+            yield env.timeout(1)
+            raise RuntimeError("child crash")
+
+        def parent(env):
+            try:
+                yield env.process(child(env))
+            except RuntimeError as exc:
+                return f"caught {exc}"
+
+        assert env.run(until=env.process(parent(env))) == "caught child crash"
+
+    def test_two_processes_interleave(self, env):
+        log = []
+
+        def proc(env, name, delay):
+            for _ in range(3):
+                yield env.timeout(delay)
+                log.append((env.now, name))
+
+        env.process(proc(env, "a", 2))
+        env.process(proc(env, "b", 3))
+        env.run()
+        # At t=6 both fire; "b" scheduled its timeout at t=3, before "a" did
+        # at t=4, so "b" is processed first (FIFO at equal times).
+        assert log == [(2, "a"), (3, "b"), (4, "a"), (6, "b"), (6, "a"), (9, "b")]
+
+    def test_wait_on_condition(self, env):
+        def proc(env):
+            yield env.timeout(1) & env.timeout(4)
+            return env.now
+
+        assert env.run(until=env.process(proc(env))) == 4
+
+
+class TestInterrupts:
+    def test_interrupt_delivers_cause(self, env):
+        log = []
+
+        def victim(env):
+            try:
+                yield env.timeout(10)
+            except Interrupt as i:
+                log.append((env.now, i.cause))
+
+        v = env.process(victim(env))
+
+        def attacker(env):
+            yield env.timeout(3)
+            v.interrupt("reason")
+
+        env.process(attacker(env))
+        env.run()
+        assert log == [(3, "reason")]
+
+    def test_interrupted_process_can_continue(self, env):
+        log = []
+
+        def victim(env):
+            remaining = 10
+            start = env.now
+            try:
+                yield env.timeout(remaining)
+            except Interrupt:
+                remaining -= env.now - start
+            yield env.timeout(remaining)
+            log.append(env.now)
+
+        v = env.process(victim(env))
+        env.call_in(4, v.interrupt)
+        env.run()
+        assert log == [10]  # total waiting time preserved across interrupt
+
+    def test_interrupt_terminated_process_raises(self, env):
+        def proc(env):
+            yield env.timeout(1)
+
+        p = env.process(proc(env))
+        env.run()
+        with pytest.raises(SimulationError):
+            p.interrupt()
+
+    def test_self_interrupt_raises(self, env):
+        errors = []
+
+        def proc(env):
+            try:
+                p.interrupt()
+            except SimulationError as exc:
+                errors.append(str(exc))
+            yield env.timeout(1)
+
+        p = env.process(proc(env))
+        env.run()
+        assert errors and "itself" in errors[0]
+
+    def test_uncaught_interrupt_fails_process(self, env):
+        def victim(env):
+            yield env.timeout(10)
+
+        v = env.process(victim(env))
+        env.call_in(1, v.interrupt, "zap")
+        with pytest.raises(Interrupt):
+            env.run(until=v)
+
+    def test_interrupt_does_not_cancel_target_event(self, env):
+        """The event the victim waited on still fires for other waiters."""
+        log = []
+        shared = env.timeout(5, value="shared")
+        shared.add_callback(lambda e: log.append(env.now))
+
+        def victim(env):
+            try:
+                yield shared
+            except Interrupt:
+                log.append("interrupted")
+
+        v = env.process(victim(env))
+        env.call_in(2, v.interrupt)
+        env.run()
+        assert log == ["interrupted", 5]
+
+    def test_multiple_interrupts(self, env):
+        log = []
+
+        def victim(env):
+            for _ in range(2):
+                try:
+                    yield env.timeout(10)
+                except Interrupt as i:
+                    log.append((env.now, i.cause))
+            yield env.timeout(1)
+            log.append(env.now)
+
+        v = env.process(victim(env))
+        env.call_in(1, v.interrupt, "first")
+        env.call_in(2, v.interrupt, "second")
+        env.run()
+        assert log == [(1, "first"), (2, "second"), 3]
+
+    def test_active_process_visible_inside_body(self, env):
+        seen = []
+
+        def proc(env):
+            seen.append(env.active_process)
+            yield env.timeout(1)
+
+        p = env.process(proc(env))
+        env.run()
+        assert seen == [p]
+        assert env.active_process is None

@@ -1,0 +1,265 @@
+"""Tests for Resource / PriorityResource / PreemptiveResource."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import (
+    Environment,
+    Interrupt,
+    Preempted,
+    PreemptiveResource,
+    PriorityResource,
+    Resource,
+)
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+def use(env, res, log, name, hold, **req_kwargs):
+    """Acquire, hold for `hold`, release; append (name, start, end) to log."""
+    with res.request(**req_kwargs) as req:
+        yield req
+        start = env.now
+        yield env.timeout(hold)
+        log.append((name, start, env.now))
+
+
+class TestResource:
+    def test_capacity_must_be_positive(self, env):
+        with pytest.raises(SimulationError):
+            Resource(env, capacity=0)
+
+    def test_serial_access_with_capacity_one(self, env):
+        res, log = Resource(env), []
+        env.process(use(env, res, log, "a", 5))
+        env.process(use(env, res, log, "b", 5))
+        env.run()
+        assert log == [("a", 0, 5), ("b", 5, 10)]
+
+    def test_parallel_access_with_capacity_two(self, env):
+        res, log = Resource(env, capacity=2), []
+        for name in "abc":
+            env.process(use(env, res, log, name, 4))
+        env.run()
+        assert log == [("a", 0, 4), ("b", 0, 4), ("c", 4, 8)]
+
+    def test_fifo_queue_order(self, env):
+        res, log = Resource(env), []
+        for name in "abcd":
+            env.process(use(env, res, log, name, 1))
+        env.run()
+        assert [entry[0] for entry in log] == ["a", "b", "c", "d"]
+
+    def test_count_tracks_users(self, env):
+        res = Resource(env, capacity=2)
+
+        def proc(env):
+            with res.request() as req:
+                yield req
+                assert res.count == 1
+                yield env.timeout(1)
+            assert res.count == 0
+
+        env.process(proc(env))
+        env.run()
+
+    def test_context_manager_releases_on_exit(self, env):
+        res, log = Resource(env), []
+
+        def holder(env):
+            with res.request() as req:
+                yield req
+                yield env.timeout(2)
+            # released here
+
+        env.process(holder(env))
+        env.process(use(env, res, log, "waiter", 1))
+        env.run()
+        assert log == [("waiter", 2, 3)]
+
+    def test_release_queued_request_withdraws(self, env):
+        res = Resource(env)
+        log = []
+
+        def impatient(env):
+            req = res.request()
+            result = yield req | env.timeout(1)
+            if req not in result:
+                res.release(req)
+                log.append("gave-up")
+
+        def holder(env):
+            with res.request() as req:
+                yield req
+                yield env.timeout(5)
+
+        env.process(holder(env))
+        env.process(impatient(env))
+        env.process(use(env, res, log, "later", 1))
+        env.run()
+        assert "gave-up" in log
+        # the withdrawn request never blocks the next waiter
+        assert ("later", 5, 6) in log
+
+    def test_double_release_is_benign(self, env):
+        res = Resource(env)
+
+        def proc(env):
+            req = res.request()
+            yield req
+            res.release(req)
+            res.release(req)
+
+        env.process(proc(env))
+        env.run()
+        assert res.count == 0
+
+
+class TestPriorityResource:
+    def test_lower_priority_value_served_first(self, env):
+        res, log = PriorityResource(env), []
+
+        def submit(env):
+            # Occupy the resource, then queue three requests with priorities.
+            with res.request(priority=0) as req:
+                yield req
+                env.process(use(env, res, log, "low", 1, priority=9))
+                env.process(use(env, res, log, "high", 1, priority=1))
+                env.process(use(env, res, log, "mid", 1, priority=5))
+                yield env.timeout(3)
+
+        env.process(submit(env))
+        env.run()
+        assert [e[0] for e in log] == ["high", "mid", "low"]
+
+    def test_fifo_within_same_priority(self, env):
+        res, log = PriorityResource(env), []
+
+        def submit(env):
+            with res.request(priority=0) as req:
+                yield req
+                for name in ("first", "second"):
+                    env.process(use(env, res, log, name, 1, priority=3))
+                yield env.timeout(2)
+
+        env.process(submit(env))
+        env.run()
+        assert [e[0] for e in log] == ["first", "second"]
+
+    def test_no_preemption_in_priority_resource(self, env):
+        res, log = PriorityResource(env), []
+        env.process(use(env, res, log, "holder", 10, priority=9))
+        env.process(use(env, res, log, "vip", 1, priority=0))
+        env.run()
+        assert log == [("holder", 0, 10), ("vip", 10, 11)]
+
+
+class TestPreemptiveResource:
+    def test_higher_priority_preempts(self, env):
+        res = PreemptiveResource(env)
+        log = []
+
+        def victim(env):
+            with res.request(priority=5) as req:
+                yield req
+                try:
+                    yield env.timeout(10)
+                    log.append("victim-finished")
+                except Interrupt as i:
+                    assert isinstance(i.cause, Preempted)
+                    assert i.cause.usage_since == 0
+                    assert i.cause.resource is res
+                    log.append(("preempted", env.now))
+
+        def vip(env):
+            yield env.timeout(3)
+            with res.request(priority=1) as req:
+                yield req
+                log.append(("vip-starts", env.now))
+                yield env.timeout(2)
+
+        env.process(victim(env))
+        env.process(vip(env))
+        env.run()
+        assert log == [("preempted", 3), ("vip-starts", 3)]
+
+    def test_equal_priority_does_not_preempt(self, env):
+        res, log = PreemptiveResource(env), []
+        env.process(use(env, res, log, "a", 5, priority=3))
+        env.process(use(env, res, log, "b", 5, priority=3))
+        env.run()
+        assert log == [("a", 0, 5), ("b", 5, 10)]
+
+    def test_preempt_false_waits(self, env):
+        res = PreemptiveResource(env)
+        log = []
+
+        def victim(env):
+            with res.request(priority=5) as req:
+                yield req
+                yield env.timeout(10)
+                log.append(("victim-finished", env.now))
+
+        env.process(victim(env))
+        env.process(use(env, res, log, "polite-vip", 1, priority=1, preempt=False))
+        env.run()
+        assert log == [("victim-finished", 10), ("polite-vip", 10, 11)]
+
+    def test_victim_is_worst_priority_user(self, env):
+        res = PreemptiveResource(env, capacity=2)
+        log = []
+
+        def victim(env, name, prio):
+            with res.request(priority=prio) as req:
+                yield req
+                try:
+                    yield env.timeout(10)
+                    log.append((name, "finished"))
+                except Interrupt:
+                    log.append((name, "preempted"))
+
+        env.process(victim(env, "p3", 3))
+        env.process(victim(env, "p7", 7))
+
+        def vip(env):
+            yield env.timeout(2)
+            with res.request(priority=1) as req:
+                yield req
+                yield env.timeout(1)
+
+        env.process(vip(env))
+        env.run()
+        assert ("p7", "preempted") in log
+        assert ("p3", "finished") in log
+
+    def test_preempted_transfer_resume_pattern(self, env):
+        """The paper's interruptible-communication idiom: remaining time is
+        preserved across preemptions, so total service time is unchanged."""
+        res = PreemptiveResource(env)
+        done = []
+
+        def transfer(env, name, total, prio):
+            remaining = total
+            while remaining > 0:
+                with res.request(priority=prio) as req:
+                    yield req
+                    start = env.now
+                    try:
+                        yield env.timeout(remaining)
+                        remaining = 0
+                    except Interrupt:
+                        remaining -= env.now - start
+            done.append((name, env.now))
+
+        env.process(transfer(env, "slow", 10, prio=5))
+
+        def burst(env):
+            yield env.timeout(2)
+            yield env.process(transfer(env, "fast", 3, prio=1))
+
+        env.process(burst(env))
+        env.run()
+        assert done == [("fast", 5), ("slow", 13)]  # 10 units of service + 3 preempted

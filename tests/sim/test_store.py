@@ -1,0 +1,206 @@
+"""Tests for Store / FilterStore / PriorityStore."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Environment, FilterStore, PriorityItem, PriorityStore, Store
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestStore:
+    def test_capacity_positive(self, env):
+        with pytest.raises(SimulationError):
+            Store(env, capacity=0)
+
+    def test_put_then_get(self, env):
+        store = Store(env)
+        got = []
+
+        def producer(env):
+            yield store.put("item")
+
+        def consumer(env):
+            got.append((yield store.get()))
+
+        env.process(producer(env))
+        env.process(consumer(env))
+        env.run()
+        assert got == ["item"]
+
+    def test_get_blocks_until_put(self, env):
+        store = Store(env)
+        got = []
+
+        def consumer(env):
+            item = yield store.get()
+            got.append((env.now, item))
+
+        def producer(env):
+            yield env.timeout(7)
+            yield store.put("late")
+
+        env.process(consumer(env))
+        env.process(producer(env))
+        env.run()
+        assert got == [(7, "late")]
+
+    def test_put_blocks_when_full(self, env):
+        store = Store(env, capacity=1)
+        log = []
+
+        def producer(env):
+            for i in range(2):
+                yield store.put(i)
+                log.append((env.now, f"put-{i}"))
+
+        def consumer(env):
+            yield env.timeout(5)
+            item = yield store.get()
+            log.append((env.now, f"got-{item}"))
+
+        env.process(producer(env))
+        env.process(consumer(env))
+        env.run()
+        assert log == [(0, "put-0"), (5, "got-0"), (5, "put-1")]
+
+    def test_fifo_item_order(self, env):
+        store = Store(env)
+        for i in range(3):
+            store.put(i)
+        got = []
+
+        def consumer(env):
+            for _ in range(3):
+                got.append((yield store.get()))
+
+        env.process(consumer(env))
+        env.run()
+        assert got == [0, 1, 2]
+
+    def test_multiple_consumers_fifo(self, env):
+        store = Store(env)
+        got = []
+
+        def consumer(env, name):
+            item = yield store.get()
+            got.append((name, item))
+
+        env.process(consumer(env, "first"))
+        env.process(consumer(env, "second"))
+        env.run(until=2)
+        store.put("x")
+        store.put("y")
+        env.run()
+        assert got == [("first", "x"), ("second", "y")]
+
+    def test_items_attribute_reflects_content(self, env):
+        store = Store(env)
+        store.put("a")
+        env.run()
+        assert store.items == ["a"]
+
+
+class TestFilterStore:
+    def test_get_matching_item_only(self, env):
+        store = FilterStore(env)
+        for item in ("apple", "banana", "cherry"):
+            store.put(item)
+        got = []
+
+        def consumer(env):
+            got.append((yield store.get(lambda x: x.startswith("b"))))
+
+        env.process(consumer(env))
+        env.run()
+        assert got == ["banana"]
+        assert sorted(store.items) == ["apple", "cherry"]
+
+    def test_waits_for_matching_item(self, env):
+        store = FilterStore(env)
+        got = []
+
+        def consumer(env):
+            item = yield store.get(lambda x: x == "wanted")
+            got.append((env.now, item))
+
+        def producer(env):
+            yield store.put("other")
+            yield env.timeout(3)
+            yield store.put("wanted")
+
+        env.process(consumer(env))
+        env.process(producer(env))
+        env.run()
+        assert got == [(3, "wanted")]
+
+    def test_default_filter_accepts_anything(self, env):
+        store = FilterStore(env)
+        store.put(123)
+        got = []
+
+        def consumer(env):
+            got.append((yield store.get()))
+
+        env.process(consumer(env))
+        env.run()
+        assert got == [123]
+
+    def test_blocked_consumer_does_not_starve_others(self, env):
+        store = FilterStore(env)
+        got = []
+
+        def picky(env):
+            got.append(("picky", (yield store.get(lambda x: x == "never"))))
+
+        def easy(env):
+            got.append(("easy", (yield store.get())))
+
+        env.process(picky(env))
+        env.process(easy(env))
+        env.run(until=1)
+        store.put("generic")
+        env.run(until=2)
+        assert got == [("easy", "generic")]
+
+
+class TestPriorityStore:
+    def test_smallest_item_first(self, env):
+        store = PriorityStore(env)
+        for value in (5, 1, 3):
+            store.put(value)
+        got = []
+
+        def consumer(env):
+            for _ in range(3):
+                got.append((yield store.get()))
+
+        env.process(consumer(env))
+        env.run()
+        assert got == [1, 3, 5]
+
+    def test_priority_item_ordering(self):
+        a = PriorityItem(1, "urgent")
+        b = PriorityItem(2, "later")
+        assert a < b
+        assert a == PriorityItem(1, "urgent")
+        assert not (a == PriorityItem(1, "different"))
+
+    def test_priority_item_eq_non_item(self):
+        assert PriorityItem(1, "x").__eq__(42) is NotImplemented
+
+    def test_priority_items_in_store(self, env):
+        store = PriorityStore(env)
+        store.put(PriorityItem(9, "low"))
+        store.put(PriorityItem(1, "high"))
+        got = []
+
+        def consumer(env):
+            got.append((yield store.get()).item)
+
+        env.process(consumer(env))
+        env.run()
+        assert got == ["high"]

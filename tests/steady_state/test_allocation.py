@@ -1,0 +1,101 @@
+"""Tests for the top-down flow allocation."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SolverError
+from repro.platform import (
+    PlatformTree,
+    TreeGeneratorParams,
+    figure1_tree,
+    generate_tree,
+)
+from repro.steady_state import allocate, solve_tree
+
+
+def small_random_tree(seed):
+    return generate_tree(TreeGeneratorParams(min_nodes=2, max_nodes=25,
+                                             max_comm=20, max_comp=100),
+                         seed=seed)
+
+
+class TestBasics:
+    def test_single_node(self):
+        alloc = allocate(PlatformTree.single_node(4))
+        assert alloc.compute_rates == (Fraction(1, 4),)
+        assert alloc.rate == Fraction(1, 4)
+
+    def test_figure1(self):
+        alloc = allocate(figure1_tree())
+        assert alloc.rate == Fraction(11, 12)
+        # Hand-checked: P0 computes 1/4, P1 and P5 each 1/3, rest starve.
+        assert alloc.compute_rates[0] == Fraction(1, 4)
+        assert alloc.compute_rates[1] == Fraction(1, 3)
+        assert alloc.compute_rates[5] == Fraction(1, 3)
+        assert alloc.used_nodes == [0, 1, 5]
+
+    def test_reuses_solution(self):
+        tree = figure1_tree()
+        sol = solve_tree(tree)
+        alloc = allocate(tree, sol)
+        assert alloc.solution is sol
+
+    def test_rejects_mismatched_solution(self):
+        sol = solve_tree(figure1_tree())
+        with pytest.raises(SolverError):
+            allocate(figure1_tree(), sol)  # different object
+
+    def test_link_utilization_figure1(self):
+        alloc = allocate(figure1_tree())
+        # Root feeds P1 (rate 1/3, c=1) and P5 (rate 1/3, c=2): 1/3 + 2/3.
+        assert alloc.link_utilization(0) == 1
+
+
+class TestProperties:
+    @given(seed=st.integers(0, 5000))
+    @settings(max_examples=60, deadline=None)
+    def test_compute_rates_sum_to_tree_rate(self, seed):
+        tree = small_random_tree(seed)
+        alloc = allocate(tree)
+        assert sum(alloc.compute_rates) == alloc.rate
+        assert alloc.rate == solve_tree(tree).rate
+
+    @given(seed=st.integers(0, 5000))
+    @settings(max_examples=60, deadline=None)
+    def test_flow_conservation_at_every_node(self, seed):
+        tree = small_random_tree(seed)
+        alloc = allocate(tree)
+        for node_id in range(tree.num_nodes):
+            outflow = sum(alloc.inflow_rates[cid]
+                          for cid in tree.children[node_id])
+            assert alloc.inflow_rates[node_id] == (
+                alloc.compute_rates[node_id] + outflow)
+
+    @given(seed=st.integers(0, 5000))
+    @settings(max_examples=60, deadline=None)
+    def test_no_node_overdriven(self, seed):
+        tree = small_random_tree(seed)
+        alloc = allocate(tree)
+        for node_id in range(tree.num_nodes):
+            assert alloc.compute_rates[node_id] <= Fraction(1, tree.w[node_id])
+            assert alloc.link_utilization(node_id) <= 1
+            if tree.parent[node_id] is not None:
+                # receive port: at most one task per c timesteps
+                assert alloc.inflow_rates[node_id] <= Fraction(1, tree.c[node_id])
+
+    @given(seed=st.integers(0, 5000))
+    @settings(max_examples=40, deadline=None)
+    def test_used_nodes_form_connected_subtree(self, seed):
+        """A node can only compute if every ancestor link carries flow."""
+        tree = small_random_tree(seed)
+        alloc = allocate(tree)
+        used = set(alloc.used_nodes)
+        for node_id in used:
+            for ancestor in tree.path_to_root(node_id)[1:]:
+                assert alloc.inflow_rates[node_id] > 0
+                # ancestors at least forward flow (they may not compute)
+                assert (alloc.compute_rates[ancestor] > 0
+                        or any(alloc.inflow_rates[cid] > 0
+                               for cid in tree.children[ancestor]))

@@ -1,0 +1,185 @@
+"""Tests for Theorem 1 on single-level forks."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SolverError
+from repro.steady_state import (
+    PARTIAL,
+    SATURATED,
+    STARVED,
+    solve_fork,
+)
+
+
+class TestValidation:
+    def test_w0_positive(self):
+        with pytest.raises(SolverError):
+            solve_fork(0, [])
+
+    def test_c0_nonnegative(self):
+        with pytest.raises(SolverError):
+            solve_fork(1, [], c0=-1)
+
+    def test_child_weights_positive(self):
+        with pytest.raises(SolverError):
+            solve_fork(1, [(0, 1)])
+        with pytest.raises(SolverError):
+            solve_fork(1, [(1, 0)])
+
+    def test_non_numeric_rejected(self):
+        with pytest.raises(SolverError):
+            solve_fork("fast", [])
+
+
+class TestNoChildren:
+    def test_lone_node_rate(self):
+        sol = solve_fork(5, [])
+        assert sol.w_tree == 5
+        assert sol.rate == Fraction(1, 5)
+
+    def test_uplink_cap(self):
+        sol = solve_fork(5, [], c0=8)
+        assert sol.w_tree == 8  # can't consume faster than it receives
+        assert sol.bandwidth_limited
+
+    def test_uplink_slack(self):
+        sol = solve_fork(5, [], c0=2)
+        assert sol.w_tree == 5
+        assert not sol.bandwidth_limited
+
+
+class TestPaperFormula:
+    def test_all_children_saturated(self):
+        # link shares: 1/4 + 1/4 = 1/2 <= 1 → everyone fully fed
+        sol = solve_fork(2, [(1, 4), (1, 4)])
+        assert sol.p == 2
+        assert sol.epsilon == 0
+        assert sol.rate == 1  # 1/2 + 1/4 + 1/4
+        assert all(ch.status == SATURATED for ch in sol.children)
+
+    def test_partial_child_gets_leftover(self):
+        # child0 share = 2/4 = 1/2; child1 wants 3/3 = 1 → only eps = 1/2 left
+        sol = solve_fork(10, [(2, 4), (3, 3)])
+        assert sol.p == 1
+        assert sol.epsilon == Fraction(1, 2)
+        c0, c1 = sol.children
+        assert c0.status == SATURATED and c0.rate == Fraction(1, 4)
+        assert c1.status == PARTIAL and c1.rate == Fraction(1, 2) / 3
+        assert sol.rate == Fraction(1, 10) + Fraction(1, 4) + Fraction(1, 6)
+
+    def test_starved_children_get_nothing(self):
+        # child0 alone saturates the link: 4/4 = 1.
+        sol = solve_fork(10, [(4, 4), (5, 1), (9, 1)])
+        assert sol.p == 1
+        assert sol.epsilon == 0
+        statuses = [ch.status for ch in sol.children]
+        assert statuses == [SATURATED, STARVED, STARVED]
+        # The starved children's speed (w=1, very fast) is irrelevant:
+        # bandwidth-centric in action.
+        assert sol.rate == Fraction(1, 10) + Fraction(1, 4)
+
+    def test_children_sorted_by_comm_time(self):
+        sol = solve_fork(1, [(9, 1), (2, 100), (5, 100)])
+        assert [ch.c for ch in sol.children] == [2, 5, 9]
+        assert [ch.index for ch in sol.children] == [1, 2, 0]
+
+    def test_allocation_by_index(self):
+        sol = solve_fork(1, [(9, 1), (2, 100)])
+        assert sol.allocation_by_index(0).c == 9
+        with pytest.raises(SolverError):
+            sol.allocation_by_index(5)
+
+    def test_equal_comm_ties_same_total(self):
+        """Fractional-knapsack: the optimum is order-independent at ties."""
+        a = solve_fork(10, [(2, 4), (2, 8)])
+        b = solve_fork(10, [(2, 8), (2, 4)])
+        assert a.rate == b.rate
+
+    def test_uplink_clamps_fast_fork(self):
+        sol = solve_fork(1, [(1, 2)], c0=4)
+        assert sol.uncapped_rate == Fraction(3, 2)
+        assert sol.w_tree == 4
+        assert sol.rate == Fraction(1, 4)
+        assert sol.bandwidth_limited
+
+    def test_figure2a_rate(self):
+        """Figure 2(a): B (c=1, w=2), C (c=5, w=8) under a compute-less root."""
+        sol = solve_fork(10**9, [(1, 2), (5, 8)])
+        # B: share 1/2; C wants 5/8 → eps = 1/2, C rate = 1/10.
+        assert sol.epsilon == Fraction(1, 2)
+        assert sol.rate == Fraction(1, 10**9) + Fraction(1, 2) + Fraction(1, 10)
+
+
+class TestProperties:
+    child_lists = st.lists(
+        st.tuples(st.integers(1, 50), st.integers(1, 50)), min_size=0, max_size=8)
+
+    @given(w0=st.integers(1, 50), children=child_lists)
+    @settings(max_examples=200, deadline=None)
+    def test_link_capacity_never_exceeded(self, w0, children):
+        sol = solve_fork(w0, children)
+        assert sum(ch.link_share for ch in sol.children) <= 1
+
+    @given(w0=st.integers(1, 50), children=child_lists)
+    @settings(max_examples=200, deadline=None)
+    def test_rate_is_sum_of_parts(self, w0, children):
+        sol = solve_fork(w0, children)
+        total = Fraction(1, w0) + sum(ch.rate for ch in sol.children)
+        assert sol.uncapped_rate == total
+
+    @given(w0=st.integers(1, 50), children=child_lists)
+    @settings(max_examples=200, deadline=None)
+    def test_children_never_overfed(self, w0, children):
+        sol = solve_fork(w0, children)
+        for ch in sol.children:
+            assert ch.rate <= Fraction(1, 1) / ch.w
+
+    @given(w0=st.integers(1, 50), children=child_lists,
+           extra=st.tuples(st.integers(1, 50), st.integers(1, 50)))
+    @settings(max_examples=200, deadline=None)
+    def test_adding_a_child_never_hurts(self, w0, children, extra):
+        base = solve_fork(w0, children)
+        grown = solve_fork(w0, children + [extra])
+        assert grown.rate >= base.rate
+
+    @given(w0=st.integers(1, 50), children=child_lists)
+    @settings(max_examples=200, deadline=None)
+    def test_speeding_up_parent_never_hurts(self, w0, children):
+        slow = solve_fork(w0 + 1, children)
+        fast = solve_fork(w0, children)
+        assert fast.rate >= slow.rate
+
+    @given(w0=st.integers(1, 50), children=child_lists)
+    @settings(max_examples=100, deadline=None)
+    def test_rate_upper_bounds(self, w0, children):
+        """Rate never beats all-CPUs-busy, nor 1/w0 plus one task per cheapest c."""
+        sol = solve_fork(w0, children)
+        everyone_busy = Fraction(1, w0) + sum(Fraction(1, w) for _c, w in children)
+        assert sol.rate <= everyone_busy
+        if children:
+            cheapest = min(c for c, _w in children)
+            assert sol.rate <= Fraction(1, w0) + Fraction(1, cheapest)
+
+    @given(w0=st.integers(1, 50), children=child_lists)
+    @settings(max_examples=150, deadline=None)
+    def test_greedy_matches_lp_optimum(self, w0, children):
+        """Cross-validate Theorem 1 against the LP solved by scipy.
+
+        maximize 1/w0 + sum r_i   s.t.  r_i <= 1/w_i,  sum r_i c_i <= 1.
+        """
+        scipy_optimize = pytest.importorskip("scipy.optimize")
+        sol = solve_fork(w0, children)
+        if not children:
+            assert sol.rate == Fraction(1, w0)
+            return
+        c = [-1.0] * len(children)
+        a_ub = [[float(ci) for ci, _wi in children]]
+        bounds = [(0, 1.0 / wi) for _ci, wi in children]
+        lp = scipy_optimize.linprog(c, A_ub=a_ub, b_ub=[1.0], bounds=bounds,
+                                    method="highs")
+        assert lp.status == 0
+        lp_rate = 1.0 / w0 - lp.fun
+        assert abs(float(sol.uncapped_rate) - lp_rate) < 1e-9

@@ -1,0 +1,93 @@
+"""Cross-validation of the bottom-up solver against the whole-tree LP."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.platform import (
+    PlatformTree,
+    TreeGeneratorParams,
+    figure1_tree,
+    figure2a_tree,
+    generate_tree,
+)
+from repro.steady_state import allocate, solve_tree, solve_tree_lp
+
+pytest.importorskip("scipy")
+
+
+def small_random_tree(seed):
+    return generate_tree(TreeGeneratorParams(min_nodes=2, max_nodes=30,
+                                             max_comm=20, max_comp=100),
+                         seed=seed)
+
+
+class TestAgainstTheorem1:
+    def test_single_node(self):
+        tree = PlatformTree.single_node(4)
+        lp = solve_tree_lp(tree)
+        assert lp.rate == pytest.approx(0.25)
+
+    def test_figure1(self):
+        lp = solve_tree_lp(figure1_tree())
+        assert lp.rate == pytest.approx(11 / 12)
+
+    def test_figure2a(self):
+        tree = figure2a_tree(parent_w=10)
+        lp = solve_tree_lp(tree)
+        assert lp.rate == pytest.approx(float(solve_tree(tree).rate))
+
+    @given(seed=st.integers(0, 20_000))
+    @settings(max_examples=60, deadline=None)
+    def test_random_trees_match(self, seed):
+        """The greedy bottom-up composition equals the LP optimum."""
+        tree = small_random_tree(seed)
+        lp = solve_tree_lp(tree)
+        exact = float(solve_tree(tree).rate)
+        assert lp.rate == pytest.approx(exact, rel=1e-8)
+
+    @given(seed=st.integers(0, 20_000))
+    @settings(max_examples=30, deadline=None)
+    def test_lp_flows_feasible(self, seed):
+        tree = small_random_tree(seed)
+        lp = solve_tree_lp(tree)
+        tol = 1e-8
+        for i in range(tree.num_nodes):
+            assert lp.compute_rates[i] <= 1 / tree.w[i] + tol
+            outflow = sum(lp.inflow_rates[j] for j in tree.children[i])
+            assert lp.inflow_rates[i] == pytest.approx(
+                lp.compute_rates[i] + outflow, abs=1e-8)
+            port = sum(tree.c[j] * lp.inflow_rates[j]
+                       for j in tree.children[i])
+            assert port <= 1 + tol
+
+    @given(seed=st.integers(0, 20_000))
+    @settings(max_examples=20, deadline=None)
+    def test_allocation_is_an_lp_optimum(self, seed):
+        """The exact allocator's total matches the LP's total (the flow
+        split may differ — degenerate optima — but not the value)."""
+        tree = small_random_tree(seed)
+        lp = solve_tree_lp(tree)
+        alloc = allocate(tree)
+        assert float(sum(alloc.compute_rates)) == pytest.approx(
+            lp.rate, rel=1e-8)
+
+
+class TestDuals:
+    def test_saturated_root_port_has_positive_price(self):
+        # Two identical children share the saturated port; no CPU or
+        # receive-port bound binds, so the port row carries the full
+        # shadow price: one extra unit of port time buys 1/c = 0.5 tasks.
+        tree = PlatformTree.fork(10, [(2, 2), (2, 2)])
+        lp = solve_tree_lp(tree)
+        assert lp.link_duals[0] == pytest.approx(0.5)
+
+    def test_idle_port_has_zero_price(self):
+        # Child barely uses the port (share c/w = 1/100): price ~ 0.
+        tree = PlatformTree.fork(10, [(1, 100)])
+        lp = solve_tree_lp(tree)
+        assert lp.link_duals[0] == pytest.approx(0.0, abs=1e-9)
+
+    def test_leaves_have_no_port_constraint(self):
+        lp = solve_tree_lp(figure1_tree())
+        for leaf in (1, 3, 4, 6, 7):
+            assert lp.link_duals[leaf] is None

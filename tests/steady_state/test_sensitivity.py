@@ -1,0 +1,103 @@
+"""Tests for bottleneck classification and rate sensitivity."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SolverError
+from repro.platform import PlatformTree, TreeGeneratorParams, figure1_tree, generate_tree
+from repro.steady_state import (
+    CAPACITY_BOUND,
+    UPLINK_BOUND,
+    classify_bottlenecks,
+    rate_sensitivity,
+    solve_tree,
+    top_improvements,
+)
+
+
+class TestClassification:
+    def test_uplink_bound_chain(self):
+        # Child capacity 1/2 but one task per 10 steps: uplink binds.
+        tree = PlatformTree.linear_chain([4, 2], [10])
+        kinds = {b.node: b.kind for b in classify_bottlenecks(tree)}
+        assert kinds[1] == UPLINK_BOUND
+        assert kinds[0] == CAPACITY_BOUND  # root has no uplink
+
+    def test_capacity_bound_chain(self):
+        tree = PlatformTree.linear_chain([4, 20], [1])
+        kinds = {b.node: b.kind for b in classify_bottlenecks(tree)}
+        assert kinds[1] == CAPACITY_BOUND
+
+    def test_starved_children_identified(self):
+        # Child 1 saturates the port alone (c/W = 4/4); child 2 starves.
+        tree = PlatformTree.fork(10, [(4, 4), (9, 1)])
+        report = classify_bottlenecks(tree)
+        assert report[0].starved_children == (2,)
+
+    def test_figure1_no_starved_at_root(self):
+        # Root port: P1 saturated, P5 partial, P2 starved.
+        report = classify_bottlenecks(figure1_tree())
+        assert report[0].starved_children == (2,)
+
+    def test_reuses_solution(self):
+        tree = figure1_tree()
+        solution = solve_tree(tree)
+        classify_bottlenecks(tree, solution)
+        with pytest.raises(SolverError):
+            classify_bottlenecks(figure1_tree(), solution)
+
+
+class TestSensitivity:
+    def test_starved_childs_cpu_is_worthless(self):
+        """The bandwidth-centric message, quantitatively: speeding up a
+        starved child's CPU changes nothing; its *link* is what matters."""
+        tree = PlatformTree.fork(10, [(4, 4), (9, 1)])
+        deltas = {(e.attribute, e.node): e.rate_delta
+                  for e in rate_sensitivity(tree)}
+        assert deltas[("w", 2)] == 0       # starved child's CPU: worthless
+        assert deltas[("c", 2)] == 0       # even its link (still too costly)
+        assert deltas[("w", 0)] > 0        # the root's CPU always helps
+        assert deltas[("c", 1)] > 0        # the saturated child's link binds
+
+    def test_uplink_bound_node_gains_from_cheaper_edge_only(self):
+        tree = PlatformTree.linear_chain([1000, 2], [10])
+        deltas = {(e.attribute, e.node): e.rate_delta
+                  for e in rate_sensitivity(tree)}
+        assert deltas[("c", 1)] > 0
+        assert deltas[("w", 1)] == 0  # CPU idle anyway: uplink-starved
+
+    def test_improvement_factor_validated(self):
+        with pytest.raises(SolverError):
+            rate_sensitivity(figure1_tree(), improvement=Fraction(3, 2))
+        with pytest.raises(SolverError):
+            rate_sensitivity(figure1_tree(), improvement=0)
+
+    def test_entry_count(self):
+        tree = figure1_tree()
+        entries = rate_sensitivity(tree)
+        # one "w" per node + one "c" per non-root node
+        assert len(entries) == tree.num_nodes + (tree.num_nodes - 1)
+
+    @given(seed=st.integers(0, 3000))
+    @settings(max_examples=20, deadline=None)
+    def test_improvements_never_negative(self, seed):
+        tree = generate_tree(TreeGeneratorParams(min_nodes=3, max_nodes=15,
+                                                 max_comm=10, max_comp=50),
+                             seed=seed)
+        for entry in rate_sensitivity(tree):
+            assert entry.rate_delta >= 0
+
+    def test_top_improvements_sorted_and_bounded(self):
+        tree = figure1_tree()
+        top = top_improvements(tree, k=3)
+        assert len(top) == 3
+        deltas = [e.rate_delta for e in top]
+        assert deltas == sorted(deltas, reverse=True)
+        everything = rate_sensitivity(tree)
+        assert deltas[0] == max(e.rate_delta for e in everything)
+
+    def test_top_improvements_k_validated(self):
+        with pytest.raises(SolverError):
+            top_improvements(figure1_tree(), k=0)

@@ -1,0 +1,44 @@
+"""Integration tests: every example script runs clean end to end.
+
+The examples carry their own assertions (tracking errors, conservation,
+optimality claims), so a zero exit status means the scenario's claims held.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+ALL_EXAMPLES = sorted(
+    name for name in os.listdir(EXAMPLES_DIR) if name.endswith(".py"))
+
+
+def test_every_example_is_covered_here():
+    """A new example must be added to the parametrization below."""
+    assert ALL_EXAMPLES == [
+        "dynamic_pool.py",
+        "grid_deployment.py",
+        "overlay_construction.py",
+        "quickstart.py",
+        "volunteer_computing.py",
+    ]
+
+
+@pytest.mark.parametrize("script", ALL_EXAMPLES)
+def test_example_runs_clean(script):
+    proc = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, script)],
+        capture_output=True, text=True, timeout=300)
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip(), "examples must narrate what they show"
+
+
+def test_volunteer_computing_accepts_seed_argument():
+    proc = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, "volunteer_computing.py"),
+         "42"],
+        capture_output=True, text=True, timeout=300)
+    assert proc.returncode == 0, proc.stderr[-2000:]

@@ -1,0 +1,66 @@
+"""Tests for figure rendering (micro-scale experiment → valid SVG)."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.experiments import ExperimentScale, fig3, fig4, fig5, fig6, fig7
+from repro.platform.generator import TreeGeneratorParams
+from repro.viz import fig3_svg, fig4_svg, fig5_svg, fig6_svg, fig7_svg, save_all
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+MICRO = ExperimentScale(trees=4, tasks=600)
+MICRO_PARAMS = TreeGeneratorParams(min_nodes=8, max_nodes=40)
+
+
+def assert_valid_svg(text, min_polylines=1):
+    root = ET.fromstring(text)
+    assert root.tag == f"{SVG_NS}svg"
+    assert len(root.findall(f"{SVG_NS}polyline")) >= min_polylines
+    return root
+
+
+class TestFigureRenderers:
+    def test_fig3(self):
+        result = fig3.run(MICRO, MICRO_PARAMS, candidates=5, sample_points=8)
+        text = fig3_svg(result)
+        assert_valid_svg(text, min_polylines=3)
+        assert "Figure 3" in text
+
+    def test_fig4(self):
+        result = fig4.run(MICRO, MICRO_PARAMS)
+        text = fig4_svg(result)
+        assert_valid_svg(text, min_polylines=4)
+        assert "IC, FB=3" in text
+
+    def test_fig5(self):
+        scale = ExperimentScale(trees=2, tasks=600)
+        result = fig5.run(scale, MICRO_PARAMS)
+        text = fig5_svg(result)
+        assert_valid_svg(text, min_polylines=8)  # 4 classes × 2 protocols
+
+    def test_fig6_both_dimensions(self):
+        result = fig6.run(MICRO, MICRO_PARAMS)
+        for dimension in ("nodes", "depth"):
+            text = fig6_svg(result, dimension=dimension)
+            assert_valid_svg(text, min_polylines=3)
+
+    def test_fig7(self):
+        result = fig7.run(num_tasks=600)
+        text = fig7_svg(result)
+        # 3 scenario curves + 3 dashed optimal references
+        root = assert_valid_svg(text, min_polylines=6)
+        dashed = [p for p in root.findall(f"{SVG_NS}polyline")
+                  if p.get("stroke-dasharray")]
+        assert len(dashed) == 3
+
+
+class TestSaveAll:
+    def test_writes_files(self, tmp_path, monkeypatch):
+        # save_all uses the default generator params; shrink the scale so
+        # the test stays fast.
+        paths = save_all(str(tmp_path), scale=ExperimentScale(trees=3, tasks=600))
+        assert set(paths) == {"fig3", "fig4", "fig5", "fig6a", "fig7"}
+        for path in paths.values():
+            text = open(path).read()
+            ET.fromstring(text)

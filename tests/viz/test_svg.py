@@ -1,0 +1,117 @@
+"""Tests for the SVG charting primitives."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.errors import ReproError
+from repro.viz import LineChart, StepChart, nice_ticks
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+def parse(svg_text):
+    return ET.fromstring(svg_text)
+
+
+class TestNiceTicks:
+    def test_simple_range(self):
+        ticks = nice_ticks(0, 10)
+        assert ticks[0] == 0 and ticks[-1] == 10
+        steps = {round(b - a, 9) for a, b in zip(ticks, ticks[1:])}
+        assert len(steps) == 1  # uniform spacing
+
+    def test_one_two_five_spacing(self):
+        for lo, hi in ((0, 1), (0, 37), (0, 420), (3, 7)):
+            ticks = nice_ticks(lo, hi)
+            step = ticks[1] - ticks[0]
+            mantissa = step / (10 ** int(f"{step:e}".split("e")[1]))
+            assert round(mantissa, 6) in (1.0, 2.0, 5.0, 10.0)
+
+    def test_ticks_cover_range(self):
+        ticks = nice_ticks(2.3, 97.1)
+        assert all(2.3 <= t <= 97.1 for t in ticks)
+        assert len(ticks) >= 2
+
+    def test_degenerate_range(self):
+        ticks = nice_ticks(5, 5)
+        assert len(ticks) >= 2
+
+    def test_reversed_range(self):
+        assert nice_ticks(10, 0) == nice_ticks(0, 10)
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(ReproError):
+            nice_ticks(0, float("inf"))
+
+
+class TestLineChart:
+    def chart(self):
+        chart = LineChart("Title", "x axis", "y axis")
+        chart.add_series("alpha", [(0, 0), (10, 5), (20, 3)])
+        chart.add_series("beta", [(0, 1), (20, 1)], dashed=True)
+        chart.add_hline(4.0)
+        return chart
+
+    def test_well_formed_xml(self):
+        root = parse(self.chart().render())
+        assert root.tag == f"{SVG_NS}svg"
+
+    def test_one_polyline_per_series_plus_hline(self):
+        root = parse(self.chart().render())
+        polylines = root.findall(f"{SVG_NS}polyline")
+        assert len(polylines) == 2
+        dashed = [p for p in polylines if p.get("stroke-dasharray")]
+        assert len(dashed) == 1
+
+    def test_labels_present(self):
+        text = self.chart().render()
+        assert "Title" in text and "x axis" in text and "y axis" in text
+        assert "alpha" in text and "beta" in text
+
+    def test_points_stay_inside_plot_frame(self):
+        chart = LineChart("t", "x", "y")
+        chart.y_min, chart.y_max = 0, 1
+        chart.add_series("spiky", [(0, 0.5), (1, 99.0), (2, 0.5)])  # clamps
+        root = parse(chart.render())
+        poly = root.find(f"{SVG_NS}polyline")
+        ys = [float(pair.split(",")[1]) for pair in poly.get("points").split()]
+        assert all(20 <= y <= 400 for y in ys)
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ReproError):
+            LineChart("t", "x", "y").add_series("none", [])
+
+    def test_render_without_series_rejected(self):
+        with pytest.raises(ReproError):
+            LineChart("t", "x", "y").render()
+
+    def test_tiny_canvas_rejected(self):
+        with pytest.raises(ReproError):
+            LineChart("t", "x", "y", width=10, height=10)
+
+    def test_xml_escaping(self):
+        chart = LineChart("a < b & c", "x", "y")
+        chart.add_series("s<1>", [(0, 0), (1, 1)])
+        root = parse(chart.render())  # must not raise
+        assert "a < b & c" in "".join(root.itertext())
+
+
+class TestStepChart:
+    def test_distribution_renders_steps(self):
+        chart = StepChart("pdf", "value", "fraction")
+        chart.add_distribution("d", [0, 10, 20], [0.2, 0.5, 0.3], bin_width=10)
+        root = parse(chart.render())
+        poly = root.find(f"{SVG_NS}polyline")
+        # 3 bins → 6 step points
+        assert len(poly.get("points").split()) == 6
+
+    def test_mismatched_lengths_rejected(self):
+        chart = StepChart("pdf", "v", "f")
+        with pytest.raises(ReproError):
+            chart.add_distribution("d", [0, 1], [0.5], bin_width=1)
+
+    def test_empty_distribution_rejected(self):
+        chart = StepChart("pdf", "v", "f")
+        with pytest.raises(ReproError):
+            chart.add_distribution("d", [], [], bin_width=1)
