@@ -9,6 +9,10 @@
   of decay on reached-optimal rates and buffer pools.
 * :func:`churn_resilience` — §6's dynamically evolving pools: joins and
   graceful departures under IC/FB=3.
+* :func:`fault_recovery` — abrupt failures (crashes and link outages with
+  in-flight task loss) and the autonomous recovery protocol's cost:
+  re-executed tasks, detection latency, and post-recovery throughput
+  against the surviving platform's optimal rate.
 """
 
 from __future__ import annotations
@@ -39,6 +43,9 @@ __all__ = [
     "ChurnResilienceResult",
     "churn_resilience",
     "format_churn_result",
+    "FaultRecoveryResult",
+    "fault_recovery",
+    "format_fault_result",
 ]
 
 PRIORITY_CONFIGS: Tuple[ProtocolConfig, ...] = (
@@ -276,3 +283,92 @@ def format_churn_result(result: ChurnResilienceResult) -> str:
         f"mid-run rate / grown-platform optimal        : mean "
         f"{result.mean_join_norm:.3f}, within +-10% on "
         f"{result.within_ten_percent}/{len(result.join_norms)} trees")
+
+
+@dataclass(frozen=True)
+class FaultRecoveryResult:
+    """Crash/outage recovery behaviour of IC/FB=3 over a random ensemble."""
+
+    scale: ExperimentScale
+    #: Per-tree post-recovery rate / surviving-platform optimal rate.
+    efficiencies: Tuple[float, ...]
+    #: Per-crash detection-to-reclaim latency (virtual time).
+    latencies: Tuple[int, ...]
+    total_reexecuted: int
+    total_wasted: int
+    #: Every run completed all its tasks despite the failures.
+    all_completed: bool
+
+    @property
+    def mean_efficiency(self) -> float:
+        return sum(self.efficiencies) / len(self.efficiencies)
+
+    @property
+    def within_five_percent(self) -> int:
+        return sum(1 for e in self.efficiencies if e >= 0.95)
+
+    @property
+    def mean_latency(self) -> float:
+        if not self.latencies:
+            return 0.0
+        return sum(self.latencies) / len(self.latencies)
+
+
+def fault_recovery(scale: ExperimentScale = ExperimentScale(),
+                   params: TreeGeneratorParams = PAPER_DEFAULTS,
+                   progress=None) -> FaultRecoveryResult:
+    """Crash one root subtree mid-run (plus a transient link outage on a
+    second, when the tree has one) and measure the recovery protocol."""
+    from ..metrics.faults import recovery_report
+    from ..platform import (CrashEvent, FaultSchedule, LinkFailureEvent,
+                            LinkRepairEvent)
+
+    config = ProtocolConfig.interruptible(3)
+    efficiencies: List[float] = []
+    latencies: List[int] = []
+    reexecuted = 0
+    wasted = 0
+    completed = True
+    for i in range(scale.trees):
+        tree = generate_tree(params, seed=scale.base_seed + i)
+        root_children = tree.children[tree.root]
+        events: list = [CrashEvent(at_time=200, node=root_children[0])]
+        if len(root_children) > 1:
+            events.append(LinkFailureEvent(at_time=150, node=root_children[1]))
+            events.append(LinkRepairEvent(at_time=450, node=root_children[1]))
+        result = simulate(tree, config, scale.tasks,
+                          faults=FaultSchedule(events))
+        completed &= sum(result.per_node_computed) == scale.tasks
+        report = recovery_report(result)
+        if report.post_recovery_efficiency is not None:
+            efficiencies.append(report.post_recovery_efficiency)
+        latencies.extend(report.recovery_latencies)
+        reexecuted += report.tasks_reexecuted
+        wasted += report.transfers_wasted
+        if progress is not None:
+            progress(i + 1, scale.trees)
+    return FaultRecoveryResult(
+        scale=scale,
+        efficiencies=tuple(efficiencies),
+        latencies=tuple(latencies),
+        total_reexecuted=reexecuted,
+        total_wasted=wasted,
+        all_completed=completed,
+    )
+
+
+def format_fault_result(result: FaultRecoveryResult) -> str:
+    return (
+        f"Ablation — fault recovery (IC/FB=3, {result.scale.trees} trees, "
+        f"{result.scale.tasks} tasks; mid-run subtree crash + link outage)\n"
+        f"{'=' * 60}\n"
+        f"all tasks completed despite failures      : "
+        f"{result.all_completed}\n"
+        f"task instances re-executed (total)        : "
+        f"{result.total_reexecuted}\n"
+        f"transfers wasted (total)                  : {result.total_wasted}\n"
+        f"mean crash-to-reclaim latency             : "
+        f"{result.mean_latency:.0f} steps\n"
+        f"post-recovery rate / surviving optimal    : mean "
+        f"{result.mean_efficiency:.3f}, >=95% on "
+        f"{result.within_five_percent}/{len(result.efficiencies)} trees")

@@ -32,77 +32,89 @@ def _progress(label: str):
     return update
 
 
-def _svg(renderer, result):
-    """Defer the viz import so text-only runs never pay for it."""
-    return renderer(result)
-
-
-def _run_fig3(scale: ExperimentScale, workers: int = 1):
+def _run_fig3(scale: ExperimentScale, workers: int = 1, svg: bool = False):
+    result = fig3.run(scale, progress=_progress("fig3"), workers=workers)
+    if not svg:
+        return fig3.format_result(result), None
     from ..viz import fig3_svg
 
-    result = fig3.run(scale)
-    return fig3.format_result(result), _svg(fig3_svg, result)
+    return fig3.format_result(result), fig3_svg(result)
 
 
-def _run_fig4(scale: ExperimentScale, workers: int = 1):
+def _run_fig4(scale: ExperimentScale, workers: int = 1, svg: bool = False):
+    result = fig4.run(scale, progress=_progress("fig4"), workers=workers)
+    if not svg:
+        return fig4.format_result(result), None
     from ..viz import fig4_svg
 
-    result = fig4.run(scale, progress=_progress("fig4"), workers=workers)
-    return fig4.format_result(result), _svg(fig4_svg, result)
+    return fig4.format_result(result), fig4_svg(result)
 
 
-def _run_fig5(scale: ExperimentScale, workers: int = 1):
+def _run_fig5(scale: ExperimentScale, workers: int = 1, svg: bool = False):
+    result = fig5.run(scale, progress=_progress("fig5"), workers=workers)
+    if not svg:
+        return fig5.format_result(result), None
     from ..viz import fig5_svg
 
-    result = fig5.run(scale, progress=_progress("fig5"), workers=workers)
-    return fig5.format_result(result), _svg(fig5_svg, result)
+    return fig5.format_result(result), fig5_svg(result)
 
 
-def _run_fig6(scale: ExperimentScale, workers: int = 1):
+def _run_fig6(scale: ExperimentScale, workers: int = 1, svg: bool = False):
+    result = fig6.run(scale, progress=_progress("fig6"), workers=workers)
+    if not svg:
+        return fig6.format_result(result), None
     from ..viz import fig6_svg
 
-    result = fig6.run(scale, progress=_progress("fig6"), workers=workers)
-    return fig6.format_result(result), _svg(fig6_svg, result)
+    return fig6.format_result(result), fig6_svg(result)
 
 
-def _run_fig7(scale: ExperimentScale, workers: int = 1):
+def _run_fig7(scale: ExperimentScale, workers: int = 1, svg: bool = False):
+    result = fig7.run()
+    if not svg:
+        return fig7.format_result(result), None
     from ..viz import fig7_svg
 
-    result = fig7.run()
-    return fig7.format_result(result), _svg(fig7_svg, result)
+    return fig7.format_result(result), fig7_svg(result)
 
 
-def _run_table1(scale: ExperimentScale, workers: int = 1):
+def _run_table1(scale: ExperimentScale, workers: int = 1, svg: bool = False):
     return table1.format_result(
         table1.run(scale, progress=_progress("table1"), workers=workers)), None
 
 
-def _run_table2(scale: ExperimentScale, workers: int = 1):
+def _run_table2(scale: ExperimentScale, workers: int = 1, svg: bool = False):
     return table2.format_result(
         table2.run(scale, progress=_progress("table2"), workers=workers)), None
 
 
-def _run_priorities(scale: ExperimentScale, workers: int = 1):
+def _run_priorities(scale: ExperimentScale, workers: int = 1,
+                    svg: bool = False):
     return ablation.format_priority_result(
         ablation.priority_rules(scale, progress=_progress("priorities"))), None
 
 
-def _run_overlays(scale: ExperimentScale, workers: int = 1):
+def _run_overlays(scale: ExperimentScale, workers: int = 1, svg: bool = False):
     return ablation.format_overlay_result(
         ablation.overlay_strategies(graphs=max(5, scale.trees // 5))), None
 
 
-def _run_decay(scale: ExperimentScale, workers: int = 1):
+def _run_decay(scale: ExperimentScale, workers: int = 1, svg: bool = False):
     return ablation.format_decay_result(
         ablation.buffer_decay_ablation(scale, progress=_progress("decay"))), None
 
 
-def _run_churn(scale: ExperimentScale, workers: int = 1):
+def _run_churn(scale: ExperimentScale, workers: int = 1, svg: bool = False):
     return ablation.format_churn_result(
         ablation.churn_resilience(scale, progress=_progress("churn"))), None
 
 
-#: name → runner returning ``(report text, svg text or None)``.
+def _run_faults(scale: ExperimentScale, workers: int = 1, svg: bool = False):
+    return ablation.format_fault_result(
+        ablation.fault_recovery(scale, progress=_progress("faults"))), None
+
+
+#: name → runner returning ``(report text, svg text or None)``; SVG text is
+#: only rendered (and the viz module only imported) when ``svg=True``.
 EXPERIMENTS: Dict[str, Callable[[ExperimentScale], tuple]] = {
     "fig3": _run_fig3,
     "fig4": _run_fig4,
@@ -115,6 +127,7 @@ EXPERIMENTS: Dict[str, Callable[[ExperimentScale], tuple]] = {
     "overlays": _run_overlays,
     "decay": _run_decay,
     "churn": _run_churn,
+    "faults": _run_faults,
 }
 
 
@@ -202,7 +215,8 @@ def main(argv: Optional[list] = None) -> int:
     reports = []
     for name in names:
         start = time.time()
-        report, svg_text = EXPERIMENTS[name](scale, workers=args.workers)
+        report, svg_text = EXPERIMENTS[name](scale, workers=args.workers,
+                                             svg=args.svg is not None)
         elapsed = time.time() - start
         if args.svg and svg_text is not None:
             import os

@@ -74,20 +74,51 @@ def _downsample(normalized: np.ndarray, points: int) -> Tuple[Tuple[int, float],
 
 def run(scale: ExperimentScale = ExperimentScale(),
         params: TreeGeneratorParams = PAPER_DEFAULTS,
-        candidates: int = 30, sample_points: int = 16) -> Fig3Result:
-    """Scan ``candidates`` seeds and pick one tree per behaviour."""
+        candidates: int = 30, sample_points: int = 16,
+        progress=None, workers: int = 1) -> Fig3Result:
+    """Scan ``candidates`` seeds and pick one tree per behaviour.
+
+    ``workers > 1`` fans the candidate simulations out over a process
+    pool; the selection still walks results in seed order, so parallel
+    and serial runs pick identical trees.  ``progress`` is an optional
+    ``(done, total)`` callable invoked after each candidate.
+    """
     if candidates < 3:
         raise ExperimentError("need at least 3 candidate seeds")
+    if workers < 1:
+        raise ExperimentError(f"workers must be >= 1, got {workers}")
+    seeds = range(scale.base_seed, scale.base_seed + candidates)
     found: Dict[str, Tuple[int, np.ndarray, Optional[int]]] = {}
     fallback: List[Tuple[int, np.ndarray, Optional[int]]] = []
-    for seed in range(scale.base_seed, scale.base_seed + candidates):
-        normalized, onset = _series_for(seed, scale, params)
+
+    def _consider(seed, normalized, onset) -> bool:
         behaviour = _classify(normalized, onset, scale.threshold)
         fallback.append((seed, normalized, onset))
         if behaviour not in found:
             found[behaviour] = (seed, normalized, onset)
-        if len(found) == 3:
-            break
+        return len(found) == 3
+
+    if workers == 1:
+        for i, seed in enumerate(seeds):
+            normalized, onset = _series_for(seed, scale, params)
+            done = _consider(seed, normalized, onset)
+            if progress is not None:
+                progress(i + 1, candidates)
+            if done:
+                break
+    else:
+        from concurrent.futures import ProcessPoolExecutor
+        from functools import partial
+
+        worker_fn = partial(_series_for, scale=scale, params=params)
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            for i, (seed, (normalized, onset)) in enumerate(
+                    zip(seeds, pool.map(worker_fn, seeds))):
+                done = _consider(seed, normalized, onset)
+                if progress is not None:
+                    progress(i + 1, candidates)
+                if done:
+                    break
 
     series: List[TreeSeries] = []
     for behaviour, (seed, normalized, onset) in sorted(found.items()):

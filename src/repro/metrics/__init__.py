@@ -18,6 +18,13 @@ from .buffers import buffers_at_completions, reached_within_buffers
 from .usage import UsageStats, histogram_pdf, usage_stats
 from .ensemble import median_or_none, onset_cdf, percentage_reached, summarize
 from .phases import PhaseBreakdown, phase_breakdown
+from .faults import (
+    RecoveryReport,
+    degraded_windows,
+    post_recovery_rate,
+    recovery_latencies,
+    recovery_report,
+)
 
 __all__ = [
     "window_rate",
@@ -40,4 +47,9 @@ __all__ = [
     "summarize",
     "PhaseBreakdown",
     "phase_breakdown",
+    "RecoveryReport",
+    "recovery_latencies",
+    "post_recovery_rate",
+    "degraded_windows",
+    "recovery_report",
 ]

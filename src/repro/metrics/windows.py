@@ -30,7 +30,13 @@ def window_rate(completion_times: Sequence[int], x: int) -> Fraction:
         raise ReproError(
             f"window {x} out of range for {len(completion_times)} completions")
     dt = completion_times[2 * x - 1] - completion_times[x - 1]
-    if dt <= 0:
+    if dt < 0:
+        # Completion times are non-decreasing by construction; a negative
+        # span means the input is corrupted, not an infinite burst.
+        raise ReproError(
+            f"completion times out of order: t_{2 * x} < t_{x} "
+            f"({completion_times[2 * x - 1]} < {completion_times[x - 1]})")
+    if dt == 0:
         # x tasks completed in zero time (burst at one timestep): treat as
         # an infinite spike; callers compare rates, so saturate high.
         return Fraction(x, 1) * 10**9
@@ -49,6 +55,10 @@ def window_rates(completion_times: Sequence[int]) -> np.ndarray:
         return np.empty(0)
     xs = np.arange(1, n + 1, dtype=np.float64)
     dt = times[2 * np.arange(1, n + 1) - 1] - times[np.arange(1, n + 1) - 1]
+    if np.any(dt < 0):
+        bad = int(np.argmax(dt < 0)) + 1
+        raise ReproError(
+            f"completion times out of order: t_{2 * bad} < t_{bad}")
     with np.errstate(divide="ignore"):
         return np.where(dt > 0, xs / np.maximum(dt, 1e-300), np.inf)
 

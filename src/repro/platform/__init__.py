@@ -15,6 +15,7 @@ from .generator import (
 from .examples import figure1_tree, figure2a_tree, figure2b_tree
 from .mutation import Mutation, MutationSchedule
 from .churn import ChurnSchedule, JoinEvent, LeaveEvent
+from .faults import CrashEvent, FaultSchedule, LinkFailureEvent, LinkRepairEvent
 from .serialize import from_dict, from_json, to_dict, to_dot, to_json
 from . import overlay
 
@@ -33,6 +34,10 @@ __all__ = [
     "ChurnSchedule",
     "JoinEvent",
     "LeaveEvent",
+    "CrashEvent",
+    "LinkFailureEvent",
+    "LinkRepairEvent",
+    "FaultSchedule",
     "to_dict",
     "from_dict",
     "to_json",

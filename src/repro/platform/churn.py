@@ -15,8 +15,9 @@ engine consumes them:
   flight, finishes the tasks it holds (no work is lost), and never asks
   for more.
 
-Abrupt failure (losing in-flight tasks) would need an application-level
-retry protocol the paper does not define, so it is out of scope here.
+Abrupt failure (crashes and link outages that destroy buffered and
+in-flight tasks) is modelled separately — see :mod:`repro.platform.faults`
+and the recovery protocol described in ``docs/protocol.md``.
 """
 
 from __future__ import annotations

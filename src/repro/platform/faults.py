@@ -1,0 +1,124 @@
+"""Abrupt failures: node crashes and link outages with in-flight task loss.
+
+Where :mod:`repro.platform.churn` models *graceful* departures (a subtree
+drains and loses no work), this module models the ungraceful churn that
+dominates volunteer/dispersed platforms: a node dies instantly — its
+buffered and in-flight tasks vanish — or a link goes down for an interval,
+killing the transfer it was carrying.  The protocol engine consumes these
+events and runs the autonomous recovery protocol (see
+``docs/protocol.md``): parents detect dead or unreachable children via a
+request-liveness timeout with exponential backoff, lost tasks are
+reclaimed into the root's repository and re-dispensed, and children are
+demoted and re-admitted as links fail and heal.
+
+* :class:`CrashEvent` — at a virtual time, the subtree rooted at ``node``
+  dies abruptly: every buffered task, every task on a CPU, and every
+  transfer in flight inside (or into) the subtree is lost;
+* :class:`LinkFailureEvent` — at a virtual time, the edge from ``node``'s
+  parent goes down: the transfer it carries (if any) is lost, and the
+  subtree below keeps computing what it holds but can receive no new work;
+* :class:`LinkRepairEvent` — the edge comes back up; the child re-announces
+  its outstanding requests and is re-admitted by its parent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Union
+
+from ..errors import PlatformError
+from .tree import PlatformTree
+
+__all__ = [
+    "CrashEvent",
+    "LinkFailureEvent",
+    "LinkRepairEvent",
+    "FaultSchedule",
+]
+
+
+@dataclass(frozen=True)
+class CrashEvent:
+    """The subtree rooted at ``node`` dies abruptly at ``at_time``."""
+
+    at_time: int
+    node: int
+
+    def __post_init__(self):
+        if self.at_time < 0:
+            raise PlatformError("at_time must be >= 0")
+        if self.node < 0:
+            raise PlatformError("node id must be >= 0")
+
+
+@dataclass(frozen=True)
+class LinkFailureEvent:
+    """The edge from ``node``'s parent to ``node`` goes down at ``at_time``."""
+
+    at_time: int
+    node: int
+
+    def __post_init__(self):
+        if self.at_time < 0:
+            raise PlatformError("at_time must be >= 0")
+        if self.node < 0:
+            raise PlatformError("node id must be >= 0")
+
+
+@dataclass(frozen=True)
+class LinkRepairEvent:
+    """The edge from ``node``'s parent to ``node`` comes back at ``at_time``."""
+
+    at_time: int
+    node: int
+
+    def __post_init__(self):
+        if self.at_time < 0:
+            raise PlatformError("at_time must be >= 0")
+        if self.node < 0:
+            raise PlatformError("node id must be >= 0")
+
+
+FaultEvent = Union[CrashEvent, LinkFailureEvent, LinkRepairEvent]
+
+
+class FaultSchedule:
+    """Time-ordered crashes and link outages for one run."""
+
+    def __init__(self, events: Iterable[FaultEvent] = ()):
+        self.events: List[FaultEvent] = sorted(events, key=lambda e: e.at_time)
+
+    def validate(self, tree: PlatformTree) -> None:
+        """Static checks against the *initial* tree.
+
+        Faults may reference nodes added by earlier churn joins, so
+        id-range checks happen when an event fires; here we only reject
+        what can never become valid.
+        """
+        down: set = set()
+        for event in self.events:
+            if event.node == tree.root:
+                raise PlatformError(
+                    "the repository root cannot crash or lose its (nonexistent) "
+                    "parent link")
+            if isinstance(event, LinkFailureEvent):
+                if event.node in down:
+                    raise PlatformError(
+                        f"link to node {event.node} fails at t={event.at_time} "
+                        "while already down")
+                down.add(event.node)
+            elif isinstance(event, LinkRepairEvent):
+                if event.node not in down:
+                    raise PlatformError(
+                        f"link to node {event.node} repaired at "
+                        f"t={event.at_time} but was never down")
+                down.discard(event.node)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __bool__(self) -> bool:
+        return bool(self.events)

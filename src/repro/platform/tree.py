@@ -292,11 +292,23 @@ class PlatformTree:
         Node ids are relabelled to stay contiguous (order preserved).
         Pruning the root is an error — there would be nothing left.
         """
-        if node_id == self.root:
-            raise PlatformError("cannot prune the root")
-        if not 0 <= node_id < self.num_nodes:
-            raise PlatformError(f"no node {node_id}")
-        removed = set(self.subtree_ids(node_id))
+        return self.pruned_many([node_id])
+
+    def pruned_many(self, node_ids: Iterable[int]) -> "PlatformTree":
+        """A new tree with the subtrees rooted at ``node_ids`` removed.
+
+        Each id removes its whole subtree, so passing every member of an
+        already-closed set (e.g. the crashed nodes of a run) is fine.
+        Node ids are relabelled to stay contiguous (order preserved).
+        """
+        removed: set = set()
+        for node_id in node_ids:
+            if node_id == self.root:
+                raise PlatformError("cannot prune the root")
+            if not 0 <= node_id < self.num_nodes:
+                raise PlatformError(f"no node {node_id}")
+            if node_id not in removed:
+                removed.update(self.subtree_ids(node_id))
         keep = [i for i in range(self.num_nodes) if i not in removed]
         relabel = {old: new for new, old in enumerate(keep)}
         w = [self.w[i] for i in keep]

@@ -44,6 +44,10 @@ if TYPE_CHECKING:  # pragma: no cover
 
 __all__ = ["NodeAgent", "Transfer"]
 
+#: Shared immutable "no suspects" marker used while fault recovery is off,
+#: so the scheduling hot path pays only an empty-membership test.
+_NO_SUSPECTS: frozenset = frozenset()
+
 
 class Transfer:
     """One task in flight from ``parent`` to ``child`` (possibly shelved)."""
@@ -81,6 +85,9 @@ class NodeAgent:
         "current_transfer", "shelf",
         "computed", "max_buffers_seen", "max_held_seen",
         "transfers_started", "preemptions",
+        "alive", "link_down", "deferred_requests", "suspect",
+        "probe_timers", "sweep_timer",
+        "request_timeout", "max_retries", "backoff_factor",
     )
 
     def __init__(self, engine: "ProtocolEngine", node_id: int, w, c,
@@ -121,6 +128,20 @@ class NodeAgent:
             deque() if config.priority_rule is PriorityRule.FIFO else None)
 
         self.departed = False  # left the pool (graceful drain mode)
+
+        # Fault-recovery state (§ "Abrupt failures" in docs/protocol.md).
+        # ``suspect``/``probe_timers`` stay inert placeholders unless the
+        # engine calls :meth:`enable_fault_recovery`.
+        self.alive = True
+        self.link_down = False   # the edge from the parent is down
+        self.deferred_requests = 0  # requests not yet announced (link down)
+        self.suspect = _NO_SUSPECTS  # child ids frozen out of the schedule
+        self.probe_timers: Optional[Dict[int, object]] = None
+        self.sweep_timer = None
+        self.request_timeout = config.request_timeout
+        self.max_retries = config.max_retries
+        self.backoff_factor = config.backoff_factor
+
         self.undispensed = 0  # repository size; set by the engine on the root
         self.cpu_busy = False
         self.cpu_timer = None
@@ -173,7 +194,12 @@ class NodeAgent:
             self.buffers_decayed += 1
             return
         self.requested += 1
-        self.parent._on_request(self)
+        if self.link_down:
+            # The request cannot cross a down link; it is re-announced
+            # wholesale when the parent re-admits this node after repair.
+            self.deferred_requests += 1
+        else:
+            self.parent._on_request(self)
         # Growth rule 1: all buffers just became empty while a child is
         # still waiting for a task.
         if self.growth and self.tasks_held == 0 and self.child_requests > 0:
@@ -195,7 +221,10 @@ class NodeAgent:
         if tracer is not None:
             tracer.record(self.engine.env.now, _trace.GROW, self.id)
         self.requested += 1
-        self.parent._on_request(self)
+        if self.link_down:
+            self.deferred_requests += 1
+        else:
+            self.parent._on_request(self)
 
     # --------------------------------------------------------------- churn
     def announce_join(self) -> None:
@@ -216,9 +245,15 @@ class NodeAgent:
         self.growth = False
         self.decay = False
         if self.requested:
-            self.parent.child_requests -= self.requested
+            # Only requests the parent actually heard about (announced and
+            # not frozen by suspicion) are withdrawn from its counter.
+            announced = self.requested - self.deferred_requests
+            if (announced and self.id not in self.parent.suspect
+                    and self in self.parent.children):
+                self.parent.child_requests -= announced
             self.buffers_total -= self.requested
             self.requested = 0
+            self.deferred_requests = 0
 
     def _decay_tick(self) -> None:
         """Account one completion/forward toward shedding surplus buffers.
@@ -299,10 +334,13 @@ class NodeAgent:
             if self.fifo_queue and self.has_task():
                 return self.fifo_queue[0]
             return None
+        suspect = self.suspect
         shelf = self.shelf
         if shelf:
             task_ready = self.has_task()
             for child in self.sorted_children:
+                if child.id in suspect:
+                    continue
                 if child.id in shelf:
                     return child
                 if task_ready and child.requested > 0:
@@ -311,7 +349,7 @@ class NodeAgent:
         if not self.has_task() or self.child_requests == 0:
             return None
         for child in self.sorted_children:
-            if child.requested > 0:
+            if child.requested > 0 and child.id not in suspect:
                 return child
         return None
 
@@ -322,6 +360,15 @@ class NodeAgent:
         child = self._choose_next()
         if child is None:
             return
+        if self.probe_timers is not None:
+            # Fault recovery is on: refuse to start a transfer into a dead
+            # or unreachable child — a failed send is the local observation
+            # that starts the suspicion clock.
+            while not child.alive or child.link_down:
+                self._mark_suspect(child)
+                child = self._choose_next()
+                if child is None:
+                    return
         transfer = self.shelf.pop(child.id, None)
         tracer = self.engine.tracer
         if transfer is None:
@@ -437,6 +484,158 @@ class NodeAgent:
             parent._maybe_preempt()
         elif parent.current_transfer is None:
             parent.try_send()
+
+    # ------------------------------------------------------ fault recovery
+    def enable_fault_recovery(self) -> None:
+        """Switch the inert fault placeholders to live state.  Called by the
+        engine for every agent when (and only when) the run carries a
+        :class:`~repro.platform.faults.FaultSchedule`, so fault-free runs
+        keep a bit-identical event calendar."""
+        self.suspect = set()
+        self.probe_timers = {}
+
+    def _crash(self) -> int:
+        """Die abruptly.  Returns the number of task instances destroyed
+        *locally* (buffered, on the CPU, or on the outgoing port/shelf);
+        the engine pools them for eventual reclaim by the root."""
+        self.alive = False
+        self.growth = False
+        self.decay = False
+        lost = self.tasks_held
+        self.tasks_held = 0
+        if self.cpu_timer is not None:
+            self.cpu_timer.cancel()
+            self.cpu_timer = None
+        if self.cpu_busy:
+            self.cpu_busy = False
+            lost += 1
+        transfer = self.current_transfer
+        if transfer is not None:
+            if transfer.timer is not None:
+                transfer.timer.cancel()
+            self.current_transfer = None
+            lost += 1
+            self.engine.transfers_wasted += 1
+        if self.shelf:
+            lost += len(self.shelf)
+            self.engine.transfers_wasted += len(self.shelf)
+            self.shelf.clear()
+        if self.sweep_timer is not None:
+            self.sweep_timer.cancel()
+            self.sweep_timer = None
+        if self.probe_timers:
+            for timer in self.probe_timers.values():
+                timer.cancel()
+            self.probe_timers.clear()
+        return lost
+
+    def _mark_suspect(self, child: "NodeAgent") -> None:
+        """Freeze an unreachable child out of the schedule and start probing.
+
+        Purely local: the parent observed a failed send (or a missed
+        liveness ping) — it cannot tell a crash from a link outage, so it
+        retries ``max_retries`` probes with exponential backoff before
+        declaring the child dead.
+        """
+        if child.id in self.suspect:
+            return
+        self.suspect.add(child.id)
+        # The child's announced requests leave the parent's demand counter
+        # while suspicion lasts; deferred (unannounced) ones never entered.
+        self.child_requests -= child.requested - child.deferred_requests
+        tracer = self.engine.tracer
+        if tracer is not None:
+            tracer.record(self.engine.env.now, _trace.SUSPECT,
+                          self.id, child.id)
+        self.probe_timers[child.id] = self.engine.env.call_in(
+            self.request_timeout, self._probe_child, child, 1)
+
+    def _probe_child(self, child: "NodeAgent", attempt: int) -> None:
+        if not self.alive or child.id not in self.suspect:
+            return
+        self.probe_timers.pop(child.id, None)
+        if child.alive and not child.link_down:
+            self._readmit_child(child)
+            return
+        if attempt >= self.max_retries:
+            self._declare_child_dead(child)
+            return
+        engine = self.engine
+        if engine.completed >= engine.num_tasks:
+            return  # job done; let the calendar drain
+        delay = self.request_timeout * self.backoff_factor ** attempt
+        self.probe_timers[child.id] = engine.env.call_in(
+            delay, self._probe_child, child, attempt + 1)
+
+    def _readmit_child(self, child: "NodeAgent") -> None:
+        """A suspect (or previously declared-dead) child proved reachable
+        again: restore its demand and resume serving it."""
+        self.suspect.discard(child.id)
+        timer = self.probe_timers.pop(child.id, None)
+        if timer is not None:
+            timer.cancel()
+        if child not in self.children:
+            # Declared dead, but the partition healed: re-attach.
+            self.children.append(child)
+            self.resort_children()
+        self.child_requests += child.requested
+        child.deferred_requests = 0
+        tracer = self.engine.tracer
+        if tracer is not None:
+            tracer.record(self.engine.env.now, _trace.READMIT,
+                          self.id, child.id)
+        self.engine._flush_pending_losses(child)
+        if self.current_transfer is None:
+            self.try_send()
+        elif self.interruptible:
+            self._maybe_preempt()
+
+    def _declare_child_dead(self, child: "NodeAgent") -> None:
+        """Give up on a suspect child: detach its subtree and have the
+        engine reclaim every task instance it destroyed."""
+        self.suspect.discard(child.id)
+        timer = self.probe_timers.pop(child.id, None)
+        if timer is not None:
+            timer.cancel()
+        if child in self.children:
+            self.children.remove(child)
+            self.resort_children()
+        extra = 0
+        shelved = self.shelf.pop(child.id, None)
+        if shelved is not None:
+            # The half-sent task is abandoned along with the child.
+            extra += 1
+            self.engine.transfers_wasted += 1
+            if child.alive:
+                # Partitioned-but-alive child: the arrival it still expects
+                # will never happen, so its buffer re-requests (deferred
+                # until the link heals and it is re-admitted).
+                child.incoming -= 1
+                child.requested += 1
+                child.deferred_requests += 1
+        self.engine._flush_pending_losses(child, extra)
+        if self.current_transfer is None:
+            self.try_send()
+
+    def _start_sweep(self) -> None:
+        self.sweep_timer = self.engine.env.call_in(
+            self.request_timeout, self._liveness_sweep)
+
+    def _liveness_sweep(self) -> None:
+        """Periodic liveness check of the children (the request-timeout
+        clock): any unreachable non-suspect child enters suspicion even if
+        no send to it happened to fail first."""
+        self.sweep_timer = None
+        if not self.alive:
+            return
+        engine = self.engine
+        if engine.completed >= engine.num_tasks:
+            return  # stop rescheduling so the run can terminate
+        for child in self.children:
+            if (child.id not in self.suspect
+                    and (not child.alive or child.link_down)):
+                self._mark_suspect(child)
+        self._start_sweep()
 
     def __repr__(self) -> str:  # pragma: no cover
         return (f"<NodeAgent {self.id} held={self.tasks_held} "

@@ -80,6 +80,17 @@ class ProtocolConfig:
     #: its ~20% reached-optimal figure for non-IC.  Set to ``False`` for
     #: the undamped literal reading.
     growth_cooldown: bool = True
+    #: Liveness-probe period (virtual time) of the fault-recovery protocol:
+    #: parents check each child's reachability this often while a
+    #: :class:`~repro.platform.faults.FaultSchedule` is active.  Ignored
+    #: (no probes, no timers) when the run has no fault schedule.
+    request_timeout: int = 50
+    #: Consecutive failed probes before a suspect child is declared dead
+    #: and its subtree's lost tasks are reclaimed to the root.
+    max_retries: int = 3
+    #: Multiplier applied to the probe delay after each failed probe
+    #: (exponential backoff; ``1`` probes at a constant period).
+    backoff_factor: int = 2
 
     def __post_init__(self):
         if self.initial_buffers < 1:
@@ -96,6 +107,15 @@ class ProtocolConfig:
             raise ProtocolError(
                 "buffer_decay without buffer_growth would only shrink the "
                 "fixed pool; enable growth or drop decay")
+        if self.request_timeout < 1:
+            raise ProtocolError(
+                f"request_timeout must be >= 1, got {self.request_timeout}")
+        if self.max_retries < 1:
+            raise ProtocolError(
+                f"max_retries must be >= 1, got {self.max_retries}")
+        if self.backoff_factor < 1:
+            raise ProtocolError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}")
         if (self.variant is ProtocolVariant.INTERRUPTIBLE
                 and self.priority_rule is PriorityRule.FIFO):
             # FIFO has no priorities, so nothing can ever preempt: the

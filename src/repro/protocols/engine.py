@@ -14,13 +14,16 @@ in flight keep their original durations.
 from __future__ import annotations
 
 import sys
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..errors import ProtocolError
 from ..platform.churn import ChurnSchedule, JoinEvent, LeaveEvent
+from ..platform.faults import (CrashEvent, FaultSchedule, LinkFailureEvent,
+                               LinkRepairEvent)
 from ..platform.mutation import Mutation, MutationSchedule
 from ..platform.tree import PlatformTree
 from ..sim import Environment
+from . import trace as _trace
 from .agents import NodeAgent
 from .config import PriorityRule, ProtocolConfig
 from .result import SimulationResult
@@ -39,6 +42,7 @@ class ProtocolEngine:
                  num_tasks: int,
                  mutations: Optional[MutationSchedule] = None,
                  churn: Optional[ChurnSchedule] = None,
+                 faults: Optional[FaultSchedule] = None,
                  record_buffer_timeline: bool = False):
         if num_tasks < 0:
             raise ProtocolError(f"num_tasks must be >= 0, got {num_tasks}")
@@ -53,6 +57,12 @@ class ProtocolEngine:
             raise ProtocolError(
                 "churn with FIFO ordering is unsupported (withdrawing a "
                 "departed node's queued requests is ill-defined)")
+        self.faults = faults if faults is not None else FaultSchedule()
+        self.faults.validate(self.tree)
+        if self.faults and config.priority_rule is PriorityRule.FIFO:
+            raise ProtocolError(
+                "faults with FIFO ordering are unsupported (reconciling a "
+                "failed node's queued requests is ill-defined)")
         self.record_buffer_timeline = record_buffer_timeline
 
         self.env = Environment()
@@ -71,6 +81,17 @@ class ProtocolEngine:
         self._finished = False
         self.repository_exhausted_at: Optional[int] = None
 
+        # Fault-recovery bookkeeping.  ``_pending_lost`` pools destroyed
+        # task instances under the id of the node whose unreachability the
+        # surviving tree will detect; the pool is flushed into the root's
+        # repository when that detection (or a link repair) happens.
+        self._pending_lost: Dict[int, int] = {}
+        self.tasks_reexecuted = 0
+        self.transfers_wasted = 0
+        self.crashed_node_ids: List[int] = []
+        self.crash_times: List[int] = []
+        self.reclaim_times: List[int] = []
+
         self._build_agents()
 
     # ------------------------------------------------------------ assembly
@@ -88,6 +109,9 @@ class ProtocolEngine:
             agent.children = [self.nodes[cid] for cid in tree.children[node_id]]
             agent.resort_children()
         self.nodes[tree.root].undispensed = self.num_tasks
+        if self.faults:
+            for agent in self.nodes:
+                agent.enable_fault_recovery()
 
     # ----------------------------------------------------------- callbacks
     def _on_completion(self, node: NodeAgent) -> None:
@@ -117,9 +141,7 @@ class ProtocolEngine:
     def _apply_mutation(self, mutation: Mutation) -> None:
         mutation.apply(self.tree)  # keep the tree snapshot in sync
         if self.tracer is not None:
-            from .trace import MUTATION
-
-            self.tracer.record(self.env.now, MUTATION, mutation.node)
+            self.tracer.record(self.env.now, _trace.MUTATION, mutation.node)
         self.nodes[mutation.node].apply_weight_change(
             mutation.attribute, mutation.value)
 
@@ -130,6 +152,9 @@ class ProtocolEngine:
         if self.nodes[join.parent].departed:
             raise ProtocolError(
                 f"join at t={join.at_time}: node {join.parent} has departed")
+        if not self.nodes[join.parent].alive:
+            raise ProtocolError(
+                f"join at t={join.at_time}: node {join.parent} has crashed")
         mapping = self.tree.attach_subtree(join.parent, join.subtree,
                                            join.attach_cost)
         new_ids = sorted(mapping.values())
@@ -147,6 +172,11 @@ class ProtocolEngine:
         attach_parent.children = [self.nodes[cid]
                                   for cid in self.tree.children[join.parent]]
         attach_parent.resort_children()
+        if self.faults:
+            for node_id in new_ids:
+                agent = self.nodes[node_id]
+                agent.enable_fault_recovery()
+                agent._start_sweep()
         # New nodes start participating NOW: live requests (which may
         # immediately preempt lower-priority transfers under IC).
         for node_id in new_ids:
@@ -159,7 +189,127 @@ class ProtocolEngine:
         if leave.node == self.tree.root:
             raise ProtocolError("the repository root cannot leave")
         for node_id in self.tree.subtree_ids(leave.node):
-            self.nodes[node_id].depart()
+            if self.nodes[node_id].alive:  # crashed nodes already "left"
+                self.nodes[node_id].depart()
+
+    # --------------------------------------------------------------- faults
+    def _fault_agent(self, event) -> NodeAgent:
+        if not 0 <= event.node < len(self.nodes):
+            raise ProtocolError(
+                f"fault at t={event.at_time} targets unknown node {event.node}")
+        return self.nodes[event.node]
+
+    def _apply_crash(self, event: CrashEvent) -> None:
+        victim = self._fault_agent(event)
+        if not victim.alive:
+            return  # already dead (nested crash schedules)
+        parent = victim.parent
+        pending = 0
+        # A surviving parent's transfer into the dying subtree dies with
+        # it; the failed send is the parent's local failure observation.
+        if parent is not None and parent.alive:
+            transfer = parent.current_transfer
+            killed = 0
+            if transfer is not None and transfer.child is victim:
+                if transfer.timer is not None:
+                    transfer.timer.cancel()
+                parent.current_transfer = None
+                killed += 1
+            if parent.shelf.pop(victim.id, None) is not None:
+                killed += 1
+            if killed:
+                pending += killed
+                self.transfers_wasted += killed
+                parent._mark_suspect(victim)
+                parent.try_send()
+        # The whole subtree dies; any losses previously pooled under a
+        # descendant lose their detector and fold into this crash's pool.
+        stack = [victim]
+        while stack:
+            agent = stack.pop()
+            stack.extend(agent.children)
+            if not agent.alive:
+                continue
+            pending += agent._crash()
+            pending += self._pending_lost.pop(agent.id, 0)
+            self.crashed_node_ids.append(agent.id)
+            if self.tracer is not None:
+                self.tracer.record(self.env.now, _trace.CRASH, agent.id)
+        self.crash_times.append(self.env.now)
+        self._pending_lost[victim.id] = (
+            self._pending_lost.get(victim.id, 0) + pending)
+        if parent is None or not parent.alive or victim not in parent.children:
+            # Nobody is left to detect this death (the subtree was already
+            # partitioned or detached): the loss surfaces immediately.
+            self._flush_pending_losses(victim)
+
+    def _apply_link_failure(self, event: LinkFailureEvent) -> None:
+        agent = self._fault_agent(event)
+        if not agent.alive:
+            return
+        agent.link_down = True
+        if self.tracer is not None:
+            self.tracer.record(self.env.now, _trace.LINK_DOWN, agent.id)
+        parent = agent.parent
+        if parent is None or not parent.alive:
+            return
+        transfer = parent.current_transfer
+        if transfer is not None and transfer.child is agent:
+            # The in-flight task dies on the wire.  (A *shelved* transfer
+            # is parked at the parent and survives the outage.)
+            if transfer.timer is not None:
+                transfer.timer.cancel()
+            parent.current_transfer = None
+            self.transfers_wasted += 1
+            # The child's buffer re-requests; the request stays deferred
+            # until the link heals and the parent re-admits the child.
+            agent.incoming -= 1
+            agent.requested += 1
+            agent.deferred_requests += 1
+            self._pending_lost[agent.id] = (
+                self._pending_lost.get(agent.id, 0) + 1)
+            parent._mark_suspect(agent)
+            parent.try_send()
+
+    def _apply_link_repair(self, event: LinkRepairEvent) -> None:
+        agent = self._fault_agent(event)
+        agent.link_down = False
+        if self.tracer is not None:
+            self.tracer.record(self.env.now, _trace.LINK_UP, agent.id)
+        parent = agent.parent
+        if agent.alive and parent is not None and parent.alive:
+            if agent.id in parent.suspect or agent not in parent.children:
+                parent._readmit_child(agent)  # flushes the pending pool
+                return
+            if agent.deferred_requests:
+                # Healed before the parent ever noticed: announce the
+                # requests deferred during the outage.
+                parent.child_requests += agent.deferred_requests
+                agent.deferred_requests = 0
+                if parent.current_transfer is None:
+                    parent.try_send()
+                elif parent.interruptible:
+                    parent._maybe_preempt()
+        self._flush_pending_losses(agent)
+
+    def _flush_pending_losses(self, agent: NodeAgent, extra: int = 0) -> None:
+        """Reclaim task instances destroyed around ``agent`` into the
+        root's repository and restart dispensing."""
+        lost = self._pending_lost.pop(agent.id, 0) + extra
+        if lost == 0:
+            return
+        self.tasks_reexecuted += lost
+        self.reclaim_times.append(self.env.now)
+        if self.tracer is not None:
+            self.tracer.record(self.env.now, _trace.RECLAIM, agent.id, lost)
+        root = self.nodes[self.tree.root]
+        root.undispensed += lost
+        self.repository_exhausted_at = None
+        root.try_start_compute()
+        if root.current_transfer is None:
+            root.try_send()
+        elif root.interruptible:
+            root._maybe_preempt()
 
     # ----------------------------------------------------------------- run
     def run(self) -> SimulationResult:
@@ -178,6 +328,14 @@ class ProtocolEngine:
                 handler = (self._apply_join if isinstance(event, JoinEvent)
                            else self._apply_leave)
                 self.env.call_at(event.at_time, handler, event)
+            for event in self.faults:
+                if isinstance(event, CrashEvent):
+                    fault_handler = self._apply_crash
+                elif isinstance(event, LinkFailureEvent):
+                    fault_handler = self._apply_link_failure
+                else:
+                    fault_handler = self._apply_link_repair
+                self.env.call_at(event.at_time, fault_handler, event)
 
             # Phase 1: every node registers its initial requests.
             for agent in self.nodes:
@@ -186,6 +344,11 @@ class ProtocolEngine:
             for agent in self.nodes:
                 agent.try_start_compute()
                 agent.try_send()
+            if self.faults:
+                # Liveness sweeps only exist when faults can happen, so a
+                # fault-free run keeps a bit-identical event calendar.
+                for agent in self.nodes:
+                    agent._start_sweep()
 
             self.env.run()
         finally:
@@ -194,7 +357,7 @@ class ProtocolEngine:
         if self.completed != self.num_tasks:  # pragma: no cover - invariant
             raise ProtocolError(
                 f"run ended with {self.completed}/{self.num_tasks} tasks "
-                "completed — a task was lost")
+                "completed — a task instance was lost and never reclaimed")
 
         return SimulationResult(
             tree=self.tree,
@@ -212,15 +375,21 @@ class ProtocolEngine:
             transfers=sum(a.transfers_started for a in self.nodes),
             events_processed=self.env.processed_count,
             repository_exhausted_at=self.repository_exhausted_at,
+            crashed_node_ids=tuple(self.crashed_node_ids),
+            tasks_reexecuted=self.tasks_reexecuted,
+            transfers_wasted=self.transfers_wasted,
+            crash_times=tuple(self.crash_times),
+            reclaim_times=tuple(self.reclaim_times),
         )
 
 
 def simulate(tree: PlatformTree, config: ProtocolConfig, num_tasks: int,
              *, mutations: Optional[MutationSchedule] = None,
              churn: Optional[ChurnSchedule] = None,
+             faults: Optional[FaultSchedule] = None,
              record_buffer_timeline: bool = False) -> SimulationResult:
     """Run one protocol simulation (one-line convenience wrapper)."""
     engine = ProtocolEngine(tree, config, num_tasks, mutations=mutations,
-                            churn=churn,
+                            churn=churn, faults=faults,
                             record_buffer_timeline=record_buffer_timeline)
     return engine.run()

@@ -50,6 +50,19 @@ class SimulationResult:
     #: Virtual time at which the repository handed out its last task
     #: (``None`` for empty runs); everything after it is wind-down.
     repository_exhausted_at: Optional[int] = None
+    #: Nodes destroyed by :class:`~repro.platform.faults.CrashEvent`\ s
+    #: (every member of each crashed subtree, in death order).
+    crashed_node_ids: Tuple[int, ...] = ()
+    #: Task instances destroyed by faults and re-dispensed by the root.
+    tasks_reexecuted: int = 0
+    #: Transfers (in flight or shelved) killed by crashes, link outages,
+    #: or dead-child declarations — pure wasted link time.
+    transfers_wasted: int = 0
+    #: Virtual time of each :class:`~repro.platform.faults.CrashEvent`.
+    crash_times: Tuple[int, ...] = ()
+    #: Virtual time of each reclaim (lost work re-entering the repository);
+    #: ``reclaim - crash`` is the protocol's detection/recovery latency.
+    reclaim_times: Tuple[int, ...] = ()
 
     @property
     def makespan(self) -> int:
@@ -86,3 +99,11 @@ class SimulationResult:
         if self.makespan == 0:
             return 0.0
         return self.num_tasks / self.makespan
+
+    def surviving_tree(self) -> PlatformTree:
+        """The platform with every crashed subtree pruned — what the
+        steady-state model (``solve_tree``) should be fed to predict the
+        post-recovery rate.  Node ids are relabelled by the pruning."""
+        if not self.crashed_node_ids:
+            return self.tree
+        return self.tree.pruned_many(self.crashed_node_ids)

@@ -28,8 +28,9 @@ from ..errors import ProtocolError
 
 __all__ = [
     "REQUEST", "GROW", "SEND_START", "SEND_RESUME", "SEND_DONE", "PREEMPT",
-    "COMPUTE_START", "COMPUTE_DONE", "MUTATION", "ALL_KINDS",
-    "TraceEvent", "Tracer", "ascii_gantt",
+    "COMPUTE_START", "COMPUTE_DONE", "MUTATION",
+    "CRASH", "LINK_DOWN", "LINK_UP", "SUSPECT", "READMIT", "RECLAIM",
+    "ALL_KINDS", "TraceEvent", "Tracer", "ascii_gantt",
 ]
 
 REQUEST = "request"
@@ -41,10 +42,23 @@ PREEMPT = "preempt"
 COMPUTE_START = "compute-start"
 COMPUTE_DONE = "compute-done"
 MUTATION = "mutation"
+#: A node died abruptly (one event per crashed node).
+CRASH = "crash"
+#: The edge from ``node``'s parent went down / came back.
+LINK_DOWN = "link-down"
+LINK_UP = "link-up"
+#: ``node`` (the parent) started suspecting ``peer`` (the child).
+SUSPECT = "suspect"
+#: ``node`` (the parent) re-admitted ``peer`` after a link healed.
+READMIT = "readmit"
+#: ``peer`` lost tasks were reclaimed into the root's repository after
+#: ``node`` (the suspecting parent's child) was declared dead or healed.
+RECLAIM = "reclaim"
 
 ALL_KINDS: frozenset = frozenset({
     REQUEST, GROW, SEND_START, SEND_RESUME, SEND_DONE, PREEMPT,
     COMPUTE_START, COMPUTE_DONE, MUTATION,
+    CRASH, LINK_DOWN, LINK_UP, SUSPECT, READMIT, RECLAIM,
 })
 
 

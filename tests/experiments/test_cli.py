@@ -79,3 +79,100 @@ class TestOverlayAblation:
         assert sum(result.wins.values()) == 5
         text = ablation.format_overlay_result(result)
         assert "overlay" in text
+
+
+class TestResolveScaleMatrix:
+    """Every preset × every override combination resolves predictably."""
+
+    PRESETS = {
+        "default": ExperimentScale(),
+        "smoke": ExperimentScale.smoke(),
+        "paper": ExperimentScale.paper(),
+    }
+
+    @pytest.mark.parametrize("preset", sorted(PRESETS))
+    @pytest.mark.parametrize("overrides", [
+        [],
+        ["--trees", "7"],
+        ["--tasks", "123"],
+        ["--seed", "42"],
+        ["--threshold", "17"],
+        ["--trees", "7", "--tasks", "123", "--seed", "42",
+         "--threshold", "17"],
+    ], ids=["none", "trees", "tasks", "seed", "threshold", "all"])
+    def test_matrix(self, preset, overrides):
+        base = self.PRESETS[preset]
+        args = build_parser().parse_args(["fig4", "--scale", preset]
+                                         + overrides)
+        scale = resolve_scale(args)
+        assert scale.trees == (7 if "--trees" in overrides else base.trees)
+        assert scale.tasks == (123 if "--tasks" in overrides else base.tasks)
+        assert scale.base_seed == (42 if "--seed" in overrides
+                                   else base.base_seed)
+        if "--threshold" in overrides:
+            assert scale.threshold == 17
+        else:
+            # With no explicit window the threshold re-derives from the
+            # (possibly overridden) task count.
+            expected = ExperimentScale(
+                trees=scale.trees, tasks=scale.tasks,
+                threshold_window=base.threshold_window)
+            assert scale.threshold == expected.threshold
+
+
+class TestSvgGating:
+    """SVG must only be rendered (and repro.viz imported) with --svg."""
+
+    def _drop_viz(self):
+        import sys
+
+        for name in [m for m in sys.modules if m.startswith("repro.viz")]:
+            del sys.modules[name]
+
+    def test_no_svg_flag_skips_viz_entirely(self, capsys):
+        import sys
+
+        self._drop_viz()
+        assert main(["fig7"]) == 0
+        assert not any(m.startswith("repro.viz") for m in sys.modules)
+        assert "[figure written" not in capsys.readouterr().out
+
+    def test_svg_flag_renders_and_writes(self, tmp_path, capsys):
+        assert main(["fig7", "--svg", str(tmp_path)]) == 0
+        svg = (tmp_path / "fig7.svg").read_text()
+        assert svg.lstrip().startswith("<svg")
+        assert "[figure written" in capsys.readouterr().out
+
+    def test_runners_accept_svg_keyword(self):
+        scale = ExperimentScale(trees=5, tasks=100)
+        report, svg = EXPERIMENTS["fig7"](scale, workers=1, svg=False)
+        assert "Figure 7" in report and svg is None
+        report, svg = EXPERIMENTS["fig7"](scale, workers=1, svg=True)
+        assert svg is not None and "<svg" in svg
+
+
+class TestFig3Workers:
+    def test_parallel_matches_serial(self):
+        from repro.experiments import fig3
+
+        scale = ExperimentScale(trees=5, tasks=300)
+        serial = fig3.run(scale, candidates=4, workers=1)
+        parallel = fig3.run(scale, candidates=4, workers=2)
+        assert serial == parallel
+
+    def test_progress_reported(self):
+        from repro.experiments import fig3
+
+        calls = []
+        scale = ExperimentScale(trees=5, tasks=300)
+        fig3.run(scale, candidates=4,
+                 progress=lambda done, total: calls.append((done, total)))
+        assert calls and calls[0] == (1, 4)
+        assert all(total == 4 for _done, total in calls)
+
+    def test_bad_workers_rejected(self):
+        from repro.errors import ExperimentError
+        from repro.experiments import fig3
+
+        with pytest.raises(ExperimentError, match="workers"):
+            fig3.run(ExperimentScale(trees=5, tasks=300), workers=0)

@@ -37,6 +37,13 @@ class TestWindowRate:
         times = [7, 7, 7, 7]  # burst: four tasks at one timestep
         assert window_rate(times, 2) > 10**6
 
+    def test_negative_duration_rejected(self):
+        # Out-of-order completion times are corrupted input, not a burst:
+        # they must raise, never report an infinite rate.
+        times = [10, 20, 30, 5]  # t_4 < t_2
+        with pytest.raises(ReproError, match="out of order"):
+            window_rate(times, 2)
+
 
 class TestWindowRates:
     def test_matches_exact_computation(self):
@@ -54,6 +61,14 @@ class TestWindowRates:
         assert num_windows(0) == 0
         assert num_windows(9) == 4
         assert num_windows(10) == 5
+
+    def test_negative_duration_rejected_vectorized(self):
+        times = [10, 20, 30, 5]
+        with pytest.raises(ReproError, match="out of order"):
+            window_rates(times)
+
+    def test_zero_duration_still_saturates_vectorized(self):
+        assert np.isinf(window_rates([7, 7, 7, 7])).all()
 
 
 class TestNormalized:

@@ -1,0 +1,79 @@
+"""FaultSchedule and fault-event validation."""
+
+import pytest
+
+from repro.errors import PlatformError
+from repro.platform import (CrashEvent, FaultSchedule, LinkFailureEvent,
+                            LinkRepairEvent, figure1_tree)
+
+
+class TestEvents:
+    @pytest.mark.parametrize("cls",
+                             [CrashEvent, LinkFailureEvent, LinkRepairEvent])
+    def test_negative_time_rejected(self, cls):
+        with pytest.raises(PlatformError, match="at_time"):
+            cls(at_time=-1, node=1)
+
+    @pytest.mark.parametrize("cls",
+                             [CrashEvent, LinkFailureEvent, LinkRepairEvent])
+    def test_negative_node_rejected(self, cls):
+        with pytest.raises(PlatformError, match="node"):
+            cls(at_time=0, node=-1)
+
+    def test_events_are_frozen(self):
+        event = CrashEvent(at_time=5, node=2)
+        with pytest.raises(AttributeError):
+            event.node = 3
+
+
+class TestSchedule:
+    def test_events_sorted_by_time(self):
+        schedule = FaultSchedule([
+            CrashEvent(at_time=50, node=2),
+            LinkFailureEvent(at_time=10, node=5),
+        ])
+        assert [e.at_time for e in schedule] == [10, 50]
+
+    def test_len_and_bool(self):
+        assert not FaultSchedule()
+        assert len(FaultSchedule()) == 0
+        schedule = FaultSchedule([CrashEvent(at_time=1, node=1)])
+        assert schedule and len(schedule) == 1
+
+    def test_root_crash_rejected(self):
+        schedule = FaultSchedule([CrashEvent(at_time=0, node=0)])
+        with pytest.raises(PlatformError, match="root"):
+            schedule.validate(figure1_tree())
+
+    def test_root_link_failure_rejected(self):
+        schedule = FaultSchedule([LinkFailureEvent(at_time=0, node=0)])
+        with pytest.raises(PlatformError, match="root"):
+            schedule.validate(figure1_tree())
+
+    def test_double_failure_rejected(self):
+        schedule = FaultSchedule([
+            LinkFailureEvent(at_time=10, node=5),
+            LinkFailureEvent(at_time=20, node=5),
+        ])
+        with pytest.raises(PlatformError, match="already down"):
+            schedule.validate(figure1_tree())
+
+    def test_repair_without_failure_rejected(self):
+        schedule = FaultSchedule([LinkRepairEvent(at_time=10, node=5)])
+        with pytest.raises(PlatformError, match="never down"):
+            schedule.validate(figure1_tree())
+
+    def test_well_formed_alternation_accepted(self):
+        schedule = FaultSchedule([
+            LinkFailureEvent(at_time=10, node=5),
+            LinkRepairEvent(at_time=20, node=5),
+            LinkFailureEvent(at_time=30, node=5),
+            CrashEvent(at_time=40, node=2),
+        ])
+        schedule.validate(figure1_tree())  # must not raise
+
+    def test_out_of_range_node_allowed_statically(self):
+        # Faults may target nodes created by later churn joins, so range
+        # checks are deferred to fire time.
+        FaultSchedule([CrashEvent(at_time=10, node=99)]).validate(
+            figure1_tree())

@@ -180,3 +180,43 @@ class TestMutation:
 
     def test_equality_other_type(self, small_tree):
         assert small_tree.__eq__("nope") is NotImplemented
+
+
+class TestPruning:
+    def test_pruned_removes_whole_subtree(self, small_tree):
+        pruned = small_tree.pruned(2)  # removes 2 and its child 3
+        assert pruned.num_nodes == 2
+        assert pruned.w == [4, 2]
+        assert pruned.c == [0, 1]
+
+    def test_pruned_many_multiple_subtrees(self, small_tree):
+        pruned = small_tree.pruned_many([1, 2])
+        assert pruned.num_nodes == 1
+        assert pruned.w == [4]
+
+    def test_pruned_many_closed_set_is_idempotent(self, small_tree):
+        # Passing every member of an already-closed subtree set (as a
+        # crashed-node list does) must equal pruning just its root.
+        assert small_tree.pruned_many([2, 3]) == small_tree.pruned(2)
+        assert small_tree.pruned_many([3, 2]) == small_tree.pruned(2)
+
+    def test_pruned_many_relabels_contiguously(self):
+        tree = PlatformTree([4, 3, 5, 6, 4], [(0, 1, 1), (0, 2, 3),
+                                              (2, 3, 5), (0, 4, 2)])
+        pruned = tree.pruned_many([2])
+        assert pruned.num_nodes == 3
+        assert pruned.parent == [None, 0, 0]
+        assert pruned.w == [4, 3, 4]
+        assert pruned.c == [0, 1, 2]
+
+    def test_pruning_root_rejected(self, small_tree):
+        with pytest.raises(PlatformError, match="root"):
+            small_tree.pruned_many([1, 0])
+
+    def test_unknown_node_rejected(self, small_tree):
+        with pytest.raises(PlatformError, match="no node"):
+            small_tree.pruned_many([42])
+
+    def test_original_untouched(self, small_tree):
+        small_tree.pruned_many([2])
+        assert small_tree.num_nodes == 4
