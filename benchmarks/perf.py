@@ -1,0 +1,249 @@
+"""Perf-trajectory harness: measure, record, and gate kernel throughput.
+
+Two suites:
+
+* ``kernel`` — the four micro-workloads from ``workloads.py`` plus two
+  protocol-engine runs, reported as events/sec.
+* ``sweep``  — end-to-end figure experiments at smoke scale (fig4, fig7,
+  fault recovery), reported as tasks/sec and wall seconds per figure.
+
+``--json OUT`` writes the committed ``BENCH_kernel.json`` /
+``BENCH_sweep.json`` trajectory files.  ``--check BASELINE`` compares the
+current machine against a committed baseline and exits non-zero on a
+>``--max-regression`` throughput drop.
+
+Raw events/sec is meaningless across machines (a laptop baseline would gate
+a slower CI runner red forever), so every record carries a
+``calibration_ops_per_sec`` from a fixed pure-``heapq`` loop; ``--check``
+compares *calibration-normalized* throughput, which cancels machine speed
+and isolates genuine kernel regressions.
+"""
+
+import argparse
+import heapq
+import json
+import sys
+import time
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401 — probe only
+except ImportError:  # running from a checkout without PYTHONPATH=src
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from workloads import (
+    run_engine_ic,
+    run_engine_non_ic,
+    run_preemption_churn,
+    run_process_chain,
+    run_producer_consumer,
+    run_timer_storm,
+)
+
+SCHEMA_VERSION = 1
+CALIBRATION_OPS = 200_000
+
+
+def calibrate() -> float:
+    """Fixed heapq push/pop loop — the machine-speed yardstick.
+
+    Uses the same (time, priority, seq, payload) tuple shape as the
+    calendar, so it tracks what the kernel actually pays per event.
+    """
+    best = float("inf")
+    for _ in range(3):
+        heap = []
+        push, pop = heapq.heappush, heapq.heappop
+        start = time.perf_counter()
+        for seq in range(CALIBRATION_OPS):
+            push(heap, (seq % 97, 1, seq, None))
+            if seq % 2:
+                pop(heap)
+        while heap:
+            pop(heap)
+        best = min(best, time.perf_counter() - start)
+    return CALIBRATION_OPS / best
+
+
+def _measure(fn, arg, repeats):
+    """Min-of-N wall time; returns (units, wall_s)."""
+    units = None
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        units = fn(arg)
+        best = min(best, time.perf_counter() - start)
+    return units, best
+
+
+# ---------------------------------------------------------------------------
+# Suites
+# ---------------------------------------------------------------------------
+
+KERNEL_WORKLOADS = [
+    # (name, fn, arg) — args mirror test_bench_kernel.py exactly.
+    ("timer_storm", run_timer_storm, 20_000),
+    ("process_chain", run_process_chain, 10_000),
+    ("producer_consumer", run_producer_consumer, 2_000),
+    ("preemption_churn", run_preemption_churn, 500),
+    ("engine_ic_fb3", run_engine_ic, 2_000),
+    ("engine_non_ic_fb2", run_engine_non_ic, 2_000),
+]
+
+
+def run_kernel_suite(repeats):
+    records = []
+    for name, fn, arg in KERNEL_WORKLOADS:
+        events, wall = _measure(fn, arg, repeats)
+        records.append({
+            "name": name,
+            "units": events,
+            "unit_kind": "events",
+            "wall_s": round(wall, 6),
+            "per_sec": round(events / wall, 1),
+        })
+        print(f"  {name:<22} {events:>8} events  {wall * 1e3:8.1f} ms  "
+              f"{events / wall:>12,.0f} ev/s")
+    return records
+
+
+def _sweep_fig4():
+    from repro.experiments import ExperimentScale, fig4
+    from repro.experiments.fig4 import FIG4_CONFIGS
+
+    scale = ExperimentScale.smoke()
+    fig4.run(scale)
+    return scale.trees * scale.tasks * len(FIG4_CONFIGS)
+
+
+def _sweep_fig7():
+    from repro.experiments import ExperimentScale, fig7
+
+    # The paper's Figure 7 runs 1000 tasks on the tiny figure-2a tree; that
+    # finishes in ~10 ms, far too short to gate at 20%.  5x the tasks keeps
+    # the scenario shape and gives the timer something to measure.
+    scale = ExperimentScale(trees=1, tasks=5000)
+    result = fig7.run(scale)
+    return scale.tasks * len(result.scenarios)
+
+
+def _sweep_faults():
+    from repro.experiments import ExperimentScale, ablation
+
+    scale = ExperimentScale.smoke()
+    ablation.fault_recovery(scale)
+    return scale.trees * scale.tasks
+
+
+SWEEP_WORKLOADS = [
+    ("fig4_smoke", _sweep_fig4),
+    ("fig7_smoke", _sweep_fig7),
+    ("faults_smoke", _sweep_faults),
+]
+
+
+def run_sweep_suite(repeats):
+    records = []
+    for name, fn in SWEEP_WORKLOADS:
+        tasks, wall = _measure(lambda _: fn(), None, repeats)
+        records.append({
+            "name": name,
+            "units": tasks,
+            "unit_kind": "tasks",
+            "wall_s": round(wall, 6),
+            "per_sec": round(tasks / wall, 1),
+        })
+        print(f"  {name:<22} {tasks:>8} tasks   {wall:8.2f} s   "
+              f"{tasks / wall:>12,.0f} tasks/s")
+    return records
+
+
+# ---------------------------------------------------------------------------
+# Regression gate
+# ---------------------------------------------------------------------------
+
+def check_against(report, baseline_path, max_regression):
+    """Exit 1 if any benchmark's normalized throughput dropped too far."""
+    with open(baseline_path) as fh:
+        baseline = json.load(fh)
+    base_cal = baseline["calibration_ops_per_sec"]
+    cur_cal = report["calibration_ops_per_sec"]
+    base_by_name = {b["name"]: b for b in baseline["benchmarks"]}
+    speed_ratio = cur_cal / base_cal
+    print(f"\ncheck vs {baseline_path}  "
+          f"(machine speed ratio {speed_ratio:.2f}x, "
+          f"gate: -{max_regression:.0%} normalized)")
+    failed = []
+    for bench in report["benchmarks"]:
+        base = base_by_name.get(bench["name"])
+        if base is None:
+            print(f"  {bench['name']:<22} (new — no baseline, skipped)")
+            continue
+        # Normalize both sides by their machine's calibration throughput;
+        # the resulting ratio is dimensionless "kernel cost per heap op".
+        normalized = ((bench["per_sec"] / cur_cal)
+                      / (base["per_sec"] / base_cal))
+        verdict = "ok"
+        if normalized < 1.0 - max_regression:
+            verdict = "REGRESSION"
+            failed.append(bench["name"])
+        print(f"  {bench['name']:<22} {normalized:6.2f}x normalized  "
+              f"{verdict}")
+    if failed:
+        print(f"\nFAIL: throughput regression >{max_regression:.0%} in: "
+              f"{', '.join(failed)}")
+        return 1
+    print("\nall benchmarks within the regression budget")
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="perf.py", description="kernel perf-trajectory harness")
+    parser.add_argument("suite", choices=["kernel", "sweep"])
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="min-of-N timing (default: 5 kernel, 1 sweep)")
+    parser.add_argument("--json", metavar="OUT",
+                        help="write the trajectory record to this path")
+    parser.add_argument("--check", metavar="BASELINE",
+                        help="compare against a committed BENCH_*.json")
+    parser.add_argument("--max-regression", type=float, default=0.20,
+                        help="allowed normalized throughput drop (0.20)")
+    args = parser.parse_args(argv)
+
+    repeats = args.repeats
+    if repeats is None:
+        repeats = 5 if args.suite == "kernel" else 1
+
+    print(f"calibrating ({CALIBRATION_OPS} heap ops x3)...")
+    calibration = calibrate()
+    print(f"calibration: {calibration:,.0f} heap ops/s\n{args.suite} suite "
+          f"(min of {repeats}):")
+
+    if args.suite == "kernel":
+        records = run_kernel_suite(repeats)
+    else:
+        records = run_sweep_suite(repeats)
+
+    report = {
+        "suite": args.suite,
+        "schema": SCHEMA_VERSION,
+        "repeats": repeats,
+        "python": "%d.%d.%d" % sys.version_info[:3],
+        "calibration_ops_per_sec": round(calibration, 1),
+        "benchmarks": records,
+    }
+
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(report, fh, indent=2)
+            fh.write("\n")
+        print(f"\nwrote {args.json}")
+
+    if args.check:
+        return check_against(report, args.check, args.max_regression)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,89 +1,20 @@
 """Micro-benchmarks of the discrete-event kernel (the simulation substrate).
 
-These are classic pytest-benchmark timings (multiple rounds) for the three
-code paths the protocol engine exercises most: raw timers, coroutine
-processes, and preemptible resources.  They guard against performance
-regressions that would make the ensemble experiments impractical.
+These are classic pytest-benchmark timings (multiple rounds) for the code
+paths the protocol engine exercises most: raw timers, coroutine processes,
+stores, and preemptible resources.  The workload bodies live in
+``workloads.py`` so the ``perf.py`` trajectory harness (and the committed
+``BENCH_kernel.json`` baseline) measures exactly the same code.  Each
+workload returns the kernel's ``processed_count`` — the events/sec
+denominator.
 """
 
-from repro.sim import Environment, Interrupt, PreemptiveResource, Store
-
-
-def run_timer_storm(events: int) -> int:
-    env = Environment()
-
-    def reschedule(remaining):
-        if remaining > 0:
-            env.call_in(1, reschedule, remaining - 1)
-
-    for lane in range(10):
-        env.call_in(1, reschedule, events // 10)
-    env.run()
-    return env.processed_count
-
-
-def run_process_chain(count: int) -> int:
-    env = Environment()
-    done = []
-
-    def worker(env, n):
-        for _ in range(n):
-            yield env.timeout(1)
-        done.append(n)
-
-    for _ in range(10):
-        env.process(worker(env, count // 10))
-    env.run()
-    return len(done)
-
-
-def run_producer_consumer(items: int) -> int:
-    env = Environment()
-    store = Store(env, capacity=8)
-    consumed = []
-
-    def producer(env):
-        for i in range(items):
-            yield store.put(i)
-            yield env.timeout(1)
-
-    def consumer(env):
-        for _ in range(items):
-            item = yield store.get()
-            consumed.append(item)
-            yield env.timeout(1)
-
-    env.process(producer(env))
-    env.process(consumer(env))
-    env.run()
-    return len(consumed)
-
-
-def run_preemption_churn(rounds: int) -> int:
-    env = Environment()
-    resource = PreemptiveResource(env)
-    preempted = [0]
-
-    def low(env):
-        while True:
-            with resource.request(priority=5) as req:
-                yield req
-                try:
-                    yield env.timeout(10)
-                except Interrupt:
-                    preempted[0] += 1
-
-    def high(env):
-        for _ in range(rounds):
-            yield env.timeout(3)
-            with resource.request(priority=1) as req:
-                yield req
-                yield env.timeout(1)
-
-    env.process(low(env))
-    driver = env.process(high(env))
-    env.run(until=driver)
-    return preempted[0]
+from workloads import (
+    run_preemption_churn,
+    run_process_chain,
+    run_producer_consumer,
+    run_timer_storm,
+)
 
 
 def test_bench_timer_throughput(benchmark):
@@ -92,15 +23,18 @@ def test_bench_timer_throughput(benchmark):
 
 
 def test_bench_process_throughput(benchmark):
-    finished = benchmark(run_process_chain, 10_000)
-    assert finished == 10
+    # 10 workers x 1000 timeouts, plus process-completion events.
+    processed = benchmark(run_process_chain, 10_000)
+    assert processed >= 10_000
 
 
 def test_bench_store_throughput(benchmark):
-    consumed = benchmark(run_producer_consumer, 2_000)
-    assert consumed == 2_000
+    # 2000 puts + 2000 gets + pacing timeouts on each side.
+    processed = benchmark(run_producer_consumer, 2_000)
+    assert processed >= 4_000
 
 
 def test_bench_preemption_churn(benchmark):
-    preempted = benchmark(run_preemption_churn, 500)
-    assert preempted >= 400
+    # 500 high-priority rounds, each preempting the low-priority holder.
+    processed = benchmark(run_preemption_churn, 500)
+    assert processed >= 1_500

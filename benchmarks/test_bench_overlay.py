@@ -5,12 +5,13 @@ physical topologies by the optimal steady-state rate of the resulting
 platform tree.
 """
 
-from repro.experiments import ablation
+from repro.experiments import ExperimentScale, ablation
 
 
 def test_bench_overlay_strategies(benchmark, report):
     result = benchmark.pedantic(
-        lambda: ablation.overlay_strategies(graphs=25, hosts=40),
+        lambda: ablation.overlay_strategies(
+            ExperimentScale(trees=25, tasks=2), hosts=40),
         rounds=1, iterations=1)
     report(ablation.format_overlay_result(result))
 

@@ -1,0 +1,108 @@
+"""Benchmark workloads shared by pytest-benchmark and the perf harness.
+
+Each workload runs a self-contained simulation and returns the number of
+work units it processed (calendar events for the kernel workloads, which
+doubles as the throughput denominator in ``perf.py``).  Keeping them here —
+importable both from ``test_bench_kernel.py`` and from the ``perf.py``
+trajectory writer — guarantees the committed ``BENCH_*.json`` baselines
+measure exactly what the pytest benchmarks measure.
+"""
+
+from repro.sim import Environment, Interrupt, PreemptiveResource, Store
+from repro.platform.generator import TreeGeneratorParams, generate_tree
+from repro.protocols import ProtocolConfig, ProtocolEngine
+
+
+def run_timer_storm(events: int) -> int:
+    env = Environment()
+
+    def reschedule(remaining):
+        if remaining > 0:
+            env.call_in(1, reschedule, remaining - 1)
+
+    for lane in range(10):
+        env.call_in(1, reschedule, events // 10)
+    env.run()
+    return env.processed_count
+
+
+def run_process_chain(count: int) -> int:
+    env = Environment()
+    done = []
+
+    def worker(env, n):
+        for _ in range(n):
+            yield env.timeout(1)
+        done.append(n)
+
+    for _ in range(10):
+        env.process(worker(env, count // 10))
+    env.run()
+    return env.processed_count
+
+
+def run_producer_consumer(items: int) -> int:
+    env = Environment()
+    store = Store(env, capacity=8)
+    consumed = []
+
+    def producer(env):
+        for i in range(items):
+            yield store.put(i)
+            yield env.timeout(1)
+
+    def consumer(env):
+        for _ in range(items):
+            item = yield store.get()
+            consumed.append(item)
+            yield env.timeout(1)
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+    return env.processed_count
+
+
+def run_preemption_churn(rounds: int) -> int:
+    env = Environment()
+    resource = PreemptiveResource(env)
+    preempted = [0]
+
+    def low(env):
+        while True:
+            with resource.request(priority=5) as req:
+                yield req
+                try:
+                    yield env.timeout(10)
+                except Interrupt:
+                    preempted[0] += 1
+
+    def high(env):
+        for _ in range(rounds):
+            yield env.timeout(3)
+            with resource.request(priority=1) as req:
+                yield req
+                yield env.timeout(1)
+
+    env.process(low(env))
+    driver = env.process(high(env))
+    env.run(until=driver)
+    return env.processed_count
+
+
+def _engine_events(config: ProtocolConfig, num_tasks: int) -> int:
+    tree = generate_tree(TreeGeneratorParams(min_nodes=60, max_nodes=60),
+                         seed=7)
+    result = ProtocolEngine(tree, config, num_tasks).run()
+    return result.events_processed
+
+
+def run_engine_ic(num_tasks: int = 2000) -> int:
+    """IC/FB=3 on a fixed 60-node ensemble tree — the preemption-heavy path."""
+    return _engine_events(ProtocolConfig.interruptible(3), num_tasks)
+
+
+def run_engine_non_ic(num_tasks: int = 2000) -> int:
+    """non-IC/FB=2 on the same tree — the growth-free baseline path."""
+    return _engine_events(
+        ProtocolConfig.non_interruptible(2, buffer_growth=False), num_tasks)

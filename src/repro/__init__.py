@@ -6,13 +6,13 @@ Bandwidth-Centric Scheduling of Independent-task Applications"*
 
 * :mod:`repro.sim` — a discrete-event simulation kernel (SimGrid substitute),
 * :mod:`repro.platform` — node/edge-weighted platform trees, the paper's
-  random generator, dynamic mutations, overlay construction,
+  random generator, dynamic mutations, churn, fault schedules, overlays,
 * :mod:`repro.steady_state` — the optimal steady-state theory (Theorem 1 and
   the bottom-up tree solver) in exact rational arithmetic,
 * :mod:`repro.protocols` — the autonomous non-interruptible (non-IC) and
   interruptible (IC) communication protocols plus ablation baselines,
 * :mod:`repro.metrics` — windowed throughput, steady-state onset detection,
-  buffer and used-subtree statistics,
+  buffer and used-subtree statistics, fault-recovery reports,
 * :mod:`repro.experiments` — harness regenerating every table and figure of
   the paper's evaluation section.
 
@@ -24,7 +24,16 @@ Quickstart::
     optimal = solve_tree(tree)
     result = simulate(tree, ProtocolConfig.interruptible(buffers=3), num_tasks=2000)
     print(result.makespan, float(optimal.rate))
+
+Fault injection and recovery metrics are first-class::
+
+    from repro import CrashEvent, FaultSchedule, recovery_report
+
+    faults = FaultSchedule([CrashEvent(at_time=200, node=3)])
+    report = recovery_report(simulate(tree, config, 2000, faults=faults))
 """
+
+from importlib import import_module
 
 from ._version import __version__
 from .errors import (
@@ -36,6 +45,50 @@ from .errors import (
     SolverError,
 )
 
+#: Declarative lazy-export table: public name → defining module.  Names
+#: resolve (and the submodule imports) on first attribute access, keeping
+#: ``import repro`` cheap; resolved names are cached in module globals.
+_LAZY_EXPORTS = {
+    # platform model
+    "PlatformTree": "repro.platform.tree",
+    "TreeNode": "repro.platform.tree",
+    "generate_tree": "repro.platform.generator",
+    "TreeGeneratorParams": "repro.platform.generator",
+    "Mutation": "repro.platform.mutation",
+    "MutationSchedule": "repro.platform.mutation",
+    "ChurnSchedule": "repro.platform.churn",
+    "JoinEvent": "repro.platform.churn",
+    "LeaveEvent": "repro.platform.churn",
+    # fault injection (PR-1 surface)
+    "FaultSchedule": "repro.platform.faults",
+    "CrashEvent": "repro.platform.faults",
+    "LinkFailureEvent": "repro.platform.faults",
+    "LinkRepairEvent": "repro.platform.faults",
+    # steady-state theory
+    "solve_tree": "repro.steady_state",
+    "solve_fork": "repro.steady_state",
+    "SteadyStateSolution": "repro.steady_state",
+    "ForkSolution": "repro.steady_state",
+    # protocols
+    "simulate": "repro.protocols",
+    "ProtocolConfig": "repro.protocols",
+    "ProtocolEngine": "repro.protocols",
+    "ProtocolVariant": "repro.protocols",
+    "PriorityRule": "repro.protocols",
+    "SimulationResult": "repro.protocols",
+    "Tracer": "repro.protocols",
+    "TraceEvent": "repro.protocols",
+    "ascii_gantt": "repro.protocols",
+    # recovery metrics (PR-1 surface)
+    "RecoveryReport": "repro.metrics.faults",
+    "recovery_report": "repro.metrics.faults",
+    "recovery_latencies": "repro.metrics.faults",
+    "post_recovery_rate": "repro.metrics.faults",
+    "degraded_windows": "repro.metrics.faults",
+    # experiment harness
+    "ExperimentScale": "repro.experiments.common",
+}
+
 __all__ = [
     "__version__",
     "ReproError",
@@ -44,25 +97,20 @@ __all__ = [
     "SolverError",
     "ProtocolError",
     "ExperimentError",
+    *sorted(_LAZY_EXPORTS),
 ]
 
 
 def __getattr__(name):
-    """Lazy re-exports of the main public API (keeps import cost low)."""
-    if name in ("PlatformTree", "TreeNode"):
-        from .platform import tree as _tree
+    try:
+        module_name = _LAZY_EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module 'repro' has no attribute {name!r}") from None
+    value = getattr(import_module(module_name), name)
+    globals()[name] = value  # cache: next access skips __getattr__
+    return value
 
-        return getattr(_tree, name)
-    if name in ("generate_tree", "TreeGeneratorParams"):
-        from .platform import generator as _generator
 
-        return getattr(_generator, name)
-    if name in ("solve_tree", "solve_fork", "SteadyStateSolution", "ForkSolution"):
-        from . import steady_state as _ss
-
-        return getattr(_ss, name)
-    if name in ("simulate", "ProtocolConfig", "SimulationResult"):
-        from . import protocols as _protocols
-
-        return getattr(_protocols, name)
-    raise AttributeError(f"module 'repro' has no attribute {name!r}")
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY_EXPORTS))

@@ -18,10 +18,13 @@
 from __future__ import annotations
 
 import random
+import warnings
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Dict, List, Sequence, Tuple
+from functools import partial
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+from ..errors import ExperimentError
 from ..metrics import detect_onset, percentage_reached
 from ..platform.generator import PAPER_DEFAULTS, TreeGeneratorParams, generate_tree
 from ..platform.overlay import PhysicalTopology, compare_overlays
@@ -48,6 +51,33 @@ __all__ = [
     "format_fault_result",
 ]
 
+def _map_seeds(worker: Callable, seeds: Sequence[int], progress,
+               workers: int) -> List:
+    """Run ``worker(seed)`` for every seed, serially or over a process pool.
+
+    Results are returned in seed order either way, so ``workers=1`` and
+    ``workers=N`` produce identical ablation results (the per-seed work is
+    independent and internally deterministic).
+    """
+    if workers < 1:
+        raise ExperimentError(f"workers must be >= 1, got {workers}")
+    out: List = []
+    if workers == 1:
+        for i, seed in enumerate(seeds):
+            out.append(worker(seed))
+            if progress is not None:
+                progress(i + 1, len(seeds))
+        return out
+    from concurrent.futures import ProcessPoolExecutor
+
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        for i, result in enumerate(pool.map(worker, seeds)):
+            out.append(result)
+            if progress is not None:
+                progress(i + 1, len(seeds))
+    return out
+
+
 PRIORITY_CONFIGS: Tuple[ProtocolConfig, ...] = (
     ProtocolConfig.non_interruptible(3, buffer_growth=False),
     ProtocolConfig.non_interruptible(
@@ -66,25 +96,35 @@ class PriorityAblationResult:
     mean_normalized_rate: Dict[str, float]
 
 
+def _priority_seed(seed: int, *, params: TreeGeneratorParams, tasks: int,
+                   threshold: int) -> Dict[str, Tuple[Optional[int], float]]:
+    """Per-tree measurements for :func:`priority_rules` (picklable)."""
+    tree = generate_tree(params, seed=seed)
+    optimal = solve_tree(tree).rate
+    out: Dict[str, Tuple[Optional[int], float]] = {}
+    for config in PRIORITY_CONFIGS:
+        result = simulate(tree, config, tasks)
+        onset = detect_onset(result.completion_times, optimal, threshold)
+        times = result.completion_times
+        x = len(times) // 3
+        rate = Fraction(x, times[2 * x - 1] - times[x - 1])
+        out[config.label] = (onset, float(rate / optimal))
+    return out
+
+
 def priority_rules(scale: ExperimentScale = ExperimentScale(),
                    params: TreeGeneratorParams = PAPER_DEFAULTS,
-                   progress=None) -> PriorityAblationResult:
+                   *, progress=None, workers: int = 1) -> PriorityAblationResult:
     """Compare child-ordering rules over a random ensemble."""
+    worker = partial(_priority_seed, params=params, tasks=scale.tasks,
+                     threshold=scale.threshold)
+    seeds = [scale.base_seed + i for i in range(scale.trees)]
     onsets: Dict[str, List] = {c.label: [] for c in PRIORITY_CONFIGS}
     norms: Dict[str, List[float]] = {c.label: [] for c in PRIORITY_CONFIGS}
-    for i in range(scale.trees):
-        tree = generate_tree(params, seed=scale.base_seed + i)
-        optimal = solve_tree(tree).rate
-        for config in PRIORITY_CONFIGS:
-            result = simulate(tree, config, scale.tasks)
-            onsets[config.label].append(
-                detect_onset(result.completion_times, optimal, scale.threshold))
-            times = result.completion_times
-            x = len(times) // 3
-            rate = Fraction(x, times[2 * x - 1] - times[x - 1])
-            norms[config.label].append(float(rate / optimal))
-        if progress is not None:
-            progress(i + 1, scale.trees)
+    for per_label in _map_seeds(worker, seeds, progress, workers):
+        for label, (onset, norm) in per_label.items():
+            onsets[label].append(onset)
+            norms[label].append(norm)
     return PriorityAblationResult(
         scale=scale,
         reached={k: percentage_reached(v) for k, v in onsets.items()},
@@ -126,19 +166,61 @@ def _random_topology(rng: random.Random, hosts: int) -> PhysicalTopology:
     return PhysicalTopology(w, links)
 
 
-def overlay_strategies(graphs: int = 30, hosts: int = 40,
-                       base_seed: int = 0) -> OverlayAblationResult:
-    """Compare overlay constructions by achievable optimal rate."""
+def _overlay_seed(seed: int, *,
+                  hosts: int) -> Tuple[str, Dict[str, float]]:
+    """Per-graph measurements for :func:`overlay_strategies` (picklable)."""
+    rng = random.Random(seed)
+    topology = _random_topology(rng, hosts)
+    rows = compare_overlays(topology, seed=seed)
+    best = rows[0].rate
+    return rows[0].strategy, {row.strategy: row.rate / best for row in rows}
+
+
+#: Graph-ensemble size used when :func:`overlay_strategies` gets no scale.
+DEFAULT_OVERLAY_GRAPHS = 30
+
+
+def overlay_strategies(scale: Union[ExperimentScale, int, None] = None,
+                       *, hosts: int = 40, progress=None, workers: int = 1,
+                       graphs: Optional[int] = None,
+                       base_seed: Optional[int] = None) -> OverlayAblationResult:
+    """Compare overlay constructions by achievable optimal rate.
+
+    Takes the unified signature ``run(scale, *, progress=None, workers=1)``;
+    ``scale.trees`` is the number of random physical topologies and
+    ``scale.tasks`` is unused (no simulation happens — only the solver).
+    ``overlay_strategies(30)`` / ``graphs=`` / ``base_seed=`` are deprecated
+    spellings of the scale fields and emit a :class:`DeprecationWarning`.
+    """
+    if isinstance(scale, int):
+        warnings.warn(
+            "overlay_strategies(graphs) is deprecated; pass an "
+            "ExperimentScale (its `trees` field is the graph count)",
+            DeprecationWarning, stacklevel=2)
+        graphs, scale = scale, None
+    elif graphs is not None:
+        warnings.warn(
+            "overlay_strategies(graphs=...) is deprecated; pass an "
+            "ExperimentScale (its `trees` field is the graph count)",
+            DeprecationWarning, stacklevel=2)
+    if base_seed is not None:
+        warnings.warn(
+            "overlay_strategies(base_seed=...) is deprecated; pass an "
+            "ExperimentScale (its `base_seed` field)",
+            DeprecationWarning, stacklevel=2)
+    if graphs is None:
+        graphs = scale.trees if scale is not None else DEFAULT_OVERLAY_GRAPHS
+    if base_seed is None:
+        base_seed = scale.base_seed if scale is not None else 0
+
+    worker = partial(_overlay_seed, hosts=hosts)
+    seeds = [base_seed + i for i in range(graphs)]
     totals: Dict[str, float] = {}
     wins: Dict[str, int] = {}
-    for i in range(graphs):
-        rng = random.Random(base_seed + i)
-        topology = _random_topology(rng, hosts)
-        rows = compare_overlays(topology, seed=base_seed + i)
-        best = rows[0].rate
-        wins[rows[0].strategy] = wins.get(rows[0].strategy, 0) + 1
-        for row in rows:
-            totals[row.strategy] = totals.get(row.strategy, 0.0) + row.rate / best
+    for winner, relative in _map_seeds(worker, seeds, progress, workers):
+        wins[winner] = wins.get(winner, 0) + 1
+        for strategy, value in relative.items():
+            totals[strategy] = totals.get(strategy, 0.0) + value
     return OverlayAblationResult(
         graphs=graphs,
         mean_relative_rate={k: v / graphs for k, v in sorted(totals.items())},
@@ -170,29 +252,42 @@ class DecayAblationResult:
     decayed: Dict[str, int]
 
 
+_DECAY_VARIANTS = (
+    ("non-IC, IB=1", ProtocolConfig.non_interruptible()),
+    ("non-IC, IB=1 +decay",
+     ProtocolConfig.non_interruptible(buffer_decay=True)),
+)
+
+
+def _decay_seed(seed: int, *, params: TreeGeneratorParams, tasks: int,
+                threshold: int) -> Dict[str, Tuple[Optional[int], int, int]]:
+    """Per-tree measurements for :func:`buffer_decay_ablation` (picklable)."""
+    tree = generate_tree(params, seed=seed)
+    optimal = solve_tree(tree).rate
+    out: Dict[str, Tuple[Optional[int], int, int]] = {}
+    for label, config in _DECAY_VARIANTS:
+        result = simulate(tree, config, tasks)
+        onset = detect_onset(result.completion_times, optimal, threshold)
+        out[label] = (onset, result.max_buffers, result.buffers_decayed)
+    return out
+
+
 def buffer_decay_ablation(scale: ExperimentScale = ExperimentScale(),
                           params: TreeGeneratorParams = PAPER_DEFAULTS,
-                          progress=None) -> DecayAblationResult:
+                          *, progress=None,
+                          workers: int = 1) -> DecayAblationResult:
     """Quantify §2.2's "optimally, buffer decay" over a random ensemble."""
-    variants = (
-        ("non-IC, IB=1", ProtocolConfig.non_interruptible()),
-        ("non-IC, IB=1 +decay",
-         ProtocolConfig.non_interruptible(buffer_decay=True)),
-    )
-    onsets: Dict[str, List] = {label: [] for label, _cfg in variants}
-    pools: Dict[str, List[int]] = {label: [] for label, _cfg in variants}
-    decayed: Dict[str, int] = {label: 0 for label, _cfg in variants}
-    for i in range(scale.trees):
-        tree = generate_tree(params, seed=scale.base_seed + i)
-        optimal = solve_tree(tree).rate
-        for label, config in variants:
-            result = simulate(tree, config, scale.tasks)
-            onsets[label].append(
-                detect_onset(result.completion_times, optimal, scale.threshold))
-            pools[label].append(result.max_buffers)
-            decayed[label] += result.buffers_decayed
-        if progress is not None:
-            progress(i + 1, scale.trees)
+    worker = partial(_decay_seed, params=params, tasks=scale.tasks,
+                     threshold=scale.threshold)
+    seeds = [scale.base_seed + i for i in range(scale.trees)]
+    onsets: Dict[str, List] = {label: [] for label, _cfg in _DECAY_VARIANTS}
+    pools: Dict[str, List[int]] = {label: [] for label, _cfg in _DECAY_VARIANTS}
+    decayed: Dict[str, int] = {label: 0 for label, _cfg in _DECAY_VARIANTS}
+    for per_label in _map_seeds(worker, seeds, progress, workers):
+        for label, (onset, pool, shed) in per_label.items():
+            onsets[label].append(onset)
+            pools[label].append(pool)
+            decayed[label] += shed
     return DecayAblationResult(
         scale=scale,
         reached={k: percentage_reached(v) for k, v in onsets.items()},
@@ -234,38 +329,49 @@ class ChurnResilienceResult:
         return sum(1 for n in self.join_norms if 0.9 <= n <= 1.1)
 
 
-def churn_resilience(scale: ExperimentScale = ExperimentScale(),
-                     params: TreeGeneratorParams = PAPER_DEFAULTS,
-                     progress=None) -> ChurnResilienceResult:
-    """Measure §6's dynamically-evolving-pool resilience under IC/FB=3."""
+def _churn_seed(seed: int, *, params: TreeGeneratorParams,
+                tasks: int) -> Tuple[float, bool, bool]:
+    """Per-tree join/leave measurements for :func:`churn_resilience`."""
     from ..platform import ChurnSchedule, JoinEvent, LeaveEvent
     from ..platform.tree import PlatformTree
 
     config = ProtocolConfig.interruptible(3)
+    base = generate_tree(params, seed=seed)
+    cluster = PlatformTree([3, 2, 2], [(0, 1, 1), (0, 2, 1)])
+    join = ChurnSchedule([
+        JoinEvent(at_time=200, parent=base.root, subtree=cluster,
+                  attach_cost=1)])
+    result = simulate(base, config, tasks, churn=join)
+    grown_optimal = solve_tree(result.tree).rate
+    times = result.completion_times
+    lo, hi = tasks // 2, (3 * tasks) // 4
+    mid = Fraction(hi - lo, times[hi - 1] - times[lo - 1])
+    norm = float(mid / grown_optimal)
+    conserved = sum(result.per_node_computed) == tasks
+
+    victim = base.children[base.root][0]
+    leave = ChurnSchedule([LeaveEvent(at_time=200, node=victim)])
+    leave_result = simulate(base, config, tasks, churn=leave)
+    conserved &= sum(leave_result.per_node_computed) == tasks
+    departed = len(leave_result.departed_node_ids) >= 1
+    return norm, conserved, departed
+
+
+def churn_resilience(scale: ExperimentScale = ExperimentScale(),
+                     params: TreeGeneratorParams = PAPER_DEFAULTS,
+                     *, progress=None,
+                     workers: int = 1) -> ChurnResilienceResult:
+    """Measure §6's dynamically-evolving-pool resilience under IC/FB=3."""
+    worker = partial(_churn_seed, params=params, tasks=scale.tasks)
+    seeds = [scale.base_seed + i for i in range(scale.trees)]
     norms: List[float] = []
     conserved = True
     departed = True
-    for i in range(scale.trees):
-        base = generate_tree(params, seed=scale.base_seed + i)
-        cluster = PlatformTree([3, 2, 2], [(0, 1, 1), (0, 2, 1)])
-        join = ChurnSchedule([
-            JoinEvent(at_time=200, parent=base.root, subtree=cluster,
-                      attach_cost=1)])
-        result = simulate(base, config, scale.tasks, churn=join)
-        grown_optimal = solve_tree(result.tree).rate
-        times = result.completion_times
-        lo, hi = scale.tasks // 2, (3 * scale.tasks) // 4
-        mid = Fraction(hi - lo, times[hi - 1] - times[lo - 1])
-        norms.append(float(mid / grown_optimal))
-        conserved &= sum(result.per_node_computed) == scale.tasks
-
-        victim = base.children[base.root][0]
-        leave = ChurnSchedule([LeaveEvent(at_time=200, node=victim)])
-        leave_result = simulate(base, config, scale.tasks, churn=leave)
-        conserved &= sum(leave_result.per_node_computed) == scale.tasks
-        departed &= len(leave_result.departed_node_ids) >= 1
-        if progress is not None:
-            progress(i + 1, scale.trees)
+    for norm, seed_conserved, seed_departed in _map_seeds(
+            worker, seeds, progress, workers):
+        norms.append(norm)
+        conserved &= seed_conserved
+        departed &= seed_departed
     return ChurnResilienceResult(
         scale=scale, join_norms=tuple(norms),
         all_conserved=conserved, all_departed=departed)
@@ -314,39 +420,49 @@ class FaultRecoveryResult:
         return sum(self.latencies) / len(self.latencies)
 
 
-def fault_recovery(scale: ExperimentScale = ExperimentScale(),
-                   params: TreeGeneratorParams = PAPER_DEFAULTS,
-                   progress=None) -> FaultRecoveryResult:
-    """Crash one root subtree mid-run (plus a transient link outage on a
-    second, when the tree has one) and measure the recovery protocol."""
+def _fault_seed(seed: int, *, params: TreeGeneratorParams, tasks: int
+                ) -> Tuple[Optional[float], Tuple[int, ...], int, int, bool]:
+    """Per-tree crash/outage measurements for :func:`fault_recovery`."""
     from ..metrics.faults import recovery_report
     from ..platform import (CrashEvent, FaultSchedule, LinkFailureEvent,
                             LinkRepairEvent)
 
     config = ProtocolConfig.interruptible(3)
+    tree = generate_tree(params, seed=seed)
+    root_children = tree.children[tree.root]
+    events: list = [CrashEvent(at_time=200, node=root_children[0])]
+    if len(root_children) > 1:
+        events.append(LinkFailureEvent(at_time=150, node=root_children[1]))
+        events.append(LinkRepairEvent(at_time=450, node=root_children[1]))
+    result = simulate(tree, config, tasks, faults=FaultSchedule(events))
+    completed = sum(result.per_node_computed) == tasks
+    report = recovery_report(result)
+    return (report.post_recovery_efficiency,
+            tuple(report.recovery_latencies),
+            report.tasks_reexecuted, report.transfers_wasted, completed)
+
+
+def fault_recovery(scale: ExperimentScale = ExperimentScale(),
+                   params: TreeGeneratorParams = PAPER_DEFAULTS,
+                   *, progress=None,
+                   workers: int = 1) -> FaultRecoveryResult:
+    """Crash one root subtree mid-run (plus a transient link outage on a
+    second, when the tree has one) and measure the recovery protocol."""
+    worker = partial(_fault_seed, params=params, tasks=scale.tasks)
+    seeds = [scale.base_seed + i for i in range(scale.trees)]
     efficiencies: List[float] = []
     latencies: List[int] = []
     reexecuted = 0
     wasted = 0
     completed = True
-    for i in range(scale.trees):
-        tree = generate_tree(params, seed=scale.base_seed + i)
-        root_children = tree.children[tree.root]
-        events: list = [CrashEvent(at_time=200, node=root_children[0])]
-        if len(root_children) > 1:
-            events.append(LinkFailureEvent(at_time=150, node=root_children[1]))
-            events.append(LinkRepairEvent(at_time=450, node=root_children[1]))
-        result = simulate(tree, config, scale.tasks,
-                          faults=FaultSchedule(events))
-        completed &= sum(result.per_node_computed) == scale.tasks
-        report = recovery_report(result)
-        if report.post_recovery_efficiency is not None:
-            efficiencies.append(report.post_recovery_efficiency)
-        latencies.extend(report.recovery_latencies)
-        reexecuted += report.tasks_reexecuted
-        wasted += report.transfers_wasted
-        if progress is not None:
-            progress(i + 1, scale.trees)
+    for (efficiency, seed_latencies, seed_reexecuted, seed_wasted,
+         seed_completed) in _map_seeds(worker, seeds, progress, workers):
+        if efficiency is not None:
+            efficiencies.append(efficiency)
+        latencies.extend(seed_latencies)
+        reexecuted += seed_reexecuted
+        wasted += seed_wasted
+        completed &= seed_completed
     return FaultRecoveryResult(
         scale=scale,
         efficiencies=tuple(efficiencies),

@@ -14,17 +14,18 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from dataclasses import dataclass
 from typing import Callable, Dict, Optional
 
 from .common import ExperimentScale
 from . import ablation, fig3, fig4, fig5, fig6, fig7, table1, table2
 
-__all__ = ["main", "build_parser", "EXPERIMENTS"]
+__all__ = ["main", "build_parser", "ExperimentSpec", "EXPERIMENTS"]
 
 
 def _progress(label: str):
     def update(done: int, total: int) -> None:
-        sys.stderr.write(f"\r{label}: {done}/{total} trees")
+        sys.stderr.write(f"\r{label}: {done}/{total}")
         sys.stderr.flush()
         if done == total:
             sys.stderr.write("\n")
@@ -32,103 +33,55 @@ def _progress(label: str):
     return update
 
 
-def _run_fig3(scale: ExperimentScale, workers: int = 1, svg: bool = False):
-    result = fig3.run(scale, progress=_progress("fig3"), workers=workers)
-    if not svg:
-        return fig3.format_result(result), None
-    from ..viz import fig3_svg
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One CLI subcommand, declaratively.
 
-    return fig3.format_result(result), fig3_svg(result)
+    Every experiment entry point shares the unified signature
+    ``run(scale, *, progress=None, workers=1)``, so the whole CLI table is
+    data: a runner, a formatter, and (optionally) the name of a
+    ``repro.viz`` renderer.  Calling a spec returns ``(report text, svg
+    text or None)``; the viz module is only imported when ``svg=True``.
+    """
 
+    name: str
+    run: Callable
+    format: Callable[[object], str]
+    svg_renderer: Optional[str] = None
 
-def _run_fig4(scale: ExperimentScale, workers: int = 1, svg: bool = False):
-    result = fig4.run(scale, progress=_progress("fig4"), workers=workers)
-    if not svg:
-        return fig4.format_result(result), None
-    from ..viz import fig4_svg
+    def __call__(self, scale: ExperimentScale, workers: int = 1,
+                 svg: bool = False):
+        result = self.run(scale, progress=_progress(self.name),
+                          workers=workers)
+        text = self.format(result)
+        if not svg or self.svg_renderer is None:
+            return text, None
+        from .. import viz
 
-    return fig4.format_result(result), fig4_svg(result)
-
-
-def _run_fig5(scale: ExperimentScale, workers: int = 1, svg: bool = False):
-    result = fig5.run(scale, progress=_progress("fig5"), workers=workers)
-    if not svg:
-        return fig5.format_result(result), None
-    from ..viz import fig5_svg
-
-    return fig5.format_result(result), fig5_svg(result)
-
-
-def _run_fig6(scale: ExperimentScale, workers: int = 1, svg: bool = False):
-    result = fig6.run(scale, progress=_progress("fig6"), workers=workers)
-    if not svg:
-        return fig6.format_result(result), None
-    from ..viz import fig6_svg
-
-    return fig6.format_result(result), fig6_svg(result)
+        return text, getattr(viz, self.svg_renderer)(result)
 
 
-def _run_fig7(scale: ExperimentScale, workers: int = 1, svg: bool = False):
-    result = fig7.run()
-    if not svg:
-        return fig7.format_result(result), None
-    from ..viz import fig7_svg
-
-    return fig7.format_result(result), fig7_svg(result)
-
-
-def _run_table1(scale: ExperimentScale, workers: int = 1, svg: bool = False):
-    return table1.format_result(
-        table1.run(scale, progress=_progress("table1"), workers=workers)), None
-
-
-def _run_table2(scale: ExperimentScale, workers: int = 1, svg: bool = False):
-    return table2.format_result(
-        table2.run(scale, progress=_progress("table2"), workers=workers)), None
-
-
-def _run_priorities(scale: ExperimentScale, workers: int = 1,
-                    svg: bool = False):
-    return ablation.format_priority_result(
-        ablation.priority_rules(scale, progress=_progress("priorities"))), None
-
-
-def _run_overlays(scale: ExperimentScale, workers: int = 1, svg: bool = False):
-    return ablation.format_overlay_result(
-        ablation.overlay_strategies(graphs=max(5, scale.trees // 5))), None
-
-
-def _run_decay(scale: ExperimentScale, workers: int = 1, svg: bool = False):
-    return ablation.format_decay_result(
-        ablation.buffer_decay_ablation(scale, progress=_progress("decay"))), None
-
-
-def _run_churn(scale: ExperimentScale, workers: int = 1, svg: bool = False):
-    return ablation.format_churn_result(
-        ablation.churn_resilience(scale, progress=_progress("churn"))), None
-
-
-def _run_faults(scale: ExperimentScale, workers: int = 1, svg: bool = False):
-    return ablation.format_fault_result(
-        ablation.fault_recovery(scale, progress=_progress("faults"))), None
-
-
-#: name → runner returning ``(report text, svg text or None)``; SVG text is
-#: only rendered (and the viz module only imported) when ``svg=True``.
-EXPERIMENTS: Dict[str, Callable[[ExperimentScale], tuple]] = {
-    "fig3": _run_fig3,
-    "fig4": _run_fig4,
-    "fig5": _run_fig5,
-    "fig6": _run_fig6,
-    "fig7": _run_fig7,
-    "table1": _run_table1,
-    "table2": _run_table2,
-    "priorities": _run_priorities,
-    "overlays": _run_overlays,
-    "decay": _run_decay,
-    "churn": _run_churn,
-    "faults": _run_faults,
-}
+#: name → :class:`ExperimentSpec`; call as ``EXPERIMENTS[name](scale,
+#: workers=..., svg=...)`` → ``(report text, svg text or None)``.
+EXPERIMENTS: Dict[str, ExperimentSpec] = {spec.name: spec for spec in (
+    ExperimentSpec("fig3", fig3.run, fig3.format_result, "fig3_svg"),
+    ExperimentSpec("fig4", fig4.run, fig4.format_result, "fig4_svg"),
+    ExperimentSpec("fig5", fig5.run, fig5.format_result, "fig5_svg"),
+    ExperimentSpec("fig6", fig6.run, fig6.format_result, "fig6_svg"),
+    ExperimentSpec("fig7", fig7.run, fig7.format_result, "fig7_svg"),
+    ExperimentSpec("table1", table1.run, table1.format_result),
+    ExperimentSpec("table2", table2.run, table2.format_result),
+    ExperimentSpec("priorities", ablation.priority_rules,
+                   ablation.format_priority_result),
+    ExperimentSpec("overlays", ablation.overlay_strategies,
+                   ablation.format_overlay_result),
+    ExperimentSpec("decay", ablation.buffer_decay_ablation,
+                   ablation.format_decay_result),
+    ExperimentSpec("churn", ablation.churn_resilience,
+                   ablation.format_churn_result),
+    ExperimentSpec("faults", ablation.fault_recovery,
+                   ablation.format_fault_result),
+)}
 
 
 def build_parser() -> argparse.ArgumentParser:

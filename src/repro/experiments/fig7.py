@@ -15,14 +15,18 @@ post-change slope should track the new optimum closely.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Dict, List, Optional, Sequence, Tuple
+from functools import partial
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from ..errors import ExperimentError
 from ..metrics import window_rate
 from ..platform import Mutation, MutationSchedule, figure1_tree
 from ..protocols import ProtocolConfig, simulate
 from ..steady_state import solve_tree
+from .common import ExperimentScale
 from .reporting import fmt_num, format_table
 
 __all__ = ["Fig7Result", "ScenarioResult", "run", "format_result"]
@@ -78,19 +82,70 @@ def _run_scenario(name: str, mutation: Optional[Mutation],
                           measured_after=measured)
 
 
-def run(num_tasks: int = NUM_TASKS, sample_points: int = 20) -> Fig7Result:
-    scenarios = (
-        _run_scenario("baseline (c1=1, w1=3)", None, num_tasks, sample_points),
-        _run_scenario(
-            f"c1: 1 → 3 after {CHANGE_AT} tasks",
-            Mutation(node=1, attribute="c", value=3, after_tasks=CHANGE_AT),
-            num_tasks, sample_points),
-        _run_scenario(
-            f"w1: 3 → 1 after {CHANGE_AT} tasks",
-            Mutation(node=1, attribute="w", value=1, after_tasks=CHANGE_AT),
-            num_tasks, sample_points),
+def _run_scenario_for_pool(spec: Tuple[str, Optional[Mutation]], *,
+                           num_tasks: int, sample_points: int) -> ScenarioResult:
+    """Module-level wrapper so :func:`run` pool workers can be pickled."""
+    name, mutation = spec
+    return _run_scenario(name, mutation, num_tasks, sample_points)
+
+
+def run(scale: Union[ExperimentScale, int, None] = None, *,
+        progress=None, workers: int = 1,
+        sample_points: int = 20,
+        num_tasks: Optional[int] = None) -> Fig7Result:
+    """Run the three Figure 7 scenarios.
+
+    Takes the unified experiment signature ``run(scale, *, progress=None,
+    workers=1)``.  With no ``scale`` the paper's §4.2.3 setting is used
+    (``NUM_TASKS`` tasks on the fixed Figure 1 platform — the ensemble
+    fields of a scale do not apply here, only ``scale.tasks``).
+    ``workers > 1`` fans the three independent scenarios out over a
+    process pool; results come back in scenario order either way.
+
+    ``run(1000)`` / ``run(num_tasks=1000)`` are deprecated spellings of
+    ``run(scale.with_tasks(1000))`` and emit a :class:`DeprecationWarning`.
+    """
+    if isinstance(scale, int):
+        warnings.warn(
+            "fig7.run(num_tasks) is deprecated; pass an ExperimentScale "
+            "(e.g. ExperimentScale(trees=1, tasks=...))",
+            DeprecationWarning, stacklevel=2)
+        scale = ExperimentScale(trees=1, tasks=scale)
+    if num_tasks is not None:
+        warnings.warn(
+            "fig7.run(num_tasks=...) is deprecated; pass an ExperimentScale "
+            "(e.g. ExperimentScale(trees=1, tasks=...))",
+            DeprecationWarning, stacklevel=2)
+        scale = ExperimentScale(trees=1, tasks=num_tasks)
+    if scale is None:
+        scale = ExperimentScale(trees=1, tasks=NUM_TASKS)
+    if workers < 1:
+        raise ExperimentError(f"workers must be >= 1, got {workers}")
+
+    specs: Tuple[Tuple[str, Optional[Mutation]], ...] = (
+        ("baseline (c1=1, w1=3)", None),
+        (f"c1: 1 → 3 after {CHANGE_AT} tasks",
+         Mutation(node=1, attribute="c", value=3, after_tasks=CHANGE_AT)),
+        (f"w1: 3 → 1 after {CHANGE_AT} tasks",
+         Mutation(node=1, attribute="w", value=1, after_tasks=CHANGE_AT)),
     )
-    return Fig7Result(scenarios=scenarios)
+    worker_fn = partial(_run_scenario_for_pool, num_tasks=scale.tasks,
+                        sample_points=sample_points)
+    scenarios: List[ScenarioResult] = []
+    if workers == 1:
+        for i, spec in enumerate(specs):
+            scenarios.append(worker_fn(spec))
+            if progress is not None:
+                progress(i + 1, len(specs))
+    else:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            for i, scenario in enumerate(pool.map(worker_fn, specs)):
+                scenarios.append(scenario)
+                if progress is not None:
+                    progress(i + 1, len(specs))
+    return Fig7Result(scenarios=tuple(scenarios))
 
 
 def format_result(result: Fig7Result) -> str:

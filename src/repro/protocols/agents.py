@@ -33,6 +33,7 @@ and dispenses exactly ``num_tasks`` tasks.
 from __future__ import annotations
 
 from collections import deque
+from operator import attrgetter
 from typing import Callable, Deque, Dict, List, Optional, TYPE_CHECKING
 
 from ..errors import ProtocolError
@@ -47,6 +48,10 @@ __all__ = ["NodeAgent", "Transfer"]
 #: Shared immutable "no suspects" marker used while fault recovery is off,
 #: so the scheduling hot path pays only an empty-membership test.
 _NO_SUSPECTS: frozenset = frozenset()
+
+#: Sort key for :meth:`NodeAgent.resort_children` — the cached per-agent
+#: priority tuple, recomputed only when a weight actually mutates.
+_PRIO_KEY = attrgetter("prio_key")
 
 
 class Transfer:
@@ -74,7 +79,8 @@ class NodeAgent:
     """
 
     __slots__ = (
-        "engine", "id", "w", "c", "parent", "children", "sorted_children",
+        "engine", "env", "tracer", "prio_key",
+        "id", "w", "c", "parent", "children", "sorted_children",
         "is_root", "interruptible", "growth", "max_buffers", "priority_rule",
         "buffers_total", "tasks_held", "requested", "incoming",
         "child_requests", "fifo_queue", "growth_cooldown", "growth_armed",
@@ -93,6 +99,10 @@ class NodeAgent:
     def __init__(self, engine: "ProtocolEngine", node_id: int, w, c,
                  config: ProtocolConfig, is_root: bool):
         self.engine = engine
+        # Hot-path caches: one attribute hop instead of two.  ``tracer`` is
+        # kept in sync by the engine's ``tracer`` property setter.
+        self.env = engine.env
+        self.tracer = engine.tracer
         self.id = node_id
         self.w = w
         self.c = c  # cost of the edge from the parent (0 at the root)
@@ -118,6 +128,14 @@ class NodeAgent:
         self.buffers_decayed = 0
         self.max_buffers = config.max_buffers
         self.priority_rule = config.priority_rule
+
+        # Cached priority tuple (see :meth:`_refresh_prio_key`).  Computed
+        # once here and refreshed only on weight mutations, so the hot
+        # scheduling paths compare plain tuples instead of calling a method.
+        if config.priority_rule is PriorityRule.COMPUTE_CENTRIC:
+            self.prio_key = (w, node_id)
+        else:
+            self.prio_key = (c, node_id)
 
         self.buffers_total = config.initial_buffers
         self.tasks_held = 0
@@ -155,14 +173,26 @@ class NodeAgent:
         self.preemptions = 0
 
     # ------------------------------------------------------------ ordering
-    def _priority_key(self, child: "NodeAgent"):
+    def _refresh_prio_key(self) -> None:
+        """Recompute the cached priority tuple after a weight mutation.
+
+        Mirrors the live-key semantics of the old per-call computation:
+        under COMPUTE_CENTRIC the key tracks ``w``, otherwise (bandwidth-
+        centric, and FIFO which never sorts) it tracks the edge cost ``c``.
+        """
         if self.priority_rule is PriorityRule.COMPUTE_CENTRIC:
-            return (child.w, child.id)
-        return (child.c, child.id)  # bandwidth-centric (and FIFO never sorts)
+            self.prio_key = (self.w, self.id)
+        else:
+            self.prio_key = (self.c, self.id)
+
+    def _priority_key(self, child: "NodeAgent"):
+        """Priority of ``child`` in this node's schedule (kept for API
+        compatibility; hot paths read ``child.prio_key`` directly)."""
+        return child.prio_key
 
     def resort_children(self) -> None:
         """Recompute the child priority order (start-up and after mutations)."""
-        self.sorted_children = sorted(self.children, key=self._priority_key)
+        self.sorted_children = sorted(self.children, key=_PRIO_KEY)
 
     # ------------------------------------------------------- task sourcing
     def has_task(self) -> bool:
@@ -217,9 +247,9 @@ class NodeAgent:
         if self.buffers_total > self.max_buffers_seen:
             self.max_buffers_seen = self.buffers_total
             self.engine._note_buffer_high_water(self.buffers_total)
-        tracer = self.engine.tracer
+        tracer = self.tracer
         if tracer is not None:
-            tracer.record(self.engine.env.now, _trace.GROW, self.id)
+            tracer.record(self.env.now, _trace.GROW, self.id)
         self.requested += 1
         if self.link_down:
             self.deferred_requests += 1
@@ -290,9 +320,9 @@ class NodeAgent:
 
     def _on_request(self, child: "NodeAgent") -> None:
         """A child announced an empty buffer (synchronous, zero time)."""
-        tracer = self.engine.tracer
+        tracer = self.tracer
         if tracer is not None:
-            tracer.record(self.engine.env.now, _trace.REQUEST, child.id, self.id)
+            tracer.record(self.env.now, _trace.REQUEST, child.id, self.id)
         self.child_requests += 1
         if self.fifo_queue is not None:
             self.fifo_queue.append(child)
@@ -308,17 +338,17 @@ class NodeAgent:
             return
         self._take_task()
         self.cpu_busy = True
-        tracer = self.engine.tracer
+        tracer = self.tracer
         if tracer is not None:
-            tracer.record(self.engine.env.now, _trace.COMPUTE_START, self.id)
-        self.cpu_timer = self.engine.env.call_in(self.w, self._cpu_done)
+            tracer.record(self.env.now, _trace.COMPUTE_START, self.id)
+        self.cpu_timer = self.env.call_in(self.w, self._cpu_done)
 
     def _cpu_done(self) -> None:
         self.cpu_busy = False
         self.computed += 1
-        tracer = self.engine.tracer
+        tracer = self.tracer
         if tracer is not None:
-            tracer.record(self.engine.env.now, _trace.COMPUTE_DONE, self.id)
+            tracer.record(self.env.now, _trace.COMPUTE_DONE, self.id)
         self.engine._on_completion(self)
         # Growth rule 3: computation finished and the buffers are all empty.
         if self.growth and self.tasks_held == 0:
@@ -370,7 +400,7 @@ class NodeAgent:
                 if child is None:
                     return
         transfer = self.shelf.pop(child.id, None)
-        tracer = self.engine.tracer
+        tracer = self.tracer
         if transfer is None:
             if self.fifo_queue is not None:
                 self.fifo_queue.popleft()
@@ -381,12 +411,12 @@ class NodeAgent:
             transfer = Transfer(child, child.c)
             self.transfers_started += 1
             if tracer is not None:
-                tracer.record(self.engine.env.now, _trace.SEND_START,
+                tracer.record(self.env.now, _trace.SEND_START,
                               self.id, child.id)
         elif tracer is not None:
-            tracer.record(self.engine.env.now, _trace.SEND_RESUME,
+            tracer.record(self.env.now, _trace.SEND_RESUME,
                           self.id, child.id)
-        env = self.engine.env
+        env = self.env
         transfer.started_at = env.now
         transfer.timer = env.call_in(transfer.remaining, self._send_done, transfer)
         self.current_transfer = transfer
@@ -394,9 +424,9 @@ class NodeAgent:
     def _send_done(self, transfer: Transfer) -> None:
         self.current_transfer = None
         child = transfer.child
-        tracer = self.engine.tracer
+        tracer = self.tracer
         if tracer is not None:
-            tracer.record(self.engine.env.now, _trace.SEND_DONE,
+            tracer.record(self.env.now, _trace.SEND_DONE,
                           self.id, child.id)
         child.incoming -= 1
         child.tasks_held += 1
@@ -447,9 +477,9 @@ class NodeAgent:
         best = self._choose_next()
         if best is None or best is current.child:
             return
-        if self._priority_key(best) >= self._priority_key(current.child):
+        if best.prio_key >= current.child.prio_key:
             return
-        env = self.engine.env
+        env = self.env
         elapsed = env.now - current.started_at
         if elapsed >= current.remaining:
             # The transfer's completion timer is due this very timestep (it
@@ -462,7 +492,7 @@ class NodeAgent:
         self.shelf[current.child.id] = current
         self.current_transfer = None
         self.preemptions += 1
-        tracer = self.engine.tracer
+        tracer = self.tracer
         if tracer is not None:
             tracer.record(env.now, _trace.PREEMPT, self.id, current.child.id)
         self.try_send()
@@ -473,10 +503,16 @@ class NodeAgent:
         original durations; new decisions see the new weight)."""
         if attribute == "w":
             self.w = value
+            # Keep the live-key semantics of the old per-call computation:
+            # a compute-centric weight change is visible to preemption
+            # comparisons immediately, even though siblings are not
+            # re-sorted (matching the pre-cache behaviour exactly).
+            self._refresh_prio_key()
             return
         if self.is_root:
             raise ProtocolError("the root has no parent edge to mutate")
         self.c = value
+        self._refresh_prio_key()
         parent = self.parent
         parent.resort_children()
         # Priorities changed: the port may now be serving the wrong child.
@@ -543,11 +579,11 @@ class NodeAgent:
         # The child's announced requests leave the parent's demand counter
         # while suspicion lasts; deferred (unannounced) ones never entered.
         self.child_requests -= child.requested - child.deferred_requests
-        tracer = self.engine.tracer
+        tracer = self.tracer
         if tracer is not None:
-            tracer.record(self.engine.env.now, _trace.SUSPECT,
+            tracer.record(self.env.now, _trace.SUSPECT,
                           self.id, child.id)
-        self.probe_timers[child.id] = self.engine.env.call_in(
+        self.probe_timers[child.id] = self.env.call_in(
             self.request_timeout, self._probe_child, child, 1)
 
     def _probe_child(self, child: "NodeAgent", attempt: int) -> None:
@@ -580,9 +616,9 @@ class NodeAgent:
             self.resort_children()
         self.child_requests += child.requested
         child.deferred_requests = 0
-        tracer = self.engine.tracer
+        tracer = self.tracer
         if tracer is not None:
-            tracer.record(self.engine.env.now, _trace.READMIT,
+            tracer.record(self.env.now, _trace.READMIT,
                           self.id, child.id)
         self.engine._flush_pending_losses(child)
         if self.current_transfer is None:
@@ -618,7 +654,7 @@ class NodeAgent:
             self.try_send()
 
     def _start_sweep(self) -> None:
-        self.sweep_timer = self.engine.env.call_in(
+        self.sweep_timer = self.env.call_in(
             self.request_timeout, self._liveness_sweep)
 
     def _liveness_sweep(self) -> None:

@@ -66,9 +66,7 @@ class ProtocolEngine:
         self.record_buffer_timeline = record_buffer_timeline
 
         self.env = Environment()
-        #: Optional :class:`repro.protocols.trace.Tracer` recording protocol
-        #: events; assign before calling :meth:`run`.
-        self.tracer = None
+        self._tracer = None
         self.nodes: List[NodeAgent] = []
         self.completed = 0
         self.completion_times: List[int] = []
@@ -93,6 +91,22 @@ class ProtocolEngine:
         self.reclaim_times: List[int] = []
 
         self._build_agents()
+
+    # ------------------------------------------------------------- tracing
+    @property
+    def tracer(self):
+        """Optional :class:`repro.protocols.trace.Tracer` recording protocol
+        events; assign before calling :meth:`run`.  Agents cache a direct
+        reference for the hot path, so the setter propagates to all of them
+        (agents built later — e.g. on churn joins — pick it up at
+        construction)."""
+        return self._tracer
+
+    @tracer.setter
+    def tracer(self, value) -> None:
+        self._tracer = value
+        for agent in self.nodes:
+            agent.tracer = value
 
     # ------------------------------------------------------------ assembly
     def _build_agents(self) -> None:

@@ -21,7 +21,7 @@ seed replay identically.
 
 from __future__ import annotations
 
-from heapq import heappop, heappush
+from heapq import heapify, heappop, heappush
 from typing import Any, Callable, Iterable, Optional, Union
 
 from ..errors import SimulationError
@@ -37,6 +37,10 @@ NORMAL = 1
 #: Priority used for loop-control entries such as ``run(until=...)`` stops.
 URGENT = 0
 
+#: Compaction trigger: once at least this many cancelled timers sit in the
+#: heap *and* they outnumber the live entries, the calendar is rebuilt.
+_COMPACT_MIN = 1024
+
 
 class Timer:
     """A cancellable low-level callback scheduled on the event calendar.
@@ -45,11 +49,18 @@ class Timer:
     check, one call.  They are returned by :meth:`Environment.call_in` and
     :meth:`Environment.call_at` and can be revoked with :meth:`cancel` at any
     point before they fire.
+
+    Cancellation is lazy: the heap entry stays in place, tombstoned, and the
+    environment counts outstanding tombstones so it can rebuild the calendar
+    once they dominate it (preemption-heavy protocol runs cancel a large
+    share of their transfer timers).
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("env", "time", "seq", "fn", "args", "cancelled")
 
-    def __init__(self, time, seq: int, fn: Callable[..., Any], args: tuple):
+    def __init__(self, env: "Environment", time, seq: int,
+                 fn: Callable[..., Any], args: tuple):
+        self.env = env
         self.time = time
         self.seq = seq
         self.fn = fn
@@ -60,12 +71,19 @@ class Timer:
         return (self.time, self.seq) < (other.time, other.seq)
 
     def cancel(self) -> None:
-        """Revoke the timer.  Cancelling an already-fired timer is a no-op."""
+        """Revoke the timer.  Cancelling an already-fired (or already
+        cancelled) timer is a no-op."""
+        if self.cancelled or self.fn is _fired:
+            return
         self.cancelled = True
         # Drop references so cancelled entries sitting in the heap do not pin
         # arbitrary object graphs alive until they are popped.
         self.fn = _noop
         self.args = ()
+        env = self.env
+        env._cancelled += 1
+        if env._cancelled >= _COMPACT_MIN and env._cancelled * 2 >= len(env._heap):
+            env._compact()
 
     @property
     def active(self) -> bool:
@@ -115,6 +133,7 @@ class Environment:
         self._now = initial_time
         self._heap: list[tuple] = []
         self._seq = 0
+        self._cancelled = 0  # tombstoned timers still sitting in the heap
         #: Number of calendar entries processed so far (monitoring hook).
         self.processed_count = 0
         #: Optional callable ``(time, item)`` invoked before each entry runs.
@@ -140,6 +159,7 @@ class Environment:
             item = entry[3]
             if item.__class__ is Timer and item.cancelled:
                 heappop(heap)
+                self._cancelled -= 1
                 continue
             return entry[0]
         return Infinity
@@ -159,16 +179,27 @@ class Environment:
             raise SimulationError(
                 f"cannot schedule at t={time!r} before now={self._now!r}"
             )
-        self._seq += 1
-        timer = Timer(time, self._seq, fn, args)
-        heappush(self._heap, (time, NORMAL, self._seq, timer))
+        seq = self._seq + 1
+        self._seq = seq
+        timer = Timer(self, time, seq, fn, args)
+        heappush(self._heap, (time, NORMAL, seq, timer))
         return timer
 
     def call_in(self, delay, fn: Callable[..., Any], *args: Any) -> Timer:
-        """Schedule ``fn(*args)`` after ``delay`` time units (``delay >= 0``)."""
+        """Schedule ``fn(*args)`` after ``delay`` time units (``delay >= 0``).
+
+        This is the protocol engine's per-event scheduling call, so it is
+        :meth:`call_at` unrolled: a non-negative delay can never land in the
+        past, which saves the past-check and a second method call.
+        """
         if delay < 0:
             raise SimulationError(f"negative delay {delay!r}")
-        return self.call_at(self._now + delay, fn, *args)
+        time = self._now + delay
+        seq = self._seq + 1
+        self._seq = seq
+        timer = Timer(self, time, seq, fn, args)
+        heappush(self._heap, (time, NORMAL, seq, timer))
+        return timer
 
     # ---------------------------------------------------------- high level
     def schedule(self, event: Event, delay: Union[int, float] = 0,
@@ -220,6 +251,7 @@ class Environment:
             time, _prio, _seq, item = heappop(heap)
             if item.__class__ is Timer:
                 if item.cancelled:
+                    self._cancelled -= 1
                     continue
                 self._now = time
                 self.processed_count += 1
@@ -264,12 +296,41 @@ class Environment:
                 )
             stop_event = None
             self._seq += 1
-            timer = Timer(until, self._seq, self._stop_at, ())
+            timer = Timer(self, until, self._seq, self._stop_at, ())
             heappush(self._heap, (until, URGENT, self._seq, timer))
 
+        # The event loop proper.  This duplicates :meth:`step` deliberately:
+        # inlining the dispatch into one tight loop (with the heap and
+        # ``heappop`` bound to locals) removes two method calls and several
+        # attribute loads per calendar entry, which is where the bulk of the
+        # kernel's per-event cost lives.  Any behavioural change here must be
+        # mirrored in :meth:`step`.
+        heap = self._heap
+        pop = heappop
+        timer_cls = Timer
         try:
-            while not self.is_empty():
-                self.step()
+            while heap:
+                time, _prio, _seq, item = pop(heap)
+                if item.__class__ is timer_cls:
+                    if item.cancelled:
+                        self._cancelled -= 1
+                        continue
+                    self._now = time
+                    self.processed_count += 1
+                    if self.trace_hook is not None:
+                        self.trace_hook(time, item)
+                    fn = item.fn
+                    # Mark fired via the fn sentinel only; clearing args too
+                    # would cost a second store per event for no observable
+                    # difference (the entry is already off the heap).
+                    item.fn = _fired
+                    fn(*item.args)
+                else:
+                    self._now = time
+                    self.processed_count += 1
+                    if self.trace_hook is not None:
+                        self.trace_hook(time, item)
+                    item._process()
         except _StopRun as stop:
             return stop.value
         if isinstance(until, Event):
@@ -283,6 +344,23 @@ class Environment:
         return None
 
     # Internal ----------------------------------------------------------
+    def _compact(self) -> None:
+        """Rebuild the calendar without tombstoned timers.
+
+        Lazy deletion leaves cancelled entries in the heap until they are
+        popped; once they outnumber live entries (see :data:`_COMPACT_MIN`)
+        the heap is filtered and re-heapified in one O(n) pass.  Entry order
+        is untouched — ordering lives in the ``(time, priority, seq)`` tuple
+        prefix — so compaction never changes what runs when.
+        """
+        heap = self._heap
+        # In-place so the list object keeps its identity: the inlined loop in
+        # :meth:`run` holds a local reference to it across callbacks.
+        heap[:] = [entry for entry in heap
+                   if not (entry[3].__class__ is Timer and entry[3].cancelled)]
+        heapify(heap)
+        self._cancelled = 0
+
     def _stop_at(self) -> None:
         raise _StopRun(None)
 

@@ -14,11 +14,16 @@ silently dropped.
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import Any, Callable, Dict, List, Optional
 
 from ..errors import SimulationError
 
 __all__ = ["Event", "Timeout", "Condition", "AllOf", "AnyOf", "ConditionValue", "PENDING"]
+
+#: Default calendar priority; must match :data:`repro.sim.core.NORMAL`
+#: (duplicated here because :mod:`repro.sim.core` imports this module).
+_NORMAL = 1
 
 
 class _Pending:
@@ -91,7 +96,12 @@ class Event:
         if self._value is not PENDING:
             raise SimulationError(f"{self!r} already triggered")
         self._value = value
-        self.env.schedule(self)
+        # Inlined zero-delay Environment.schedule (hot path: every event
+        # trigger goes through here).
+        env = self.env
+        seq = env._seq + 1
+        env._seq = seq
+        heappush(env._heap, (env._now, _NORMAL, seq, self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -102,7 +112,10 @@ class Event:
             raise SimulationError(f"{self!r} already triggered")
         self._value = exception
         self._failed = True
-        self.env.schedule(self)
+        env = self.env
+        seq = env._seq + 1
+        env._seq = seq
+        heappush(env._heap, (env._now, _NORMAL, seq, self))
         return self
 
     def trigger(self, event: "Event") -> None:
@@ -157,7 +170,9 @@ class Timeout(Event):
         super().__init__(env)
         self.delay = delay
         self._value = value
-        env.schedule(self, delay=delay)
+        seq = env._seq + 1
+        env._seq = seq
+        heappush(env._heap, (env._now + delay, _NORMAL, seq, self))
 
 
 class ConditionValue:

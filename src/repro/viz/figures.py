@@ -120,7 +120,7 @@ def save_all(directory: str,
         "fig4": fig4_svg(fig4.run(scale)),
         "fig5": fig5_svg(fig5.run(scale)),
         "fig6a": fig6_svg(fig6.run(scale), dimension="nodes"),
-        "fig7": fig7_svg(fig7.run()),
+        "fig7": fig7_svg(fig7.run(scale.with_trees(1))),
     }
     paths = {}
     for name, svg_text in outputs.items():

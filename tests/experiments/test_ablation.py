@@ -47,3 +47,44 @@ class TestChurnResilience:
         text = ablation.format_churn_result(result)
         assert "churn resilience" in text
         assert "conserved" in text
+
+
+class TestAblationWorkers:
+    """workers=N must reproduce the serial ablation results exactly."""
+
+    SMALL = ExperimentScale(trees=3, tasks=600)
+
+    def test_priority_rules_parallel_matches_serial(self):
+        serial = ablation.priority_rules(self.SMALL, MICRO_PARAMS)
+        parallel = ablation.priority_rules(self.SMALL, MICRO_PARAMS, workers=2)
+        assert serial == parallel
+
+    def test_decay_parallel_matches_serial(self):
+        serial = ablation.buffer_decay_ablation(self.SMALL, MICRO_PARAMS)
+        parallel = ablation.buffer_decay_ablation(
+            self.SMALL, MICRO_PARAMS, workers=2)
+        assert serial == parallel
+
+    def test_churn_parallel_matches_serial(self):
+        serial = ablation.churn_resilience(self.SMALL, MICRO_PARAMS)
+        parallel = ablation.churn_resilience(
+            self.SMALL, MICRO_PARAMS, workers=2)
+        assert serial == parallel
+
+    def test_faults_parallel_matches_serial(self):
+        serial = ablation.fault_recovery(self.SMALL, MICRO_PARAMS)
+        parallel = ablation.fault_recovery(
+            self.SMALL, MICRO_PARAMS, workers=2)
+        assert serial == parallel
+
+    def test_overlays_parallel_matches_serial(self):
+        scale = ExperimentScale(trees=4, tasks=2)
+        serial = ablation.overlay_strategies(scale, hosts=15)
+        parallel = ablation.overlay_strategies(scale, hosts=15, workers=2)
+        assert serial == parallel
+
+    def test_bad_workers_rejected(self):
+        from repro.errors import ExperimentError
+
+        with pytest.raises(ExperimentError, match="workers"):
+            ablation.priority_rules(self.SMALL, MICRO_PARAMS, workers=0)

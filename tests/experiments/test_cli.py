@@ -71,7 +71,8 @@ class TestPriorityAblation:
 
 class TestOverlayAblation:
     def test_strategies_compared(self):
-        result = ablation.overlay_strategies(graphs=5, hosts=20)
+        result = ablation.overlay_strategies(
+            ExperimentScale(trees=5, tasks=2), hosts=20)
         assert set(result.mean_relative_rate) == {
             "bfs", "shortest-path", "mst", "random"}
         for value in result.mean_relative_rate.values():

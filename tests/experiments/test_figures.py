@@ -143,7 +143,7 @@ class TestFig6:
 
 class TestFig7:
     def test_scenarios_and_tracking(self):
-        result = fig7.run(num_tasks=600)
+        result = fig7.run(ExperimentScale(trees=1, tasks=600))
         assert len(result.scenarios) == 3
         base, contention, relief = result.scenarios
         assert base.optimal_before == base.optimal_after
@@ -160,5 +160,15 @@ class TestFig7:
             assert counts == sorted(counts)
 
     def test_format(self):
-        text = fig7.format_result(fig7.run(num_tasks=600))
+        text = fig7.format_result(fig7.run(ExperimentScale(trees=1, tasks=600)))
         assert "Figure 7" in text and "tracking error" in text
+
+    def test_workers_match_serial(self):
+        scale = ExperimentScale(trees=1, tasks=600)
+        assert fig7.run(scale) == fig7.run(scale, workers=2)
+
+    def test_progress_reported(self):
+        calls = []
+        fig7.run(ExperimentScale(trees=1, tasks=600),
+                 progress=lambda done, total: calls.append((done, total)))
+        assert calls == [(1, 3), (2, 3), (3, 3)]

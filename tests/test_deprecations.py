@@ -1,0 +1,110 @@
+"""Back-compat guarantees for the API redesign.
+
+Two contracts:
+
+* every name importable from ``repro`` before the redesign still imports
+  (plus the newly exported fault/recovery surface), and
+* the old experiment spellings (``fig7.run(num_tasks)``,
+  ``overlay_strategies(graphs=...)``) keep working — they warn, not break.
+"""
+
+import warnings
+
+import pytest
+
+import repro
+from repro.experiments import ExperimentScale, ablation, fig7
+
+#: The exact public surface of ``repro`` before this redesign.
+PRE_REDESIGN_NAMES = [
+    "__version__",
+    "ReproError", "SimulationError", "PlatformError", "SolverError",
+    "ProtocolError", "ExperimentError",
+    "PlatformTree", "TreeNode",
+    "generate_tree", "TreeGeneratorParams",
+    "solve_tree", "solve_fork", "SteadyStateSolution", "ForkSolution",
+    "simulate", "ProtocolConfig", "SimulationResult",
+]
+
+#: Newly consolidated exports (including the PR-1 fault surface).
+NEW_NAMES = [
+    "Mutation", "MutationSchedule",
+    "ChurnSchedule", "JoinEvent", "LeaveEvent",
+    "FaultSchedule", "CrashEvent", "LinkFailureEvent", "LinkRepairEvent",
+    "ProtocolEngine", "ProtocolVariant", "PriorityRule",
+    "Tracer", "TraceEvent", "ascii_gantt",
+    "RecoveryReport", "recovery_report", "recovery_latencies",
+    "post_recovery_rate", "degraded_windows",
+    "ExperimentScale",
+]
+
+
+class TestPublicSurface:
+    @pytest.mark.parametrize("name", PRE_REDESIGN_NAMES)
+    def test_pre_redesign_name_still_imports(self, name):
+        assert getattr(repro, name) is not None
+
+    @pytest.mark.parametrize("name", NEW_NAMES)
+    def test_new_surface_imports(self, name):
+        assert getattr(repro, name) is not None
+
+    def test_dir_lists_lazy_exports(self):
+        listing = dir(repro)
+        for name in PRE_REDESIGN_NAMES + NEW_NAMES:
+            assert name in listing
+
+    def test_all_matches_dir(self):
+        assert set(repro.__all__) <= set(dir(repro))
+
+    def test_lazy_access_is_cached(self):
+        first = repro.FaultSchedule
+        assert repro.__dict__["FaultSchedule"] is first
+
+    def test_fault_surface_is_the_real_thing(self):
+        from repro.platform.faults import FaultSchedule
+        from repro.metrics.faults import recovery_report
+
+        assert repro.FaultSchedule is FaultSchedule
+        assert repro.recovery_report is recovery_report
+
+
+class TestFig7Shims:
+    def test_positional_int_warns_and_works(self):
+        with pytest.warns(DeprecationWarning, match="ExperimentScale"):
+            result = fig7.run(300)
+        assert len(result.scenarios) == 3
+
+    def test_num_tasks_keyword_warns_and_matches_new_style(self):
+        with pytest.warns(DeprecationWarning, match="num_tasks"):
+            old = fig7.run(num_tasks=300)
+        new = fig7.run(ExperimentScale(trees=1, tasks=300))
+        assert old == new
+
+    def test_new_style_does_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            fig7.run(ExperimentScale(trees=1, tasks=300))
+
+
+class TestOverlayShims:
+    def test_positional_int_warns_and_works(self):
+        with pytest.warns(DeprecationWarning, match="graph count"):
+            result = ablation.overlay_strategies(2, hosts=10)
+        assert result.graphs == 2
+
+    def test_graphs_keyword_warns_and_matches_new_style(self):
+        with pytest.warns(DeprecationWarning, match="graphs"):
+            old = ablation.overlay_strategies(graphs=2, hosts=10)
+        new = ablation.overlay_strategies(
+            ExperimentScale(trees=2, tasks=2), hosts=10)
+        assert old == new
+
+    def test_base_seed_keyword_warns(self):
+        with pytest.warns(DeprecationWarning, match="base_seed"):
+            ablation.overlay_strategies(2, hosts=10, base_seed=5)
+
+    def test_new_style_does_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            ablation.overlay_strategies(
+                ExperimentScale(trees=2, tasks=2), hosts=10)

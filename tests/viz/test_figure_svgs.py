@@ -46,7 +46,7 @@ class TestFigureRenderers:
             assert_valid_svg(text, min_polylines=3)
 
     def test_fig7(self):
-        result = fig7.run(num_tasks=600)
+        result = fig7.run(ExperimentScale(trees=1, tasks=600))
         text = fig7_svg(result)
         # 3 scenario curves + 3 dashed optimal references
         root = assert_valid_svg(text, min_polylines=6)
