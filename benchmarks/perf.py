@@ -22,7 +22,9 @@ and isolates genuine kernel regressions.
 import argparse
 import heapq
 import json
+import os
 import sys
+import tempfile
 import time
 from pathlib import Path
 
@@ -158,6 +160,31 @@ def run_sweep_suite(repeats):
     return records
 
 
+def _atomic_dump_json(report, path):
+    """Write the trajectory file via tmp + fsync + rename.
+
+    A run killed mid-write (the exact failure mode the sweep harness
+    guards against) must never leave a truncated ``BENCH_*.json`` behind
+    — a torn baseline would silently break every later ``--check``.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp",
+                                    prefix=os.path.basename(path) + ".")
+    try:
+        with os.fdopen(fd, "w") as fh:
+            json.dump(report, fh, indent=2)
+            fh.write("\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
 # ---------------------------------------------------------------------------
 # Regression gate
 # ---------------------------------------------------------------------------
@@ -235,9 +262,7 @@ def main(argv=None):
     }
 
     if args.json:
-        with open(args.json, "w") as fh:
-            json.dump(report, fh, indent=2)
-            fh.write("\n")
+        _atomic_dump_json(report, args.json)
         print(f"\nwrote {args.json}")
 
     if args.check:

@@ -14,7 +14,10 @@ Bandwidth-Centric Scheduling of Independent-task Applications"*
 * :mod:`repro.metrics` — windowed throughput, steady-state onset detection,
   buffer and used-subtree statistics, fault-recovery reports,
 * :mod:`repro.experiments` — harness regenerating every table and figure of
-  the paper's evaluation section.
+  the paper's evaluation section,
+* :mod:`repro.harness` — crash-safe sweep infrastructure: checkpointed
+  journals, a supervised worker pool with per-seed retry/backoff, and
+  resume of interrupted ensembles (:class:`~repro.harness.HarnessConfig`).
 
 Quickstart::
 
@@ -87,6 +90,12 @@ _LAZY_EXPORTS = {
     "degraded_windows": "repro.metrics.faults",
     # experiment harness
     "ExperimentScale": "repro.experiments.common",
+    # crash-safe sweep harness
+    "HarnessConfig": "repro.harness",
+    "RetryPolicy": "repro.harness",
+    "RunCoverage": "repro.harness",
+    "SeedFailure": "repro.harness",
+    "CheckpointStore": "repro.harness",
 }
 
 __all__ = [

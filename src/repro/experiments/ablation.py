@@ -24,7 +24,7 @@ from fractions import Fraction
 from functools import partial
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
-from ..errors import ExperimentError
+from ..harness import HarnessConfig, RunCoverage, run_seeds
 from ..metrics import detect_onset, percentage_reached
 from ..platform.generator import PAPER_DEFAULTS, TreeGeneratorParams, generate_tree
 from ..platform.overlay import PhysicalTopology, compare_overlays
@@ -52,30 +52,26 @@ __all__ = [
 ]
 
 def _map_seeds(worker: Callable, seeds: Sequence[int], progress,
-               workers: int) -> List:
-    """Run ``worker(seed)`` for every seed, serially or over a process pool.
+               workers: int, *, harness: Optional[HarnessConfig] = None,
+               experiment: str = "ablation",
+               config_parts: Tuple = ()) -> Tuple[List, Optional[RunCoverage]]:
+    """Run ``worker(seed)`` for every seed under the crash-safe harness.
 
-    Results are returned in seed order either way, so ``workers=1`` and
-    ``workers=N`` produce identical ablation results (the per-seed work is
-    independent and internally deterministic).
+    Results come back in seed order whether serial or parallel, so
+    ``workers=1`` and ``workers=N`` produce identical ablation results (the
+    per-seed work is independent and internally deterministic).  With a
+    ``harness``, worker death and per-seed errors are retried and finally
+    recorded as structured failures (see :mod:`repro.harness`); the second
+    return value is then the :class:`~repro.harness.RunCoverage` report.
+    Without one, the first error propagates — the pre-harness behaviour —
+    but Ctrl-C still cancels pending futures instead of hanging on
+    orphaned workers.
     """
-    if workers < 1:
-        raise ExperimentError(f"workers must be >= 1, got {workers}")
-    out: List = []
-    if workers == 1:
-        for i, seed in enumerate(seeds):
-            out.append(worker(seed))
-            if progress is not None:
-                progress(i + 1, len(seeds))
-        return out
-    from concurrent.futures import ProcessPoolExecutor
-
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        for i, result in enumerate(pool.map(worker, seeds)):
-            out.append(result)
-            if progress is not None:
-                progress(i + 1, len(seeds))
-    return out
+    outcome = run_seeds(worker, seeds, experiment=experiment,
+                        config_parts=config_parts, harness=harness,
+                        workers=workers, progress=progress)
+    return list(outcome.values), (outcome.coverage if harness is not None
+                                  else None)
 
 
 PRIORITY_CONFIGS: Tuple[ProtocolConfig, ...] = (
@@ -94,6 +90,8 @@ class PriorityAblationResult:
     reached: Dict[str, float]
     #: label → mean normalized steady-window rate.
     mean_normalized_rate: Dict[str, float]
+    #: Crash-safety coverage report (``None`` when run without a harness).
+    coverage: Optional[RunCoverage] = None
 
 
 def _priority_seed(seed: int, *, params: TreeGeneratorParams, tasks: int,
@@ -114,14 +112,20 @@ def _priority_seed(seed: int, *, params: TreeGeneratorParams, tasks: int,
 
 def priority_rules(scale: ExperimentScale = ExperimentScale(),
                    params: TreeGeneratorParams = PAPER_DEFAULTS,
-                   *, progress=None, workers: int = 1) -> PriorityAblationResult:
+                   *, progress=None, workers: int = 1,
+                   harness: Optional[HarnessConfig] = None
+                   ) -> PriorityAblationResult:
     """Compare child-ordering rules over a random ensemble."""
     worker = partial(_priority_seed, params=params, tasks=scale.tasks,
                      threshold=scale.threshold)
     seeds = [scale.base_seed + i for i in range(scale.trees)]
     onsets: Dict[str, List] = {c.label: [] for c in PRIORITY_CONFIGS}
     norms: Dict[str, List[float]] = {c.label: [] for c in PRIORITY_CONFIGS}
-    for per_label in _map_seeds(worker, seeds, progress, workers):
+    per_seed, coverage = _map_seeds(
+        worker, seeds, progress, workers, harness=harness,
+        experiment="priorities",
+        config_parts=(params, scale.tasks, scale.threshold))
+    for per_label in per_seed:
         for label, (onset, norm) in per_label.items():
             onsets[label].append(onset)
             norms[label].append(norm)
@@ -129,6 +133,7 @@ def priority_rules(scale: ExperimentScale = ExperimentScale(),
         scale=scale,
         reached={k: percentage_reached(v) for k, v in onsets.items()},
         mean_normalized_rate={k: sum(v) / len(v) for k, v in norms.items()},
+        coverage=coverage,
     )
 
 
@@ -150,6 +155,8 @@ class OverlayAblationResult:
     mean_relative_rate: Dict[str, float]
     #: strategy → how often it produced the best tree.
     wins: Dict[str, int]
+    #: Crash-safety coverage report (``None`` when run without a harness).
+    coverage: Optional[RunCoverage] = None
 
 
 def _random_topology(rng: random.Random, hosts: int) -> PhysicalTopology:
@@ -182,6 +189,7 @@ DEFAULT_OVERLAY_GRAPHS = 30
 
 def overlay_strategies(scale: Union[ExperimentScale, int, None] = None,
                        *, hosts: int = 40, progress=None, workers: int = 1,
+                       harness: Optional[HarnessConfig] = None,
                        graphs: Optional[int] = None,
                        base_seed: Optional[int] = None) -> OverlayAblationResult:
     """Compare overlay constructions by achievable optimal rate.
@@ -217,14 +225,20 @@ def overlay_strategies(scale: Union[ExperimentScale, int, None] = None,
     seeds = [base_seed + i for i in range(graphs)]
     totals: Dict[str, float] = {}
     wins: Dict[str, int] = {}
-    for winner, relative in _map_seeds(worker, seeds, progress, workers):
+    per_seed, coverage = _map_seeds(worker, seeds, progress, workers,
+                                    harness=harness, experiment="overlays",
+                                    config_parts=(hosts,))
+    measured = len(per_seed)
+    for winner, relative in per_seed:
         wins[winner] = wins.get(winner, 0) + 1
         for strategy, value in relative.items():
             totals[strategy] = totals.get(strategy, 0.0) + value
     return OverlayAblationResult(
         graphs=graphs,
-        mean_relative_rate={k: v / graphs for k, v in sorted(totals.items())},
+        mean_relative_rate={k: v / measured
+                            for k, v in sorted(totals.items())},
         wins=wins,
+        coverage=coverage,
     )
 
 
@@ -250,6 +264,8 @@ class DecayAblationResult:
     mean_max_pool: Dict[str, float]
     #: variant label → total buffers shed by decay (0 for the off variant).
     decayed: Dict[str, int]
+    #: Crash-safety coverage report (``None`` when run without a harness).
+    coverage: Optional[RunCoverage] = None
 
 
 _DECAY_VARIANTS = (
@@ -274,8 +290,9 @@ def _decay_seed(seed: int, *, params: TreeGeneratorParams, tasks: int,
 
 def buffer_decay_ablation(scale: ExperimentScale = ExperimentScale(),
                           params: TreeGeneratorParams = PAPER_DEFAULTS,
-                          *, progress=None,
-                          workers: int = 1) -> DecayAblationResult:
+                          *, progress=None, workers: int = 1,
+                          harness: Optional[HarnessConfig] = None
+                          ) -> DecayAblationResult:
     """Quantify §2.2's "optimally, buffer decay" over a random ensemble."""
     worker = partial(_decay_seed, params=params, tasks=scale.tasks,
                      threshold=scale.threshold)
@@ -283,7 +300,10 @@ def buffer_decay_ablation(scale: ExperimentScale = ExperimentScale(),
     onsets: Dict[str, List] = {label: [] for label, _cfg in _DECAY_VARIANTS}
     pools: Dict[str, List[int]] = {label: [] for label, _cfg in _DECAY_VARIANTS}
     decayed: Dict[str, int] = {label: 0 for label, _cfg in _DECAY_VARIANTS}
-    for per_label in _map_seeds(worker, seeds, progress, workers):
+    per_seed, coverage = _map_seeds(
+        worker, seeds, progress, workers, harness=harness, experiment="decay",
+        config_parts=(params, scale.tasks, scale.threshold))
+    for per_label in per_seed:
         for label, (onset, pool, shed) in per_label.items():
             onsets[label].append(onset)
             pools[label].append(pool)
@@ -293,6 +313,7 @@ def buffer_decay_ablation(scale: ExperimentScale = ExperimentScale(),
         reached={k: percentage_reached(v) for k, v in onsets.items()},
         mean_max_pool={k: sum(v) / len(v) for k, v in pools.items()},
         decayed=decayed,
+        coverage=coverage,
     )
 
 
@@ -319,6 +340,8 @@ class ChurnResilienceResult:
     all_conserved: bool
     #: Every leave scenario produced at least one graceful departure.
     all_departed: bool
+    #: Crash-safety coverage report (``None`` when run without a harness).
+    coverage: Optional[RunCoverage] = None
 
     @property
     def mean_join_norm(self) -> float:
@@ -359,22 +382,25 @@ def _churn_seed(seed: int, *, params: TreeGeneratorParams,
 
 def churn_resilience(scale: ExperimentScale = ExperimentScale(),
                      params: TreeGeneratorParams = PAPER_DEFAULTS,
-                     *, progress=None,
-                     workers: int = 1) -> ChurnResilienceResult:
+                     *, progress=None, workers: int = 1,
+                     harness: Optional[HarnessConfig] = None
+                     ) -> ChurnResilienceResult:
     """Measure §6's dynamically-evolving-pool resilience under IC/FB=3."""
     worker = partial(_churn_seed, params=params, tasks=scale.tasks)
     seeds = [scale.base_seed + i for i in range(scale.trees)]
     norms: List[float] = []
     conserved = True
     departed = True
-    for norm, seed_conserved, seed_departed in _map_seeds(
-            worker, seeds, progress, workers):
+    per_seed, coverage = _map_seeds(worker, seeds, progress, workers,
+                                    harness=harness, experiment="churn",
+                                    config_parts=(params, scale.tasks))
+    for norm, seed_conserved, seed_departed in per_seed:
         norms.append(norm)
         conserved &= seed_conserved
         departed &= seed_departed
     return ChurnResilienceResult(
         scale=scale, join_norms=tuple(norms),
-        all_conserved=conserved, all_departed=departed)
+        all_conserved=conserved, all_departed=departed, coverage=coverage)
 
 
 def format_churn_result(result: ChurnResilienceResult) -> str:
@@ -404,6 +430,8 @@ class FaultRecoveryResult:
     total_wasted: int
     #: Every run completed all its tasks despite the failures.
     all_completed: bool
+    #: Crash-safety coverage report (``None`` when run without a harness).
+    coverage: Optional[RunCoverage] = None
 
     @property
     def mean_efficiency(self) -> float:
@@ -444,8 +472,9 @@ def _fault_seed(seed: int, *, params: TreeGeneratorParams, tasks: int
 
 def fault_recovery(scale: ExperimentScale = ExperimentScale(),
                    params: TreeGeneratorParams = PAPER_DEFAULTS,
-                   *, progress=None,
-                   workers: int = 1) -> FaultRecoveryResult:
+                   *, progress=None, workers: int = 1,
+                   harness: Optional[HarnessConfig] = None
+                   ) -> FaultRecoveryResult:
     """Crash one root subtree mid-run (plus a transient link outage on a
     second, when the tree has one) and measure the recovery protocol."""
     worker = partial(_fault_seed, params=params, tasks=scale.tasks)
@@ -455,8 +484,11 @@ def fault_recovery(scale: ExperimentScale = ExperimentScale(),
     reexecuted = 0
     wasted = 0
     completed = True
+    per_seed, coverage = _map_seeds(worker, seeds, progress, workers,
+                                    harness=harness, experiment="faults",
+                                    config_parts=(params, scale.tasks))
     for (efficiency, seed_latencies, seed_reexecuted, seed_wasted,
-         seed_completed) in _map_seeds(worker, seeds, progress, workers):
+         seed_completed) in per_seed:
         if efficiency is not None:
             efficiencies.append(efficiency)
         latencies.extend(seed_latencies)
@@ -470,6 +502,7 @@ def fault_recovery(scale: ExperimentScale = ExperimentScale(),
         total_reexecuted=reexecuted,
         total_wasted=wasted,
         all_completed=completed,
+        coverage=coverage,
     )
 
 

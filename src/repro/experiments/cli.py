@@ -17,10 +17,12 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional
 
+from ..harness import HarnessConfig
 from .common import ExperimentScale
 from . import ablation, fig3, fig4, fig5, fig6, fig7, table1, table2
 
-__all__ = ["main", "build_parser", "ExperimentSpec", "EXPERIMENTS"]
+__all__ = ["main", "build_parser", "resolve_harness", "ExperimentSpec",
+           "EXPERIMENTS"]
 
 
 def _progress(label: str):
@@ -50,9 +52,15 @@ class ExperimentSpec:
     svg_renderer: Optional[str] = None
 
     def __call__(self, scale: ExperimentScale, workers: int = 1,
-                 svg: bool = False):
+                 svg: bool = False,
+                 harness: Optional[HarnessConfig] = None):
         result = self.run(scale, progress=_progress(self.name),
-                          workers=workers)
+                          workers=workers, harness=harness)
+        coverage = getattr(result, "coverage", None)
+        if coverage is not None:
+            # stderr, so resumed and fresh runs produce byte-identical
+            # stdout reports.
+            sys.stderr.write(f"{self.name}: {coverage.summary()}\n")
         text = self.format(result)
         if not svg or self.svg_renderer is None:
             return text, None
@@ -113,6 +121,20 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--scale", choices=["default", "smoke", "paper"],
                         default="default",
                         help="preset scale; --trees/--tasks override it")
+    parser.add_argument("--checkpoint-dir", type=str, default=None,
+                        metavar="DIR",
+                        help="journal per-seed results into DIR so an "
+                             "interrupted sweep can be resumed")
+    parser.add_argument("--resume", action="store_true",
+                        help="replay the journal in --checkpoint-dir and "
+                             "run only the missing seeds")
+    parser.add_argument("--max-retries", type=int, default=2,
+                        help="retries per seed after a crash/timeout "
+                             "(default: 2)")
+    parser.add_argument("--seed-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="wall-clock watchdog per seed; overdue seeds "
+                             "are killed and retried")
     parser.add_argument("--out", type=str, default=None,
                         help="also write the report to this file")
     parser.add_argument("--svg", type=str, default=None, metavar="DIR",
@@ -142,6 +164,21 @@ def resolve_scale(args: argparse.Namespace) -> ExperimentScale:
     return scale
 
 
+def resolve_harness(args: argparse.Namespace) -> HarnessConfig:
+    """Build the crash-safety config from CLI flags.
+
+    The CLI always runs under a harness, so worker deaths are retried
+    rather than aborting a long sweep; checkpointing only engages when
+    ``--checkpoint-dir`` is given.
+    """
+    return HarnessConfig(
+        checkpoint_dir=args.checkpoint_dir,
+        resume=args.resume,
+        max_retries=args.max_retries,
+        seed_timeout=args.seed_timeout,
+    )
+
+
 def _run_tree_command(args) -> str:
     from .analyze import analyze_tree, load_tree, simulate_tree
 
@@ -164,12 +201,14 @@ def main(argv: Optional[list] = None) -> int:
                 handle.write(text + "\n")
         return 0
     scale = resolve_scale(args)
+    harness = resolve_harness(args)
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     reports = []
     for name in names:
         start = time.time()
         report, svg_text = EXPERIMENTS[name](scale, workers=args.workers,
-                                             svg=args.svg is not None)
+                                             svg=args.svg is not None,
+                                             harness=harness)
         elapsed = time.time() - start
         if args.svg and svg_text is not None:
             import os

@@ -14,12 +14,14 @@ from fractions import Fraction
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..errors import ExperimentError
+from ..harness import HarnessConfig, RunCoverage, run_seeds
 from ..metrics import default_threshold, detect_onset
 from ..platform.generator import PAPER_DEFAULTS, TreeGeneratorParams, generate_tree
 from ..protocols import ProtocolConfig, simulate
 from ..steady_state import solve_tree
 
-__all__ = ["ExperimentScale", "ConfigOutcome", "TreeCase", "run_case", "sweep"]
+__all__ = ["ExperimentScale", "ConfigOutcome", "TreeCase", "CaseList",
+           "run_case", "sweep"]
 
 
 @dataclass(frozen=True)
@@ -142,49 +144,61 @@ def run_case(seed: int, params: TreeGeneratorParams,
     )
 
 
+class CaseList(List[TreeCase]):
+    """A list of :class:`TreeCase` with the sweep's coverage report.
+
+    Behaves exactly like the plain list :func:`sweep` used to return;
+    ``coverage`` is ``None`` unless the sweep ran under a harness.
+    """
+
+    coverage: Optional[RunCoverage] = None
+
+
 def sweep(configs: Sequence[ProtocolConfig], scale: ExperimentScale,
           params: TreeGeneratorParams = PAPER_DEFAULTS,
           *, record_buffers: bool = False,
           sample_counts: Sequence[int] = (),
-          progress=None, workers: int = 1) -> List[TreeCase]:
+          progress=None, workers: int = 1,
+          harness: Optional[HarnessConfig] = None,
+          experiment: str = "sweep") -> CaseList:
     """Run every protocol over the whole ensemble (seeds base..base+trees-1).
 
     ``progress`` is an optional callable ``(done, total)`` invoked after each
     tree — the CLI uses it for a live counter.  ``workers > 1`` fans the
-    (embarrassingly parallel, per-tree-seeded) ensemble out over a process
-    pool; results are returned in seed order either way, so parallel and
-    serial sweeps are bit-identical.
+    (embarrassingly parallel, per-tree-seeded) ensemble out over a
+    supervised process pool; results are returned in seed order either way,
+    so parallel and serial sweeps are bit-identical.
+
+    ``harness`` opts into crash safety (checkpoint/resume, per-seed retry,
+    structured failures — see :mod:`repro.harness`); ``experiment`` names
+    the checkpoint journal.  Without a harness any worker error propagates
+    immediately, as before.
     """
     labels = [c.label for c in configs]
     if len(set(labels)) != len(labels):
         raise ExperimentError(f"duplicate protocol labels in sweep: {labels}")
-    if workers < 1:
-        raise ExperimentError(f"workers must be >= 1, got {workers}")
     seeds = [scale.base_seed + i for i in range(scale.trees)]
 
-    if workers == 1:
-        cases = []
-        for i, seed in enumerate(seeds):
-            cases.append(run_case(seed, params, configs, scale,
-                                  record_buffers=record_buffers,
-                                  sample_counts=sample_counts))
-            if progress is not None:
-                progress(i + 1, scale.trees)
-        return cases
-
-    from concurrent.futures import ProcessPoolExecutor
     from functools import partial
 
     worker_fn = partial(_run_case_for_pool, params=params,
                         configs=tuple(configs), scale=scale,
                         record_buffers=record_buffers,
                         sample_counts=tuple(sample_counts))
-    cases = []
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        for i, case in enumerate(pool.map(worker_fn, seeds)):
-            cases.append(case)
-            if progress is not None:
-                progress(i + 1, scale.trees)
+    outcome = run_seeds(
+        worker_fn, seeds,
+        experiment=experiment,
+        # Per-seed results depend on the generator, protocols, application
+        # size, and threshold — not on the ensemble size or base seed.
+        config_parts=(params, tuple(configs), scale.tasks,
+                      scale.threshold, bool(record_buffers),
+                      tuple(sample_counts)),
+        harness=harness, workers=workers, progress=progress,
+        meta={"scale": {"trees": scale.trees, "tasks": scale.tasks,
+                        "base_seed": scale.base_seed,
+                        "threshold": scale.threshold}})
+    cases = CaseList(outcome.values)
+    cases.coverage = outcome.coverage if harness is not None else None
     return cases
 
 

@@ -16,6 +16,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..errors import ExperimentError
+from ..harness import HarnessConfig, RunCoverage, run_seeds
 from ..metrics import detect_onset, normalized_window_rates
 from ..platform.generator import PAPER_DEFAULTS, TreeGeneratorParams, generate_tree
 from ..protocols import ProtocolConfig, simulate
@@ -43,6 +44,8 @@ class TreeSeries:
 class Fig3Result:
     scale: ExperimentScale
     series: Tuple[TreeSeries, ...]
+    #: Crash-safety coverage report (``None`` when run without a harness).
+    coverage: Optional[RunCoverage] = None
 
 
 def _series_for(seed: int, scale: ExperimentScale,
@@ -75,13 +78,19 @@ def _downsample(normalized: np.ndarray, points: int) -> Tuple[Tuple[int, float],
 def run(scale: ExperimentScale = ExperimentScale(),
         params: TreeGeneratorParams = PAPER_DEFAULTS,
         candidates: int = 30, sample_points: int = 16,
-        progress=None, workers: int = 1) -> Fig3Result:
+        progress=None, workers: int = 1,
+        harness: Optional[HarnessConfig] = None) -> Fig3Result:
     """Scan ``candidates`` seeds and pick one tree per behaviour.
 
     ``workers > 1`` fans the candidate simulations out over a process
     pool; the selection still walks results in seed order, so parallel
     and serial runs pick identical trees.  ``progress`` is an optional
     ``(done, total)`` callable invoked after each candidate.
+
+    With a ``harness``, every candidate goes through the crash-safe
+    runner (journalled, retried) instead of breaking out early once
+    three behaviours are found; the selection over the full scan is a
+    superset of the early-break scan, so the same trees are chosen.
     """
     if candidates < 3:
         raise ExperimentError("need at least 3 candidate seeds")
@@ -90,6 +99,7 @@ def run(scale: ExperimentScale = ExperimentScale(),
     seeds = range(scale.base_seed, scale.base_seed + candidates)
     found: Dict[str, Tuple[int, np.ndarray, Optional[int]]] = {}
     fallback: List[Tuple[int, np.ndarray, Optional[int]]] = []
+    coverage = None
 
     def _consider(seed, normalized, onset) -> bool:
         behaviour = _classify(normalized, onset, scale.threshold)
@@ -98,7 +108,20 @@ def run(scale: ExperimentScale = ExperimentScale(),
             found[behaviour] = (seed, normalized, onset)
         return len(found) == 3
 
-    if workers == 1:
+    if harness is not None:
+        from functools import partial
+
+        worker_fn = partial(_series_for, scale=scale, params=params)
+        outcome = run_seeds(
+            worker_fn, seeds, experiment="fig3",
+            config_parts=(params, scale.tasks, scale.threshold,
+                          sample_points),
+            harness=harness, workers=workers, progress=progress)
+        coverage = outcome.coverage
+        for seed, (normalized, onset) in zip(outcome.seeds, outcome.values):
+            if _consider(seed, normalized, onset):
+                break
+    elif workers == 1:
         for i, seed in enumerate(seeds):
             normalized, onset = _series_for(seed, scale, params)
             done = _consider(seed, normalized, onset)
@@ -134,7 +157,7 @@ def run(scale: ExperimentScale = ExperimentScale(),
         series.append(TreeSeries(
             seed=seed, behaviour="additional", onset=onset,
             samples=_downsample(normalized, sample_points)))
-    return Fig3Result(scale=scale, series=tuple(series))
+    return Fig3Result(scale=scale, series=tuple(series), coverage=coverage)
 
 
 def format_result(result: Fig3Result) -> str:

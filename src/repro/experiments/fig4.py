@@ -10,10 +10,11 @@ non-IC/IB=1 in only 20.18 % (with much longer startup phases).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..harness import HarnessConfig, RunCoverage
 from ..metrics import onset_cdf, percentage_reached
 from ..platform.generator import PAPER_DEFAULTS, TreeGeneratorParams
 from ..protocols import ProtocolConfig
@@ -49,18 +50,22 @@ class Fig4Result:
     cdf: Dict[str, Tuple[float, ...]]
     #: label → final % of trees that reached optimal steady state.
     reached: Dict[str, float]
+    #: Crash-safety coverage report (``None`` when run without a harness).
+    coverage: Optional[RunCoverage] = None
 
 
 def run(scale: ExperimentScale = ExperimentScale(),
         params: TreeGeneratorParams = PAPER_DEFAULTS,
-        progress=None, workers: int = 1) -> Fig4Result:
+        progress=None, workers: int = 1,
+        harness: Optional[HarnessConfig] = None) -> Fig4Result:
     """Run the Figure 4 ensemble (also feeds Table 1)."""
     cases = sweep(FIG4_CONFIGS, scale, params, progress=progress,
-                  workers=workers)
-    return summarize(cases, scale)
+                  workers=workers, harness=harness, experiment="fig4")
+    return summarize(cases, scale, coverage=cases.coverage)
 
 
-def summarize(cases: Sequence[TreeCase], scale: ExperimentScale) -> Fig4Result:
+def summarize(cases: Sequence[TreeCase], scale: ExperimentScale,
+              coverage: Optional[RunCoverage] = None) -> Fig4Result:
     """Aggregate a finished sweep into CDFs (reused by Table 1's runner)."""
     max_window = scale.tasks // 2
     grid = tuple(int(x) for x in np.linspace(scale.threshold, max_window, 12))
@@ -71,7 +76,7 @@ def summarize(cases: Sequence[TreeCase], scale: ExperimentScale) -> Fig4Result:
         cdf[config.label] = tuple(100.0 * v for v in onset_cdf(onsets, grid))
         reached[config.label] = percentage_reached(onsets)
     return Fig4Result(scale=scale, cases=list(cases), grid=grid, cdf=cdf,
-                      reached=reached)
+                      reached=reached, coverage=coverage)
 
 
 def format_result(result: Fig4Result) -> str:

@@ -11,10 +11,11 @@ the ratio rises, and startup lengthens with the ratio for all protocols.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..harness import HarnessConfig, RunCoverage
 from ..metrics import onset_cdf, percentage_reached
 from ..platform.generator import PAPER_DEFAULTS, TreeGeneratorParams
 from ..protocols import ProtocolConfig
@@ -40,25 +41,34 @@ class Fig5Result:
     cdf: Dict[Tuple[int, str], Tuple[float, ...]]
     #: (x-class, label) → final % reached.
     reached: Dict[Tuple[int, str], float]
+    #: Crash-safety coverage merged over the per-class sweeps (``None``
+    #: when run without a harness).
+    coverage: Optional[RunCoverage] = None
 
 
 def run(scale: ExperimentScale = ExperimentScale(),
         params: TreeGeneratorParams = PAPER_DEFAULTS,
-        progress=None, workers: int = 1) -> Fig5Result:
+        progress=None, workers: int = 1,
+        harness: Optional[HarnessConfig] = None) -> Fig5Result:
     max_window = scale.tasks // 2
     grid = tuple(int(v) for v in np.linspace(scale.threshold, max_window, 10))
     cdf: Dict[Tuple[int, str], Tuple[float, ...]] = {}
     reached: Dict[Tuple[int, str], float] = {}
+    coverages = []
     for x in X_CLASSES:
         class_params = params.with_max_comp(x)
         cases = sweep(FIG5_CONFIGS, scale, class_params, progress=progress,
-                      workers=workers)
+                      workers=workers, harness=harness,
+                      experiment=f"fig5-x{x}")
+        coverages.append(cases.coverage)
         for config in FIG5_CONFIGS:
             onsets = [case.outcomes[config.label].onset for case in cases]
             cdf[(x, config.label)] = tuple(
                 100.0 * v for v in onset_cdf(onsets, grid))
             reached[(x, config.label)] = percentage_reached(onsets)
-    return Fig5Result(scale=scale, grid=grid, cdf=cdf, reached=reached)
+    coverage = (RunCoverage.merge(coverages) if harness is not None else None)
+    return Fig5Result(scale=scale, grid=grid, cdf=cdf, reached=reached,
+                      coverage=coverage)
 
 
 def format_result(result: Fig5Result) -> str:

@@ -13,10 +13,11 @@ larger/deeper sub-tree than IC/FB=3.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..harness import HarnessConfig, RunCoverage
 from ..metrics import histogram_pdf, summarize
 from ..platform.generator import PAPER_DEFAULTS, TreeGeneratorParams
 from ..protocols import ProtocolConfig
@@ -38,6 +39,8 @@ class Fig6Result:
     #: protocol, for both "nodes" and "depth" dimensions.
     node_series: Dict[str, List[int]]
     depth_series: Dict[str, List[int]]
+    #: Crash-safety coverage report (``None`` when run without a harness).
+    coverage: Optional[RunCoverage] = None
 
     def node_pdf(self, label: str, bin_width: int = 25):
         """Binned PDF of a node-count series (Figure 6(a))."""
@@ -50,9 +53,10 @@ class Fig6Result:
 
 def run(scale: ExperimentScale = ExperimentScale(),
         params: TreeGeneratorParams = PAPER_DEFAULTS,
-        progress=None, workers: int = 1) -> Fig6Result:
+        progress=None, workers: int = 1,
+        harness: Optional[HarnessConfig] = None) -> Fig6Result:
     cases = sweep(FIG6_CONFIGS, scale, params, progress=progress,
-                  workers=workers)
+                  workers=workers, harness=harness, experiment="fig6")
     node_series: Dict[str, List[int]] = {"all": [c.num_nodes for c in cases]}
     depth_series: Dict[str, List[int]] = {"all": [c.max_depth for c in cases]}
     for config in FIG6_CONFIGS:
@@ -60,7 +64,7 @@ def run(scale: ExperimentScale = ExperimentScale(),
         node_series[label] = [c.outcomes[config.label].used_nodes for c in cases]
         depth_series[label] = [c.outcomes[config.label].used_depth for c in cases]
     return Fig6Result(scale=scale, node_series=node_series,
-                      depth_series=depth_series)
+                      depth_series=depth_series, coverage=cases.coverage)
 
 
 def format_result(result: Fig6Result) -> str:

@@ -22,6 +22,7 @@ from functools import partial
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..errors import ExperimentError
+from ..harness import HarnessConfig, RunCoverage, run_seeds
 from ..metrics import window_rate
 from ..platform import Mutation, MutationSchedule, figure1_tree
 from ..protocols import ProtocolConfig, simulate
@@ -57,6 +58,8 @@ class ScenarioResult:
 @dataclass(frozen=True)
 class Fig7Result:
     scenarios: Tuple[ScenarioResult, ...]
+    #: Crash-safety coverage report (``None`` when run without a harness).
+    coverage: Optional[RunCoverage] = None
 
 
 def _run_scenario(name: str, mutation: Optional[Mutation],
@@ -82,15 +85,30 @@ def _run_scenario(name: str, mutation: Optional[Mutation],
                           measured_after=measured)
 
 
-def _run_scenario_for_pool(spec: Tuple[str, Optional[Mutation]], *,
-                           num_tasks: int, sample_points: int) -> ScenarioResult:
-    """Module-level wrapper so :func:`run` pool workers can be pickled."""
-    name, mutation = spec
+def _scenario_specs() -> Tuple[Tuple[str, Optional[Mutation]], ...]:
+    return (
+        ("baseline (c1=1, w1=3)", None),
+        (f"c1: 1 → 3 after {CHANGE_AT} tasks",
+         Mutation(node=1, attribute="c", value=3, after_tasks=CHANGE_AT)),
+        (f"w1: 3 → 1 after {CHANGE_AT} tasks",
+         Mutation(node=1, attribute="w", value=1, after_tasks=CHANGE_AT)),
+    )
+
+
+def _run_scenario_for_pool(index: int, *, num_tasks: int,
+                           sample_points: int) -> ScenarioResult:
+    """Module-level wrapper so :func:`run` pool workers can be pickled.
+
+    Keyed by scenario *index* so the crash-safe harness can journal each
+    scenario like an ensemble seed.
+    """
+    name, mutation = _scenario_specs()[index]
     return _run_scenario(name, mutation, num_tasks, sample_points)
 
 
 def run(scale: Union[ExperimentScale, int, None] = None, *,
         progress=None, workers: int = 1,
+        harness: Optional[HarnessConfig] = None,
         sample_points: int = 20,
         num_tasks: Optional[int] = None) -> Fig7Result:
     """Run the three Figure 7 scenarios.
@@ -122,30 +140,17 @@ def run(scale: Union[ExperimentScale, int, None] = None, *,
     if workers < 1:
         raise ExperimentError(f"workers must be >= 1, got {workers}")
 
-    specs: Tuple[Tuple[str, Optional[Mutation]], ...] = (
-        ("baseline (c1=1, w1=3)", None),
-        (f"c1: 1 → 3 after {CHANGE_AT} tasks",
-         Mutation(node=1, attribute="c", value=3, after_tasks=CHANGE_AT)),
-        (f"w1: 3 → 1 after {CHANGE_AT} tasks",
-         Mutation(node=1, attribute="w", value=1, after_tasks=CHANGE_AT)),
-    )
+    specs = _scenario_specs()
     worker_fn = partial(_run_scenario_for_pool, num_tasks=scale.tasks,
                         sample_points=sample_points)
-    scenarios: List[ScenarioResult] = []
-    if workers == 1:
-        for i, spec in enumerate(specs):
-            scenarios.append(worker_fn(spec))
-            if progress is not None:
-                progress(i + 1, len(specs))
-    else:
-        from concurrent.futures import ProcessPoolExecutor
-
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            for i, scenario in enumerate(pool.map(worker_fn, specs)):
-                scenarios.append(scenario)
-                if progress is not None:
-                    progress(i + 1, len(specs))
-    return Fig7Result(scenarios=tuple(scenarios))
+    outcome = run_seeds(
+        worker_fn, range(len(specs)),
+        experiment="fig7",
+        config_parts=(scale.tasks, sample_points),
+        harness=harness, workers=workers, progress=progress)
+    return Fig7Result(scenarios=tuple(outcome.values),
+                      coverage=(outcome.coverage if harness is not None
+                                else None))
 
 
 def format_result(result: Fig7Result) -> str:

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..harness import HarnessConfig, RunCoverage
 from ..metrics import reached_within_buffers
 from ..platform.generator import PAPER_DEFAULTS, TreeGeneratorParams
 from ..protocols import ProtocolConfig
@@ -37,10 +38,12 @@ class Table1Result:
     percentages: Dict[str, Dict[int, Optional[float]]]
     #: non-IC percentage with unbounded buffers (the 20.18 % headline).
     non_ic_unbounded: float
+    #: Crash-safety coverage report (``None`` when run without a harness).
+    coverage: Optional[RunCoverage] = None
 
 
-def from_cases(cases: Sequence[TreeCase],
-               scale: ExperimentScale) -> Table1Result:
+def from_cases(cases: Sequence[TreeCase], scale: ExperimentScale,
+               coverage: Optional[RunCoverage] = None) -> Table1Result:
     """Build Table 1 from a Figure-4 sweep (same runs, different cut)."""
     total = len(cases)
     percentages: Dict[str, Dict[int, Optional[float]]] = {}
@@ -69,16 +72,19 @@ def from_cases(cases: Sequence[TreeCase],
         1 for case in cases
         if case.outcomes[NON_IC.label].onset is not None) / total
     return Table1Result(scale=scale, percentages=percentages,
-                        non_ic_unbounded=unbounded)
+                        non_ic_unbounded=unbounded, coverage=coverage)
 
 
 def run(scale: ExperimentScale = ExperimentScale(),
         params: TreeGeneratorParams = PAPER_DEFAULTS,
-        progress=None, workers: int = 1) -> Table1Result:
+        progress=None, workers: int = 1,
+        harness: Optional[HarnessConfig] = None) -> Table1Result:
     """Run the ensemble and produce Table 1."""
+    # Same sweep (and hence the same checkpoint journal) as Figure 4 — a
+    # resumed table1 run reuses every seed a fig4 run already journaled.
     cases = sweep(FIG4_CONFIGS, scale, params, progress=progress,
-                  workers=workers)
-    return from_cases(cases, scale)
+                  workers=workers, harness=harness, experiment="fig4")
+    return from_cases(cases, scale, coverage=cases.coverage)
 
 
 def format_result(result: Table1Result) -> str:

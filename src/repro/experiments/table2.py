@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..harness import HarnessConfig, RunCoverage
 from ..metrics import median_or_none
 from ..platform.generator import PAPER_DEFAULTS, TreeGeneratorParams
 from ..protocols import ProtocolConfig
@@ -46,29 +47,37 @@ class Table2Result:
     #: x-class → maximum buffer *pool* grown over the whole class (the
     #: over-requesting the paper's §3.1 case 4 warns about).
     pool_maxima: Dict[int, int]
+    #: Crash-safety coverage merged over the per-class sweeps (``None``
+    #: when run without a harness).
+    coverage: Optional[RunCoverage] = None
 
 
 def run(scale: ExperimentScale = ExperimentScale(),
         params: TreeGeneratorParams = PAPER_DEFAULTS,
-        progress=None, workers: int = 1) -> Table2Result:
+        progress=None, workers: int = 1,
+        harness: Optional[HarnessConfig] = None) -> Table2Result:
     counts = sample_counts_for(scale.tasks)
     medians: Dict[int, Tuple[Optional[float], ...]] = {}
     maxima: Dict[int, int] = {}
     pool_maxima: Dict[int, int] = {}
+    coverages = []
     for x in X_CLASSES:
         class_params = params.with_max_comp(x)
         cases = sweep([NON_IC], scale, class_params,
                       record_buffers=True, sample_counts=counts,
-                      progress=progress, workers=workers)
+                      progress=progress, workers=workers,
+                      harness=harness, experiment=f"table2-x{x}")
+        coverages.append(cases.coverage)
         outcomes = [case.outcomes[NON_IC.label] for case in cases]
         medians[x] = tuple(
             median_or_none([o.buffer_samples[count] for o in outcomes])
             for count in counts)
         maxima[x] = max(o.max_held for o in outcomes)
         pool_maxima[x] = max(o.max_buffers for o in outcomes)
+    coverage = (RunCoverage.merge(coverages) if harness is not None else None)
     return Table2Result(scale=scale, sample_counts=counts,
                         medians=medians, maxima=maxima,
-                        pool_maxima=pool_maxima)
+                        pool_maxima=pool_maxima, coverage=coverage)
 
 
 def format_result(result: Table2Result) -> str:

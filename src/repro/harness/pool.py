@@ -1,0 +1,358 @@
+"""Supervised seed execution: retry with backoff, watchdog, pool respawn.
+
+:func:`run_supervised` replaces the bare ``ProcessPoolExecutor.map`` the
+experiments used to fan seeds out with.  It survives everything a long sweep
+can die of:
+
+* a worker process killed by the OOM killer (or ``os._exit``) breaks the
+  whole ``ProcessPoolExecutor`` — the supervisor catches the resulting
+  ``BrokenProcessPool``, respawns the pool, and reschedules every in-flight
+  seed;
+* a seed stuck past ``seed_timeout`` trips the watchdog: the pool is killed
+  and respawned, the overdue seed is charged a ``timeout`` attempt, and the
+  innocent in-flight seeds are rescheduled free of charge;
+* a seed that keeps failing is retried up to ``max_retries`` extra times
+  with exponential backoff and deterministic per-seed jitter, then recorded
+  as a structured :class:`SeedFailure` — the sweep completes and reports
+  coverage instead of aborting;
+* ``KeyboardInterrupt`` shuts the pool down with ``cancel_futures=True`` so
+  Ctrl-C does not hang on orphaned workers.
+
+Results are keyed by seed and re-assembled in seed order by the caller, so
+supervision never perturbs the ``workers=1`` == ``workers=N`` guarantee.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+import time
+from dataclasses import dataclass, field
+from typing import (Any, Callable, Dict, Iterable, List, Optional, Sequence,
+                    Tuple)
+
+from ..errors import ExperimentError
+
+__all__ = ["RetryPolicy", "SeedFailure", "RunCoverage", "run_supervised"]
+
+#: Poll interval for the submit/collect loop when a watchdog is armed or
+#: retries are pending (seconds).
+_POLL_INTERVAL = 0.05
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How hard to try each seed before recording a structured failure."""
+
+    #: Extra attempts after the first (0 = no retries).
+    max_retries: int = 2
+    #: First-retry delay in seconds; doubles (``backoff_factor``) per retry.
+    backoff_base: float = 0.25
+    backoff_factor: float = 2.0
+    backoff_max: float = 30.0
+    #: ± fraction of the delay added as deterministic per-seed jitter.
+    jitter: float = 0.25
+    #: Wall-clock seconds one attempt may run before the watchdog kills the
+    #: pool (``None`` disables; only enforceable with ``workers > 1``).
+    seed_timeout: Optional[float] = None
+    #: Re-raise the first worker exception instead of recording a failure
+    #: (the pre-harness behaviour; used when no harness is configured).
+    failfast: bool = False
+
+    def __post_init__(self):
+        if self.max_retries < 0:
+            raise ExperimentError(
+                f"max_retries must be >= 0, got {self.max_retries}")
+        if self.backoff_base < 0 or self.backoff_factor < 1:
+            raise ExperimentError("invalid backoff parameters")
+        if self.seed_timeout is not None and self.seed_timeout <= 0:
+            raise ExperimentError(
+                f"seed_timeout must be > 0, got {self.seed_timeout}")
+
+    def delay(self, seed: int, attempt: int) -> float:
+        """Backoff before retry ``attempt`` (1-based) of ``seed``.
+
+        Jitter is drawn from a per-(seed, attempt) PRNG so reruns sleep the
+        same amount — the harness stays deterministic end to end.
+        """
+        if attempt < 1 or self.backoff_base == 0:
+            return 0.0
+        raw = min(self.backoff_max,
+                  self.backoff_base * self.backoff_factor ** (attempt - 1))
+        if self.jitter == 0:
+            return raw
+        rng = random.Random((seed << 20) ^ attempt)
+        return raw * (1.0 + self.jitter * (2.0 * rng.random() - 1.0))
+
+
+@dataclass(frozen=True)
+class SeedFailure:
+    """One seed that exhausted its retries."""
+
+    seed: int
+    #: Total attempts made (first try + retries).
+    attempts: int
+    #: ``"exception"`` | ``"worker-death"`` | ``"timeout"``.
+    kind: str
+    error: str
+
+
+@dataclass(frozen=True)
+class RunCoverage:
+    """What a supervised sweep actually covered.
+
+    Attached to every experiment ``*Result`` produced under a harness so a
+    run that lost seeds says so loudly instead of silently shrinking its
+    denominator.
+    """
+
+    #: Seeds the sweep was asked for.
+    total: int
+    #: Seeds computed during this run.
+    completed: int
+    #: Seeds replayed from a checkpoint journal (resume).
+    skipped: int
+    #: Seeds that exhausted their retries, sorted by seed.
+    failed: Tuple[SeedFailure, ...] = ()
+    #: ``(seed, attempts)`` for every seed attempted this run, sorted.
+    attempts: Tuple[Tuple[int, int], ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return not self.failed and self.completed + self.skipped == self.total
+
+    @property
+    def failed_seeds(self) -> Tuple[int, ...]:
+        return tuple(f.seed for f in self.failed)
+
+    @property
+    def retries(self) -> int:
+        """Extra attempts beyond the first, summed over all seeds."""
+        return sum(n - 1 for _seed, n in self.attempts if n > 1)
+
+    def summary(self) -> str:
+        text = (f"coverage: {self.completed}/{self.total} completed, "
+                f"{self.skipped} resumed from checkpoint, "
+                f"{len(self.failed)} failed")
+        if self.retries:
+            text += f", {self.retries} retried attempts"
+        if self.failed:
+            details = "; ".join(
+                f"seed {f.seed}: {f.kind} after {f.attempts} attempts"
+                for f in self.failed)
+            text += f" [{details}]"
+        return text
+
+    @classmethod
+    def merge(cls, coverages: Iterable["RunCoverage"]) -> "RunCoverage":
+        """Combine per-class sweeps (Table 2, Figure 5) into one report."""
+        coverages = [c for c in coverages if c is not None]
+        return cls(
+            total=sum(c.total for c in coverages),
+            completed=sum(c.completed for c in coverages),
+            skipped=sum(c.skipped for c in coverages),
+            failed=tuple(f for c in coverages for f in c.failed),
+            attempts=tuple(a for c in coverages for a in c.attempts),
+        )
+
+
+@dataclass
+class _SupervisorState:
+    results: Dict[int, Any] = field(default_factory=dict)
+    failures: Dict[int, SeedFailure] = field(default_factory=dict)
+    attempts: Dict[int, int] = field(default_factory=dict)
+
+
+def run_supervised(worker: Callable[[int], Any], seeds: Sequence[int], *,
+                   workers: int = 1,
+                   policy: Optional[RetryPolicy] = None,
+                   progress: Optional[Callable[[int], None]] = None,
+                   on_success: Optional[Callable[[int, Any, int], None]] = None,
+                   on_failure: Optional[Callable[[SeedFailure], None]] = None,
+                   ) -> Tuple[Dict[int, Any], Dict[int, SeedFailure],
+                              Dict[int, int]]:
+    """Run ``worker(seed)`` for every seed under supervision.
+
+    Returns ``(results, failures, attempts)`` — all keyed by seed.
+    ``progress(done)`` is called as seeds settle (success or permanent
+    failure); ``on_success(seed, value, attempts)`` fires the moment a seed
+    completes (the journal hook — crash safety depends on it running before
+    the next seed is awaited).
+    """
+    if workers < 1:
+        raise ExperimentError(f"workers must be >= 1, got {workers}")
+    policy = policy or RetryPolicy()
+    state = _SupervisorState(attempts={s: 0 for s in seeds})
+    settle = _settler(state, policy, progress, on_success, on_failure)
+    if workers == 1:
+        _run_serial(worker, seeds, policy, state, settle)
+    else:
+        _run_pool(worker, seeds, workers, policy, state, settle)
+    return state.results, state.failures, state.attempts
+
+
+def _settler(state, policy, progress, on_success, on_failure):
+    """Build the shared success/permanent-failure bookkeeping closure."""
+    done_count = [0]
+
+    def settle(seed: int, value: Any = None, *,
+               failure: Optional[SeedFailure] = None) -> None:
+        if failure is not None:
+            state.failures[seed] = failure
+            if on_failure is not None:
+                on_failure(failure)
+        else:
+            state.results[seed] = value
+            if on_success is not None:
+                on_success(seed, value, state.attempts[seed])
+        done_count[0] += 1
+        if progress is not None:
+            progress(done_count[0])
+
+    return settle
+
+
+def _charge_attempt(state, policy, seed: int, kind: str, error: str,
+                    settle) -> bool:
+    """Count one failed attempt; settle the seed if retries are exhausted.
+
+    Returns True when the seed should be rescheduled.
+    """
+    state.attempts[seed] += 1
+    if state.attempts[seed] > policy.max_retries:
+        settle(seed, failure=SeedFailure(seed=seed,
+                                         attempts=state.attempts[seed],
+                                         kind=kind, error=error))
+        return False
+    return True
+
+
+def _run_serial(worker, seeds, policy, state, settle) -> None:
+    """In-process path: retries work, the watchdog needs real processes."""
+    for seed in seeds:
+        while True:
+            try:
+                value = worker(seed)
+            except KeyboardInterrupt:
+                raise
+            except Exception as exc:
+                if policy.failfast:
+                    raise
+                if _charge_attempt(state, policy, seed, "exception",
+                                   repr(exc), settle):
+                    time.sleep(policy.delay(seed, state.attempts[seed]))
+                    continue
+                break
+            else:
+                state.attempts[seed] += 1
+                settle(seed, value)
+                break
+
+
+def _run_pool(worker, seeds, workers, policy, state, settle) -> None:
+    from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+    from concurrent.futures.process import BrokenProcessPool
+
+    executor = ProcessPoolExecutor(max_workers=workers)
+    #: min-heap of (ready_at monotonic time, seed) not yet submitted.
+    ready: List[Tuple[float, int]] = [(0.0, s) for s in seeds]
+    heapq.heapify(ready)
+    inflight: Dict[Any, Tuple[int, float]] = {}  # future -> (seed, started)
+
+    def respawn(broken_executor):
+        # Kill lingering workers outright (the stuck ones a watchdog trip
+        # leaves behind); shutdown alone would join them forever.
+        processes = getattr(broken_executor, "_processes", None) or {}
+        for process in list(processes.values()):
+            try:
+                process.terminate()
+            except (OSError, ValueError):
+                pass
+        broken_executor.shutdown(wait=False, cancel_futures=True)
+        return ProcessPoolExecutor(max_workers=workers)
+
+    def reschedule(seed: int, delay: float) -> None:
+        heapq.heappush(ready, (time.monotonic() + delay, seed))
+
+    try:
+        while ready or inflight:
+            now = time.monotonic()
+            while ready and ready[0][0] <= now:
+                _, seed = heapq.heappop(ready)
+                future = executor.submit(worker, seed)
+                inflight[future] = (seed, time.monotonic())
+            if not inflight:
+                time.sleep(min(_POLL_INTERVAL,
+                               max(0.0, ready[0][0] - time.monotonic())))
+                continue
+
+            wait_timeout = (_POLL_INTERVAL
+                            if (ready or policy.seed_timeout is not None)
+                            else None)
+            done, _ = wait(set(inflight), timeout=wait_timeout,
+                           return_when=FIRST_COMPLETED)
+
+            pool_broken = False
+            for future in done:
+                seed, _started = inflight.pop(future)
+                try:
+                    value = future.result()
+                except BrokenProcessPool as exc:
+                    # The pool died under this seed (or while it was in
+                    # flight); the culprit is unknowable, so every broken
+                    # future is charged a worker-death attempt.
+                    pool_broken = True
+                    if policy.failfast:
+                        raise
+                    if _charge_attempt(state, policy, seed, "worker-death",
+                                       repr(exc), settle):
+                        reschedule(seed,
+                                   policy.delay(seed, state.attempts[seed]))
+                except Exception as exc:
+                    if policy.failfast:
+                        executor.shutdown(wait=False, cancel_futures=True)
+                        raise
+                    if _charge_attempt(state, policy, seed, "exception",
+                                       repr(exc), settle):
+                        reschedule(seed,
+                                   policy.delay(seed, state.attempts[seed]))
+                else:
+                    state.attempts[seed] += 1
+                    settle(seed, value)
+
+            if pool_broken:
+                executor = respawn(executor)
+
+            if policy.seed_timeout is not None and inflight:
+                now = time.monotonic()
+                overdue = {f for f, (s, started) in inflight.items()
+                           if now - started > policy.seed_timeout}
+                if overdue:
+                    # Kill the whole pool (a future already running cannot
+                    # be cancelled); charge the overdue seeds a timeout
+                    # attempt and reschedule the innocent bystanders free.
+                    for future, (seed, started) in list(inflight.items()):
+                        del inflight[future]
+                        if future in overdue:
+                            if _charge_attempt(
+                                    state, policy, seed, "timeout",
+                                    f"exceeded seed_timeout="
+                                    f"{policy.seed_timeout}s", settle):
+                                reschedule(seed, policy.delay(
+                                    seed, state.attempts[seed]))
+                        else:
+                            reschedule(seed, 0.0)
+                    executor = respawn(executor)
+    except (KeyboardInterrupt, SystemExit):
+        # Ctrl-C: kill workers outright and drop pending work, so the
+        # final shutdown below never blocks on an orphaned worker.
+        processes = getattr(executor, "_processes", None) or {}
+        for process in list(processes.values()):
+            try:
+                process.terminate()
+            except (OSError, ValueError):
+                pass
+        executor.shutdown(wait=False, cancel_futures=True)
+        raise
+    finally:
+        executor.shutdown(wait=True, cancel_futures=True)

@@ -1,0 +1,136 @@
+"""The experiments' entry point into the harness: :func:`run_seeds`.
+
+``run_seeds`` wraps :func:`repro.harness.pool.run_supervised` with journal
+replay and recording.  With no :class:`HarnessConfig` it degrades to the
+pre-harness behaviour — serial-or-pool execution, fail-fast on the first
+worker error — so library callers that never asked for crash safety see no
+change.  With a harness it retries, survives worker death, optionally
+journals every seed as it lands, and reports coverage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, Optional, Sequence, Tuple
+
+from ..errors import ExperimentError
+from .checkpoint import CheckpointStore, config_digest
+from .pool import RetryPolicy, RunCoverage, SeedFailure, run_supervised
+
+__all__ = ["HarnessConfig", "SeedSweepOutcome", "run_seeds"]
+
+
+@dataclass(frozen=True)
+class HarnessConfig:
+    """Crash-safety knobs shared by every ensemble entry point.
+
+    Mirrors the CLI flags: ``--checkpoint-dir``, ``--resume``,
+    ``--max-retries``, ``--seed-timeout``.
+    """
+
+    #: Directory for checkpoint journals (``None`` = no checkpointing).
+    checkpoint_dir: Optional[str] = None
+    #: Replay an existing journal and schedule only the missing seeds.
+    resume: bool = False
+    max_retries: int = 2
+    backoff_base: float = 0.25
+    backoff_factor: float = 2.0
+    backoff_max: float = 30.0
+    jitter: float = 0.25
+    seed_timeout: Optional[float] = None
+
+    def __post_init__(self):
+        if self.resume and not self.checkpoint_dir:
+            raise ExperimentError("resume=True requires a checkpoint_dir")
+
+    def policy(self) -> RetryPolicy:
+        return RetryPolicy(max_retries=self.max_retries,
+                           backoff_base=self.backoff_base,
+                           backoff_factor=self.backoff_factor,
+                           backoff_max=self.backoff_max,
+                           jitter=self.jitter,
+                           seed_timeout=self.seed_timeout)
+
+
+@dataclass(frozen=True)
+class SeedSweepOutcome:
+    """Seed-ordered successful values plus the coverage report."""
+
+    #: Seeds whose value is present, in input order.
+    seeds: Tuple[int, ...]
+    #: One value per entry of :attr:`seeds`.
+    values: Tuple[Any, ...]
+    coverage: RunCoverage
+
+
+def run_seeds(worker: Callable[[int], Any], seeds: Sequence[int], *,
+              experiment: str,
+              config_parts: Iterable[Any] = (),
+              harness: Optional[HarnessConfig] = None,
+              workers: int = 1,
+              progress: Optional[Callable[[int, int], None]] = None,
+              meta: Optional[Dict[str, Any]] = None) -> SeedSweepOutcome:
+    """Run ``worker(seed)`` over ``seeds`` crash-safely; seed-ordered result.
+
+    ``experiment`` + ``config_parts`` identify the journal: two calls share
+    per-seed records iff their :func:`~repro.harness.checkpoint.config_digest`
+    matches.  ``progress(done, total)`` counts replayed seeds as already
+    done, so a resumed run's counter starts where the killed run stopped.
+    """
+    if workers < 1:
+        raise ExperimentError(f"workers must be >= 1, got {workers}")
+    seeds = list(seeds)
+    total = len(seeds)
+
+    journal = None
+    replayed: Dict[int, Any] = {}
+    if harness is None:
+        policy = RetryPolicy(max_retries=0, failfast=True)
+    else:
+        policy = harness.policy()
+        if harness.checkpoint_dir:
+            digest = config_digest(experiment, *config_parts)
+            store = CheckpointStore(harness.checkpoint_dir)
+            journal = store.open_journal(experiment, digest,
+                                         resume=harness.resume, meta=meta)
+            replayed = {s: journal.replayed[s] for s in seeds
+                        if s in journal.replayed}
+
+    if progress is not None and replayed:
+        progress(len(replayed), total)
+    todo = [s for s in seeds if s not in replayed]
+
+    on_success = on_failure = None
+    if journal is not None:
+        def on_success(seed, value, attempts):
+            journal.record_success(seed, value, attempts)
+
+        def on_failure(failure: SeedFailure):
+            journal.record_failure(failure.seed, failure.attempts,
+                                   failure.kind, failure.error)
+
+    try:
+        results, failures, attempts = run_supervised(
+            worker, todo, workers=workers, policy=policy,
+            progress=(None if progress is None else
+                      lambda done: progress(len(replayed) + done, total)),
+            on_success=on_success, on_failure=on_failure)
+    finally:
+        if journal is not None:
+            journal.close()
+
+    coverage = RunCoverage(
+        total=total,
+        completed=len(results),
+        skipped=len(replayed),
+        failed=tuple(sorted(failures.values(), key=lambda f: f.seed)),
+        attempts=tuple(sorted(attempts.items())),
+    )
+    merged = {**replayed, **results}
+    if total and not merged:
+        raise ExperimentError(
+            f"{experiment}: every seed failed — {coverage.summary()}")
+    ordered = tuple(s for s in seeds if s in merged)
+    return SeedSweepOutcome(seeds=ordered,
+                            values=tuple(merged[s] for s in ordered),
+                            coverage=coverage)

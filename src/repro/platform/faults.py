@@ -82,11 +82,29 @@ class LinkRepairEvent:
 FaultEvent = Union[CrashEvent, LinkFailureEvent, LinkRepairEvent]
 
 
+#: Deterministic rank of same-time events: link failures apply first, then
+#: repairs, then crashes.  Failure-before-repair makes a same-instant
+#: fail/repair pair on an up link a well-defined zero-length blip (and a
+#: repair+fail pair on a *down* link a deterministic validation error
+#: instead of an insertion-order coin flip); crashes run last so link
+#: events always act on a node that is still alive at that instant.
+_EVENT_RANK = {LinkFailureEvent: 0, LinkRepairEvent: 1, CrashEvent: 2}
+
+
 class FaultSchedule:
-    """Time-ordered crashes and link outages for one run."""
+    """Time-ordered crashes and link outages for one run.
+
+    Events are normalized to a deterministic total order
+    ``(at_time, kind, node)`` — kind ranked failure < repair < crash —
+    so schedules built from differently-ordered event lists behave
+    identically, and same-``at_time`` overlaps have one defined meaning
+    (see ``_EVENT_RANK``).
+    """
 
     def __init__(self, events: Iterable[FaultEvent] = ()):
-        self.events: List[FaultEvent] = sorted(events, key=lambda e: e.at_time)
+        self.events: List[FaultEvent] = sorted(
+            events,
+            key=lambda e: (e.at_time, _EVENT_RANK[type(e)], e.node))
 
     def validate(self, tree: PlatformTree) -> None:
         """Static checks against the *initial* tree.

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
@@ -99,6 +100,32 @@ class SimulationResult:
         if self.makespan == 0:
             return 0.0
         return self.num_tasks / self.makespan
+
+    def fingerprint(self) -> str:
+        """sha256 over every deterministic field of the run.
+
+        Two runs of the same (tree, config, workload) are bit-identical
+        exactly when their fingerprints match — the crash-safe harness's
+        resume and workers=1-vs-N equivalence tests compare these instead
+        of whole objects.
+        """
+        digest = hashlib.sha256()
+        parts = (
+            self.config.label, self.num_tasks,
+            self.completion_times, self.per_node_computed,
+            self.per_node_max_buffers, self.per_node_max_held,
+            self.buffer_high_water_at_completion,
+            self.held_high_water_at_completion,
+            self.departed_node_ids, self.buffers_decayed,
+            self.preemptions, self.transfers, self.events_processed,
+            self.repository_exhausted_at, self.crashed_node_ids,
+            self.tasks_reexecuted, self.transfers_wasted,
+            self.crash_times, self.reclaim_times,
+        )
+        for part in parts:
+            digest.update(repr(part).encode("utf-8"))
+            digest.update(b"\x1f")
+        return digest.hexdigest()
 
     def surviving_tree(self) -> PlatformTree:
         """The platform with every crashed subtree pruned — what the

@@ -2,8 +2,10 @@
 
 import pytest
 
+from repro.errors import ExperimentError
 from repro.experiments import EXPERIMENTS, ablation
-from repro.experiments.cli import build_parser, main, resolve_scale
+from repro.experiments.cli import (build_parser, main, resolve_harness,
+                                   resolve_scale)
 from repro.experiments.common import ExperimentScale
 
 
@@ -40,6 +42,31 @@ class TestParser:
         assert resolve_scale(args).base_seed == 99
 
 
+class TestResolveHarness:
+    def test_defaults_are_resilient_but_uncheckpointed(self):
+        args = build_parser().parse_args(["fig4"])
+        harness = resolve_harness(args)
+        assert harness.checkpoint_dir is None
+        assert not harness.resume
+        assert harness.max_retries == 2
+        assert harness.seed_timeout is None
+
+    def test_flags_carry_through(self, tmp_path):
+        args = build_parser().parse_args(
+            ["fig4", "--checkpoint-dir", str(tmp_path), "--resume",
+             "--max-retries", "5", "--seed-timeout", "30"])
+        harness = resolve_harness(args)
+        assert harness.checkpoint_dir == str(tmp_path)
+        assert harness.resume
+        assert harness.max_retries == 5
+        assert harness.seed_timeout == 30.0
+
+    def test_resume_without_checkpoint_dir_rejected(self):
+        args = build_parser().parse_args(["fig4", "--resume"])
+        with pytest.raises(ExperimentError, match="checkpoint_dir"):
+            resolve_harness(args)
+
+
 class TestMain:
     def test_fig7_runs_and_prints(self, capsys):
         assert main(["fig7"]) == 0
@@ -51,6 +78,25 @@ class TestMain:
         target = tmp_path / "report.txt"
         assert main(["fig7", "--out", str(target)]) == 0
         assert "Figure 7" in target.read_text()
+
+    def test_coverage_summary_on_stderr_not_stdout(self, capsys):
+        assert main(["fig7"]) == 0
+        captured = capsys.readouterr()
+        assert "coverage:" in captured.err
+        assert "coverage:" not in captured.out
+
+    def test_checkpointed_run_then_resume(self, tmp_path, capsys):
+        ckpt = str(tmp_path / "ckpt")
+        assert main(["fig7", "--checkpoint-dir", ckpt]) == 0
+        first = capsys.readouterr().out
+        assert main(["fig7", "--checkpoint-dir", ckpt, "--resume"]) == 0
+        captured = capsys.readouterr()
+        assert "3 resumed from checkpoint" in captured.err
+        # Identical stdout report, timing lines aside.
+        import re
+
+        strip = lambda text: re.sub(r"completed in [0-9.]+s", "", text)
+        assert strip(captured.out) == strip(first)
 
 
 class TestPriorityAblation:

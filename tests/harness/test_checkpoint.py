@@ -1,0 +1,161 @@
+"""Checkpoint journals: atomic creation, replay, corruption tolerance."""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.harness import CheckpointStore, config_digest
+from repro.harness.checkpoint import SCHEMA_VERSION, atomic_write_text
+
+
+class TestConfigDigest:
+    def test_stable_across_calls(self):
+        assert config_digest("fig4", 2000, (1, 2)) == \
+            config_digest("fig4", 2000, (1, 2))
+
+    def test_sensitive_to_every_part(self):
+        base = config_digest("fig4", 2000, 300)
+        assert config_digest("fig5", 2000, 300) != base
+        assert config_digest("fig4", 2001, 300) != base
+        assert config_digest("fig4", 2000, 301) != base
+
+    def test_separator_prevents_concatenation_collisions(self):
+        assert config_digest("ab", "c") != config_digest("a", "bc")
+
+
+class TestAtomicWrite:
+    def test_writes_content(self, tmp_path):
+        path = str(tmp_path / "out.txt")
+        atomic_write_text(path, "hello\n")
+        with open(path) as fh:
+            assert fh.read() == "hello\n"
+
+    def test_overwrites_atomically_and_leaves_no_tmp(self, tmp_path):
+        path = str(tmp_path / "out.txt")
+        atomic_write_text(path, "one\n")
+        atomic_write_text(path, "two\n")
+        with open(path) as fh:
+            assert fh.read() == "two\n"
+        assert os.listdir(tmp_path) == ["out.txt"]
+
+
+class TestJournal:
+    def _store(self, tmp_path):
+        return CheckpointStore(str(tmp_path / "ckpt"))
+
+    def test_fresh_journal_starts_with_header(self, tmp_path):
+        store = self._store(tmp_path)
+        digest = config_digest("exp", 1)
+        with store.open_journal("exp", digest, meta={"k": "v"}) as journal:
+            path = journal.path
+        with open(path) as fh:
+            header = json.loads(fh.readline())
+        assert header["kind"] == "header"
+        assert header["schema"] == SCHEMA_VERSION
+        assert header["config_digest"] == digest
+        assert header["meta"] == {"k": "v"}
+
+    def test_roundtrip_success_and_failure(self, tmp_path):
+        store = self._store(tmp_path)
+        digest = config_digest("exp", 1)
+        with store.open_journal("exp", digest) as journal:
+            journal.record_success(3, {"rate": 0.5}, attempts=1)
+            journal.record_success(7, (1, 2, 3), attempts=2)
+            journal.record_failure(9, attempts=3, kind="timeout",
+                                   error="exceeded 5s")
+        with store.open_journal("exp", digest, resume=True) as journal:
+            assert journal.replayed == {3: {"rate": 0.5}, 7: (1, 2, 3)}
+            assert journal.replayed_failures == {
+                9: (3, "timeout", "exceeded 5s")}
+
+    def test_later_success_supersedes_failure(self, tmp_path):
+        store = self._store(tmp_path)
+        digest = config_digest("exp", 1)
+        with store.open_journal("exp", digest) as journal:
+            journal.record_failure(4, attempts=3, kind="exception", error="x")
+            journal.record_success(4, "recovered", attempts=1)
+        with store.open_journal("exp", digest, resume=True) as journal:
+            assert journal.replayed == {4: "recovered"}
+            assert journal.replayed_failures == {}
+
+    def test_torn_trailing_line_tolerated(self, tmp_path):
+        store = self._store(tmp_path)
+        digest = config_digest("exp", 1)
+        with store.open_journal("exp", digest) as journal:
+            journal.record_success(0, "a", attempts=1)
+            journal.record_success(1, "b", attempts=1)
+            path = journal.path
+        with open(path, "a") as fh:
+            fh.write('{"seed": 2, "status": "ok", "payl')  # SIGKILL mid-append
+        with store.open_journal("exp", digest, resume=True) as journal:
+            assert journal.replayed == {0: "a", 1: "b"}
+
+    def test_corrupt_payload_digest_skipped(self, tmp_path):
+        store = self._store(tmp_path)
+        digest = config_digest("exp", 1)
+        with store.open_journal("exp", digest) as journal:
+            journal.record_success(0, "good", attempts=1)
+            journal.record_success(1, "bitrot", attempts=1)
+            path = journal.path
+        with open(path) as fh:
+            lines = fh.read().splitlines()
+        record = json.loads(lines[2])
+        record["sha"] = "0" * 64  # flipped bits on disk
+        lines[2] = json.dumps(record, sort_keys=True)
+        with open(path, "w") as fh:
+            fh.write("\n".join(lines) + "\n")
+        with store.open_journal("exp", digest, resume=True) as journal:
+            assert journal.replayed == {0: "good"}
+
+    def test_config_digest_mismatch_rejected(self, tmp_path):
+        store = self._store(tmp_path)
+        with store.open_journal("exp", config_digest("exp", 1)):
+            pass
+        with pytest.raises(ExperimentError, match="different configuration"):
+            store.open_journal("exp", config_digest("exp", 2), resume=True)
+
+    def test_empty_journal_rejected(self, tmp_path):
+        store = self._store(tmp_path)
+        digest = config_digest("exp", 1)
+        path = store.journal_path("exp", digest)
+        open(path, "w").close()
+        with pytest.raises(ExperimentError, match="empty"):
+            store.open_journal("exp", digest, resume=True)
+
+    def test_schema_mismatch_rejected(self, tmp_path):
+        store = self._store(tmp_path)
+        digest = config_digest("exp", 1)
+        path = store.journal_path("exp", digest)
+        header = {"kind": "header", "schema": SCHEMA_VERSION + 1,
+                  "experiment": "exp", "config_digest": digest, "meta": {}}
+        with open(path, "w") as fh:
+            fh.write(json.dumps(header) + "\n")
+        with pytest.raises(ExperimentError, match="schema"):
+            store.open_journal("exp", digest, resume=True)
+
+    def test_fresh_open_truncates_stale_journal(self, tmp_path):
+        store = self._store(tmp_path)
+        digest = config_digest("exp", 1)
+        with store.open_journal("exp", digest) as journal:
+            journal.record_success(0, "stale", attempts=1)
+        with store.open_journal("exp", digest, resume=False) as journal:
+            assert journal.replayed == {}
+        with store.open_journal("exp", digest, resume=True) as journal:
+            assert journal.replayed == {}
+
+    def test_journal_path_keyed_by_experiment(self, tmp_path):
+        store = self._store(tmp_path)
+        a = store.journal_path("fig4", config_digest("fig4", 1))
+        b = store.journal_path("fig4", config_digest("fig4", 2))
+        c = store.journal_path("fig5", config_digest("fig4", 1))
+        assert a == b  # digest lives in the header, not the filename
+        assert a != c
+
+    def test_append_after_close_rejected(self, tmp_path):
+        store = self._store(tmp_path)
+        journal = store.open_journal("exp", config_digest("exp", 1))
+        journal.close()
+        with pytest.raises(ExperimentError, match="closed"):
+            journal.record_success(0, "late", attempts=1)

@@ -1,0 +1,220 @@
+"""Supervised execution: retry, backoff, worker death, watchdog."""
+
+import os
+import time
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.harness import RetryPolicy, RunCoverage, SeedFailure
+from repro.harness.pool import run_supervised
+
+FAST = RetryPolicy(max_retries=2, backoff_base=0.0, jitter=0.0)
+
+
+# --------------------------------------------------------------------------
+# Module-level workers (process-pool tests pickle them by reference).
+# --------------------------------------------------------------------------
+
+def _square(seed):
+    return seed * seed
+
+
+def _always_raises(seed):
+    raise ValueError(f"seed {seed} is cursed")
+
+
+def _fail_once_marked(seed, marker_dir):
+    """Fail the first attempt of each seed, succeed afterwards.
+
+    Attempt state lives in marker files so it survives process boundaries.
+    """
+    marker = os.path.join(marker_dir, f"tried-{seed}")
+    if not os.path.exists(marker):
+        open(marker, "w").close()
+        raise RuntimeError(f"first attempt of seed {seed}")
+    return seed * 10
+
+
+def _die_once_marked(seed, marker_dir, victim):
+    """``os._exit`` the victim seed's first attempt — kills the worker
+    process outright, breaking the whole pool."""
+    marker = os.path.join(marker_dir, f"died-{seed}")
+    if seed == victim and not os.path.exists(marker):
+        open(marker, "w").close()
+        os._exit(1)
+    return seed + 100
+
+
+def _hang_once_marked(seed, marker_dir, victim):
+    """The victim seed's first attempt blocks far past any sane timeout."""
+    marker = os.path.join(marker_dir, f"hung-{seed}")
+    if seed == victim and not os.path.exists(marker):
+        open(marker, "w").close()
+        time.sleep(120)
+    return seed - 100
+
+
+class TestRetryPolicy:
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ExperimentError, match="max_retries"):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ExperimentError, match="backoff"):
+            RetryPolicy(backoff_base=-0.1)
+        with pytest.raises(ExperimentError, match="backoff"):
+            RetryPolicy(backoff_factor=0.5)
+        with pytest.raises(ExperimentError, match="seed_timeout"):
+            RetryPolicy(seed_timeout=0)
+
+    def test_delay_is_deterministic_per_seed_and_attempt(self):
+        policy = RetryPolicy(backoff_base=0.5, jitter=0.25)
+        assert policy.delay(7, 1) == policy.delay(7, 1)
+        assert policy.delay(7, 1) != policy.delay(8, 1)
+        assert policy.delay(7, 1) != policy.delay(7, 2)
+
+    def test_delay_grows_and_caps(self):
+        policy = RetryPolicy(backoff_base=1.0, backoff_factor=2.0,
+                             backoff_max=3.0, jitter=0.0)
+        assert policy.delay(0, 1) == 1.0
+        assert policy.delay(0, 2) == 2.0
+        assert policy.delay(0, 3) == 3.0  # capped
+        assert policy.delay(0, 10) == 3.0
+
+    def test_jitter_bounded(self):
+        policy = RetryPolicy(backoff_base=1.0, jitter=0.25)
+        for seed in range(50):
+            assert 0.75 <= policy.delay(seed, 1) <= 1.25
+
+    def test_zero_base_means_no_sleep(self):
+        assert FAST.delay(3, 2) == 0.0
+
+
+class TestRunCoverage:
+    def test_summary_mentions_failures(self):
+        coverage = RunCoverage(
+            total=3, completed=2, skipped=0,
+            failed=(SeedFailure(seed=2, attempts=3, kind="timeout",
+                                error="slow"),),
+            attempts=((0, 1), (1, 2), (2, 3)))
+        text = coverage.summary()
+        assert "2/3 completed" in text
+        assert "seed 2: timeout after 3 attempts" in text
+        assert coverage.retries == 3
+        assert not coverage.ok
+        assert coverage.failed_seeds == (2,)
+
+    def test_merge_sums_fields(self):
+        a = RunCoverage(total=2, completed=2, skipped=0, attempts=((0, 1),))
+        b = RunCoverage(total=3, completed=1, skipped=2,
+                        failed=(SeedFailure(5, 3, "exception", "x"),))
+        merged = RunCoverage.merge([a, None, b])
+        assert (merged.total, merged.completed, merged.skipped) == (5, 3, 2)
+        assert merged.failed_seeds == (5,)
+
+    def test_merge_of_clean_runs_is_ok(self):
+        a = RunCoverage(total=2, completed=2, skipped=0)
+        assert RunCoverage.merge([a, a]).ok
+
+
+class TestSerial:
+    def test_plain_success(self):
+        results, failures, attempts = run_supervised(_square, [2, 3, 4])
+        assert results == {2: 4, 3: 9, 4: 16}
+        assert failures == {}
+        assert attempts == {2: 1, 3: 1, 4: 1}
+
+    def test_flaky_worker_retried(self, tmp_path):
+        from functools import partial
+
+        worker = partial(_fail_once_marked, marker_dir=str(tmp_path))
+        results, failures, attempts = run_supervised(
+            worker, [1, 2], policy=FAST)
+        assert results == {1: 10, 2: 20}
+        assert failures == {}
+        assert attempts == {1: 2, 2: 2}
+
+    def test_exhausted_retries_become_structured_failure(self):
+        results, failures, attempts = run_supervised(
+            _always_raises, [5, 6], policy=FAST)
+        assert results == {}
+        assert set(failures) == {5, 6}
+        assert failures[5].kind == "exception"
+        assert failures[5].attempts == 3  # first try + 2 retries
+        assert "cursed" in failures[5].error
+
+    def test_failfast_reraises(self):
+        policy = RetryPolicy(max_retries=0, failfast=True)
+        with pytest.raises(ValueError, match="cursed"):
+            run_supervised(_always_raises, [5], policy=policy)
+
+    def test_progress_counts_settled_seeds(self):
+        seen = []
+        run_supervised(_square, [1, 2, 3], progress=seen.append)
+        assert seen == [1, 2, 3]
+
+    def test_workers_must_be_positive(self):
+        with pytest.raises(ExperimentError, match="workers"):
+            run_supervised(_square, [1], workers=0)
+
+
+class TestPool:
+    def test_matches_serial(self):
+        serial, _, _ = run_supervised(_square, range(8), workers=1)
+        pooled, _, _ = run_supervised(_square, range(8), workers=3)
+        assert pooled == serial
+
+    def test_flaky_worker_retried_across_processes(self, tmp_path):
+        from functools import partial
+
+        worker = partial(_fail_once_marked, marker_dir=str(tmp_path))
+        results, failures, attempts = run_supervised(
+            worker, [1, 2, 3], workers=2, policy=FAST)
+        assert results == {1: 10, 2: 20, 3: 30}
+        assert failures == {}
+        assert all(n >= 2 for n in attempts.values())
+
+    def test_exhausted_retries_in_pool(self):
+        results, failures, _ = run_supervised(
+            _always_raises, [1, 2], workers=2, policy=FAST)
+        assert results == {}
+        assert {f.kind for f in failures.values()} == {"exception"}
+
+    def test_worker_death_respawns_and_recovers(self, tmp_path):
+        from functools import partial
+
+        worker = partial(_die_once_marked, marker_dir=str(tmp_path),
+                         victim=1)
+        results, failures, attempts = run_supervised(
+            worker, [0, 1, 2, 3], workers=2, policy=FAST)
+        assert results == {0: 100, 1: 101, 2: 102, 3: 103}
+        assert failures == {}
+        # The victim (at least) was charged a worker-death attempt.
+        assert attempts[1] >= 2
+
+    def test_worker_death_exhausts_into_structured_failure(self):
+        results, failures, _ = run_supervised(
+            _always_dies, [0], workers=2,
+            policy=RetryPolicy(max_retries=1, backoff_base=0.0, jitter=0.0))
+        assert results == {}
+        assert failures[0].kind == "worker-death"
+        assert failures[0].attempts == 2
+
+    def test_timeout_watchdog_kills_and_retries(self, tmp_path):
+        from functools import partial
+
+        worker = partial(_hang_once_marked, marker_dir=str(tmp_path),
+                         victim=2)
+        policy = RetryPolicy(max_retries=2, backoff_base=0.0, jitter=0.0,
+                             seed_timeout=1.0)
+        start = time.monotonic()
+        results, failures, attempts = run_supervised(
+            worker, [1, 2, 3], workers=2, policy=policy)
+        elapsed = time.monotonic() - start
+        assert results == {1: -99, 2: -98, 3: -97}
+        assert failures == {}
+        assert attempts[2] >= 2  # charged a timeout attempt
+        assert elapsed < 60  # the 120 s hang was killed, not waited out
+
+
+def _always_dies(seed):
+    os._exit(1)

@@ -77,3 +77,64 @@ class TestSchedule:
         # checks are deferred to fire time.
         FaultSchedule([CrashEvent(at_time=10, node=99)]).validate(
             figure1_tree())
+
+
+class TestSameTimeOrdering:
+    """Same-``at_time`` overlaps normalize to failure < repair < crash."""
+
+    def test_kind_rank_at_equal_time(self):
+        schedule = FaultSchedule([
+            CrashEvent(at_time=10, node=2),
+            LinkRepairEvent(at_time=10, node=5),
+            LinkFailureEvent(at_time=10, node=5),
+        ])
+        assert [type(e) for e in schedule] == [
+            LinkFailureEvent, LinkRepairEvent, CrashEvent]
+
+    def test_node_breaks_remaining_ties(self):
+        schedule = FaultSchedule([
+            LinkFailureEvent(at_time=10, node=7),
+            LinkFailureEvent(at_time=10, node=3),
+        ])
+        assert [e.node for e in schedule] == [3, 7]
+
+    def test_order_independent_of_construction(self):
+        events = [
+            CrashEvent(at_time=10, node=2),
+            LinkFailureEvent(at_time=10, node=5),
+            LinkRepairEvent(at_time=10, node=5),
+            LinkFailureEvent(at_time=5, node=3),
+        ]
+        reference = FaultSchedule(events).events
+        assert FaultSchedule(reversed(events)).events == reference
+        assert FaultSchedule(events[::2] + events[1::2]).events == reference
+
+    def test_same_time_blip_on_up_link_validates(self):
+        # fail and repair at the same instant on an up link: normalized to
+        # fail-then-repair, a zero-length outage — well-formed.
+        schedule = FaultSchedule([
+            LinkRepairEvent(at_time=10, node=5),
+            LinkFailureEvent(at_time=10, node=5),
+        ])
+        schedule.validate(figure1_tree())  # must not raise
+
+    def test_same_time_overlap_on_down_link_rejected(self):
+        # Link already down; a same-instant repair+failure pair normalizes
+        # to failure-first, which deterministically hits "already down"
+        # regardless of the order the events were listed in.
+        for pair in ([LinkRepairEvent(at_time=20, node=5),
+                      LinkFailureEvent(at_time=20, node=5)],
+                     [LinkFailureEvent(at_time=20, node=5),
+                      LinkRepairEvent(at_time=20, node=5)]):
+            schedule = FaultSchedule(
+                [LinkFailureEvent(at_time=10, node=5)] + pair)
+            with pytest.raises(PlatformError, match="already down"):
+                schedule.validate(figure1_tree())
+
+    def test_crash_sorts_after_link_events_of_other_nodes(self):
+        schedule = FaultSchedule([
+            CrashEvent(at_time=10, node=1),
+            LinkFailureEvent(at_time=10, node=9),
+        ])
+        assert isinstance(schedule.events[0], LinkFailureEvent)
+        assert isinstance(schedule.events[1], CrashEvent)

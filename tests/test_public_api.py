@@ -30,6 +30,25 @@ class TestLazyExports:
                                 repro.ProtocolConfig.interruptible(3), 5)
         assert isinstance(result, repro.SimulationResult)
 
+    def test_harness_exports(self):
+        assert repro.HarnessConfig is not None
+        assert repro.RetryPolicy is not None
+        assert repro.RunCoverage is not None
+        assert repro.SeedFailure is not None
+        assert repro.CheckpointStore is not None
+        config = repro.HarnessConfig(max_retries=1)
+        assert config.policy().max_retries == 1
+
+    def test_simulation_result_fingerprint(self):
+        tree = repro.PlatformTree.single_node(2)
+        config = repro.ProtocolConfig.interruptible(3)
+        a = repro.simulate(tree, config, 5).fingerprint()
+        b = repro.simulate(tree, config, 5).fingerprint()
+        c = repro.simulate(tree, config, 6).fingerprint()
+        assert a == b  # deterministic reruns match exactly
+        assert a != c
+        assert len(a) == 64  # sha256 hex
+
     def test_unknown_attribute(self):
         with pytest.raises(AttributeError):
             repro.definitely_not_a_thing
