@@ -106,3 +106,29 @@ def run_engine_non_ic(num_tasks: int = 2000) -> int:
     """non-IC/FB=2 on the same tree — the growth-free baseline path."""
     return _engine_events(
         ProtocolConfig.non_interruptible(2, buffer_growth=False), num_tasks)
+
+
+#: Fixed tree for the long-run (steady-state warp) workloads.  Small
+#: communication/computation weights keep the microstate period short, so
+#: the warped variant reliably finds its recurrence within the first few
+#: hundred completions; the exact variant pays full per-event cost either
+#: way, making the pair a direct measure of the warp's value.
+_WARP_TREE_PARAMS = TreeGeneratorParams(min_nodes=60, max_nodes=60,
+                                        max_comm=8, max_comp=16,
+                                        comp_divisor=16)
+
+
+def _engine_tasks(config: ProtocolConfig, num_tasks: int) -> int:
+    tree = generate_tree(_WARP_TREE_PARAMS, seed=1)
+    ProtocolEngine(tree, config, num_tasks).run()
+    return num_tasks
+
+
+def run_engine_ic_10k(num_tasks: int = 10_000) -> int:
+    """Long IC/FB=3 run, exact event-by-event simulation (tasks as units)."""
+    return _engine_tasks(ProtocolConfig.interruptible(3), num_tasks)
+
+
+def run_engine_ic_10k_warp(num_tasks: int = 10_000) -> int:
+    """The same long run with steady-state warp fast-forwarding the middle."""
+    return _engine_tasks(ProtocolConfig.interruptible(3, warp=True), num_tasks)

@@ -82,6 +82,11 @@ _LAZY_EXPORTS = {
     "Tracer": "repro.protocols",
     "TraceEvent": "repro.protocols",
     "ascii_gantt": "repro.protocols",
+    # steady-state warp
+    "WarpSummary": "repro.sim.warp",
+    "WarpController": "repro.sim.warp",
+    "steady_state_rate": "repro.metrics.windows",
+    "node_utilization": "repro.metrics.usage",
     # recovery metrics (PR-1 surface)
     "RecoveryReport": "repro.metrics.faults",
     "recovery_report": "repro.metrics.faults",

@@ -14,7 +14,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable, Dict, Optional
 
 from ..harness import HarnessConfig
@@ -121,6 +121,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--scale", choices=["default", "smoke", "paper"],
                         default="default",
                         help="preset scale; --trees/--tasks override it")
+    parser.add_argument("--warp", action="store_true",
+                        help="enable steady-state warp: fast-forward the "
+                             "periodic middle of each run (results are "
+                             "identical to exact simulation)")
+    parser.add_argument("--profile", action="store_true",
+                        help="run under cProfile and print the top 25 "
+                             "functions by cumulative time to stderr "
+                             "(forces --workers 1)")
     parser.add_argument("--checkpoint-dir", type=str, default=None,
                         metavar="DIR",
                         help="journal per-seed results into DIR so an "
@@ -154,13 +162,11 @@ def resolve_scale(args: argparse.Namespace) -> ExperimentScale:
     if args.tasks is not None:
         scale = scale.with_tasks(args.tasks)
     if args.seed:
-        scale = ExperimentScale(trees=scale.trees, tasks=scale.tasks,
-                                base_seed=args.seed,
-                                threshold_window=scale.threshold_window)
+        scale = replace(scale, base_seed=args.seed)
     if args.threshold is not None:
-        scale = ExperimentScale(trees=scale.trees, tasks=scale.tasks,
-                                base_seed=scale.base_seed,
-                                threshold_window=args.threshold)
+        scale = replace(scale, threshold_window=args.threshold)
+    if getattr(args, "warp", False):
+        scale = replace(scale, warp=True)
     return scale
 
 
@@ -202,13 +208,34 @@ def main(argv: Optional[list] = None) -> int:
         return 0
     scale = resolve_scale(args)
     harness = resolve_harness(args)
+    workers = args.workers
+    if args.profile and workers != 1:
+        # cProfile only sees the calling process; pool workers would hide
+        # the very frames being profiled.
+        sys.stderr.write("--profile forces --workers 1\n")
+        workers = 1
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     reports = []
     for name in names:
         start = time.time()
-        report, svg_text = EXPERIMENTS[name](scale, workers=args.workers,
-                                             svg=args.svg is not None,
-                                             harness=harness)
+        if args.profile:
+            import cProfile
+            import pstats
+
+            profiler = cProfile.Profile()
+            profiler.enable()
+            try:
+                report, svg_text = EXPERIMENTS[name](
+                    scale, workers=workers, svg=args.svg is not None,
+                    harness=harness)
+            finally:
+                profiler.disable()
+                stats = pstats.Stats(profiler, stream=sys.stderr)
+                stats.sort_stats("cumulative").print_stats(25)
+        else:
+            report, svg_text = EXPERIMENTS[name](scale, workers=workers,
+                                                 svg=args.svg is not None,
+                                                 harness=harness)
         elapsed = time.time() - start
         if args.svg and svg_text is not None:
             import os

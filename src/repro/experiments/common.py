@@ -36,6 +36,10 @@ class ExperimentScale:
     tasks: int = 2000
     base_seed: int = 0
     threshold_window: Optional[int] = None
+    #: Run every protocol with steady-state warp (:mod:`repro.sim.warp`)
+    #: enabled.  Results are identical to exact simulation; long ensembles
+    #: finish sooner when runs reach a periodic steady state.
+    warp: bool = False
 
     def __post_init__(self):
         if self.trees < 1:
@@ -117,6 +121,8 @@ def run_case(seed: int, params: TreeGeneratorParams,
     optimal = solve_tree(tree).rate
     outcomes: Dict[str, ConfigOutcome] = {}
     for config in configs:
+        if scale.warp and not config.warp:
+            config = replace(config, warp=True)
         result = simulate(tree, config, scale.tasks,
                           record_buffer_timeline=record_buffers)
         onset = detect_onset(result.completion_times, optimal, scale.threshold)
@@ -189,7 +195,9 @@ def sweep(configs: Sequence[ProtocolConfig], scale: ExperimentScale,
         worker_fn, seeds,
         experiment=experiment,
         # Per-seed results depend on the generator, protocols, application
-        # size, and threshold — not on the ensemble size or base seed.
+        # size, and threshold — not on the ensemble size, base seed, or
+        # ``scale.warp`` (warped results are identical by contract, so
+        # warped and exact sweeps share checkpoints).
         config_parts=(params, tuple(configs), scale.tasks,
                       scale.threshold, bool(record_buffers),
                       tuple(sample_counts)),

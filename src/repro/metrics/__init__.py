@@ -4,6 +4,7 @@ used-subtree statistics, ensemble aggregation (§4.1 methodology)."""
 from .windows import (
     normalized_window_rates,
     num_windows,
+    steady_state_rate,
     window_rate,
     window_rates,
 )
@@ -15,7 +16,7 @@ from .onset import (
     reached_optimal,
 )
 from .buffers import buffers_at_completions, reached_within_buffers
-from .usage import UsageStats, histogram_pdf, usage_stats
+from .usage import UsageStats, histogram_pdf, node_utilization, usage_stats
 from .ensemble import median_or_none, onset_cdf, percentage_reached, summarize
 from .phases import PhaseBreakdown, phase_breakdown
 from .faults import (
@@ -31,6 +32,7 @@ __all__ = [
     "window_rates",
     "normalized_window_rates",
     "num_windows",
+    "steady_state_rate",
     "detect_onset",
     "reached_optimal",
     "default_threshold",
@@ -41,6 +43,7 @@ __all__ = [
     "UsageStats",
     "usage_stats",
     "histogram_pdf",
+    "node_utilization",
     "median_or_none",
     "onset_cdf",
     "percentage_reached",

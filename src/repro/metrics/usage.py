@@ -15,7 +15,7 @@ import numpy as np
 from ..errors import ReproError
 from ..protocols.result import SimulationResult
 
-__all__ = ["UsageStats", "usage_stats", "histogram_pdf"]
+__all__ = ["UsageStats", "usage_stats", "histogram_pdf", "node_utilization"]
 
 
 @dataclass(frozen=True)
@@ -42,6 +42,22 @@ def usage_stats(result: SimulationResult) -> UsageStats:
         total_depth=tree.max_depth,
         used_depth=result.used_depth,
     )
+
+
+def node_utilization(result: SimulationResult) -> np.ndarray:
+    """Fraction of the run each node spent computing (length num_nodes).
+
+    ``computed_i · w_i / makespan`` per node.  Built only from per-node
+    tallies and the final completion time, both of which steady-state warp
+    extrapolates exactly, so warped and exact runs agree — and it works for
+    runs that skipped completion-time recording entirely.
+    """
+    makespan = result.makespan
+    if makespan <= 0:
+        raise ReproError("node_utilization needs a non-trivial run")
+    computed = np.asarray(result.per_node_computed, dtype=np.float64)
+    weights = np.asarray(result.tree.w, dtype=np.float64)
+    return computed * weights / makespan
 
 
 def histogram_pdf(values: Sequence[int], bin_width: int = 1,

@@ -16,7 +16,8 @@ import numpy as np
 
 from ..errors import ReproError
 
-__all__ = ["window_rate", "window_rates", "normalized_window_rates", "num_windows"]
+__all__ = ["window_rate", "window_rates", "normalized_window_rates",
+           "num_windows", "steady_state_rate"]
 
 
 def num_windows(num_completions: int) -> int:
@@ -70,3 +71,26 @@ def normalized_window_rates(completion_times: Sequence[int],
     if optimal <= 0:
         raise ReproError(f"optimal rate must be > 0, got {optimal_rate!r}")
     return window_rates(completion_times) / optimal
+
+
+def steady_state_rate(result) -> Fraction:
+    """Exact measured steady-state rate of one simulation result.
+
+    When the run was warped (:mod:`repro.sim.warp`), the detected period is
+    the steady state *by construction* and ``Δtasks / Δt`` is its exact
+    rate — no window heuristics involved.  Otherwise the largest growing
+    window (task ``N/2`` to task ``N``) stands in: it excludes the longest
+    possible startup prefix the §4.1 methodology allows.  Runs that
+    recorded no completion times fall back to the whole-run mean rate,
+    which still excludes nothing but stays exact.
+    """
+    warp = getattr(result, "warp", None)
+    if warp is not None and warp.applied:
+        return Fraction(warp.period_tasks, warp.period_time)
+    times = result.completion_times
+    n = num_windows(len(times))
+    if n >= 1:
+        return window_rate(times, n)
+    if result.makespan <= 0:
+        raise ReproError("steady_state_rate needs a non-trivial run")
+    return Fraction(result.num_tasks, result.makespan)

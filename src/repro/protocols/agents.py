@@ -673,6 +673,38 @@ class NodeAgent:
                 self._mark_suspect(child)
         self._start_sweep()
 
+    # -------------------------------------------------------- warp support
+    def fingerprint_state(self, now) -> tuple:
+        """Canonical view of this agent's *dynamic* state for the
+        steady-state warp (:mod:`repro.sim.warp`).
+
+        Everything that can influence a future scheduling decision is here,
+        expressed relative to ``now`` so two occurrences of the same
+        periodic state compare equal; monotone tallies (``computed``,
+        ``transfers_started``, …) are deliberately excluded — the warp
+        extrapolates them instead.
+        """
+        transfer = self.current_transfer
+        if transfer is None:
+            current = None
+        else:
+            started = transfer.started_at
+            current = (transfer.child.id, transfer.remaining,
+                       None if started is None else now - started)
+        return (
+            self.tasks_held, self.requested, self.incoming,
+            self.child_requests, self.buffers_total, self.cpu_busy,
+            self.growth, self.growth_armed, self.decay, self.decay_pending,
+            self.surplus_streak, self.idle_arrival_streak,
+            self.deferred_requests, self.departed, self.alive,
+            self.link_down, self.max_buffers_seen, self.max_held_seen,
+            current,
+            tuple(sorted((cid, t.remaining) for cid, t in self.shelf.items())),
+            (None if self.fifo_queue is None
+             else tuple(a.id for a in self.fifo_queue)),
+            tuple(sorted(self.suspect)),
+        )
+
     def __repr__(self) -> str:  # pragma: no cover
         return (f"<NodeAgent {self.id} held={self.tasks_held} "
                 f"buffers={self.buffers_total} computed={self.computed}>")

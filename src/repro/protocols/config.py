@@ -91,6 +91,15 @@ class ProtocolConfig:
     #: Multiplier applied to the probe delay after each failed probe
     #: (exponential backoff; ``1`` probes at a constant period).
     backoff_factor: int = 2
+    #: Steady-state warp (:mod:`repro.sim.warp`): once the run's state
+    #: fingerprint recurs, whole periods of the periodic steady state are
+    #: advanced analytically instead of event by event.  Results are
+    #: provably identical (`SimulationResult.fingerprint()` matches the
+    #: exact run); long quiescent runs get dramatically faster.  Warp
+    #: stands down automatically under mutations, churn, faults, or an
+    #: attached tracer, so it is always safe to leave on — it defaults off
+    #: only to keep pre-warp calendars bit-identical for auditing.
+    warp: bool = False
 
     def __post_init__(self):
         if self.initial_buffers < 1:

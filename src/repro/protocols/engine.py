@@ -23,6 +23,7 @@ from ..platform.faults import (CrashEvent, FaultSchedule, LinkFailureEvent,
 from ..platform.mutation import Mutation, MutationSchedule
 from ..platform.tree import PlatformTree
 from ..sim import Environment
+from ..sim.warp import WarpController, WarpSummary
 from . import trace as _trace
 from .agents import NodeAgent
 from .config import PriorityRule, ProtocolConfig
@@ -43,7 +44,8 @@ class ProtocolEngine:
                  mutations: Optional[MutationSchedule] = None,
                  churn: Optional[ChurnSchedule] = None,
                  faults: Optional[FaultSchedule] = None,
-                 record_buffer_timeline: bool = False):
+                 record_buffer_timeline: bool = False,
+                 record_completion_times: bool = True):
         if num_tasks < 0:
             raise ProtocolError(f"num_tasks must be >= 0, got {num_tasks}")
         self.tree = tree.copy()  # mutations must not leak into caller's tree
@@ -64,12 +66,19 @@ class ProtocolEngine:
                 "faults with FIFO ordering are unsupported (reconciling a "
                 "failed node's queued requests is ill-defined)")
         self.record_buffer_timeline = record_buffer_timeline
+        self.record_completion_times = record_completion_times
 
         self.env = Environment()
         self._tracer = None
         self.nodes: List[NodeAgent] = []
         self.completed = 0
         self.completion_times: List[int] = []
+        #: Running fold of the last completion's time — kept even when the
+        #: per-task timeline above is not recorded, so aggregate metrics
+        #: (makespan, mean rate) never need the O(num_tasks) list.
+        self.last_completion_time = 0
+        self._warp: Optional[WarpController] = None
+        self._warp_summary: Optional[WarpSummary] = None
         self.buffer_high_water = config.initial_buffers
         self.held_high_water = 0
         self.buffer_timeline: List[int] = []
@@ -130,7 +139,9 @@ class ProtocolEngine:
     # ----------------------------------------------------------- callbacks
     def _on_completion(self, node: NodeAgent) -> None:
         self.completed += 1
-        self.completion_times.append(self.env.now)
+        self.last_completion_time = self.env.now
+        if self.record_completion_times:
+            self.completion_times.append(self.env.now)
         if self.record_buffer_timeline:
             self.buffer_timeline.append(self.buffer_high_water)
             self.held_timeline.append(self.held_high_water)
@@ -140,6 +151,8 @@ class ProtocolEngine:
             mutation = self._task_mutations[self._next_task_mutation]
             self._next_task_mutation += 1
             self._apply_mutation(mutation)
+        if self._warp is not None:
+            self._warp.on_completion(node)
 
     def _note_buffer_high_water(self, buffers: int) -> None:
         if buffers > self.buffer_high_water:
@@ -332,6 +345,20 @@ class ProtocolEngine:
             raise ProtocolError("engine already ran; build a new one")
         self._finished = True
 
+        if self.config.warp:
+            # The warp is sound only for the quiescent base model: any
+            # dynamic platform schedule breaks periodicity, and tracing
+            # observes the very events the warp would skip.
+            if self.mutations or self.churn or self.faults:
+                self._warp_summary = WarpSummary(
+                    applied=False,
+                    reason="disabled: dynamic platform schedule active")
+            elif self._tracer is not None or self.env.trace_hook is not None:
+                self._warp_summary = WarpSummary(
+                    applied=False, reason="disabled: tracing active")
+            else:
+                self._warp = WarpController(self)
+
         limit = sys.getrecursionlimit()
         if limit < _MIN_RECURSION_LIMIT:
             sys.setrecursionlimit(_MIN_RECURSION_LIMIT)
@@ -373,6 +400,9 @@ class ProtocolEngine:
                 f"run ended with {self.completed}/{self.num_tasks} tasks "
                 "completed — a task instance was lost and never reclaimed")
 
+        if self._warp is not None:
+            self._warp_summary = self._warp.finalize()
+
         return SimulationResult(
             tree=self.tree,
             config=self.config,
@@ -394,6 +424,8 @@ class ProtocolEngine:
             transfers_wasted=self.transfers_wasted,
             crash_times=tuple(self.crash_times),
             reclaim_times=tuple(self.reclaim_times),
+            last_completion_time=self.last_completion_time,
+            warp=self._warp_summary,
         )
 
 
@@ -401,9 +433,11 @@ def simulate(tree: PlatformTree, config: ProtocolConfig, num_tasks: int,
              *, mutations: Optional[MutationSchedule] = None,
              churn: Optional[ChurnSchedule] = None,
              faults: Optional[FaultSchedule] = None,
-             record_buffer_timeline: bool = False) -> SimulationResult:
+             record_buffer_timeline: bool = False,
+             record_completion_times: bool = True) -> SimulationResult:
     """Run one protocol simulation (one-line convenience wrapper)."""
     engine = ProtocolEngine(tree, config, num_tasks, mutations=mutations,
                             churn=churn, faults=faults,
-                            record_buffer_timeline=record_buffer_timeline)
+                            record_buffer_timeline=record_buffer_timeline,
+                            record_completion_times=record_completion_times)
     return engine.run()

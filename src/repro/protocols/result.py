@@ -7,6 +7,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
 from ..platform.tree import PlatformTree
+from ..sim.warp import WarpSummary
 from .config import ProtocolConfig
 
 __all__ = ["SimulationResult"]
@@ -64,11 +65,20 @@ class SimulationResult:
     #: Virtual time of each reclaim (lost work re-entering the repository);
     #: ``reclaim - crash`` is the protocol's detection/recovery latency.
     reclaim_times: Tuple[int, ...] = ()
+    #: Virtual time of the final completion, tracked as a running fold so
+    #: aggregate metrics survive ``record_completion_times=False`` runs.
+    last_completion_time: int = 0
+    #: Steady-state warp outcome (``None`` unless ``config.warp`` was set).
+    #: Excluded from :meth:`fingerprint` by design: a warped run and its
+    #: exact twin must fingerprint identically.
+    warp: Optional[WarpSummary] = None
 
     @property
     def makespan(self) -> int:
         """Virtual time of the last completion (0 for an empty run)."""
-        return self.completion_times[-1] if self.completion_times else 0
+        if self.completion_times:
+            return self.completion_times[-1]
+        return self.last_completion_time
 
     @property
     def max_buffers(self) -> int:
@@ -121,6 +131,7 @@ class SimulationResult:
             self.repository_exhausted_at, self.crashed_node_ids,
             self.tasks_reexecuted, self.transfers_wasted,
             self.crash_times, self.reclaim_times,
+            self.last_completion_time,
         )
         for part in parts:
             digest.update(repr(part).encode("utf-8"))

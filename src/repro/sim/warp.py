@@ -1,0 +1,418 @@
+"""Steady-state warp: cycle detection and event-free fast-forward.
+
+Theorem 1 (§4 of the paper) says a bandwidth-centric run converges to a
+*periodic steady state*: after the startup transient, the entire dynamic
+state of the simulation — per-node buffer occupancies, in-flight transfer
+phases, the calendar's pending-timer deltas — recurs with some period
+``(Δt, Δtasks)``.  A discrete-event simulator that keeps paying full
+per-event cost through thousands of identical periods is doing arithmetic
+the hard way.  This module finds the recurrence and replaces the middle of
+the run with multiplication.
+
+How it works
+------------
+At every task completion the :class:`WarpController` takes a **canonical
+fingerprint** of the simulation: the completing node's id, every agent's
+:meth:`~repro.protocols.agents.NodeAgent.fingerprint_state` view, and the
+live calendar entries as ``(time - now, priority, owner, callback,
+canonical args)`` tuples.  Monotone counters (virtual time, completed
+tasks, the root's repository, per-node tallies) are deliberately
+*excluded* — they grow forever and never influence a scheduling decision
+except at the repository-exhaustion boundary, which the warp guard keeps
+out of the skipped span.
+
+When a fingerprint recurs, the deterministic kernel guarantees the run is
+exactly periodic from the first occurrence on: the same event sequence
+repeats every ``Δt`` timesteps, completing ``Δtasks`` tasks.  The
+controller then advances ``k`` whole periods *analytically*:
+
+* ``env.now`` and every pending timer shift by ``k·Δt`` (a uniform shift
+  preserves heap order, so the calendar is filtered of tombstones and
+  re-heapified in one pass);
+* ``completed``, the repository, and every per-node monotone tally
+  (``computed``, ``transfers_started``, ``preemptions``,
+  ``buffers_decayed``, ``processed_count``) jump by ``k`` times their
+  per-period delta;
+* recorded timelines are *replicated*, not lost: the completion times of
+  the template period re-appear shifted by ``j·Δt`` for each skipped
+  period ``j``, and the (period-stable) buffer high-water marks repeat, so
+  every downstream metric — window rates, onset detection, utilization —
+  is exact over the warped span.
+
+``k`` is capped at ``(undispensed - 1) // Δtasks - 1`` so the repository
+never reaches zero inside the skipped span (the exhaustion boundary, and
+with it the warm-down tail and final partial period, is always simulated
+exactly).
+
+When warp is sound
+------------------
+Only in the quiescent base model.  The engine refuses to construct a
+controller when a mutation, churn, or fault schedule is present, and the
+controller disarms itself if a tracer or kernel trace hook is attached or
+a non-agent calendar entry appears — in all those cases the run degrades
+to plain exact simulation and :class:`WarpSummary.applied` stays False.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from heapq import heapify
+from typing import Optional, Set, TYPE_CHECKING
+
+from .core import Timer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..protocols.engine import ProtocolEngine
+
+__all__ = ["WarpSummary", "WarpController", "LEDGER_CAP", "FAR_HORIZON"]
+
+#: Fingerprints remembered before the search is abandoned.  A run whose
+#: period is not found within this many completions simply stays exact.
+LEDGER_CAP = 8192
+
+#: Pending timers with more than this much virtual time left are treated as
+#: *background* activities (e.g. the root's effectively-infinite first
+#: compute on the paper's figure trees): they cannot belong to the periodic
+#: regime, so their monotonically shrinking deltas are kept out of the
+#: fingerprint.  They are instead verified to shrink by exactly Δt between
+#: the two occurrences (proof they are the same untouched timers), left
+#: unshifted by the warp, and the skip is capped to end strictly before the
+#: earliest of them fires.
+FAR_HORIZON = 1_000_000
+
+
+@dataclass(frozen=True)
+class WarpSummary:
+    """Outcome of the warp subsystem for one run (``None`` when warp is off).
+
+    ``applied`` is False either because the run never exhibited a usable
+    recurrence or because a guard disabled the search; ``reason`` says
+    which.  All counts are exact by construction.
+    """
+
+    applied: bool
+    reason: str
+    #: Whole periods skipped analytically.
+    periods: int = 0
+    #: Virtual-time length of one period (Δt).
+    period_time: int = 0
+    #: Tasks completed per period (Δtasks).
+    period_tasks: int = 0
+    #: Tasks accounted for without dispatching events (``periods · Δtasks``).
+    tasks_skipped: int = 0
+    #: Calendar entries the exact run would have processed in the skipped span.
+    events_skipped: int = 0
+    #: Completed-task count at the moment the warp engaged.
+    warp_completed: int = 0
+    #: Virtual time at the moment the warp engaged (before the shift).
+    warp_time: int = 0
+    #: Fingerprints taken before the search ended.
+    fingerprints_taken: int = 0
+
+
+class _Record:
+    """Monotone-counter snapshot attached to one remembered fingerprint."""
+
+    __slots__ = ("completed", "now", "undispensed", "processed", "per_node",
+                 "far")
+
+    def __init__(self, completed, now, undispensed, processed, per_node, far):
+        self.completed = completed
+        self.now = now
+        self.undispensed = undispensed
+        self.processed = processed
+        self.per_node = per_node
+        #: Remaining-time deltas of the far (background) timers, aligned
+        #: with the descriptor order hashed into the fingerprint.
+        self.far = far
+
+
+class _Foreign(Exception):
+    """A calendar entry the canonicalizer does not understand."""
+
+
+def _canon_arg(arg, now):
+    """Canonicalize one timer argument relative to ``now``."""
+    if type(arg) is int:
+        return arg
+    child = getattr(arg, "child", None)
+    if child is not None and hasattr(arg, "remaining"):  # Transfer
+        started = arg.started_at
+        return ("t", child.id, arg.remaining,
+                None if started is None else now - started)
+    node_id = getattr(arg, "id", None)
+    if node_id is not None and hasattr(arg, "fingerprint_state"):  # NodeAgent
+        return ("n", node_id)
+    raise _Foreign(arg)
+
+
+def _canon_far_arg(arg):
+    """Canonicalize one *far* timer argument — no time-relative fields.
+
+    A far timer's descriptor must be identical at both occurrences of a
+    period even though virtual time moved, so elapsed-time views (which
+    shrink or grow monotonically) are dropped and only the structural
+    identity of the argument is kept.
+    """
+    if type(arg) is int:
+        return arg
+    child = getattr(arg, "child", None)
+    if child is not None and hasattr(arg, "remaining"):  # Transfer
+        return ("t", child.id, arg.remaining)
+    node_id = getattr(arg, "id", None)
+    if node_id is not None and hasattr(arg, "fingerprint_state"):  # NodeAgent
+        return ("n", node_id)
+    raise _Foreign(arg)
+
+
+class WarpController:
+    """Period detector and fast-forwarder for one :class:`ProtocolEngine`.
+
+    Constructed by the engine only for quiescent runs (no mutations, churn,
+    faults, tracer, or trace hook).  :meth:`on_completion` is the single
+    hook: it fingerprints, looks the fingerprint up in the period ledger,
+    and on a recurrence applies the warp in place, after which the engine
+    resumes exact simulation for the warm-down tail.
+    """
+
+    __slots__ = ("engine", "env", "_ledger", "_armed", "_active", "_count",
+                 "_stride", "_taken", "summary")
+
+    def __init__(self, engine: "ProtocolEngine"):
+        self.engine = engine
+        self.env = engine.env
+        #: Hashes of states seen so far.  Membership is all the search
+        #: needs — full state tuples are only kept when a hash recurs
+        #: (arming), so ledger memory is ~tens of bytes per anchor
+        #: regardless of tree size.  A 64-bit hash collision can at worst
+        #: arm spuriously, never mis-warp: the warp itself compares full
+        #: state tuples.
+        self._ledger: Set[int] = set()
+        #: ``(hash, state tuple, snapshot)`` once a recurrence was seen: the
+        #: next time this exact state comes round (one whole period later)
+        #: the warp fires with per-period deltas measured from the snapshot.
+        self._armed: Optional[tuple] = None
+        self._active = True
+        self._count = 0
+        #: Only every ``_stride``-th completion is fingerprinted; doubles
+        #: every 1024 fingerprints so a run with a long (or no) period pays
+        #: a bounded, shrinking overhead instead of a constant tax.  Anchors
+        #: stay aligned to period phases: sampled completions are multiples
+        #: of the stride, and every residue class contains multiples of any
+        #: period length, so recurrences are still found — at worst the
+        #: detected period is a small multiple of the true one.
+        self._stride = 1
+        self._taken = 0
+        self.summary: Optional[WarpSummary] = None
+
+    # ------------------------------------------------------------ lifecycle
+    def _finish(self, applied: bool, reason: str, **counts) -> None:
+        self._active = False
+        self._ledger.clear()
+        self._armed = None
+        self.summary = WarpSummary(applied=applied, reason=reason,
+                                   fingerprints_taken=self._taken, **counts)
+
+    def finalize(self) -> WarpSummary:
+        """Summary for the result record (called once, at end of run)."""
+        if self.summary is None:
+            self._finish(False, "no recurrence before the run completed")
+        return self.summary
+
+    # ----------------------------------------------------------------- hook
+    def on_completion(self, node) -> None:
+        """Fingerprint the post-completion state; warp on a recurrence."""
+        if not self._active:
+            return
+        self._count += 1
+        if self._count % self._stride:
+            return
+        engine = self.engine
+        if engine._tracer is not None or self.env.trace_hook is not None:
+            # Tracing observes individual events; skipping any would break
+            # trace identity, so the search stands down for the whole run.
+            self._finish(False, "disabled: tracing active")
+            return
+        root = engine.nodes[engine.tree.root]
+        if root.undispensed <= 0:
+            self._finish(False, "repository exhausted before a recurrence")
+            return
+        snapshot = self._fingerprint(node.id)
+        if snapshot is None:
+            self._finish(False, "disabled: foreign calendar entries")
+            return
+        state, far = snapshot
+        self._taken += 1
+        digest = hash(state)
+        armed = self._armed
+        if armed is not None:
+            if digest == armed[0] and state == armed[1]:
+                self._warp(armed[2], root, far)
+            return
+        if digest in self._ledger:
+            # Second (apparent) sighting: the run is in its cycle.  Keep
+            # this one full state tuple and snapshot and wait for the state
+            # to come round once more, measuring exact per-period deltas
+            # between two *consecutive* occurrences.
+            env = self.env
+            self._armed = (digest, state, _Record(
+                engine.completed, env._now, root.undispensed,
+                env.processed_count,
+                tuple((a.computed, a.transfers_started, a.preemptions,
+                       a.buffers_decayed) for a in engine.nodes), far))
+            return
+        if len(self._ledger) >= LEDGER_CAP:
+            self._finish(False, "ledger cap reached without a recurrence")
+            return
+        self._ledger.add(digest)
+        if self._taken % 1024 == 0:
+            self._stride = min(self._stride * 2, 64)
+
+    # ---------------------------------------------------------- fingerprint
+    def _fingerprint(self, anchor_id: int):
+        """``(canonical state tuple, far deltas)`` of the simulation.
+
+        Returns ``None`` on foreign calendar entries.  The state tuple is
+        hashable (nested int/str/None tuples only); the caller hashes it
+        for the ledger and keeps the tuple itself only while armed.
+
+        Pending timers beyond :data:`FAR_HORIZON` enter the state by a
+        delta-free descriptor (their remaining time shrinks monotonically
+        and would otherwise block every recurrence); the deltas themselves
+        are returned separately, sorted in descriptor order, for the warp's
+        same-timer verification and skip cap.
+        """
+        engine = self.engine
+        env = self.env
+        now = env._now
+        parts = [anchor_id, engine.buffer_high_water, engine.held_high_water]
+        for agent in engine.nodes:
+            parts.append(agent.fingerprint_state(now))
+        calendar = []
+        far = []
+        try:
+            for time, prio, _seq, item in sorted(env._heap):
+                if item.__class__ is not Timer:
+                    raise _Foreign(item)
+                if item.cancelled:
+                    continue
+                fn = item.fn
+                owner = getattr(fn, "__self__", None)
+                if owner is None or not hasattr(owner, "fingerprint_state"):
+                    raise _Foreign(fn)
+                delta = time - now
+                if delta > FAR_HORIZON:
+                    far.append(((prio, owner.id, fn.__name__,
+                                 tuple(_canon_far_arg(a) for a in item.args)),
+                                delta))
+                else:
+                    calendar.append(
+                        (delta, prio, owner.id, fn.__name__,
+                         tuple(_canon_arg(a, now) for a in item.args)))
+        except _Foreign:
+            return None
+        far.sort()
+        parts.append(tuple(calendar))
+        parts.append(tuple(desc for desc, _ in far))
+        return tuple(parts), tuple(delta for _, delta in far)
+
+    # ----------------------------------------------------------------- warp
+    def _warp(self, prev: _Record, root, far) -> None:
+        """Advance ``k`` whole periods analytically, in place."""
+        engine = self.engine
+        env = self.env
+        now = env._now
+        dt = now - prev.now
+        dtasks = engine.completed - prev.completed
+        dispensed = prev.undispensed - root.undispensed
+        if dt <= 0 or dtasks <= 0 or dispensed != dtasks:
+            # A recurrence that moved no time/tasks, or that created or
+            # destroyed task instances, is not a steady-state period.
+            self._finish(False, "recurrence failed the conservation check")
+            return
+        # Far timers must be the *same untouched instances* at both
+        # occurrences — i.e. each delta shrank by exactly Δt, so they sit at
+        # identical absolute times and were inert through the period.  A
+        # recreated background timer (delta reset instead of shrunk) means
+        # the period's dynamics touch it; disarm and keep searching.
+        if len(far) != len(prev.far) or any(
+                b != a - dt for a, b in zip(prev.far, far)):
+            self._armed = None
+            return
+        # Keep the repository strictly positive through the skipped span
+        # (the exhaustion boundary changes behaviour), minus one spare
+        # period so the warm-down tail is always simulated exactly.
+        k = (root.undispensed - 1) // dtasks - 1
+        if k <= 0:
+            self._finish(False, "recurrence found too close to the end")
+            return
+        if far:
+            # An inert background timer must stay inert: end the skipped
+            # span strictly before the earliest far timer fires.  Its
+            # imminent firing is a regime change — disarm so the search can
+            # find the new cycle afterwards instead of chasing this one.
+            k = min(k, (min(far) - 1) // dt)
+            if k <= 0:
+                self._armed = None
+                return
+        shift = k * dt
+        skipped = k * dtasks
+
+        # Replicate the timelines: steady-state periods are identical by
+        # construction, so per-completion records repeat instead of being
+        # lost.  (High-water marks are period-stable — a changed mark would
+        # have changed the fingerprint — so they repeat as constants.)
+        if engine.record_completion_times:
+            times = engine.completion_times
+            template = times[prev.completed:]
+            for j in range(1, k + 1):
+                offset = j * dt
+                times.extend(t + offset for t in template)
+        if engine.record_buffer_timeline:
+            engine.buffer_timeline.extend(
+                [engine.buffer_high_water] * skipped)
+            engine.held_timeline.extend([engine.held_high_water] * skipped)
+        engine.last_completion_time = now + shift
+
+        # Monotone counters jump by k times their per-period delta.
+        engine.completed += skipped
+        root.undispensed -= skipped
+        events = env.processed_count - prev.processed
+        env.processed_count += k * events
+        for agent, (c0, t0, p0, b0) in zip(engine.nodes, prev.per_node):
+            agent.computed += k * (agent.computed - c0)
+            agent.transfers_started += k * (agent.transfers_started - t0)
+            agent.preemptions += k * (agent.preemptions - p0)
+            agent.buffers_decayed += k * (agent.buffers_decayed - b0)
+
+        # Shift the calendar.  A uniform shift preserves every pairwise
+        # comparison, but dropping tombstones reorders the array, so the
+        # filtered list is re-heapified (same invariant as _compact).  Far
+        # timers keep their absolute times — the exact run's skipped span
+        # never touches them, so shifting them would diverge from it.
+        live = []
+        for time, prio, seq, item in env._heap:
+            if item.cancelled:
+                continue
+            if time - now > FAR_HORIZON:
+                live.append((time, prio, seq, item))
+            else:
+                item.time += shift
+                live.append((time + shift, prio, seq, item))
+        env._heap[:] = live
+        heapify(env._heap)
+        env._cancelled = 0
+
+        # Absolute-time state outside the calendar: in-flight transfer legs
+        # remember when they started (preemption measures elapsed wire time
+        # against it).
+        for agent in engine.nodes:
+            transfer = agent.current_transfer
+            if transfer is not None and transfer.started_at is not None:
+                transfer.started_at += shift
+        env._now = now + shift
+
+        self._finish(True, "warped", periods=k, period_time=dt,
+                     period_tasks=dtasks, tasks_skipped=skipped,
+                     events_skipped=k * events,
+                     warp_completed=prev.completed + dtasks, warp_time=now)

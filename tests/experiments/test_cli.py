@@ -41,6 +41,19 @@ class TestParser:
         args = build_parser().parse_args(["fig4", "--seed", "99"])
         assert resolve_scale(args).base_seed == 99
 
+    def test_warp_flag_threads_through_scale(self):
+        args = build_parser().parse_args(["fig4", "--warp"])
+        assert resolve_scale(args).warp
+        assert not resolve_scale(build_parser().parse_args(["fig4"])).warp
+
+    def test_warp_flag_survives_other_overrides(self):
+        args = build_parser().parse_args(
+            ["fig4", "--warp", "--seed", "9", "--threshold", "42",
+             "--trees", "5"])
+        scale = resolve_scale(args)
+        assert scale.warp and scale.base_seed == 9
+        assert scale.threshold == 42 and scale.trees == 5
+
 
 class TestResolveHarness:
     def test_defaults_are_resilient_but_uncheckpointed(self):
@@ -84,6 +97,27 @@ class TestMain:
         captured = capsys.readouterr()
         assert "coverage:" in captured.err
         assert "coverage:" not in captured.out
+
+    def test_warp_report_identical_to_exact(self, capsys):
+        assert main(["fig7"]) == 0
+        exact = capsys.readouterr().out
+        assert main(["fig7", "--warp"]) == 0
+        warped = capsys.readouterr().out
+        import re
+
+        strip = lambda text: re.sub(r"completed in [0-9.]+s", "", text)
+        assert strip(warped) == strip(exact)
+
+    def test_profile_prints_stats_to_stderr(self, capsys):
+        assert main(["fig7", "--profile"]) == 0
+        captured = capsys.readouterr()
+        assert "Ordered by: cumulative time" in captured.err
+        assert "Ordered by: cumulative time" not in captured.out
+        assert "Figure 7" in captured.out
+
+    def test_profile_forces_single_worker(self, capsys):
+        assert main(["fig7", "--profile", "--workers", "4"]) == 0
+        assert "--profile forces --workers 1" in capsys.readouterr().err
 
     def test_checkpointed_run_then_resume(self, tmp_path, capsys):
         ckpt = str(tmp_path / "ckpt")

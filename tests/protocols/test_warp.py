@@ -1,0 +1,180 @@
+"""Steady-state warp: exactness contract, guards, and memory gating.
+
+The warp's whole value rests on one promise: a warped run and its exact
+twin produce identical :meth:`SimulationResult.fingerprint`\\ s — same
+completion times, same per-node tallies, same makespan — just faster.  The
+property test here hammers that promise across random trees, both protocol
+variants, and several buffer counts; the rest pins the guard rails (warp
+must stand down under faults, mutations, churn, and tracing) and the
+``record_completion_times`` memory gate.
+"""
+
+import random
+
+from dataclasses import replace
+from fractions import Fraction
+
+import pytest
+
+from repro.metrics import node_utilization, steady_state_rate
+from repro.platform.examples import figure2a_tree
+from repro.platform.faults import CrashEvent, FaultSchedule
+from repro.platform.generator import TreeGeneratorParams, generate_tree
+from repro.platform.mutation import Mutation, MutationSchedule
+from repro.protocols import ProtocolConfig, Tracer, simulate
+from repro.protocols.engine import ProtocolEngine
+from repro.sim.warp import LEDGER_CAP, FAR_HORIZON, WarpSummary
+
+IC3 = ProtocolConfig.interruptible(3)
+IC3_WARP = ProtocolConfig.interruptible(3, warp=True)
+
+
+def _random_case(rng, index):
+    """One (tree, config, num_tasks) triple for the property test."""
+    params = TreeGeneratorParams(
+        min_nodes=rng.randint(3, 10),
+        max_nodes=rng.randint(10, 35),
+        max_comm=rng.choice([2, 4, 8]),
+        max_comp=rng.choice([4, 8, 16]),
+        comp_divisor=rng.choice([1, 4, 16]),
+    )
+    tree = generate_tree(params, seed=10_000 + index)
+    buffers = rng.randint(1, 4)
+    if rng.random() < 0.5:
+        config = ProtocolConfig.interruptible(buffers)
+    else:
+        config = ProtocolConfig.non_interruptible(min(buffers, 3))
+    return tree, config, rng.choice([200, 500, 1200])
+
+
+class TestWarpedEqualsExact:
+    def test_property_fingerprints_identical(self):
+        """Warped and exact runs agree bit-for-bit on >= 200 random cases.
+
+        Also checks the warp is not vacuous: with short-period trees it
+        must actually engage on a meaningful fraction of the ensemble
+        (otherwise this test would pass with the warp hook disconnected).
+        """
+        rng = random.Random(0xBADC0DE)
+        applied = 0
+        total = 220
+        for index in range(total):
+            tree, config, tasks = _random_case(rng, index)
+            exact = simulate(tree, config, tasks)
+            warped = simulate(tree, replace(config, warp=True), tasks)
+            assert exact.fingerprint() == warped.fingerprint(), (
+                f"warp diverged: case {index}, {config.label}, "
+                f"{tree.num_nodes} nodes, {tasks} tasks: {warped.warp}")
+            assert warped.warp is not None
+            if warped.warp.applied:
+                applied += 1
+                assert warped.warp.tasks_skipped == (
+                    warped.warp.periods * warped.warp.period_tasks)
+        assert applied >= total // 5, (
+            f"warp engaged on only {applied}/{total} short-period cases")
+
+    def test_figure2a_long_run_warps(self):
+        exact = simulate(figure2a_tree(), IC3, 5000)
+        warped = simulate(figure2a_tree(), IC3_WARP, 5000)
+        assert exact.fingerprint() == warped.fingerprint()
+        summary = warped.warp
+        assert summary.applied
+        assert summary.periods > 0
+        assert summary.period_tasks > 0
+        assert summary.events_skipped > 0
+        # The root's effectively-infinite compute sentinel is a far timer;
+        # detection must survive it (this run is the regression witness for
+        # the far-horizon split).
+        assert figure2a_tree().w[0] > FAR_HORIZON
+        assert warped.makespan == exact.makespan
+
+    def test_warp_off_by_default_leaves_no_summary(self):
+        result = simulate(figure2a_tree(), IC3, 300)
+        assert result.warp is None
+
+    def test_no_recurrence_reports_reason(self):
+        # non-IC with unbounded growth on this tree adds a buffer every
+        # period forever — the state genuinely never recurs, and the warp
+        # must degrade to exact simulation with a reason, not guess.
+        config = ProtocolConfig.non_interruptible(warp=True)
+        result = simulate(figure2a_tree(), config, 800)
+        exact = simulate(figure2a_tree(),
+                         ProtocolConfig.non_interruptible(), 800)
+        assert result.warp is not None
+        assert not result.warp.applied
+        assert result.warp.reason
+        assert result.warp.periods == 0
+        assert result.fingerprint() == exact.fingerprint()
+
+    def test_metrics_agree_between_warped_and_exact(self):
+        exact = simulate(figure2a_tree(), IC3, 5000)
+        warped = simulate(figure2a_tree(), IC3_WARP, 5000)
+        assert list(node_utilization(warped)) == list(node_utilization(exact))
+        rate = steady_state_rate(warped)
+        assert rate == Fraction(warped.warp.period_tasks,
+                                warped.warp.period_time)
+        # The detected period's rate is a real throughput: within the
+        # window-measured band of the exact run.
+        assert rate > 0
+
+
+class TestGuards:
+    def test_faults_disable_warp(self):
+        faults = FaultSchedule([CrashEvent(at_time=150, node=2)])
+        warped = simulate(figure2a_tree(), IC3_WARP, 2000, faults=faults)
+        exact = simulate(figure2a_tree(), IC3, 2000, faults=faults)
+        assert not warped.warp.applied
+        assert warped.warp.reason == "disabled: dynamic platform schedule active"
+        assert warped.fingerprint() == exact.fingerprint()
+
+    def test_mutations_disable_warp(self):
+        sched = MutationSchedule([
+            Mutation(node=1, attribute="c", value=3, after_tasks=200)])
+        warped = simulate(figure2a_tree(), IC3_WARP, 2000, mutations=sched)
+        exact = simulate(figure2a_tree(), IC3, 2000, mutations=sched)
+        assert not warped.warp.applied
+        assert warped.warp.reason == "disabled: dynamic platform schedule active"
+        assert warped.fingerprint() == exact.fingerprint()
+
+    def test_tracer_disables_warp(self):
+        engine = ProtocolEngine(figure2a_tree(), IC3_WARP, 1000)
+        engine.tracer = Tracer()
+        result = engine.run()
+        assert not result.warp.applied
+        assert result.warp.reason == "disabled: tracing active"
+
+    def test_ledger_cap_is_a_backstop(self):
+        # Default-parameter trees have lcm-scale periods; the search must
+        # give up cleanly instead of hoarding fingerprints forever.
+        assert LEDGER_CAP >= 1024
+        tree = generate_tree(
+            TreeGeneratorParams(min_nodes=40, max_nodes=40), seed=7)
+        warped = simulate(tree, IC3_WARP, 2000)
+        exact = simulate(tree, IC3, 2000)
+        assert warped.fingerprint() == exact.fingerprint()
+
+    def test_summary_is_frozen(self):
+        summary = WarpSummary(applied=False, reason="x")
+        with pytest.raises(AttributeError):
+            summary.applied = True
+
+
+class TestCompletionTimeGate:
+    def test_streaming_aggregates_survive_without_timelines(self):
+        full = simulate(figure2a_tree(), IC3, 1500)
+        lean = simulate(figure2a_tree(), IC3, 1500,
+                        record_completion_times=False)
+        assert lean.completion_times == ()
+        assert lean.makespan == full.makespan
+        assert lean.last_completion_time == full.makespan
+        assert lean.per_node_computed == full.per_node_computed
+        assert lean.events_processed == full.events_processed
+
+    def test_gate_composes_with_warp(self):
+        full = simulate(figure2a_tree(), IC3_WARP, 1500)
+        lean = simulate(figure2a_tree(), IC3_WARP, 1500,
+                        record_completion_times=False)
+        assert lean.warp.applied
+        assert lean.completion_times == ()
+        assert lean.makespan == full.makespan
+        assert list(node_utilization(lean)) == list(node_utilization(full))
