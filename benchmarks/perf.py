@@ -10,7 +10,11 @@ Two suites:
 ``--json OUT`` writes the committed ``BENCH_kernel.json`` /
 ``BENCH_sweep.json`` trajectory files.  ``--check BASELINE`` compares the
 current machine against a committed baseline and exits non-zero on a
->``--max-regression`` throughput drop.
+>``--max-regression`` throughput drop.  ``--gate-telemetry BASELINE``
+additionally enforces the telemetry cost budget: the telemetry-off hot
+path must not drift from the baseline, and the telemetry-on run must stay
+within a bounded overhead of its telemetry-off twin (see
+:func:`gate_telemetry`).
 
 Raw events/sec is meaningless across machines (a laptop baseline would gate
 a slower CI runner red forever), so every record carries a
@@ -36,6 +40,7 @@ except ImportError:  # running from a checkout without PYTHONPATH=src
 from workloads import (
     run_engine_ic,
     run_engine_ic_10k,
+    run_engine_ic_10k_telemetry,
     run_engine_ic_10k_warp,
     run_engine_non_ic,
     run_preemption_churn,
@@ -97,6 +102,7 @@ KERNEL_WORKLOADS = [
     ("engine_non_ic_fb2", run_engine_non_ic, 2_000, "events"),
     ("engine_ic_10k", run_engine_ic_10k, 10_000, "tasks"),
     ("engine_ic_10k_warp", run_engine_ic_10k_warp, 10_000, "tasks"),
+    ("engine_ic_10k_telemetry", run_engine_ic_10k_telemetry, 10_000, "tasks"),
 ]
 
 
@@ -231,6 +237,56 @@ def check_against(report, baseline_path, max_regression):
     return 0
 
 
+def gate_telemetry(report, baseline_path, max_drift, max_overhead):
+    """Two-sided telemetry cost gate; exit 1 on either breach.
+
+    * **drift** — telemetry-*off* ``engine_ic_10k`` must stay within
+      ``max_drift`` (calibration-normalized) of the committed baseline:
+      the probe hooks on the hot path must cost nothing when disabled.
+    * **overhead** — ``engine_ic_10k_telemetry`` must run within
+      ``max_overhead`` of ``engine_ic_10k`` *from the same report*: both
+      were measured seconds apart on the same machine, so the raw
+      per_sec ratio needs no normalization and isolates exactly the
+      sampling probe's cost at the default period.
+    """
+    by_name = {b["name"]: b for b in report["benchmarks"]}
+    off = by_name.get("engine_ic_10k")
+    on = by_name.get("engine_ic_10k_telemetry")
+    if off is None or on is None:
+        print("\ntelemetry gate: FAIL — engine_ic_10k/_telemetry missing "
+              "from this report (run the kernel suite)")
+        return 1
+
+    failed = False
+    print(f"\ntelemetry gate vs {baseline_path}")
+
+    with open(baseline_path) as fh:
+        baseline = json.load(fh)
+    base = {b["name"]: b for b in baseline["benchmarks"]}.get("engine_ic_10k")
+    if base is None:
+        print("  drift:    baseline has no engine_ic_10k record — skipped")
+    else:
+        normalized = ((off["per_sec"] / report["calibration_ops_per_sec"])
+                      / (base["per_sec"] / baseline["calibration_ops_per_sec"]))
+        drift = 1.0 - normalized
+        verdict = "ok" if drift <= max_drift else "FAIL"
+        failed |= drift > max_drift
+        print(f"  drift:    telemetry-off engine_ic_10k {normalized:.3f}x "
+              f"normalized vs baseline (gate: -{max_drift:.0%})  {verdict}")
+
+    overhead = 1.0 - on["per_sec"] / off["per_sec"]
+    verdict = "ok" if overhead <= max_overhead else "FAIL"
+    failed |= overhead > max_overhead
+    print(f"  overhead: telemetry-on {overhead:+.1%} vs telemetry-off "
+          f"(gate: +{max_overhead:.0%})  {verdict}")
+
+    if failed:
+        print("\nFAIL: telemetry cost gate breached")
+        return 1
+    print("\ntelemetry cost within budget")
+    return 0
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(
         prog="perf.py", description="kernel perf-trajectory harness")
@@ -243,6 +299,15 @@ def main(argv=None):
                         help="compare against a committed BENCH_*.json")
     parser.add_argument("--max-regression", type=float, default=0.20,
                         help="allowed normalized throughput drop (0.20)")
+    parser.add_argument("--gate-telemetry", metavar="BASELINE",
+                        help="enforce the telemetry cost gate against a "
+                             "committed BENCH_kernel.json")
+    parser.add_argument("--telemetry-max-drift", type=float, default=0.03,
+                        help="allowed normalized drop of telemetry-off "
+                             "engine_ic_10k vs baseline (0.03)")
+    parser.add_argument("--telemetry-max-overhead", type=float, default=0.10,
+                        help="allowed slowdown of engine_ic_10k_telemetry vs "
+                             "engine_ic_10k in the same report (0.10)")
     args = parser.parse_args(argv)
 
     repeats = args.repeats
@@ -272,9 +337,14 @@ def main(argv=None):
         _atomic_dump_json(report, args.json)
         print(f"\nwrote {args.json}")
 
+    status = 0
     if args.check:
-        return check_against(report, args.check, args.max_regression)
-    return 0
+        status |= check_against(report, args.check, args.max_regression)
+    if args.gate_telemetry:
+        status |= gate_telemetry(report, args.gate_telemetry,
+                                 args.telemetry_max_drift,
+                                 args.telemetry_max_overhead)
+    return status
 
 
 if __name__ == "__main__":

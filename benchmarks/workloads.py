@@ -8,9 +8,12 @@ trajectory writer — guarantees the committed ``BENCH_*.json`` baselines
 measure exactly what the pytest benchmarks measure.
 """
 
+from dataclasses import replace
+
 from repro.sim import Environment, Interrupt, PreemptiveResource, Store
 from repro.platform.generator import TreeGeneratorParams, generate_tree
 from repro.protocols import ProtocolConfig, ProtocolEngine
+from repro.telemetry import TelemetryConfig
 
 
 def run_timer_storm(events: int) -> int:
@@ -132,3 +135,14 @@ def run_engine_ic_10k(num_tasks: int = 10_000) -> int:
 def run_engine_ic_10k_warp(num_tasks: int = 10_000) -> int:
     """The same long run with steady-state warp fast-forwarding the middle."""
     return _engine_tasks(ProtocolConfig.interruptible(3, warp=True), num_tasks)
+
+
+def run_engine_ic_10k_telemetry(num_tasks: int = 10_000) -> int:
+    """The exact long run with default-sampling telemetry probes attached.
+
+    Paired with ``run_engine_ic_10k``: the per_sec ratio of the two is the
+    telemetry sampling overhead the CI gate holds to <=10%.
+    """
+    return _engine_tasks(
+        replace(ProtocolConfig.interruptible(3), telemetry=TelemetryConfig()),
+        num_tasks)

@@ -17,7 +17,10 @@ Bandwidth-Centric Scheduling of Independent-task Applications"*
   the paper's evaluation section,
 * :mod:`repro.harness` — crash-safe sweep infrastructure: checkpointed
   journals, a supervised worker pool with per-seed retry/backoff, and
-  resume of interrupted ensembles (:class:`~repro.harness.HarnessConfig`).
+  resume of interrupted ensembles (:class:`~repro.harness.HarnessConfig`),
+* :mod:`repro.telemetry` — disabled-by-default observability: a metrics
+  registry, read-only run probes, JSONL/CSV/Perfetto exporters, and
+  ensemble aggregation (:class:`~repro.telemetry.TelemetryConfig`).
 
 Quickstart::
 
@@ -93,6 +96,16 @@ _LAZY_EXPORTS = {
     "recovery_latencies": "repro.metrics.faults",
     "post_recovery_rate": "repro.metrics.faults",
     "degraded_windows": "repro.metrics.faults",
+    # telemetry subsystem
+    "TelemetryConfig": "repro.telemetry",
+    "TelemetrySnapshot": "repro.telemetry",
+    "MetricsRegistry": "repro.telemetry",
+    "NullRegistry": "repro.telemetry",
+    "aggregate_snapshots": "repro.telemetry",
+    "chrome_trace": "repro.telemetry",
+    "write_chrome_trace": "repro.telemetry",
+    "dump_jsonl": "repro.telemetry",
+    "load_jsonl": "repro.telemetry",
     # experiment harness
     "ExperimentScale": "repro.experiments.common",
     # crash-safe sweep harness

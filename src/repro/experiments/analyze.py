@@ -9,13 +9,15 @@ protocol on it and compares achieved throughput against the optimum.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from fractions import Fraction
-from typing import Dict
+from typing import Dict, Optional
 
 from ..errors import ExperimentError
 from ..metrics import detect_onset, phase_breakdown, window_rate
 from ..platform import PlatformTree, from_json
-from ..protocols import ProtocolConfig, simulate
+from ..protocols import ProtocolConfig, ProtocolEngine, Tracer
+from ..telemetry.config import TelemetryConfig
 from ..steady_state import (
     allocate,
     classify_bottlenecks,
@@ -84,8 +86,17 @@ def analyze_tree(tree: PlatformTree) -> str:
     return node_table + "\n\n" + upgrade_table
 
 
-def simulate_tree(tree: PlatformTree, protocol: str, tasks: int) -> str:
-    """Run a named protocol preset on the platform and report the outcome."""
+def simulate_tree(tree: PlatformTree, protocol: str, tasks: int,
+                  telemetry: Optional[TelemetryConfig] = None,
+                  telemetry_out: Optional[str] = None) -> str:
+    """Run a named protocol preset on the platform and report the outcome.
+
+    With ``telemetry`` set the run carries probes and the report gains
+    telemetry rows; ``telemetry_out`` additionally exports the run —
+    Chrome trace-event JSON by default (a :class:`~repro.protocols.trace.
+    Tracer` is attached so the trace has per-node activity lanes), JSONL
+    or CSV by file extension.
+    """
     if protocol not in PROTOCOL_PRESETS:
         raise ExperimentError(
             f"unknown protocol {protocol!r}; choose from "
@@ -93,8 +104,16 @@ def simulate_tree(tree: PlatformTree, protocol: str, tasks: int) -> str:
     if tasks < 2:
         raise ExperimentError(f"tasks must be >= 2, got {tasks}")
     config = PROTOCOL_PRESETS[protocol]
+    if telemetry is not None:
+        config = replace(config, telemetry=telemetry)
     optimal = solve_tree(tree).rate
-    result = simulate(tree, config, tasks)
+    engine = ProtocolEngine(tree, config, tasks)
+    tracer = None
+    if telemetry_out and not (telemetry_out.endswith(".jsonl")
+                              or telemetry_out.endswith(".csv")):
+        tracer = Tracer()
+        engine.tracer = tracer
+    result = engine.run()
 
     x = max(1, tasks // 3)
     steady = window_rate(result.completion_times, x)
@@ -116,5 +135,20 @@ def simulate_tree(tree: PlatformTree, protocol: str, tasks: int) -> str:
         ["max buffers occupied", result.max_held],
         ["preemptions", result.preemptions],
     ]
-    return format_table(["metric", "value"], rows,
+    snapshot = result.telemetry
+    if snapshot is not None:
+        util = snapshot.utilization()
+        rows.extend([
+            ["telemetry samples", snapshot.samples],
+            ["telemetry sample dt", snapshot.effective_dt],
+            ["mean node utilization",
+             fmt_num(sum(util) / len(util), 4) if util else "-"],
+        ])
+    text = format_table(["metric", "value"], rows,
                         title="Protocol simulation report")
+    if telemetry_out:
+        from ..telemetry.export import export_auto
+
+        written = export_auto(telemetry_out, snapshot or [], tracer=tracer)
+        text += f"\n[telemetry written to {telemetry_out} ({written} records)]"
+    return text

@@ -35,6 +35,26 @@ def _progress(label: str):
     return update
 
 
+def _collect_snapshots(result):
+    """Telemetry snapshots of an experiment result, in (seed, label) order.
+
+    Every ensemble experiment keeps its :class:`~repro.experiments.common.
+    CaseList` on ``result.cases``; snapshots only exist when the sweep ran
+    with ``scale.telemetry``.  The order is deterministic, so fresh and
+    resumed sweeps aggregate (and export) identically.
+    """
+    cases = getattr(result, "cases", None)
+    if cases is None:
+        return []
+    snapshots = []
+    for case in cases:
+        for label in sorted(case.outcomes):
+            snapshot = case.outcomes[label].telemetry
+            if snapshot is not None:
+                snapshots.append(snapshot)
+    return snapshots
+
+
 @dataclass(frozen=True)
 class ExperimentSpec:
     """One CLI subcommand, declaratively.
@@ -53,7 +73,8 @@ class ExperimentSpec:
 
     def __call__(self, scale: ExperimentScale, workers: int = 1,
                  svg: bool = False,
-                 harness: Optional[HarnessConfig] = None):
+                 harness: Optional[HarnessConfig] = None,
+                 telemetry_out: Optional[str] = None):
         result = self.run(scale, progress=_progress(self.name),
                           workers=workers, harness=harness)
         coverage = getattr(result, "coverage", None)
@@ -62,6 +83,21 @@ class ExperimentSpec:
             # stdout reports.
             sys.stderr.write(f"{self.name}: {coverage.summary()}\n")
         text = self.format(result)
+        snapshots = _collect_snapshots(result)
+        if snapshots:
+            from ..telemetry import (aggregate_snapshots,
+                                     format_telemetry_summary)
+
+            summary = format_telemetry_summary(
+                aggregate_snapshots(snapshots))
+            text += (f"\n\nTelemetry ensemble summary "
+                     f"({len(snapshots)} runs)\n{summary}")
+            if telemetry_out:
+                from ..telemetry.export import export_auto
+
+                written = export_auto(telemetry_out, snapshots)
+                text += (f"\n[telemetry written to {telemetry_out} "
+                         f"({written} records)]")
         if not svg or self.svg_renderer is None:
             return text, None
         from .. import viz
@@ -125,6 +161,23 @@ def build_parser() -> argparse.ArgumentParser:
                         help="enable steady-state warp: fast-forward the "
                              "periodic middle of each run (results are "
                              "identical to exact simulation)")
+    parser.add_argument("--telemetry", action="store_true",
+                        help="attach telemetry probes to ensemble sweeps "
+                             "(fig4/fig5/fig6/table1/table2: reports gain "
+                             "an aggregate summary) and to 'simulate' "
+                             "(utilization rows); probes are read-only — "
+                             "results are unchanged")
+    parser.add_argument("--telemetry-out", type=str, default=None,
+                        metavar="FILE",
+                        help="export telemetry (implies --telemetry): "
+                             ".jsonl per-run snapshots, .csv global "
+                             "series, anything else Chrome trace-event "
+                             "JSON for Perfetto / chrome://tracing")
+    parser.add_argument("--telemetry-sample-dt", type=int, default=None,
+                        metavar="N",
+                        help="telemetry sampling period in virtual "
+                             "timesteps (default: 200 for ensembles, "
+                             "50 for 'simulate')")
     parser.add_argument("--profile", action="store_true",
                         help="run under cProfile and print the top 25 "
                              "functions by cumulative time to stderr "
@@ -167,7 +220,26 @@ def resolve_scale(args: argparse.Namespace) -> ExperimentScale:
         scale = replace(scale, threshold_window=args.threshold)
     if getattr(args, "warp", False):
         scale = replace(scale, warp=True)
+    telemetry = resolve_telemetry(args)
+    if telemetry is not None:
+        scale = replace(scale, telemetry=telemetry)
     return scale
+
+
+def resolve_telemetry(args: argparse.Namespace):
+    """The run's :class:`~repro.telemetry.config.TelemetryConfig`, or
+    ``None`` when neither ``--telemetry`` nor ``--telemetry-out`` was
+    given.  Ensemble sweeps get the sampling-only default — the exact
+    event tap is per-run detail that ensemble aggregation never reads."""
+    if not (getattr(args, "telemetry", False)
+            or getattr(args, "telemetry_out", None)):
+        return None
+    from ..telemetry.config import TelemetryConfig
+
+    sample_dt = getattr(args, "telemetry_sample_dt", None)
+    if sample_dt is None:
+        return TelemetryConfig()
+    return TelemetryConfig(sample_dt=sample_dt)
 
 
 def resolve_harness(args: argparse.Namespace) -> HarnessConfig:
@@ -194,7 +266,20 @@ def _run_tree_command(args) -> str:
     if args.experiment == "analyze":
         return analyze_tree(tree)
     tasks = args.tasks if args.tasks is not None else 2000
-    return simulate_tree(tree, args.protocol, tasks)
+    telemetry = None
+    if getattr(args, "telemetry", False) or getattr(args, "telemetry_out",
+                                                    None):
+        # Single-run inspection wants the full picture: per-node series
+        # plus the exact event tap (the Perfetto counter tracks and the
+        # utilization cross-check both come from these), sampled finer
+        # than the ensemble default.
+        from ..telemetry.config import TelemetryConfig
+
+        sample_dt = getattr(args, "telemetry_sample_dt", None)
+        telemetry = (TelemetryConfig.tracing() if sample_dt is None
+                     else TelemetryConfig.tracing(sample_dt=sample_dt))
+    return simulate_tree(tree, args.protocol, tasks, telemetry=telemetry,
+                         telemetry_out=getattr(args, "telemetry_out", None))
 
 
 def main(argv: Optional[list] = None) -> int:
@@ -227,7 +312,7 @@ def main(argv: Optional[list] = None) -> int:
             try:
                 report, svg_text = EXPERIMENTS[name](
                     scale, workers=workers, svg=args.svg is not None,
-                    harness=harness)
+                    harness=harness, telemetry_out=args.telemetry_out)
             finally:
                 profiler.disable()
                 stats = pstats.Stats(profiler, stream=sys.stderr)
@@ -235,7 +320,8 @@ def main(argv: Optional[list] = None) -> int:
         else:
             report, svg_text = EXPERIMENTS[name](scale, workers=workers,
                                                  svg=args.svg is not None,
-                                                 harness=harness)
+                                                 harness=harness,
+                                                 telemetry_out=args.telemetry_out)
         elapsed = time.time() - start
         if args.svg and svg_text is not None:
             import os

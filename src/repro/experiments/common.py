@@ -19,6 +19,8 @@ from ..metrics import default_threshold, detect_onset
 from ..platform.generator import PAPER_DEFAULTS, TreeGeneratorParams, generate_tree
 from ..protocols import ProtocolConfig, simulate
 from ..steady_state import solve_tree
+from ..telemetry.config import TelemetryConfig
+from ..telemetry.probes import TelemetrySnapshot
 
 __all__ = ["ExperimentScale", "ConfigOutcome", "TreeCase", "CaseList",
            "run_case", "sweep"]
@@ -40,6 +42,13 @@ class ExperimentScale:
     #: enabled.  Results are identical to exact simulation; long ensembles
     #: finish sooner when runs reach a periodic steady state.
     warp: bool = False
+    #: Attach telemetry probes (:mod:`repro.telemetry`) to every run of the
+    #: sweep; each :class:`ConfigOutcome` then carries a
+    #: :class:`~repro.telemetry.probes.TelemetrySnapshot` for ensemble
+    #: aggregation.  ``None`` (the default) keeps sweeps probe-free.
+    #: Mutually exclusive with ``warp`` in effect: probes make the warp
+    #: stand down per run, so a warped sweep with telemetry runs exact.
+    telemetry: Optional[TelemetryConfig] = None
 
     def __post_init__(self):
         if self.trees < 1:
@@ -92,6 +101,9 @@ class ConfigOutcome:
     #: ``completed-task count → occupied-buffer high water`` samples
     #: (Table 2), present only when the sweep asked for buffer recording.
     buffer_samples: Dict[int, Optional[int]] = field(default_factory=dict)
+    #: Telemetry snapshot of the run (``None`` unless the sweep's scale
+    #: carried a :class:`~repro.telemetry.config.TelemetryConfig`).
+    telemetry: Optional[TelemetrySnapshot] = None
 
     @property
     def reached(self) -> bool:
@@ -123,6 +135,8 @@ def run_case(seed: int, params: TreeGeneratorParams,
     for config in configs:
         if scale.warp and not config.warp:
             config = replace(config, warp=True)
+        if scale.telemetry is not None and config.telemetry is None:
+            config = replace(config, telemetry=scale.telemetry)
         result = simulate(tree, config, scale.tasks,
                           record_buffer_timeline=record_buffers)
         onset = detect_onset(result.completion_times, optimal, scale.threshold)
@@ -140,6 +154,7 @@ def run_case(seed: int, params: TreeGeneratorParams,
             used_depth=result.used_depth,
             makespan=result.makespan,
             buffer_samples=samples,
+            telemetry=result.telemetry,
         )
     return TreeCase(
         seed=seed,
@@ -198,9 +213,12 @@ def sweep(configs: Sequence[ProtocolConfig], scale: ExperimentScale,
         # size, and threshold — not on the ensemble size, base seed, or
         # ``scale.warp`` (warped results are identical by contract, so
         # warped and exact sweeps share checkpoints).
+        # ``scale.telemetry`` is included: snapshots live inside the
+        # journalled outcomes, so probe-on and probe-off sweeps must not
+        # share checkpoints the way warped and exact sweeps do.
         config_parts=(params, tuple(configs), scale.tasks,
                       scale.threshold, bool(record_buffers),
-                      tuple(sample_counts)),
+                      tuple(sample_counts), scale.telemetry),
         harness=harness, workers=workers, progress=progress,
         meta={"scale": {"trees": scale.trees, "tasks": scale.tasks,
                         "base_seed": scale.base_seed,

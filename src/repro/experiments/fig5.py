@@ -44,6 +44,9 @@ class Fig5Result:
     #: Crash-safety coverage merged over the per-class sweeps (``None``
     #: when run without a harness).
     coverage: Optional[RunCoverage] = None
+    #: Per-tree cases across every x-class, in (class, seed) order —
+    #: carries the telemetry snapshots when the sweep sampled them.
+    cases: Tuple[TreeCase, ...] = ()
 
 
 def run(scale: ExperimentScale = ExperimentScale(),
@@ -55,12 +58,14 @@ def run(scale: ExperimentScale = ExperimentScale(),
     cdf: Dict[Tuple[int, str], Tuple[float, ...]] = {}
     reached: Dict[Tuple[int, str], float] = {}
     coverages = []
+    all_cases: List[TreeCase] = []
     for x in X_CLASSES:
         class_params = params.with_max_comp(x)
         cases = sweep(FIG5_CONFIGS, scale, class_params, progress=progress,
                       workers=workers, harness=harness,
                       experiment=f"fig5-x{x}")
         coverages.append(cases.coverage)
+        all_cases.extend(cases)
         for config in FIG5_CONFIGS:
             onsets = [case.outcomes[config.label].onset for case in cases]
             cdf[(x, config.label)] = tuple(
@@ -68,7 +73,7 @@ def run(scale: ExperimentScale = ExperimentScale(),
             reached[(x, config.label)] = percentage_reached(onsets)
     coverage = (RunCoverage.merge(coverages) if harness is not None else None)
     return Fig5Result(scale=scale, grid=grid, cdf=cdf, reached=reached,
-                      coverage=coverage)
+                      coverage=coverage, cases=tuple(all_cases))
 
 
 def format_result(result: Fig5Result) -> str:

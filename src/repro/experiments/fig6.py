@@ -41,6 +41,9 @@ class Fig6Result:
     depth_series: Dict[str, List[int]]
     #: Crash-safety coverage report (``None`` when run without a harness).
     coverage: Optional[RunCoverage] = None
+    #: Per-tree cases in seed order — carries the telemetry snapshots
+    #: when the sweep sampled them.
+    cases: Tuple[TreeCase, ...] = ()
 
     def node_pdf(self, label: str, bin_width: int = 25):
         """Binned PDF of a node-count series (Figure 6(a))."""
@@ -64,7 +67,8 @@ def run(scale: ExperimentScale = ExperimentScale(),
         node_series[label] = [c.outcomes[config.label].used_nodes for c in cases]
         depth_series[label] = [c.outcomes[config.label].used_depth for c in cases]
     return Fig6Result(scale=scale, node_series=node_series,
-                      depth_series=depth_series, coverage=cases.coverage)
+                      depth_series=depth_series, coverage=cases.coverage,
+                      cases=tuple(cases))
 
 
 def format_result(result: Fig6Result) -> str:

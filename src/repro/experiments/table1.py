@@ -40,6 +40,9 @@ class Table1Result:
     non_ic_unbounded: float
     #: Crash-safety coverage report (``None`` when run without a harness).
     coverage: Optional[RunCoverage] = None
+    #: Per-tree cases in seed order — carries the telemetry snapshots
+    #: when the sweep sampled them.
+    cases: Tuple[TreeCase, ...] = ()
 
 
 def from_cases(cases: Sequence[TreeCase], scale: ExperimentScale,
@@ -72,7 +75,8 @@ def from_cases(cases: Sequence[TreeCase], scale: ExperimentScale,
         1 for case in cases
         if case.outcomes[NON_IC.label].onset is not None) / total
     return Table1Result(scale=scale, percentages=percentages,
-                        non_ic_unbounded=unbounded, coverage=coverage)
+                        non_ic_unbounded=unbounded, coverage=coverage,
+                        cases=tuple(cases))
 
 
 def run(scale: ExperimentScale = ExperimentScale(),

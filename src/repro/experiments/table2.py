@@ -50,6 +50,9 @@ class Table2Result:
     #: Crash-safety coverage merged over the per-class sweeps (``None``
     #: when run without a harness).
     coverage: Optional[RunCoverage] = None
+    #: Per-tree cases across every x-class, in (class, seed) order —
+    #: carries the telemetry snapshots when the sweep sampled them.
+    cases: Tuple[TreeCase, ...] = ()
 
 
 def run(scale: ExperimentScale = ExperimentScale(),
@@ -61,6 +64,7 @@ def run(scale: ExperimentScale = ExperimentScale(),
     maxima: Dict[int, int] = {}
     pool_maxima: Dict[int, int] = {}
     coverages = []
+    all_cases: List[TreeCase] = []
     for x in X_CLASSES:
         class_params = params.with_max_comp(x)
         cases = sweep([NON_IC], scale, class_params,
@@ -68,6 +72,7 @@ def run(scale: ExperimentScale = ExperimentScale(),
                       progress=progress, workers=workers,
                       harness=harness, experiment=f"table2-x{x}")
         coverages.append(cases.coverage)
+        all_cases.extend(cases)
         outcomes = [case.outcomes[NON_IC.label] for case in cases]
         medians[x] = tuple(
             median_or_none([o.buffer_samples[count] for o in outcomes])
@@ -77,7 +82,8 @@ def run(scale: ExperimentScale = ExperimentScale(),
     coverage = (RunCoverage.merge(coverages) if harness is not None else None)
     return Table2Result(scale=scale, sample_counts=counts,
                         medians=medians, maxima=maxima,
-                        pool_maxima=pool_maxima, coverage=coverage)
+                        pool_maxima=pool_maxima, coverage=coverage,
+                        cases=tuple(all_cases))
 
 
 def format_result(result: Table2Result) -> str:

@@ -100,9 +100,10 @@ class NodeAgent:
                  config: ProtocolConfig, is_root: bool):
         self.engine = engine
         # Hot-path caches: one attribute hop instead of two.  ``tracer`` is
-        # kept in sync by the engine's ``tracer`` property setter.
+        # the engine's *effective* recorder (user tracer and/or telemetry
+        # tap), kept in sync by ``ProtocolEngine._rebuild_recorder``.
         self.env = engine.env
-        self.tracer = engine.tracer
+        self.tracer = engine._recorder
         self.id = node_id
         self.w = w
         self.c = c  # cost of the edge from the parent (0 at the root)

@@ -14,9 +14,12 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from ..errors import ProtocolError
+
+if TYPE_CHECKING:  # import only for annotations: telemetry imports protocols
+    from ..telemetry.config import TelemetryConfig
 
 __all__ = ["ProtocolVariant", "PriorityRule", "ProtocolConfig"]
 
@@ -100,6 +103,14 @@ class ProtocolConfig:
     #: attached tracer, so it is always safe to leave on — it defaults off
     #: only to keep pre-warp calendars bit-identical for auditing.
     warp: bool = False
+    #: Telemetry probes (:mod:`repro.telemetry`): ``None`` (the default)
+    #: runs with zero instrumentation; a
+    #: :class:`~repro.telemetry.config.TelemetryConfig` attaches sampling
+    #: probes (and, optionally, the exact event tap) to the run, and the
+    #: result gains a :class:`~repro.telemetry.probes.TelemetrySnapshot`.
+    #: Sampling is read-only, so fingerprints are unaffected; warp stands
+    #: down while probes are attached, like it does for tracing.
+    telemetry: Optional["TelemetryConfig"] = None
 
     def __post_init__(self):
         if self.initial_buffers < 1:

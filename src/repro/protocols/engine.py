@@ -36,6 +36,20 @@ __all__ = ["ProtocolEngine", "simulate"]
 _MIN_RECURSION_LIMIT = 20_000
 
 
+class _RecorderFanout:
+    """Duplicates the protocol trace stream into multiple recorders (the
+    user's tracer plus the telemetry event tap)."""
+
+    __slots__ = ("sinks",)
+
+    def __init__(self, sinks):
+        self.sinks = tuple(sinks)
+
+    def record(self, time, kind: str, node: int, peer=None) -> None:
+        for sink in self.sinks:
+            sink.record(time, kind, node, peer)
+
+
 class ProtocolEngine:
     """One simulation of ``num_tasks`` independent tasks on ``tree``."""
 
@@ -70,7 +84,18 @@ class ProtocolEngine:
 
         self.env = Environment()
         self._tracer = None
+        #: Effective trace recorder agents fan protocol events into: the
+        #: user's tracer, the telemetry event tap, a fanout of both, or
+        #: ``None``.  Rebuilt by :meth:`_rebuild_recorder`.
+        self._recorder = None
+        #: Live telemetry probe (``None`` unless ``config.telemetry`` set).
+        self.probe = None
+        if config.telemetry is not None:
+            # Deferred import: the telemetry package imports protocols.
+            from ..telemetry.probes import TelemetryProbe
+            self.probe = TelemetryProbe(self, config.telemetry)
         self.nodes: List[NodeAgent] = []
+        self._rebuild_recorder()
         self.completed = 0
         self.completion_times: List[int] = []
         #: Running fold of the last completion's time — kept even when the
@@ -114,8 +139,23 @@ class ProtocolEngine:
     @tracer.setter
     def tracer(self, value) -> None:
         self._tracer = value
+        self._rebuild_recorder()
+
+    def _rebuild_recorder(self) -> None:
+        """Recompute the effective recorder and push it to every agent."""
+        sinks = []
+        if self.probe is not None and self.probe.tap is not None:
+            sinks.append(self.probe)
+        if self._tracer is not None:
+            sinks.append(self._tracer)
+        if not sinks:
+            self._recorder = None
+        elif len(sinks) == 1:
+            self._recorder = sinks[0]
+        else:
+            self._recorder = _RecorderFanout(sinks)
         for agent in self.nodes:
-            agent.tracer = value
+            agent.tracer = self._recorder
 
     # ------------------------------------------------------------ assembly
     def _build_agents(self) -> None:
@@ -167,8 +207,8 @@ class ProtocolEngine:
 
     def _apply_mutation(self, mutation: Mutation) -> None:
         mutation.apply(self.tree)  # keep the tree snapshot in sync
-        if self.tracer is not None:
-            self.tracer.record(self.env.now, _trace.MUTATION, mutation.node)
+        if self._recorder is not None:
+            self._recorder.record(self.env.now, _trace.MUTATION, mutation.node)
         self.nodes[mutation.node].apply_weight_change(
             mutation.attribute, mutation.value)
 
@@ -260,8 +300,8 @@ class ProtocolEngine:
             pending += agent._crash()
             pending += self._pending_lost.pop(agent.id, 0)
             self.crashed_node_ids.append(agent.id)
-            if self.tracer is not None:
-                self.tracer.record(self.env.now, _trace.CRASH, agent.id)
+            if self._recorder is not None:
+                self._recorder.record(self.env.now, _trace.CRASH, agent.id)
         self.crash_times.append(self.env.now)
         self._pending_lost[victim.id] = (
             self._pending_lost.get(victim.id, 0) + pending)
@@ -275,8 +315,8 @@ class ProtocolEngine:
         if not agent.alive:
             return
         agent.link_down = True
-        if self.tracer is not None:
-            self.tracer.record(self.env.now, _trace.LINK_DOWN, agent.id)
+        if self._recorder is not None:
+            self._recorder.record(self.env.now, _trace.LINK_DOWN, agent.id)
         parent = agent.parent
         if parent is None or not parent.alive:
             return
@@ -301,8 +341,8 @@ class ProtocolEngine:
     def _apply_link_repair(self, event: LinkRepairEvent) -> None:
         agent = self._fault_agent(event)
         agent.link_down = False
-        if self.tracer is not None:
-            self.tracer.record(self.env.now, _trace.LINK_UP, agent.id)
+        if self._recorder is not None:
+            self._recorder.record(self.env.now, _trace.LINK_UP, agent.id)
         parent = agent.parent
         if agent.alive and parent is not None and parent.alive:
             if agent.id in parent.suspect or agent not in parent.children:
@@ -327,8 +367,8 @@ class ProtocolEngine:
             return
         self.tasks_reexecuted += lost
         self.reclaim_times.append(self.env.now)
-        if self.tracer is not None:
-            self.tracer.record(self.env.now, _trace.RECLAIM, agent.id, lost)
+        if self._recorder is not None:
+            self._recorder.record(self.env.now, _trace.RECLAIM, agent.id, lost)
         root = self.nodes[self.tree.root]
         root.undispensed += lost
         self.repository_exhausted_at = None
@@ -353,9 +393,15 @@ class ProtocolEngine:
                 self._warp_summary = WarpSummary(
                     applied=False,
                     reason="disabled: dynamic platform schedule active")
-            elif self._tracer is not None or self.env.trace_hook is not None:
+            elif self._recorder is not None or self.env.trace_hook is not None:
                 self._warp_summary = WarpSummary(
                     applied=False, reason="disabled: tracing active")
+            elif self.probe is not None:
+                # Sampling probes observe intermediate state at times the
+                # warp would skip straight over.
+                self._warp_summary = WarpSummary(
+                    applied=False,
+                    reason="disabled: telemetry sampling active")
             else:
                 self._warp = WarpController(self)
 
@@ -390,6 +436,8 @@ class ProtocolEngine:
                 # fault-free run keeps a bit-identical event calendar.
                 for agent in self.nodes:
                     agent._start_sweep()
+            if self.probe is not None:
+                self.probe.start()
 
             self.env.run()
         finally:
@@ -417,7 +465,11 @@ class ProtocolEngine:
             buffers_decayed=sum(a.buffers_decayed for a in self.nodes),
             preemptions=sum(a.preemptions for a in self.nodes),
             transfers=sum(a.transfers_started for a in self.nodes),
-            events_processed=self.env.processed_count,
+            # The sampler's own calendar entries are not protocol work;
+            # subtracting them keeps telemetry-on fingerprints equal to
+            # telemetry-off ones.
+            events_processed=self.env.processed_count - (
+                self.probe.sampler_fires if self.probe is not None else 0),
             repository_exhausted_at=self.repository_exhausted_at,
             crashed_node_ids=tuple(self.crashed_node_ids),
             tasks_reexecuted=self.tasks_reexecuted,
@@ -426,6 +478,8 @@ class ProtocolEngine:
             reclaim_times=tuple(self.reclaim_times),
             last_completion_time=self.last_completion_time,
             warp=self._warp_summary,
+            telemetry=(self.probe.finalize()
+                       if self.probe is not None else None),
         )
 
 

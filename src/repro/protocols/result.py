@@ -4,11 +4,14 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 from ..platform.tree import PlatformTree
 from ..sim.warp import WarpSummary
 from .config import ProtocolConfig
+
+if TYPE_CHECKING:  # annotation-only: the telemetry package imports protocols
+    from ..telemetry.probes import TelemetrySnapshot
 
 __all__ = ["SimulationResult"]
 
@@ -72,6 +75,12 @@ class SimulationResult:
     #: Excluded from :meth:`fingerprint` by design: a warped run and its
     #: exact twin must fingerprint identically.
     warp: Optional[WarpSummary] = None
+    #: Telemetry snapshot (``None`` unless ``config.telemetry`` was set).
+    #: Also excluded from :meth:`fingerprint`: probes are read-only and the
+    #: sampler's own calendar entries are subtracted from
+    #: :attr:`events_processed`, so a telemetry-on run fingerprints
+    #: identically to its telemetry-off twin.
+    telemetry: Optional["TelemetrySnapshot"] = None
 
     @property
     def makespan(self) -> int:

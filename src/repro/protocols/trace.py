@@ -21,7 +21,9 @@ Example::
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, NamedTuple, Optional, Sequence, Set, Tuple
+from collections import deque
+from typing import (Deque, Dict, Iterable, List, NamedTuple, Optional,
+                    Sequence, Set, Tuple)
 
 from ..errors import ProtocolError
 
@@ -98,7 +100,11 @@ class Tracer:
             if unknown:
                 raise ProtocolError(f"unknown trace kinds: {sorted(unknown)}")
         self.limit = limit
-        self.events: List[TraceEvent] = []
+        #: Event storage.  A ``deque(maxlen=limit)`` so FIFO eviction under
+        #: a full buffer is O(1) — ``del list[0]`` made long bounded traces
+        #: quadratic.  Supports ``len``, iteration and integer indexing like
+        #: the list it replaced (slicing needs ``list(tracer.events)``).
+        self.events: Deque[TraceEvent] = deque(maxlen=limit)
         self.dropped = 0
 
     def record(self, time, kind: str, node: int,
@@ -106,10 +112,10 @@ class Tracer:
         """Store one event (no-op for filtered kinds)."""
         if kind not in self.kinds:
             return
-        self.events.append(TraceEvent(time, kind, node, peer))
-        if self.limit is not None and len(self.events) > self.limit:
-            del self.events[0]
-            self.dropped += 1
+        events = self.events
+        if events.maxlen is not None and len(events) == events.maxlen:
+            self.dropped += 1  # append below evicts the oldest event
+        events.append(TraceEvent(time, kind, node, peer))
 
     # ------------------------------------------------------------ queries
     def __len__(self) -> int:

@@ -1,0 +1,28 @@
+"""Telemetry subsystem: metrics registry, run probes, exporters, ensembles.
+
+Disabled by default everywhere — a run only carries probes when a
+:class:`~repro.telemetry.config.TelemetryConfig` is attached to its
+:class:`~repro.protocols.config.ProtocolConfig`.  See
+``docs/architecture.md`` ("Observability") for the data-flow and
+overhead model, and ``EXPERIMENTS.md`` for the Perfetto walkthrough.
+"""
+
+from .aggregate import (aggregate_snapshots, format_telemetry_summary,
+                        percentile, summarize)
+from .config import TelemetryConfig
+from .export import (chrome_trace, dump_csv, dump_jsonl, export_auto,
+                     iter_jsonl, load_jsonl, write_chrome_trace)
+from .probes import TelemetryProbe, TelemetrySnapshot
+from .registry import (NULL_REGISTRY, Counter, Gauge, Histogram,
+                       MetricsRegistry, NullRegistry, TimeSeries)
+
+__all__ = [
+    "TelemetryConfig",
+    "TelemetryProbe", "TelemetrySnapshot",
+    "Counter", "Gauge", "Histogram", "TimeSeries",
+    "MetricsRegistry", "NullRegistry", "NULL_REGISTRY",
+    "dump_jsonl", "iter_jsonl", "load_jsonl", "dump_csv",
+    "chrome_trace", "write_chrome_trace", "export_auto",
+    "aggregate_snapshots", "summarize", "percentile",
+    "format_telemetry_summary",
+]

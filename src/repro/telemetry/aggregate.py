@@ -1,0 +1,114 @@
+"""Ensemble aggregation: fold per-seed telemetry into summary statistics.
+
+A sweep produces one :class:`~repro.telemetry.probes.TelemetrySnapshot`
+per seed; :func:`aggregate_snapshots` reduces them to per-metric
+``mean / p50 / p95 / min / max`` rows.  The fold is a pure function of
+the snapshot multiset — independent of arrival order — so a sweep that
+crashed and resumed through the crash-safe harness aggregates to exactly
+the same summary as an uninterrupted one (tested).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+from ..errors import ReproError
+from .probes import TelemetrySnapshot
+
+__all__ = ["percentile", "summarize", "aggregate_snapshots",
+           "format_telemetry_summary"]
+
+#: Statistic names, in display order.
+_STATS = ("mean", "p50", "p95", "min", "max")
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile (``q`` in [0, 100]) of ``values``."""
+    if not values:
+        raise ReproError("percentile of an empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ReproError(f"percentile q must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (q / 100.0) * (len(ordered) - 1)
+    lo = int(rank)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = rank - lo
+    return float(ordered[lo] * (1.0 - frac) + ordered[hi] * frac)
+
+
+def summarize(values: Sequence[float]) -> Dict[str, float]:
+    """``mean/p50/p95/min/max`` of one metric's per-seed values.
+
+    The mean sums in sorted order so the result is bit-identical for any
+    arrival order of the same values — resumed sweeps hand snapshots back
+    in completion order, not seed order.
+    """
+    return {
+        "mean": float(sum(sorted(values))) / len(values),
+        "p50": percentile(values, 50.0),
+        "p95": percentile(values, 95.0),
+        "min": float(min(values)),
+        "max": float(max(values)),
+    }
+
+
+def _scalar_metrics(snapshot: TelemetrySnapshot) -> Dict[str, float]:
+    """Flatten one snapshot into named scalars worth ensembling."""
+    out: Dict[str, float] = {"makespan": float(snapshot.makespan)}
+    for name, value in snapshot.counters.items():
+        out[name] = float(value)
+    util = snapshot.utilization()
+    if util:
+        out["utilization_mean"] = sum(util) / len(util)
+        out["utilization_min"] = min(util)
+    starve = snapshot.per_node.get("starve_sampled_time")
+    if starve and snapshot.makespan > 0:
+        # Mean fraction of the run each node spent starved for work.
+        out["starve_frac_mean"] = (
+            sum(starve) / len(starve) / snapshot.makespan)
+    buffers = snapshot.per_node.get("max_buffers")
+    if buffers:
+        out["max_buffers_peak"] = max(buffers)
+    occupancy = snapshot.series.get("buffer_occupancy")
+    if occupancy and occupancy[1]:
+        out["buffer_occupancy_peak"] = max(occupancy[1])
+    return out
+
+
+def aggregate_snapshots(
+        snapshots: Sequence[TelemetrySnapshot]
+) -> Dict[str, Dict[str, float]]:
+    """Fold per-seed snapshots into ``{metric: {stat: value}}``.
+
+    Metrics present in only some snapshots (e.g. event-kind counters from
+    a partially traced sweep) are summarized over the seeds that have
+    them; the row gains an ``"n"`` entry with that count so partial
+    coverage is visible.
+    """
+    if not snapshots:
+        raise ReproError("aggregate_snapshots needs at least one snapshot")
+    columns: Dict[str, List[float]] = {}
+    for snapshot in snapshots:
+        for name, value in _scalar_metrics(snapshot).items():
+            columns.setdefault(name, []).append(value)
+    out: Dict[str, Dict[str, float]] = {}
+    for name in sorted(columns):
+        row = summarize(columns[name])
+        row["n"] = float(len(columns[name]))
+        out[name] = row
+    return out
+
+
+def format_telemetry_summary(
+        aggregate: Mapping[str, Mapping[str, float]]) -> str:
+    """Render an aggregate as an aligned text table."""
+    header = f"{'metric':<24}" + "".join(f"{s:>12}" for s in _STATS) + \
+        f"{'n':>6}"
+    lines = [header, "-" * len(header)]
+    for name in sorted(aggregate):
+        row = aggregate[name]
+        cells = "".join(f"{row[s]:>12.4g}" for s in _STATS)
+        lines.append(f"{name:<24}{cells}{int(row.get('n', 0)):>6}")
+    return "\n".join(lines)

@@ -1,0 +1,73 @@
+"""Telemetry knobs: what to sample, how often, and how much to keep.
+
+Kept in its own dependency-light module so that
+:class:`~repro.protocols.config.ProtocolConfig` can embed a
+:class:`TelemetryConfig` without creating an import cycle between the
+protocol and telemetry packages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ReproError
+
+__all__ = ["TelemetryConfig"]
+
+
+@dataclass(frozen=True)
+class TelemetryConfig:
+    """Configuration of one run's telemetry probes.
+
+    Telemetry is **off by default** everywhere: a run only carries probes
+    when a ``TelemetryConfig`` is attached to its
+    :class:`~repro.protocols.config.ProtocolConfig` (directly, or via
+    ``ExperimentScale.telemetry`` / the ``--telemetry`` CLI flag).
+
+    Two probe layers, independently toggleable:
+
+    * **sampling** (always on when telemetry is on): a periodic virtual-time
+      timer reads engine and per-node state every ``sample_dt`` steps —
+      queue depths, buffer occupancy, kernel event counts, CPU busy /
+      starvation flags.  Read-only and behaviour-neutral: the sampled run's
+      :meth:`~repro.protocols.result.SimulationResult.fingerprint` equals
+      the unsampled run's.
+    * **event tracing** (``trace_events=True``): taps the protocol's trace
+      stream to integrate *exact* per-node busy intervals and per-kind
+      event counts.  Costs one callback per protocol event, so it is meant
+      for single-run inspection (Perfetto export), not ensemble sweeps.
+    """
+
+    #: Virtual-time period between state samples.  The default is sized
+    #: for always-on ensemble use: each sample walks every node, so the
+    #: CI overhead gate (<=10% on the densest benchmark run) bounds how
+    #: fine the default can sample.  Single-run inspection wants finer —
+    #: :meth:`tracing` defaults to 50.
+    sample_dt: int = 200
+    #: Per-series sample budget.  When a run outlives the budget the probe
+    #: halves the series (every other sample) and doubles the effective
+    #: period, so memory stays bounded on arbitrarily long runs while the
+    #: series still spans the whole run.
+    max_samples: int = 1024
+    #: Record per-node time series (buffer occupancy, queue depth,
+    #: cumulative busy fraction) in addition to the global ones.  Off by
+    #: default: ensembles only need the global series and scalar tallies.
+    per_node_series: bool = False
+    #: Tap the protocol event stream for exact busy intervals and per-kind
+    #: counters (see class docstring).
+    trace_events: bool = False
+
+    def __post_init__(self):
+        if self.sample_dt < 1:
+            raise ReproError(
+                f"sample_dt must be >= 1, got {self.sample_dt}")
+        if self.max_samples < 2:
+            raise ReproError(
+                f"max_samples must be >= 2, got {self.max_samples}")
+
+    @classmethod
+    def tracing(cls, sample_dt: int = 50, **kwargs) -> "TelemetryConfig":
+        """Full-detail single-run preset: per-node series + event tap."""
+        kwargs.setdefault("per_node_series", True)
+        kwargs.setdefault("trace_events", True)
+        return cls(sample_dt=sample_dt, **kwargs)

@@ -1,0 +1,284 @@
+"""Telemetry exporters: streaming JSONL, CSV, and Chrome trace-event JSON.
+
+Three formats, three audiences:
+
+* **JSONL** (:func:`dump_jsonl` / :func:`load_jsonl`) — lossless
+  machine-readable snapshot interchange, one self-describing record per
+  line so sweeps can append snapshots to one file and readers can stream
+  them back without loading everything.  Round-trips
+  :class:`~repro.telemetry.probes.TelemetrySnapshot` by value.
+* **CSV** (:func:`dump_csv`) — the global time series as one wide table
+  (``time`` column + one column per series) for spreadsheets / pandas.
+* **Chrome trace-event JSON** (:func:`chrome_trace` /
+  :func:`write_chrome_trace`) — a timeline loadable in Perfetto
+  (https://ui.perfetto.dev) or ``chrome://tracing``: one thread lane per
+  node showing compute and send slices (from a
+  :class:`~repro.protocols.trace.Tracer`), instant markers for
+  preemptions / crashes / mutations, and counter tracks from the
+  snapshot's time series.  Virtual timesteps are mapped 1:1 onto trace
+  microseconds.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, IO, Iterator, List, Optional, Union
+
+from ..errors import ReproError
+from ..protocols import trace as _trace
+from .probes import TelemetrySnapshot
+
+__all__ = ["dump_jsonl", "load_jsonl", "iter_jsonl", "dump_csv",
+           "chrome_trace", "write_chrome_trace", "export_auto"]
+
+_JSONL_VERSION = 1
+
+#: Tracer kinds rendered as instant markers on a node's lane.
+_INSTANT_KINDS = (_trace.PREEMPT, _trace.MUTATION, _trace.CRASH,
+                  _trace.LINK_DOWN, _trace.LINK_UP, _trace.RECLAIM)
+
+
+def _open_maybe(path_or_file: Union[str, IO], mode: str):
+    """Return ``(file, should_close)`` for a path or an open file."""
+    if hasattr(path_or_file, "write") or hasattr(path_or_file, "read"):
+        return path_or_file, False
+    return open(path_or_file, mode), True
+
+
+# ---------------------------------------------------------------- JSONL
+def _snapshot_record(snapshot: TelemetrySnapshot) -> Dict:
+    return {
+        "type": "snapshot",
+        "version": _JSONL_VERSION,
+        "num_nodes": snapshot.num_nodes,
+        "makespan": snapshot.makespan,
+        "sample_dt": snapshot.sample_dt,
+        "effective_dt": snapshot.effective_dt,
+        "samples": snapshot.samples,
+        "counters": snapshot.counters,
+        "per_node": {k: list(v) for k, v in snapshot.per_node.items()},
+        "series": {k: [list(t), list(v)]
+                   for k, (t, v) in snapshot.series.items()},
+        "node_series": {
+            name: {str(node): [list(t), list(v)]
+                   for node, (t, v) in per_node.items()}
+            for name, per_node in snapshot.node_series.items()
+        },
+    }
+
+
+def _record_snapshot(record: Dict) -> TelemetrySnapshot:
+    if record.get("type") != "snapshot":
+        raise ReproError(f"not a snapshot record: {record.get('type')!r}")
+    return TelemetrySnapshot(
+        num_nodes=record["num_nodes"],
+        makespan=record["makespan"],
+        sample_dt=record["sample_dt"],
+        effective_dt=record["effective_dt"],
+        samples=record["samples"],
+        counters=dict(record["counters"]),
+        per_node={k: tuple(v) for k, v in record["per_node"].items()},
+        series={k: (tuple(t), tuple(v))
+                for k, (t, v) in record["series"].items()},
+        node_series={
+            name: {int(node): (tuple(t), tuple(v))
+                   for node, (t, v) in per_node.items()}
+            for name, per_node in record["node_series"].items()
+        },
+    )
+
+
+def dump_jsonl(snapshots, path_or_file: Union[str, IO]) -> int:
+    """Append snapshot records to ``path_or_file``, one JSON line each.
+
+    Accepts a single snapshot or an iterable of them; returns the number
+    of records written.  Streaming: each record is serialized and written
+    independently, so a sweep can call this once per finished seed.
+    """
+    if isinstance(snapshots, TelemetrySnapshot):
+        snapshots = (snapshots,)
+    fh, close = _open_maybe(path_or_file, "a")
+    written = 0
+    try:
+        for snapshot in snapshots:
+            fh.write(json.dumps(_snapshot_record(snapshot),
+                                separators=(",", ":")) + "\n")
+            written += 1
+    finally:
+        if close:
+            fh.close()
+    return written
+
+
+def iter_jsonl(path_or_file: Union[str, IO]) -> Iterator[TelemetrySnapshot]:
+    """Yield snapshots from a JSONL file, streaming line by line."""
+    fh, close = _open_maybe(path_or_file, "r")
+    try:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            yield _record_snapshot(json.loads(line))
+    finally:
+        if close:
+            fh.close()
+
+
+def load_jsonl(path_or_file: Union[str, IO]) -> List[TelemetrySnapshot]:
+    """Read every snapshot in a JSONL file into a list."""
+    return list(iter_jsonl(path_or_file))
+
+
+# ------------------------------------------------------------------ CSV
+def dump_csv(snapshot: TelemetrySnapshot,
+             path_or_file: Union[str, IO]) -> int:
+    """Write the snapshot's global time series as one wide CSV table.
+
+    All global series share the sampler's cadence, so their time axes are
+    identical; one ``time`` column plus one column per series (sorted by
+    name).  Returns the number of data rows written.
+    """
+    names = sorted(snapshot.series)
+    fh, close = _open_maybe(path_or_file, "w")
+    try:
+        fh.write(",".join(["time"] + names) + "\n")
+        if not names:
+            return 0
+        times = snapshot.series[names[0]][0]
+        columns = [snapshot.series[name][1] for name in names]
+        for name, (t, _) in snapshot.series.items():
+            if t != times:
+                raise ReproError(
+                    f"series {name!r} is not on the shared time axis")
+        rows = 0
+        for i, time in enumerate(times):
+            fh.write(",".join([str(time)] + [repr(col[i]) for col in columns])
+                     + "\n")
+            rows += 1
+        return rows
+    finally:
+        if close:
+            fh.close()
+
+
+# --------------------------------------------------- Chrome trace events
+def _lane_events(tracer, pid: int) -> List[Dict]:
+    """Per-node compute/send slices and instant markers from a tracer."""
+    events: List[Dict] = []
+    nodes = sorted({e.node for e in tracer.events})
+    for node in nodes:
+        for start, end in tracer.compute_intervals(node):
+            events.append({"name": "compute", "cat": "cpu", "ph": "X",
+                           "ts": start, "dur": end - start,
+                           "pid": pid, "tid": node})
+        for start, end in tracer.send_intervals(node):
+            events.append({"name": "send", "cat": "net", "ph": "X",
+                           "ts": start, "dur": end - start,
+                           "pid": pid, "tid": node})
+    for event in tracer.events:
+        if event.kind in _INSTANT_KINDS:
+            entry = {"name": event.kind, "cat": "protocol", "ph": "i",
+                     "ts": event.time, "pid": pid, "tid": event.node,
+                     "s": "t"}
+            if event.peer is not None:
+                entry["args"] = {"peer": event.peer}
+            events.append(entry)
+    return events
+
+
+def chrome_trace(snapshot: Optional[TelemetrySnapshot] = None,
+                 tracer=None) -> Dict:
+    """Build a Chrome trace-event document (Perfetto-loadable).
+
+    Either input may be omitted: a snapshot alone gives counter tracks,
+    a tracer alone gives activity lanes; together they give the full
+    timeline.  One virtual timestep maps to one trace microsecond.
+    """
+    if snapshot is None and tracer is None:
+        raise ReproError("chrome_trace needs a snapshot and/or a tracer")
+    pid = 0
+    events: List[Dict] = [{
+        "name": "process_name", "ph": "M", "pid": pid,
+        "args": {"name": "simulation"},
+    }]
+
+    num_nodes = snapshot.num_nodes if snapshot is not None else (
+        max((e.node for e in tracer.events), default=-1) + 1)
+    for node in range(num_nodes):
+        events.append({"name": "thread_name", "ph": "M",
+                       "pid": pid, "tid": node,
+                       "args": {"name": f"node {node}"}})
+
+    if tracer is not None:
+        events.extend(_lane_events(tracer, pid))
+
+    if snapshot is not None:
+        for name in sorted(snapshot.series):
+            times, values = snapshot.series[name]
+            for time, value in zip(times, values):
+                events.append({"name": name, "cat": "telemetry", "ph": "C",
+                               "ts": time, "pid": pid,
+                               "args": {"value": value}})
+        for name in sorted(snapshot.node_series):
+            per_node = snapshot.node_series[name]
+            for node in sorted(per_node):
+                times, values = per_node[node]
+                track = f"{name}/node{node}"
+                for time, value in zip(times, values):
+                    events.append({"name": track, "cat": "telemetry",
+                                   "ph": "C", "ts": time, "pid": pid,
+                                   "args": {"value": value}})
+
+    doc: Dict = {"traceEvents": events, "displayTimeUnit": "ms"}
+    if snapshot is not None:
+        doc["otherData"] = {
+            "makespan": snapshot.makespan,
+            "num_nodes": snapshot.num_nodes,
+            "sample_dt": snapshot.sample_dt,
+        }
+    return doc
+
+
+def write_chrome_trace(path_or_file: Union[str, IO],
+                       snapshot: Optional[TelemetrySnapshot] = None,
+                       tracer=None) -> int:
+    """Serialize :func:`chrome_trace` to a ``.trace.json`` file.
+
+    Returns the number of trace events written.
+    """
+    doc = chrome_trace(snapshot=snapshot, tracer=tracer)
+    fh, close = _open_maybe(path_or_file, "w")
+    try:
+        json.dump(doc, fh, separators=(",", ":"))
+        fh.write("\n")
+    finally:
+        if close:
+            fh.close()
+    return len(doc["traceEvents"])
+
+
+def export_auto(path: str, snapshots, tracer=None) -> int:
+    """Export snapshots to ``path``, picking the format by extension.
+
+    ``.jsonl`` → streaming JSONL (any number of snapshots); ``.csv`` →
+    global-series table (single snapshot); anything else (``.json``,
+    ``.trace.json``) → Chrome trace-event JSON of the first snapshot plus
+    the optional tracer's lanes.  Returns the number of records / rows /
+    trace events written.  This is the CLI's ``--telemetry-out`` backend.
+    """
+    if isinstance(snapshots, TelemetrySnapshot):
+        snapshots = [snapshots]
+    else:
+        snapshots = list(snapshots)
+    if path.endswith(".jsonl"):
+        return dump_jsonl(snapshots, path)
+    if path.endswith(".csv"):
+        if len(snapshots) != 1:
+            raise ReproError(
+                f"CSV export takes exactly one snapshot, got "
+                f"{len(snapshots)}; use .jsonl for ensembles")
+        return dump_csv(snapshots[0], path)
+    if not snapshots and tracer is None:
+        raise ReproError("nothing to export: no snapshots, no tracer")
+    return write_chrome_trace(path, snapshot=snapshots[0] if snapshots
+                              else None, tracer=tracer)

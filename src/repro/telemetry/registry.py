@@ -1,0 +1,268 @@
+"""Metrics registry: counters, gauges, histograms, and time series.
+
+The registry is the storage layer of the telemetry subsystem: probes
+(:mod:`repro.telemetry.probes`) create named instruments here, exporters
+(:mod:`repro.telemetry.export`) read them back out.  Instruments are
+keyed by ``(name, node)`` so per-node families ("buffer_occupancy of node
+3") and global metrics ("completed") share one namespace.
+
+:class:`NullRegistry` is the disabled-mode stand-in: every accessor
+returns a shared no-op instrument, so code instrumented against a
+registry attribute pays a single attribute lookup (and a no-op call at
+worst) when telemetry is off.  Hot paths that cannot afford even that
+should branch on :attr:`MetricsRegistry.enabled`.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..errors import ReproError
+
+__all__ = ["Counter", "Gauge", "Histogram", "TimeSeries",
+           "MetricsRegistry", "NullRegistry", "NULL_REGISTRY"]
+
+#: Key of one instrument: ``(name, node)``; ``node`` is ``None`` for
+#: global (non-per-node) metrics.
+Key = Tuple[str, Optional[int]]
+
+
+class Counter:
+    """Monotonically increasing integer tally."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Counter {self.value}>"
+
+
+class Gauge:
+    """Last-write-wins instantaneous value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0
+
+    def set(self, value) -> None:
+        self.value = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Gauge {self.value}>"
+
+
+class Histogram:
+    """Fixed-bucket histogram: counts of observations per bucket.
+
+    ``bounds`` are the inclusive upper edges of the finite buckets; one
+    implicit overflow bucket catches everything above the last bound.
+    Buckets are fixed at construction — no rebinning — so recording is a
+    single bisect plus an increment.
+    """
+
+    __slots__ = ("bounds", "counts", "total")
+
+    def __init__(self, bounds: Tuple[float, ...]):
+        if not bounds:
+            raise ReproError("histogram needs at least one bucket bound")
+        if list(bounds) != sorted(bounds):
+            raise ReproError(f"histogram bounds must be sorted: {bounds}")
+        self.bounds = tuple(bounds)
+        self.counts: List[int] = [0] * (len(bounds) + 1)
+        self.total = 0
+
+    def observe(self, value) -> None:
+        # First bound >= value is the bucket; values above every bound
+        # land in the trailing overflow bucket.
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.total += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Histogram n={self.total}>"
+
+
+class TimeSeries:
+    """Bounded ``(time, value)`` series with halving decimation.
+
+    ``append`` assumes non-decreasing times (virtual time only moves
+    forward).  When the series exceeds ``max_samples`` it drops every
+    other retained sample — oldest first within the kept set — so the
+    series always spans the full run at a coarser resolution instead of
+    truncating its head or tail.
+    """
+
+    __slots__ = ("max_samples", "times", "values", "decimations")
+
+    def __init__(self, max_samples: Optional[int] = None):
+        self.max_samples = max_samples
+        self.times: List[int] = []
+        self.values: List[float] = []
+        self.decimations = 0
+
+    def append(self, time, value) -> None:
+        self.times.append(time)
+        self.values.append(value)
+        if self.max_samples is not None and len(self.times) > self.max_samples:
+            self.decimate()
+
+    def decimate(self) -> None:
+        """Keep every other sample (the newest is always retained)."""
+        start = 1 - len(self.times) % 2
+        self.times = self.times[start::2]
+        self.values = self.values[start::2]
+        self.decimations += 1
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def __iter__(self) -> Iterator[Tuple[int, float]]:
+        return iter(zip(self.times, self.values))
+
+    def as_tuples(self) -> Tuple[Tuple[int, ...], Tuple[float, ...]]:
+        """Immutable ``(times, values)`` pair for snapshots."""
+        return tuple(self.times), tuple(self.values)
+
+
+class MetricsRegistry:
+    """Namespace of live instruments, keyed by ``(name, node)``.
+
+    Accessors are get-or-create: probes call ``registry.counter("x")``
+    freely without a registration step.  Asking for an existing name with
+    a different instrument type raises — one name, one meaning.
+    """
+
+    enabled = True
+
+    def __init__(self):
+        self._instruments: Dict[Key, object] = {}
+
+    # ------------------------------------------------------------- access
+    def _get_or_create(self, name: str, node: Optional[int], factory, kind):
+        key = (name, node)
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            instrument = factory()
+            self._instruments[key] = instrument
+        elif not isinstance(instrument, kind):
+            raise ReproError(
+                f"metric {name!r} (node={node}) already registered as "
+                f"{type(instrument).__name__}, not {kind.__name__}")
+        return instrument
+
+    def counter(self, name: str, node: Optional[int] = None) -> Counter:
+        return self._get_or_create(name, node, Counter, Counter)
+
+    def gauge(self, name: str, node: Optional[int] = None) -> Gauge:
+        return self._get_or_create(name, node, Gauge, Gauge)
+
+    def histogram(self, name: str, bounds: Tuple[float, ...],
+                  node: Optional[int] = None) -> Histogram:
+        return self._get_or_create(name, node,
+                                   lambda: Histogram(bounds), Histogram)
+
+    def series(self, name: str, node: Optional[int] = None,
+               max_samples: Optional[int] = None) -> TimeSeries:
+        return self._get_or_create(name, node,
+                                   lambda: TimeSeries(max_samples), TimeSeries)
+
+    # ------------------------------------------------------------ queries
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __contains__(self, key) -> bool:
+        if isinstance(key, str):
+            key = (key, None)
+        return key in self._instruments
+
+    def items(self) -> Iterator[Tuple[Key, object]]:
+        """Instruments in deterministic (sorted-key) order."""
+        def order(entry):
+            (name, node), _ = entry
+            return (name, -1 if node is None else node)
+
+        return iter(sorted(self._instruments.items(), key=order))
+
+    def counters(self) -> Dict[Key, int]:
+        """All counter values, keyed by ``(name, node)``."""
+        return {key: inst.value for key, inst in self.items()
+                if isinstance(inst, Counter)}
+
+    def series_data(self) -> Dict[Key, Tuple[Tuple[int, ...],
+                                             Tuple[float, ...]]]:
+        """All series as immutable ``(times, values)`` pairs."""
+        return {key: inst.as_tuples() for key, inst in self.items()
+                if isinstance(inst, TimeSeries)}
+
+
+class _NullInstrument:
+    """Shared do-nothing instrument handed out by :class:`NullRegistry`."""
+
+    __slots__ = ()
+    value = 0
+    total = 0
+
+    def inc(self, amount: int = 1) -> None:
+        return None
+
+    def set(self, value) -> None:
+        return None
+
+    def observe(self, value) -> None:
+        return None
+
+    def append(self, time, value) -> None:
+        return None
+
+    def __len__(self) -> int:
+        return 0
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullRegistry:
+    """Disabled-telemetry registry: every accessor returns a shared no-op
+    instrument and records nothing.  ``enabled`` is ``False`` so hot paths
+    can skip even the no-op call with one attribute test."""
+
+    enabled = False
+
+    def counter(self, name: str, node: Optional[int] = None):
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str, node: Optional[int] = None):
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str, bounds: Tuple[float, ...],
+                  node: Optional[int] = None):
+        return _NULL_INSTRUMENT
+
+    def series(self, name: str, node: Optional[int] = None,
+               max_samples: Optional[int] = None):
+        return _NULL_INSTRUMENT
+
+    def __len__(self) -> int:
+        return 0
+
+    def __contains__(self, key) -> bool:
+        return False
+
+    def items(self):
+        return iter(())
+
+    def counters(self):
+        return {}
+
+    def series_data(self):
+        return {}
+
+
+#: Shared singleton used wherever "telemetry off" needs a registry object.
+NULL_REGISTRY = NullRegistry()

@@ -54,6 +54,27 @@ class TestParser:
         assert scale.warp and scale.base_seed == 9
         assert scale.threshold == 42 and scale.trees == 5
 
+    def test_telemetry_off_by_default(self):
+        args = build_parser().parse_args(["fig4"])
+        assert resolve_scale(args).telemetry is None
+
+    def test_telemetry_flag_attaches_config(self):
+        args = build_parser().parse_args(["fig4", "--telemetry"])
+        scale = resolve_scale(args)
+        assert scale.telemetry is not None
+        assert scale.telemetry.sample_dt == 200  # ensemble default
+
+    def test_telemetry_out_implies_telemetry(self):
+        args = build_parser().parse_args(
+            ["fig4", "--telemetry-out", "runs.jsonl"])
+        assert resolve_scale(args).telemetry is not None
+        assert args.telemetry_out == "runs.jsonl"
+
+    def test_telemetry_sample_dt_override(self):
+        args = build_parser().parse_args(
+            ["fig4", "--telemetry", "--telemetry-sample-dt", "25"])
+        assert resolve_scale(args).telemetry.sample_dt == 25
+
 
 class TestResolveHarness:
     def test_defaults_are_resilient_but_uncheckpointed(self):
@@ -97,6 +118,19 @@ class TestMain:
         captured = capsys.readouterr()
         assert "coverage:" in captured.err
         assert "coverage:" not in captured.out
+
+    def test_telemetry_summary_and_jsonl_export(self, tmp_path, capsys):
+        from repro.telemetry import load_jsonl
+
+        target = tmp_path / "runs.jsonl"
+        assert main(["fig4", "--scale", "smoke", "--trees", "2",
+                     "--tasks", "200", "--telemetry", "--telemetry-out",
+                     str(target)]) == 0
+        out = capsys.readouterr().out
+        assert "Telemetry ensemble summary" in out
+        snapshots = load_jsonl(str(target))
+        assert snapshots
+        assert all(s.counters["completed"] == 200 for s in snapshots)
 
     def test_warp_report_identical_to_exact(self, capsys):
         assert main(["fig7"]) == 0

@@ -84,6 +84,35 @@ class TestTracerBasics:
         assert len(tracer) == 10
         assert tracer.dropped > 0
 
+    def test_limited_tracer_keeps_exact_tail(self):
+        """FIFO eviction keeps exactly the newest ``limit`` events, and
+        ``len + dropped`` accounts for every event the unlimited run saw."""
+        unlimited = Tracer()
+        _result, unlimited = traced_run(figure2a_tree(),
+                                        ProtocolConfig.interruptible(2), 100,
+                                        tracer=unlimited)
+        limited = Tracer(limit=25)
+        _result, limited = traced_run(figure2a_tree(),
+                                      ProtocolConfig.interruptible(2), 100,
+                                      tracer=limited)
+        full = list(unlimited.events)
+        kept = list(limited.events)
+        assert kept == full[-25:]
+        assert limited.dropped == len(full) - 25
+
+    def test_limited_eviction_cost_stays_flat(self):
+        """Eviction is O(1) per event (deque), not O(n) (list.pop(0)) —
+        a tight limit on a long run must not change what is kept."""
+        tracer = Tracer(limit=2)
+        _result, tracer = traced_run(figure2a_tree(),
+                                     ProtocolConfig.interruptible(2), 200,
+                                     tracer=tracer)
+        unlimited = Tracer()
+        _result, unlimited = traced_run(figure2a_tree(),
+                                        ProtocolConfig.interruptible(2), 200,
+                                        tracer=unlimited)
+        assert list(tracer.events) == list(unlimited.events)[-2:]
+
     def test_for_node(self):
         _result, tracer = traced_run(figure2a_tree(),
                                      ProtocolConfig.interruptible(2), 40)

@@ -1,0 +1,111 @@
+"""Tests for ensemble aggregation of telemetry snapshots."""
+
+import random
+
+import pytest
+
+from repro.errors import ReproError
+from repro.telemetry import aggregate_snapshots
+from repro.telemetry.aggregate import (
+    format_telemetry_summary,
+    percentile,
+    summarize,
+)
+from repro.telemetry.probes import TelemetrySnapshot
+
+
+def make_snapshot(makespan, completed, busy):
+    nodes = len(busy)
+    return TelemetrySnapshot(
+        num_nodes=nodes,
+        makespan=makespan,
+        sample_dt=50,
+        effective_dt=50,
+        samples=makespan // 50,
+        counters={"completed": completed, "preemptions": completed // 10},
+        per_node={
+            "compute_busy_time": tuple(float(b) for b in busy),
+            "starve_sampled_time": tuple(0.0 for _ in busy),
+            "max_buffers": tuple(2.0 for _ in busy),
+        },
+        series={"buffer_occupancy": ((50, 100), (3.0, 5.0))},
+    )
+
+
+class TestPercentile:
+    def test_empty_raises(self):
+        with pytest.raises(ReproError):
+            percentile([], 50)
+
+    def test_out_of_range_q_raises(self):
+        with pytest.raises(ReproError):
+            percentile([1.0], 101)
+
+    def test_single_value(self):
+        assert percentile([7.0], 0) == 7.0
+        assert percentile([7.0], 100) == 7.0
+
+    def test_linear_interpolation(self):
+        values = [0.0, 10.0]
+        assert percentile(values, 50) == 5.0
+        assert percentile(values, 95) == 9.5
+        assert percentile(list(range(5)), 25) == 1.0
+
+    def test_order_invariant(self):
+        values = [5.0, 1.0, 9.0, 3.0]
+        assert percentile(values, 50) == percentile(sorted(values), 50)
+
+
+class TestSummarize:
+    def test_stats(self):
+        stats = summarize([1.0, 2.0, 3.0, 4.0])
+        assert stats["mean"] == 2.5
+        assert stats["p50"] == 2.5
+        assert stats["min"] == 1.0
+        assert stats["max"] == 4.0
+
+
+class TestAggregate:
+    def test_empty_raises(self):
+        with pytest.raises(ReproError):
+            aggregate_snapshots([])
+
+    def test_rows_and_counts(self):
+        snaps = [make_snapshot(1000, 500, [400, 300]),
+                 make_snapshot(2000, 500, [900, 800])]
+        agg = aggregate_snapshots(snaps)
+        assert agg["makespan"]["mean"] == 1500.0
+        assert agg["makespan"]["n"] == 2.0
+        assert agg["completed"]["min"] == 500.0
+        assert agg["buffer_occupancy_peak"]["max"] == 5.0
+        # utilization_mean folds per-node busy over makespan
+        assert agg["utilization_mean"]["mean"] == pytest.approx(
+            (((400 + 300) / 2 / 1000) + ((900 + 800) / 2 / 2000)) / 2)
+
+    def test_order_independent(self):
+        """Resumed sweeps deliver snapshots in a different order; the fold
+        must not care."""
+        snaps = [make_snapshot(1000 + i * 37, 500, [i * 10.0, 400.0])
+                 for i in range(12)]
+        shuffled = snaps[:]
+        random.Random(3).shuffle(shuffled)
+        assert aggregate_snapshots(snaps) == aggregate_snapshots(shuffled)
+
+    def test_partial_metrics_counted(self):
+        full = make_snapshot(1000, 500, [400.0])
+        sparse = TelemetrySnapshot(num_nodes=1, makespan=800, sample_dt=50,
+                                   effective_dt=50, samples=16)
+        agg = aggregate_snapshots([full, sparse])
+        assert agg["makespan"]["n"] == 2.0
+        assert agg["completed"]["n"] == 1.0
+
+
+class TestFormat:
+    def test_table_shape(self):
+        agg = aggregate_snapshots([make_snapshot(1000, 500, [400.0])])
+        text = format_telemetry_summary(agg)
+        lines = text.split("\n")
+        assert lines[0].split() == ["metric", "mean", "p50", "p95",
+                                    "min", "max", "n"]
+        assert len(lines) == 2 + len(agg)
+        assert any(line.startswith("makespan") for line in lines)

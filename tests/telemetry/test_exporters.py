@@ -1,0 +1,134 @@
+"""Tests for the JSONL / CSV / Chrome-trace telemetry exporters."""
+
+import json
+from collections import defaultdict
+from dataclasses import replace
+
+import pytest
+
+from repro.errors import ReproError
+from repro.platform.generator import TreeGeneratorParams, generate_tree
+from repro.protocols import ProtocolConfig, ProtocolEngine, Tracer
+from repro.telemetry import TelemetryConfig, chrome_trace, dump_jsonl, load_jsonl
+from repro.telemetry.export import dump_csv, export_auto, write_chrome_trace
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    tree = generate_tree(TreeGeneratorParams(min_nodes=20, max_nodes=20),
+                         seed=11)
+    # FB=1 forces preemptions, so the trace carries "i" instant markers.
+    config = replace(ProtocolConfig.interruptible(1),
+                     telemetry=TelemetryConfig.tracing(sample_dt=10))
+    engine = ProtocolEngine(tree, config, 300)
+    tracer = Tracer()
+    engine.tracer = tracer
+    result = engine.run()
+    return result, tracer
+
+
+@pytest.fixture(scope="module")
+def snapshot(traced_run):
+    return traced_run[0].telemetry
+
+
+class TestJsonl:
+    def test_round_trip_by_value(self, snapshot, tmp_path):
+        path = str(tmp_path / "runs.jsonl")
+        assert dump_jsonl(snapshot, path) == 1
+        assert dump_jsonl([snapshot, snapshot], path) == 2  # appends
+        loaded = load_jsonl(path)
+        assert len(loaded) == 3
+        for other in loaded:
+            assert other == snapshot
+
+    def test_rejects_foreign_records(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type": "something-else"}\n')
+        with pytest.raises(ReproError):
+            load_jsonl(str(path))
+
+
+class TestCsv:
+    def test_header_and_rows(self, snapshot, tmp_path):
+        path = tmp_path / "series.csv"
+        rows = dump_csv(snapshot, str(path))
+        lines = path.read_text().strip().split("\n")
+        header = lines[0].split(",")
+        assert header[0] == "time"
+        assert sorted(header[1:]) == sorted(snapshot.series)
+        assert len(lines) == rows + 1
+        assert rows == len(snapshot.series["completed"][0])
+        # Each row parses back to the series values.
+        first = lines[1].split(",")
+        assert int(first[0]) == snapshot.series[header[1]][0][0]
+
+
+class TestChromeTrace:
+    def test_requires_some_input(self):
+        with pytest.raises(ReproError):
+            chrome_trace()
+
+    def test_valid_json_with_expected_phases(self, traced_run, tmp_path):
+        result, tracer = traced_run
+        path = tmp_path / "run.trace.json"
+        count = write_chrome_trace(str(path), result.telemetry, tracer=tracer)
+        doc = json.loads(path.read_text())
+        events = doc["traceEvents"]
+        assert len(events) == count
+        phases = {e["ph"] for e in events}
+        assert {"M", "X", "i", "C"} <= phases
+        assert doc["otherData"]["num_nodes"] == result.telemetry.num_nodes
+
+    def test_slices_monotone_per_lane(self, traced_run):
+        result, tracer = traced_run
+        doc = chrome_trace(result.telemetry, tracer=tracer)
+        lanes = defaultdict(list)
+        for event in doc["traceEvents"]:
+            if event["ph"] in ("X", "C"):
+                key = (event["pid"], event.get("tid"), event["name"])
+                lanes[key].append(event["ts"])
+        for key, stamps in lanes.items():
+            assert stamps == sorted(stamps), key
+
+    def test_counter_tracks_match_series(self, snapshot):
+        doc = chrome_trace(snapshot)
+        by_name = defaultdict(list)
+        for event in doc["traceEvents"]:
+            if event["ph"] == "C":
+                by_name[event["name"]].append(event["args"]["value"])
+        for name, (_, values) in snapshot.series.items():
+            assert by_name[name] == list(values)
+        # Per-node tracks are exported under name/nodeN.
+        for name, per_node in snapshot.node_series.items():
+            for node, (_, values) in per_node.items():
+                assert by_name[f"{name}/node{node}"] == list(values)
+
+    def test_slices_cover_compute_intervals(self, traced_run):
+        _result, tracer = traced_run
+        doc = chrome_trace(tracer=tracer)
+        slices = [e for e in doc["traceEvents"]
+                  if e["ph"] == "X" and e["name"] == "compute"]
+        expected = sum(len(tracer.compute_intervals(node))
+                       for node in range(20))
+        assert len(slices) == expected
+
+
+class TestExportAuto:
+    def test_dispatch_by_extension(self, snapshot, tmp_path):
+        jsonl = str(tmp_path / "out.jsonl")
+        csv = str(tmp_path / "out.csv")
+        trace = str(tmp_path / "out.trace.json")
+        assert export_auto(jsonl, [snapshot, snapshot]) == 2
+        assert load_jsonl(jsonl)[0] == snapshot
+        assert export_auto(csv, snapshot) > 0
+        assert export_auto(trace, snapshot) > 0
+        json.loads((tmp_path / "out.trace.json").read_text())
+
+    def test_csv_rejects_ensembles(self, snapshot, tmp_path):
+        with pytest.raises(ReproError):
+            export_auto(str(tmp_path / "out.csv"), [snapshot, snapshot])
+
+    def test_nothing_to_export(self, tmp_path):
+        with pytest.raises(ReproError):
+            export_auto(str(tmp_path / "out.trace.json"), [])
