@@ -12,7 +12,9 @@ from dataclasses import replace
 
 from repro.sim import Environment, Interrupt, PreemptiveResource, Store
 from repro.platform.generator import TreeGeneratorParams, generate_tree
-from repro.protocols import ProtocolConfig, ProtocolEngine
+from repro.platform.graph import generate_platform
+from repro.protocols import GraphProtocolEngine, ProtocolConfig, ProtocolEngine
+from repro.protocols.topologies import topology_overlay
 from repro.telemetry import TelemetryConfig
 
 
@@ -146,3 +148,18 @@ def run_engine_ic_10k_telemetry(num_tasks: int = 10_000) -> int:
     return _engine_tasks(
         replace(ProtocolConfig.interruptible(3), telemetry=TelemetryConfig()),
         num_tasks)
+
+
+def run_engine_graph_leafspine(num_tasks: int = 2000) -> int:
+    """IC/FB=3 on a generated leaf-spine fabric through the graph engine.
+
+    Exercises the shared-link max-min path end to end: head-election
+    overlay, per-flow route registration, and mid-flight rate
+    reallocation on every flow start/finish — the cost the tree engine
+    never pays.  Events are the denominator, as for the other 2k runs.
+    """
+    graph = generate_platform("leafspine", seed=7)
+    engine = GraphProtocolEngine(
+        graph, ProtocolConfig.interruptible(3), num_tasks,
+        overlay=topology_overlay(graph))
+    return engine.run().events_processed

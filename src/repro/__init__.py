@@ -58,6 +58,12 @@ _LAZY_EXPORTS = {
     # platform model
     "PlatformTree": "repro.platform.tree",
     "TreeNode": "repro.platform.tree",
+    "PlatformGraph": "repro.platform.graph",
+    "Overlay": "repro.platform.graph",
+    "generate_platform": "repro.platform.graph",
+    "LinkContention": "repro.platform.contention",
+    "max_min_rates": "repro.platform.contention",
+    "fair_share_rates": "repro.platform.contention",
     "generate_tree": "repro.platform.generator",
     "TreeGeneratorParams": "repro.platform.generator",
     "Mutation": "repro.platform.mutation",
@@ -77,8 +83,10 @@ _LAZY_EXPORTS = {
     "ForkSolution": "repro.steady_state",
     # protocols
     "simulate": "repro.protocols",
+    "simulate_graph": "repro.protocols",
     "ProtocolConfig": "repro.protocols",
     "ProtocolEngine": "repro.protocols",
+    "GraphProtocolEngine": "repro.protocols",
     "ProtocolVariant": "repro.protocols",
     "PriorityRule": "repro.protocols",
     "SimulationResult": "repro.protocols",

@@ -15,8 +15,9 @@ from typing import Dict, Optional
 
 from ..errors import ExperimentError
 from ..metrics import detect_onset, phase_breakdown, window_rate
-from ..platform import PlatformTree, from_json
-from ..protocols import ProtocolConfig, ProtocolEngine, Tracer
+from ..platform import PlatformGraph, PlatformTree, from_json
+from ..protocols import (GraphProtocolEngine, ProtocolConfig, ProtocolEngine,
+                         Tracer, topology_overlay)
 from ..telemetry.config import TelemetryConfig
 from ..steady_state import (
     allocate,
@@ -39,8 +40,12 @@ PROTOCOL_PRESETS: Dict[str, ProtocolConfig] = {
 }
 
 
-def load_tree(path: str) -> PlatformTree:
-    """Read a platform from a JSON file (see :mod:`repro.platform.serialize`)."""
+def load_tree(path: str):
+    """Read a platform from a JSON file (see :mod:`repro.platform.serialize`).
+
+    Returns a :class:`PlatformTree` or, for ``"kind": "graph"`` documents,
+    a :class:`PlatformGraph`; both CLI subcommands accept either.
+    """
     try:
         with open(path) as handle:
             text = handle.read()
@@ -49,8 +54,20 @@ def load_tree(path: str) -> PlatformTree:
     return from_json(text)
 
 
-def analyze_tree(tree: PlatformTree) -> str:
-    """Full theoretical report for one platform."""
+def _as_overlay_tree(platform):
+    """``(overlay or None, tree the theory runs on)`` for either platform
+    kind.  Graphs analyze/simulate through their shape's protocol overlay;
+    the steady-state numbers are then exact for contention-free shapes and
+    an upper bound where flows share links."""
+    if isinstance(platform, PlatformGraph):
+        overlay = topology_overlay(platform)
+        return overlay, overlay.tree
+    return None, platform
+
+
+def analyze_tree(platform) -> str:
+    """Full theoretical report for one platform (tree or graph)."""
+    overlay, tree = _as_overlay_tree(platform)
     solution = solve_tree(tree)
     allocation = allocate(tree, solution)
     bottlenecks = {b.node: b for b in classify_bottlenecks(tree, solution)}
@@ -83,10 +100,23 @@ def analyze_tree(tree: PlatformTree) -> str:
         ["10% upgrade of", "new weight", "rate gain"],
         upgrade_rows, title="Best single-resource upgrades")
 
-    return node_table + "\n\n" + upgrade_table
+    report = node_table + "\n\n" + upgrade_table
+    if overlay is not None:
+        kind = platform.meta.get("kind", "graph")
+        header = (f"Graph platform ({kind}): {platform.num_nodes} nodes "
+                  f"({len(platform.hosts)} hosts, "
+                  f"{len(platform.switches)} switches), "
+                  f"{platform.num_links} links, "
+                  f"contention={platform.contention}.\n"
+                  f"Analysis below is of the protocol overlay tree "
+                  f"(P<i> = overlay node i, graph host "
+                  f"{', '.join(str(h) for h in overlay.hosts)}); rates "
+                  f"ignore shared-link contention.\n\n")
+        report = header + report
+    return report
 
 
-def simulate_tree(tree: PlatformTree, protocol: str, tasks: int,
+def simulate_tree(platform, protocol: str, tasks: int,
                   telemetry: Optional[TelemetryConfig] = None,
                   telemetry_out: Optional[str] = None) -> str:
     """Run a named protocol preset on the platform and report the outcome.
@@ -106,8 +136,12 @@ def simulate_tree(tree: PlatformTree, protocol: str, tasks: int,
     config = PROTOCOL_PRESETS[protocol]
     if telemetry is not None:
         config = replace(config, telemetry=telemetry)
+    overlay, tree = _as_overlay_tree(platform)
     optimal = solve_tree(tree).rate
-    engine = ProtocolEngine(tree, config, tasks)
+    if overlay is not None:
+        engine = GraphProtocolEngine(platform, config, tasks, overlay=overlay)
+    else:
+        engine = ProtocolEngine(tree, config, tasks)
     tracer = None
     if telemetry_out and not (telemetry_out.endswith(".jsonl")
                               or telemetry_out.endswith(".csv")):
@@ -120,10 +154,14 @@ def simulate_tree(tree: PlatformTree, protocol: str, tasks: int,
     onset = detect_onset(result.completion_times, optimal)
     phases = phase_breakdown(result, optimal)
 
+    # Contended fluid runs can finish at a non-integral (exact Fraction)
+    # virtual time; render those as floats, keep integer steps exact.
+    makespan = (result.makespan if isinstance(result.makespan, int)
+                else fmt_num(float(result.makespan), 2))
     rows = [
         ["protocol", config.label],
         ["tasks", tasks],
-        ["makespan (steps)", result.makespan],
+        ["makespan (steps)", makespan],
         ["optimal rate", fmt_num(float(optimal), 5)],
         ["steady-window rate", fmt_num(float(steady), 5)],
         ["normalized", fmt_num(float(steady / optimal), 4)],

@@ -157,6 +157,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--scale", choices=["default", "smoke", "paper"],
                         default="default",
                         help="preset scale; --trees/--tasks override it")
+    parser.add_argument("--topology",
+                        choices=["tree", "star", "chain", "leafspine"],
+                        default="tree",
+                        help="platform shape per seed: the paper's random "
+                             "trees (default) or star / chain / leaf-spine "
+                             "graph platforms run through the contention-"
+                             "aware graph engine with the shape's protocol "
+                             "adaptation")
     parser.add_argument("--warp", action="store_true",
                         help="enable steady-state warp: fast-forward the "
                              "periodic middle of each run (results are "
@@ -220,6 +228,8 @@ def resolve_scale(args: argparse.Namespace) -> ExperimentScale:
         scale = replace(scale, threshold_window=args.threshold)
     if getattr(args, "warp", False):
         scale = replace(scale, warp=True)
+    if getattr(args, "topology", "tree") != "tree":
+        scale = replace(scale, topology=args.topology)
     telemetry = resolve_telemetry(args)
     if telemetry is not None:
         scale = replace(scale, telemetry=telemetry)

@@ -17,7 +17,9 @@ from ..errors import ExperimentError
 from ..harness import HarnessConfig, RunCoverage, run_seeds
 from ..metrics import default_threshold, detect_onset
 from ..platform.generator import PAPER_DEFAULTS, TreeGeneratorParams, generate_tree
-from ..protocols import ProtocolConfig, simulate
+from ..platform.graph import GRAPH_TOPOLOGIES, generate_platform
+from ..protocols import ProtocolConfig, simulate, simulate_graph
+from ..protocols.topologies import topology_overlay
 from ..steady_state import solve_tree
 from ..telemetry.config import TelemetryConfig
 from ..telemetry.probes import TelemetrySnapshot
@@ -49,12 +51,21 @@ class ExperimentScale:
     #: Mutually exclusive with ``warp`` in effect: probes make the warp
     #: stand down per run, so a warped sweep with telemetry runs exact.
     telemetry: Optional[TelemetryConfig] = None
+    #: Platform shape per seed: ``"tree"`` (the paper's generator, default)
+    #: or one of :data:`~repro.platform.graph.GRAPH_TOPOLOGIES` (``star``,
+    #: ``chain``, ``leafspine``) run through the graph engine with the
+    #: shape's protocol adaptation.  Non-tree sweeps checkpoint separately.
+    topology: str = "tree"
 
     def __post_init__(self):
         if self.trees < 1:
             raise ExperimentError(f"trees must be >= 1, got {self.trees}")
         if self.tasks < 2:
             raise ExperimentError(f"tasks must be >= 2, got {self.tasks}")
+        if self.topology != "tree" and self.topology not in GRAPH_TOPOLOGIES:
+            raise ExperimentError(
+                f"unknown topology {self.topology!r}; choose 'tree' or one "
+                f"of {GRAPH_TOPOLOGIES}")
 
     @property
     def threshold(self) -> int:
@@ -128,8 +139,21 @@ def run_case(seed: int, params: TreeGeneratorParams,
              configs: Sequence[ProtocolConfig], scale: ExperimentScale,
              *, record_buffers: bool = False,
              sample_counts: Sequence[int] = ()) -> TreeCase:
-    """Generate tree ``seed``, run every protocol on it, measure everything."""
-    tree = generate_tree(params, seed=seed)
+    """Generate platform ``seed``, run every protocol on it, measure everything.
+
+    Non-tree topologies run through the graph engine with the shape's
+    protocol adaptation; their optimal-rate reference is the overlay
+    tree's steady-state solution (exact for star/chain, which are
+    contention-free; an upper bound on fabrics where flows share links).
+    """
+    if scale.topology == "tree":
+        graph = None
+        overlay = None
+        tree = generate_tree(params, seed=seed)
+    else:
+        graph = generate_platform(scale.topology, params, seed=seed)
+        overlay = topology_overlay(graph)
+        tree = overlay.tree
     optimal = solve_tree(tree).rate
     outcomes: Dict[str, ConfigOutcome] = {}
     for config in configs:
@@ -137,8 +161,13 @@ def run_case(seed: int, params: TreeGeneratorParams,
             config = replace(config, warp=True)
         if scale.telemetry is not None and config.telemetry is None:
             config = replace(config, telemetry=scale.telemetry)
-        result = simulate(tree, config, scale.tasks,
-                          record_buffer_timeline=record_buffers)
+        if graph is None:
+            result = simulate(tree, config, scale.tasks,
+                              record_buffer_timeline=record_buffers)
+        else:
+            result = simulate_graph(graph, config, scale.tasks,
+                                    overlay=overlay,
+                                    record_buffer_timeline=record_buffers)
         onset = detect_onset(result.completion_times, optimal, scale.threshold)
         samples: Dict[int, Optional[int]] = {}
         if record_buffers:
@@ -216,9 +245,12 @@ def sweep(configs: Sequence[ProtocolConfig], scale: ExperimentScale,
         # ``scale.telemetry`` is included: snapshots live inside the
         # journalled outcomes, so probe-on and probe-off sweeps must not
         # share checkpoints the way warped and exact sweeps do.
+        # ``scale.topology`` joins only when non-default so pre-existing
+        # tree-sweep journals keep their checkpoint digests.
         config_parts=(params, tuple(configs), scale.tasks,
                       scale.threshold, bool(record_buffers),
-                      tuple(sample_counts), scale.telemetry),
+                      tuple(sample_counts), scale.telemetry)
+        + ((scale.topology,) if scale.topology != "tree" else ()),
         harness=harness, workers=workers, progress=progress,
         meta={"scale": {"trees": scale.trees, "tasks": scale.tasks,
                         "base_seed": scale.base_seed,

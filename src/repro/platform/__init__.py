@@ -1,11 +1,25 @@
-"""Platform model: weighted trees, random generation, examples, overlays.
+"""Platform model: weighted trees and graphs, generation, overlays.
 
 The tree model (§2.1 of the paper): nodes are compute resources with
 per-task compute time ``w``, edges are links with per-task transfer time
 ``c`` (input plus returned output).  See :class:`PlatformTree`.
+
+:class:`PlatformGraph` generalizes this to routed graphs with shared-link
+contention (max-min / fair-share allocation; see
+:mod:`repro.platform.contention`); trees embed as the validated special
+case via :meth:`PlatformGraph.from_tree`.
 """
 
 from .tree import PlatformTree, TreeNode
+from .graph import (
+    CONTENTION_MODES,
+    GRAPH_TOPOLOGIES,
+    Overlay,
+    PlatformGraph,
+    build_overlay,
+    generate_platform,
+)
+from .contention import LinkContention, fair_share_rates, max_min_rates
 from .generator import (
     PAPER_DEFAULTS,
     TreeGeneratorParams,
@@ -22,6 +36,15 @@ from . import overlay
 __all__ = [
     "PlatformTree",
     "TreeNode",
+    "PlatformGraph",
+    "Overlay",
+    "build_overlay",
+    "generate_platform",
+    "GRAPH_TOPOLOGIES",
+    "CONTENTION_MODES",
+    "LinkContention",
+    "max_min_rates",
+    "fair_share_rates",
     "TreeGeneratorParams",
     "PAPER_DEFAULTS",
     "generate_tree",

@@ -1,0 +1,235 @@
+"""Shared-link bandwidth allocation for concurrent transfers.
+
+Concurrent flows crossing the same physical link split its capacity.  Two
+policies are provided, both computed in exact :class:`~fractions.Fraction`
+arithmetic so simulation fingerprints stay platform-independent:
+
+* :func:`max_min_rates` — progressive filling (the classic max-min fair
+  allocation used by fluid network models such as SimGrid's): repeatedly
+  raise every unfrozen flow's rate uniformly until some link saturates,
+  freeze that link's flows at the fair-share level, and continue with the
+  capacity that remains.  Saturated links are chosen in ``(fair-share
+  level, link id)`` order — a deterministic tie-break, so the allocation
+  never depends on dict iteration order (the PR 3 workers=1 == workers=N
+  bit-identity invariant extends to graphs).
+* :func:`fair_share_rates` — each flow gets the minimum over its route of
+  ``capacity / crossing-flow-count``.  One pass, no global
+  work-conservation; a useful lower-bound alternative
+  (``contention="fairshare"``).
+
+:class:`LinkContention` is the DES-facing manager: it tracks active flows
+as ``(volume, rate)`` fluid transfers, reallocates on every start/finish,
+and reports which flows actually changed rate so the engine only
+reschedules the timers it must — on a tree-degenerate graph no flow ever
+shares a link, rates never change, and the event calendar stays
+bit-identical to the tree engine's.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import PlatformError
+
+__all__ = ["max_min_rates", "fair_share_rates", "LinkContention"]
+
+FlowId = Hashable
+
+
+def _exact(value) -> object:
+    """Normalize an integral Fraction to int.
+
+    Tree-degenerate runs must stay all-integer so their arithmetic — and
+    therefore their fingerprints — matches the tree engine exactly.
+    """
+    if isinstance(value, Fraction) and value.denominator == 1:
+        return value.numerator
+    return value
+
+
+def max_min_rates(flows: Mapping[FlowId, Sequence[int]],
+                  capacities: Mapping[int, Fraction],
+                  ) -> Dict[FlowId, Fraction]:
+    """Max-min fair rates via progressive filling.
+
+    ``flows`` maps each flow id to the link ids its route crosses;
+    ``capacities`` maps link id to bandwidth.  Each round computes every
+    link's fair-share level ``(capacity - frozen usage) / unfrozen flow
+    count``, saturates the bottleneck — the link minimizing ``(level,
+    link id)`` — and freezes its flows at that level.  Repeats until all
+    flows are frozen.  Runs in O(L · rounds); exact Fractions throughout.
+    """
+    rates: Dict[FlowId, Fraction] = {}
+    if not flows:
+        return rates
+    # Flows on each link, in deterministic (insertion) order of `flows`.
+    link_flows: Dict[int, List[FlowId]] = {}
+    for fid, route in flows.items():
+        if not route:
+            raise PlatformError(f"flow {fid!r} has an empty route")
+        for link in set(route):
+            link_flows.setdefault(link, []).append(fid)
+    frozen_usage: Dict[int, Fraction] = {link: Fraction(0)
+                                         for link in link_flows}
+    unfrozen: Dict[FlowId, Tuple[int, ...]] = {
+        fid: tuple(sorted(set(route))) for fid, route in flows.items()}
+    while unfrozen:
+        counts: Dict[int, int] = {}
+        for route in unfrozen.values():
+            for link in route:
+                counts[link] = counts.get(link, 0) + 1
+        bottleneck: Optional[int] = None
+        level: Optional[Fraction] = None
+        for link in sorted(counts):
+            cap = capacities.get(link)
+            if cap is None:
+                raise PlatformError(f"flow crosses unknown link {link}")
+            share = (cap - frozen_usage[link]) / counts[link]
+            if level is None or share < level:
+                level = share
+                bottleneck = link
+        if level < 0:
+            level = Fraction(0)
+        # Freeze every unfrozen flow crossing the bottleneck at `level`.
+        for fid in link_flows[bottleneck]:
+            route = unfrozen.pop(fid, None)
+            if route is None:
+                continue
+            rates[fid] = level
+            for link in route:
+                frozen_usage[link] += level
+    return rates
+
+
+def fair_share_rates(flows: Mapping[FlowId, Sequence[int]],
+                     capacities: Mapping[int, Fraction],
+                     ) -> Dict[FlowId, Fraction]:
+    """Per-link equal split: rate = min over the route of cap/n_flows."""
+    counts: Dict[int, int] = {}
+    for fid, route in flows.items():
+        if not route:
+            raise PlatformError(f"flow {fid!r} has an empty route")
+        for link in set(route):
+            counts[link] = counts.get(link, 0) + 1
+    rates: Dict[FlowId, Fraction] = {}
+    for fid, route in flows.items():
+        share = None
+        for link in set(route):
+            cap = capacities.get(link)
+            if cap is None:
+                raise PlatformError(f"flow crosses unknown link {link}")
+            s = cap / counts[link]
+            if share is None or s < share:
+                share = s
+        rates[fid] = share
+    return rates
+
+
+_ALLOCATORS = {"maxmin": max_min_rates, "fairshare": fair_share_rates}
+
+
+class _Flow:
+    __slots__ = ("route", "volume", "rate", "since")
+
+    def __init__(self, route: Tuple[int, ...], volume, rate, since):
+        self.route = route
+        self.volume = volume    # remaining volume in tasks
+        self.rate = rate        # current allocated rate (tasks/step)
+        self.since = since      # sim time of the last volume settlement
+
+
+class LinkContention:
+    """Fluid-flow manager for concurrent transfers over shared links.
+
+    The engine registers a flow when a transfer starts and removes it when
+    it finishes (or is preempted); each change triggers a reallocation.
+    Remaining volumes are settled lazily — only flows whose rate actually
+    changes get their volume updated (``volume -= rate × elapsed``) and
+    are reported back so the engine reschedules exactly those timers.
+    Exact Fractions keep every settlement lossless.
+    """
+
+    __slots__ = ("capacities", "_alloc", "_flows",
+                 "reallocations", "rate_changes")
+
+    def __init__(self, capacities: Mapping[int, Fraction],
+                 mode: str = "maxmin"):
+        try:
+            self._alloc = _ALLOCATORS[mode]
+        except KeyError:
+            raise PlatformError(
+                f"unknown contention mode {mode!r}; "
+                f"choose from {tuple(_ALLOCATORS)}") from None
+        self.capacities = dict(capacities)
+        self._flows: Dict[FlowId, _Flow] = {}
+        self.reallocations = 0      # allocator invocations (telemetry)
+        self.rate_changes = 0       # flows whose rate changed mid-flight
+
+    def __len__(self) -> int:
+        return len(self._flows)
+
+    def __contains__(self, fid: FlowId) -> bool:
+        return fid in self._flows
+
+    def rate_of(self, fid: FlowId):
+        return self._flows[fid].rate
+
+    def remaining_volume(self, fid: FlowId, now):
+        """Remaining volume of a flow at sim time ``now`` (not settled)."""
+        flow = self._flows[fid]
+        return _exact(flow.volume - flow.rate * (now - flow.since))
+
+    def start(self, fid: FlowId, route: Sequence[int], volume,
+              now) -> List[Tuple[FlowId, object, object]]:
+        """Register a flow; returns rate updates (see :meth:`_reallocate`).
+
+        The new flow itself is always included in the updates with its
+        initial rate and full volume.
+        """
+        if fid in self._flows:
+            raise PlatformError(f"flow {fid!r} already active")
+        flow = _Flow(tuple(route), volume, Fraction(0), now)
+        self._flows[fid] = flow
+        updates = self._reallocate(now)
+        if all(u[0] != fid for u in updates):
+            updates.append((fid, flow.rate, _exact(flow.volume)))
+        return updates
+
+    def finish(self, fid: FlowId, now) -> List[Tuple[FlowId, object, object]]:
+        """Remove a completed/preempted flow; reallocate the survivors."""
+        if fid not in self._flows:
+            raise PlatformError(f"no active flow {fid!r}")
+        del self._flows[fid]
+        return self._reallocate(now)
+
+    def pause(self, fid: FlowId, now):
+        """Remove a flow mid-flight; returns ``(remaining_volume,
+        updates)`` so the engine can shelve the leftover volume."""
+        remaining = self.remaining_volume(fid, now)
+        updates = self.finish(fid, now)
+        return remaining, updates
+
+    def _reallocate(self, now) -> List[Tuple[FlowId, object, object]]:
+        """Re-run the allocator; settle and report rate-changed flows.
+
+        Returns ``[(flow id, new rate, remaining volume), ...]`` for every
+        flow whose rate differs from before.  Untouched flows keep their
+        timers — the bit-identity lever for tree-degenerate graphs.
+        """
+        self.reallocations += 1
+        routes = {fid: flow.route for fid, flow in self._flows.items()}
+        new_rates = self._alloc(routes, self.capacities)
+        updates: List[Tuple[FlowId, object, object]] = []
+        for fid, flow in self._flows.items():
+            new_rate = _exact(new_rates[fid])
+            if new_rate == flow.rate:
+                continue
+            if flow.rate:  # settle progress made at the old rate
+                flow.volume = _exact(flow.volume
+                                     - flow.rate * (now - flow.since))
+                self.rate_changes += 1
+            flow.rate = new_rate
+            flow.since = now
+            updates.append((fid, new_rate, _exact(flow.volume)))
+        return updates

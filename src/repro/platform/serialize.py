@@ -1,55 +1,100 @@
-"""Serialization of platform trees: JSON round-trips and Graphviz export.
+"""Serialization of platforms: JSON round-trips and Graphviz export.
 
-The JSON schema is intentionally boring and stable::
+The tree JSON schema is intentionally boring and stable::
 
     {"root": 0,
      "nodes": [{"id": 0, "w": 4}, ...],
      "edges": [{"parent": 0, "child": 1, "c": 1}, ...]}
 
 so ensembles can be archived, diffed and shared between experiment runs.
+Platform graphs use a sibling schema distinguished by ``"kind": "graph"``
+(switches carry ``"w": null``; link ids are implicit in array order,
+which is part of a graph's identity — see the max-min tie-break)::
+
+    {"kind": "graph", "root": 0, "contention": "maxmin",
+     "nodes": [{"id": 0, "w": 4}, {"id": 3, "w": null}, ...],
+     "links": [{"u": 0, "v": 3, "c": 2}, ...],
+     "meta": {"kind": "leafspine", ...}}
+
+:func:`from_dict`/:func:`from_json` dispatch on ``"kind"`` — documents
+without it stay trees, so every pre-existing archive still loads.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Any, Dict
+from typing import Any, Dict, Union
 
 from ..errors import PlatformError
+from .graph import PlatformGraph
 from .tree import PlatformTree
 
 __all__ = ["to_dict", "from_dict", "to_json", "from_json", "to_dot"]
 
+Platform = Union[PlatformTree, PlatformGraph]
 
-def to_dict(tree: PlatformTree) -> Dict[str, Any]:
-    """Plain-data representation of ``tree``."""
+
+def to_dict(platform: Platform) -> Dict[str, Any]:
+    """Plain-data representation of a tree or graph platform."""
+    if isinstance(platform, PlatformGraph):
+        doc: Dict[str, Any] = {
+            "kind": "graph",
+            "root": platform.root,
+            "contention": platform.contention,
+            "nodes": [{"id": i, "w": platform.w[i]}
+                      for i in range(platform.num_nodes)],
+            "links": [{"u": u, "v": v, "c": c}
+                      for _i, u, v, c in platform.links()],
+        }
+        if platform.meta:
+            doc["meta"] = dict(platform.meta)
+        return doc
     return {
-        "root": tree.root,
-        "nodes": [{"id": i, "w": tree.w[i]} for i in range(tree.num_nodes)],
-        "edges": [{"parent": p, "child": ch, "c": c} for p, ch, c in tree.edges()],
+        "root": platform.root,
+        "nodes": [{"id": i, "w": platform.w[i]}
+                  for i in range(platform.num_nodes)],
+        "edges": [{"parent": p, "child": ch, "c": c}
+                  for p, ch, c in platform.edges()],
     }
 
 
-def from_dict(data: Dict[str, Any]) -> PlatformTree:
-    """Rebuild a tree from :func:`to_dict` output (validating as it goes)."""
+def _nodes_to_weights(data: Dict[str, Any]) -> list:
+    nodes = sorted(data["nodes"], key=lambda nd: nd["id"])
+    expected_ids = list(range(len(nodes)))
+    if [nd["id"] for nd in nodes] != expected_ids:
+        raise PlatformError(f"node ids must be 0..{len(nodes) - 1}")
+    return [nd["w"] for nd in nodes]
+
+
+def from_dict(data: Dict[str, Any]) -> Platform:
+    """Rebuild a platform from :func:`to_dict` output (validating as it
+    goes).  ``"kind": "graph"`` yields a :class:`PlatformGraph`; anything
+    else (including legacy documents with no ``kind``) a
+    :class:`PlatformTree`."""
+    kind = data.get("kind", "tree") if isinstance(data, dict) else "tree"
     try:
-        nodes = sorted(data["nodes"], key=lambda nd: nd["id"])
-        expected_ids = list(range(len(nodes)))
-        if [nd["id"] for nd in nodes] != expected_ids:
-            raise PlatformError(f"node ids must be 0..{len(nodes) - 1}")
-        w = [nd["w"] for nd in nodes]
+        if kind == "graph":
+            w = _nodes_to_weights(data)
+            links = [(l["u"], l["v"], l["c"]) for l in data["links"]]
+            return PlatformGraph(w, links, root=data["root"],
+                                 contention=data.get("contention", "maxmin"),
+                                 meta=data.get("meta"))
+        if kind != "tree":
+            raise PlatformError(f"unknown platform kind {kind!r}")
+        w = _nodes_to_weights(data)
         edges = [(e["parent"], e["child"], e["c"]) for e in data["edges"]]
         root = data["root"]
     except (KeyError, TypeError) as exc:
-        raise PlatformError(f"malformed tree document: {exc!r}") from exc
+        raise PlatformError(f"malformed platform document: {exc!r}") from exc
     return PlatformTree(w, edges, root=root)
 
 
-def to_json(tree: PlatformTree, *, indent: int = None) -> str:
-    """JSON text for ``tree``."""
-    return json.dumps(to_dict(tree), indent=indent)
+def to_json(platform: Platform, *, indent: int = None) -> str:
+    """JSON text for a tree or graph platform."""
+    return json.dumps(to_dict(platform), indent=indent)
 
 
-def from_json(text: str) -> PlatformTree:
+def from_json(text: str) -> Platform:
     """Parse JSON text produced by :func:`to_json`."""
     try:
         data = json.loads(text)
@@ -58,13 +103,30 @@ def from_json(text: str) -> PlatformTree:
     return from_dict(data)
 
 
-def to_dot(tree: PlatformTree, *, name: str = "platform") -> str:
-    """Graphviz DOT text: nodes labelled ``P<i> w=<w>``, edges with ``c``."""
+def to_dot(platform: Platform, *, name: str = "platform") -> str:
+    """Graphviz DOT text.
+
+    Trees render as a digraph (``P<i> w=<w>`` nodes, edges labelled
+    ``c``); graphs as an undirected graph with box-shaped switches.
+    """
+    if isinstance(platform, PlatformGraph):
+        lines = [f"graph {name} {{", "  layout=neato;"]
+        for i in range(platform.num_nodes):
+            if platform.w[i] is None:
+                lines.append(f'  n{i} [label="S{i}" shape=box];')
+            else:
+                shape = ("doublecircle" if i == platform.root else "circle")
+                lines.append(
+                    f'  n{i} [label="P{i}\\nw={platform.w[i]}" shape={shape}];')
+        for _i, u, v, cost in platform.links():
+            lines.append(f'  n{u} -- n{v} [label="{cost}"];')
+        lines.append("}")
+        return "\n".join(lines)
     lines = [f"digraph {name} {{", "  rankdir=TB;"]
-    for i in range(tree.num_nodes):
-        shape = "doublecircle" if i == tree.root else "circle"
-        lines.append(f'  n{i} [label="P{i}\\nw={tree.w[i]}" shape={shape}];')
-    for parent, child, cost in tree.edges():
+    for i in range(platform.num_nodes):
+        shape = "doublecircle" if i == platform.root else "circle"
+        lines.append(f'  n{i} [label="P{i}\\nw={platform.w[i]}" shape={shape}];')
+    for parent, child, cost in platform.edges():
         lines.append(f'  n{parent} -> n{child} [label="{cost}"];')
     lines.append("}")
     return "\n".join(lines)

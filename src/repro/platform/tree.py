@@ -126,15 +126,50 @@ class PlatformTree:
             self.children[parent].append(child)
             edge_count += 1
 
-        if edge_count != n - 1:
+        # Reachability first: a disconnected component — whether a
+        # self-consistent extra tree (forest) or a cycle — shows up as
+        # nodes the root cannot reach, and naming them beats a generic
+        # edge-count complaint.
+        reached = set(self.bfs_order())
+        if len(reached) != n:
+            unreachable = sorted(set(range(n)) - reached)
+            raise PlatformError(
+                f"edges do not form a single tree: nodes unreachable from "
+                f"root {root}: {unreachable}")
+        if edge_count != n - 1:  # backstop; single-parent rule makes this rare
             raise PlatformError(
                 f"a tree on {n} nodes needs exactly {n - 1} edges, got {edge_count}")
-        # Exactly n-1 edges and every non-root node has one parent; cycles
-        # would leave some node unreachable — verify by traversal.
-        if len(list(self.bfs_order())) != n:
-            raise PlatformError("edges do not form a single tree rooted at the root")
 
     # ----------------------------------------------------------- factories
+    @classmethod
+    def from_edges(cls, edges: Iterable[Tuple[int, int, Weight]],
+                   w, root: int = 0) -> "PlatformTree":
+        """Build a tree from an edge list plus per-node weights.
+
+        ``w`` may be a sequence indexed by node id or a mapping
+        ``id → weight``; the node count is inferred from the weights and
+        the edge endpoints.  Connectivity is checked by root-reachability
+        BFS (in the constructor), so a forest — an extra component that is
+        internally self-consistent — is rejected with a
+        :class:`PlatformError` naming the unreachable nodes rather than a
+        misleading edge-count/cycle complaint.
+        """
+        edges = list(edges)
+        if isinstance(w, dict):
+            ids = set(w)
+            for p, ch, _c in edges:
+                ids.add(p)
+                ids.add(ch)
+            ids.add(root)
+            n = max(ids) + 1
+            missing = sorted(i for i in range(n) if i not in w)
+            if missing:
+                raise PlatformError(f"missing weights for nodes {missing}")
+            weights = [w[i] for i in range(n)]
+        else:
+            weights = list(w)
+        return cls(weights, edges, root=root)
+
     @classmethod
     def single_node(cls, w: Weight) -> "PlatformTree":
         """A platform consisting of only the repository node."""

@@ -11,7 +11,14 @@ High-level entry point::
 from .config import PriorityRule, ProtocolConfig, ProtocolVariant
 from .agents import NodeAgent, Transfer
 from .engine import ProtocolEngine, simulate
+from .graph_engine import GraphNodeAgent, GraphProtocolEngine, simulate_graph
 from .result import SimulationResult
+from .topologies import (
+    chain_relay_config,
+    leaf_spine_overlay,
+    star_service_order,
+    topology_overlay,
+)
 from .trace import Tracer, TraceEvent, ascii_gantt
 from . import trace
 
@@ -20,10 +27,17 @@ __all__ = [
     "ProtocolVariant",
     "PriorityRule",
     "ProtocolEngine",
+    "GraphProtocolEngine",
     "NodeAgent",
+    "GraphNodeAgent",
     "Transfer",
     "SimulationResult",
     "simulate",
+    "simulate_graph",
+    "star_service_order",
+    "chain_relay_config",
+    "leaf_spine_overlay",
+    "topology_overlay",
     "Tracer",
     "TraceEvent",
     "ascii_gantt",

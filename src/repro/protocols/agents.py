@@ -409,7 +409,7 @@ class NodeAgent:
             child.requested -= 1
             self.child_requests -= 1
             child.incoming += 1
-            transfer = Transfer(child, child.c)
+            transfer = self._new_transfer(child)
             self.transfers_started += 1
             if tracer is not None:
                 tracer.record(self.env.now, _trace.SEND_START,
@@ -417,6 +417,16 @@ class NodeAgent:
         elif tracer is not None:
             tracer.record(self.env.now, _trace.SEND_RESUME,
                           self.id, child.id)
+        self._begin_leg(transfer)
+
+    def _new_transfer(self, child: "NodeAgent") -> Transfer:
+        """Fresh outgoing transfer; ``remaining`` is the edge's full cost.
+        (Graph agents override: their ``remaining`` is a fluid *volume*.)"""
+        return Transfer(child, child.c)
+
+    def _begin_leg(self, transfer: Transfer) -> None:
+        """Put ``transfer`` on the port and schedule its completion.
+        (Graph agents override to route through the contention manager.)"""
         env = self.env
         transfer.started_at = env.now
         transfer.timer = env.call_in(transfer.remaining, self._send_done, transfer)

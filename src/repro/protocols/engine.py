@@ -53,6 +53,14 @@ class _RecorderFanout:
 class ProtocolEngine:
     """One simulation of ``num_tasks`` independent tasks on ``tree``."""
 
+    #: Agent type built per node — the graph engine substitutes its
+    #: contention-aware subclass without re-plumbing the assembly code.
+    _agent_class = NodeAgent
+    #: Whether the steady-state warp is sound on this engine.  Shared-link
+    #: contention breaks the quiescent-periodicity argument, so the graph
+    #: engine stands warp down.
+    _supports_warp = True
+
     def __init__(self, tree: PlatformTree, config: ProtocolConfig,
                  num_tasks: int,
                  mutations: Optional[MutationSchedule] = None,
@@ -161,8 +169,9 @@ class ProtocolEngine:
     def _build_agents(self) -> None:
         tree, config = self.tree, self.config
         for node_id in range(tree.num_nodes):
-            agent = NodeAgent(self, node_id, tree.w[node_id], tree.c[node_id],
-                              config, is_root=(node_id == tree.root))
+            agent = self._agent_class(self, node_id, tree.w[node_id],
+                                      tree.c[node_id], config,
+                                      is_root=(node_id == tree.root))
             self.nodes.append(agent)
         for node_id in range(tree.num_nodes):
             agent = self.nodes[node_id]
@@ -389,7 +398,12 @@ class ProtocolEngine:
             # The warp is sound only for the quiescent base model: any
             # dynamic platform schedule breaks periodicity, and tracing
             # observes the very events the warp would skip.
-            if self.mutations or self.churn or self.faults:
+            if not self._supports_warp:
+                self._warp_summary = WarpSummary(
+                    applied=False,
+                    reason="disabled: shared-link contention breaks "
+                           "periodicity")
+            elif self.mutations or self.churn or self.faults:
                 self._warp_summary = WarpSummary(
                     applied=False,
                     reason="disabled: dynamic platform schedule active")

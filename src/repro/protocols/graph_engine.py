@@ -1,0 +1,188 @@
+"""Protocol engine for graph platforms: overlays plus link contention.
+
+The autonomous protocols are defined on trees, so a graph run has two
+halves:
+
+* an **overlay** — a spanning tree over the graph's *hosts*
+  (:class:`~repro.platform.graph.Overlay`), on which the unmodified
+  protocol logic runs (priorities, buffers, growth, preemption: all of
+  :class:`~repro.protocols.agents.NodeAgent`);
+* a **fluid transfer model** — each overlay send is a flow of volume one
+  task over the physical route behind the overlay edge, and concurrent
+  flows sharing a link split its bandwidth per the graph's contention
+  mode (:class:`~repro.platform.contention.LinkContention`).
+
+:class:`GraphNodeAgent` overrides exactly the three scheduling touch
+points where a tree agent talks to the calendar (start a leg, finish a
+leg, preempt a leg) and routes them through the contention manager; the
+manager reports back only the flows whose rate actually changed, and only
+those timers are rescheduled.  On a tree expressed as a graph every link
+carries at most one flow (the single send port serializes a parent's
+transfers), so no rate ever changes, no timer is ever rescheduled, and
+the event calendar — hence :meth:`SimulationResult.fingerprint` — is
+bit-identical to the tree engine's.  That equivalence is the correctness
+anchor for everything else this engine does, and is enforced by
+``tests/protocols/test_graph_equivalence.py`` plus the CI
+topology-equivalence job.
+
+Dynamic platform schedules (mutations, churn, faults) and the
+steady-state warp are tree-engine features; the graph engine rejects the
+former and stands the warp down.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import List, Optional, Union
+
+from ..errors import ProtocolError
+from ..platform.contention import LinkContention, _exact
+from ..platform.graph import Overlay, PlatformGraph
+from ..platform.tree import PlatformTree
+from . import trace as _trace
+from .agents import NodeAgent, Transfer
+from .config import ProtocolConfig
+from .engine import ProtocolEngine
+from .result import SimulationResult
+
+__all__ = ["GraphNodeAgent", "GraphProtocolEngine", "simulate_graph"]
+
+
+def _leg_duration(volume, rate):
+    """Time to drain ``volume`` at ``rate``, exactly (never float)."""
+    if not isinstance(volume, Fraction):
+        volume = Fraction(volume)
+    return _exact(volume / rate)
+
+
+class GraphNodeAgent(NodeAgent):
+    """A protocol agent whose transfers are fluid flows on a graph.
+
+    ``Transfer.remaining`` holds the flow's remaining *volume* in tasks
+    (a full send starts at 1) instead of the tree agent's remaining
+    *time*; with one flow per link the two are related by the constant
+    link rate, which is why every inherited decision rule (including the
+    preemption let-it-finish test) carries over unchanged.
+    """
+
+    __slots__ = ("route",)
+
+    def _new_transfer(self, child: "GraphNodeAgent") -> Transfer:
+        return Transfer(child, 1)  # volume: one task
+
+    def _begin_leg(self, transfer: Transfer) -> None:
+        engine = self.engine
+        self.current_transfer = transfer
+        updates = engine.contention.start(
+            transfer, transfer.child.route, transfer.remaining, self.env.now)
+        engine._apply_rate_updates(updates)
+
+    def _send_done(self, transfer: Transfer) -> None:
+        transfer.timer = None
+        updates = self.engine.contention.finish(transfer, self.env.now)
+        # Survivors speed up before the arrival cascade can start new
+        # flows, so the cascade allocates against settled state.
+        self.engine._apply_rate_updates(updates)
+        super()._send_done(transfer)
+
+    def _maybe_preempt(self) -> None:
+        current = self.current_transfer
+        if current is None:
+            return
+        best = self._choose_next()
+        if best is None or best is current.child:
+            return
+        if best.prio_key >= current.child.prio_key:
+            return
+        engine = self.engine
+        env = self.env
+        if engine.contention.remaining_volume(current, env.now) <= 0:
+            # The flow's completion timer is due this very timestep (it
+            # just has a later calendar sequence number): let it finish.
+            return
+        remaining, updates = engine.contention.pause(current, env.now)
+        current.timer.cancel()
+        current.remaining = remaining
+        current.started_at = None
+        current.timer = None
+        self.shelf[current.child.id] = current
+        self.current_transfer = None
+        self.preemptions += 1
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.record(env.now, _trace.PREEMPT, self.id, current.child.id)
+        engine._apply_rate_updates(updates)
+        self.try_send()
+
+
+class GraphProtocolEngine(ProtocolEngine):
+    """One simulation of ``num_tasks`` tasks on a :class:`PlatformGraph`.
+
+    Accepts a graph (or a plain tree, embedded via
+    :meth:`PlatformGraph.from_tree`) and an optional overlay; without one
+    the graph's default relay overlay is used.  The protocol runs on the
+    overlay tree — result fields indexed "per node" are per *overlay*
+    node, and :attr:`overlay` maps them back to graph hosts (telemetry's
+    per-node lanes inherit the same dense overlay ids).
+    """
+
+    _agent_class = GraphNodeAgent
+    _supports_warp = False
+
+    def __init__(self, platform: Union[PlatformGraph, PlatformTree],
+                 config: ProtocolConfig, num_tasks: int,
+                 overlay: Optional[Overlay] = None,
+                 record_buffer_timeline: bool = False,
+                 record_completion_times: bool = True):
+        if isinstance(platform, PlatformTree):
+            platform = PlatformGraph.from_tree(platform)
+        self.graph = platform
+        self.overlay = overlay if overlay is not None else platform.overlay()
+        self.contention = LinkContention(platform.link_capacities(),
+                                         platform.contention)
+        super().__init__(self.overlay.tree, config, num_tasks,
+                         record_buffer_timeline=record_buffer_timeline,
+                         record_completion_times=record_completion_times)
+        routes = self.overlay.routes
+        for agent in self.nodes:
+            agent.route = routes[agent.id]
+
+    def _apply_rate_updates(self, updates) -> None:
+        """Reschedule the completion timer of every rate-changed flow.
+
+        ``updates`` is the contention manager's ``[(transfer, rate,
+        remaining volume), ...]``; the sender of a flow is always the
+        overlay parent of its destination, which owns the timer.
+        """
+        env = self.env
+        for transfer, rate, volume in updates:
+            if transfer.timer is not None:
+                transfer.timer.cancel()
+            transfer.remaining = volume
+            transfer.started_at = env.now
+            sender = transfer.child.parent
+            duration = _leg_duration(volume, rate) if volume > 0 else 0
+            transfer.timer = env.call_in(duration, sender._send_done, transfer)
+
+
+def simulate_graph(platform: Union[PlatformGraph, PlatformTree],
+                   config: ProtocolConfig, num_tasks: int, *,
+                   overlay: Optional[Overlay] = None,
+                   record_buffer_timeline: bool = False,
+                   record_completion_times: bool = True) -> SimulationResult:
+    """Run one protocol simulation on a graph platform.
+
+    With no explicit ``overlay``, the platform's generator shape picks its
+    protocol adaptation via
+    :func:`repro.protocols.topologies.topology_overlay` (e.g. per-leaf
+    head election on leaf-spine fabrics); pass an overlay to override.
+    """
+    if overlay is None:
+        from .topologies import topology_overlay
+        if isinstance(platform, PlatformGraph):
+            overlay = topology_overlay(platform)
+    engine = GraphProtocolEngine(
+        platform, config, num_tasks, overlay=overlay,
+        record_buffer_timeline=record_buffer_timeline,
+        record_completion_times=record_completion_times)
+    return engine.run()

@@ -1,0 +1,111 @@
+"""Per-topology protocol adaptations for graph platforms.
+
+The bandwidth-centric protocol is shape-agnostic — any overlay tree works
+— but each generator shape has a natural adaptation:
+
+* **star** — the overlay is a one-level fork, so the bandwidth-centric
+  port schedule *degenerates to serving workers in ascending link-cost
+  order* (:func:`star_service_order` exposes that order; it is exactly
+  the sorted-by-``c`` list of the one-port star-scheduling literature);
+* **chain** — the relay overlay makes every intermediate host a
+  store-and-forward agent; :func:`chain_relay_config` arms such relays
+  with buffer growth so a fast deep segment is not starved by a slow
+  upstream hop (the paper's §3.1 growth rules, which exist for exactly
+  this deep-path pipelining);
+* **leaf-spine** — :func:`leaf_spine_overlay` elects a *head* host per
+  leaf (lowest id in the rack) to aggregate the rack's traffic: the
+  repository feeds heads, heads feed rack-mates, and cross-fabric flows
+  are one per rack instead of one per host, which is what keeps the
+  shared spine links from drowning in max-min reallocation churn.
+
+:func:`topology_overlay` dispatches on the generator shape recorded in
+``graph.meta`` and is what :func:`~repro.protocols.graph_engine.simulate_graph`
+uses when no explicit overlay is given.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import List
+
+from ..errors import PlatformError
+from ..platform.graph import Overlay, PlatformGraph, build_overlay
+from .config import ProtocolConfig
+
+__all__ = ["star_service_order", "chain_relay_config", "leaf_spine_overlay",
+           "topology_overlay"]
+
+
+def star_service_order(graph: PlatformGraph) -> List[int]:
+    """Workers of a star in the order the root's port serves them.
+
+    One-hop bandwidth-centric ordering degenerates to sorting by link
+    cost (ties by node id) — the returned ids are *graph* host ids.
+    """
+    root = graph.root
+    workers = []
+    for h in graph.hosts:
+        if h == root:
+            continue
+        link = graph.adj[root].get(h)
+        if link is None:
+            raise PlatformError(
+                f"host {h} is not a direct neighbour of the root — not a star")
+        workers.append((graph.link_c[link], h))
+    return [h for _c, h in sorted(workers)]
+
+
+def chain_relay_config(base: ProtocolConfig) -> ProtocolConfig:
+    """Adapt a protocol config for store-and-forward relay chains.
+
+    Every interior chain host both computes and forwards, so its buffer
+    pool must cover the pipeline depth; growth (rules 1–3) discovers that
+    depth autonomously.  Fixed-buffer configs are given growth with the
+    original pool size as the floor; growing configs pass through.
+    """
+    if base.buffer_growth:
+        return base
+    return replace(base, buffer_growth=True)
+
+
+def leaf_spine_overlay(graph: PlatformGraph) -> Overlay:
+    """Two-level overlay for leaf-spine fabrics via per-leaf head election.
+
+    Each rack's lowest-id host becomes its head; the repository serves
+    heads, each head serves its rack-mates.  Rack membership is read from
+    the physical adjacency (a host's unique access switch), so the
+    election also works on hand-built fabrics without generator ``meta``.
+    """
+    root = graph.root
+    rack_of = {}
+    for h in graph.hosts:
+        access = [v for v in sorted(graph.adj[h]) if graph.w[v] is None]
+        if len(access) != 1:
+            raise PlatformError(
+                f"host {h} has {len(access)} switch links — not a "
+                f"single-homed leaf-spine fabric")
+        rack_of[h] = access[0]
+    heads = {}
+    for h in sorted(graph.hosts):
+        heads.setdefault(rack_of[h], h)
+    # The repository's rack is headed by the repository itself.
+    heads[rack_of[root]] = root
+    parent_of = {}
+    for h in graph.hosts:
+        if h == root:
+            continue
+        head = heads[rack_of[h]]
+        parent_of[h] = root if h == head else head
+    return build_overlay(graph, parent_of)
+
+
+def topology_overlay(graph: PlatformGraph) -> Overlay:
+    """The shape-appropriate overlay for a generated platform.
+
+    Leaf-spine fabrics get the head-election overlay; every other shape
+    (star, chain, embedded trees, hand-built graphs) uses the default
+    relay overlay, which already is the natural adaptation there.
+    """
+    if graph.meta.get("kind") == "leafspine":
+        return leaf_spine_overlay(graph)
+    return graph.overlay()

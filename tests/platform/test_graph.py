@@ -1,0 +1,292 @@
+"""Tests for the PlatformGraph model: construction, routing, overlays."""
+
+import pytest
+
+from repro.errors import PlatformError
+from repro.platform import (
+    PlatformGraph,
+    PlatformTree,
+    from_json,
+    generate_platform,
+    to_dict,
+    to_dot,
+    to_json,
+)
+
+
+@pytest.fixture
+def diamond():
+    #       0 (w=2)
+    #     1/   \2        link0: 0-1, link1: 0-2
+    #    1(w=3) 2(w=4)
+    #     2\   /1        link2: 1-3, link3: 2-3
+    #       3 (w=5)
+    return PlatformGraph([2, 3, 4, 5],
+                         [(0, 1, 1), (0, 2, 2), (1, 3, 2), (2, 3, 1)])
+
+
+class TestConstruction:
+    def test_basic_shape(self, diamond):
+        assert diamond.num_nodes == 4
+        assert diamond.num_links == 4
+        assert diamond.hosts == [0, 1, 2, 3]
+        assert diamond.switches == []
+        assert diamond.adj[0] == {1: 0, 2: 1}
+        assert list(diamond.links())[3] == (3, 2, 3, 1)
+
+    def test_empty_rejected(self):
+        with pytest.raises(PlatformError):
+            PlatformGraph([], [])
+
+    def test_root_out_of_range(self):
+        with pytest.raises(PlatformError):
+            PlatformGraph([1, 1], [(0, 1, 1)], root=5)
+
+    def test_switch_root_rejected(self):
+        with pytest.raises(PlatformError, match="switch"):
+            PlatformGraph([None, 1], [(0, 1, 1)], root=0)
+
+    def test_zero_and_negative_weight_rejected(self):
+        # Guarded at construction: a zero weight would become a
+        # ZeroDivisionError (or an instantaneous transfer) in the engine.
+        with pytest.raises(PlatformError):
+            PlatformGraph([0], [])
+        with pytest.raises(PlatformError):
+            PlatformGraph([1, -2], [(0, 1, 1)])
+
+    def test_zero_and_negative_link_cost_rejected(self):
+        with pytest.raises(PlatformError):
+            PlatformGraph([1, 1], [(0, 1, 0)])
+        with pytest.raises(PlatformError):
+            PlatformGraph([1, 1], [(0, 1, -3)])
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(PlatformError, match="self-loop"):
+            PlatformGraph([1, 1], [(0, 1, 1), (1, 1, 1)])
+
+    def test_parallel_link_rejected(self):
+        with pytest.raises(PlatformError, match="parallel"):
+            PlatformGraph([1, 1], [(0, 1, 1), (1, 0, 2)])
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(PlatformError, match="unknown node"):
+            PlatformGraph([1, 1], [(0, 7, 1)])
+
+    def test_unreachable_nodes_named(self):
+        with pytest.raises(PlatformError, match=r"\[2, 3\]"):
+            PlatformGraph([1, 1, 1, 1], [(0, 1, 1), (2, 3, 1)])
+
+    def test_unknown_contention_mode_rejected(self):
+        with pytest.raises(PlatformError, match="contention"):
+            PlatformGraph([1], [], contention="tcp")
+
+    def test_switches_carry_no_weight(self):
+        g = PlatformGraph([1, None, 2], [(0, 1, 1), (1, 2, 1)])
+        assert g.hosts == [0, 2]
+        assert g.switches == [1]
+
+    def test_capacity_is_inverse_cost(self, diamond):
+        from fractions import Fraction
+        assert diamond.capacity(1) == Fraction(1, 2)
+        assert diamond.link_capacities()[0] == 1
+
+
+class TestMutation:
+    def test_set_link_cost(self, diamond):
+        diamond.set_link_cost(0, 9)
+        assert diamond.link_c[0] == 9
+
+    def test_set_link_cost_guards(self, diamond):
+        with pytest.raises(PlatformError):
+            diamond.set_link_cost(0, 0)
+        with pytest.raises(PlatformError):
+            diamond.set_link_cost(99, 1)
+
+    def test_set_link_cost_invalidates_routes(self, diamond):
+        assert diamond.route(0, 3) == (0, 2)
+        diamond.set_link_cost(0, 10)
+        assert diamond.route(0, 3) == (1, 3)
+
+    def test_set_compute_weight_guards(self, diamond):
+        diamond.set_compute_weight(1, 7)
+        assert diamond.w[1] == 7
+        with pytest.raises(PlatformError):
+            diamond.set_compute_weight(1, 0)
+        with pytest.raises(PlatformError):
+            diamond.set_compute_weight(99, 1)
+        switch = PlatformGraph([1, None, 2], [(0, 1, 1), (1, 2, 1)])
+        with pytest.raises(PlatformError, match="switch"):
+            switch.set_compute_weight(1, 3)
+
+    def test_copy_is_independent(self, diamond):
+        clone = diamond.copy()
+        clone.set_link_cost(0, 50)
+        clone.set_compute_weight(0, 99)
+        assert diamond.link_c[0] == 1
+        assert diamond.w[0] == 2
+        assert clone == clone.copy()
+
+    def test_equality_and_hash(self, diamond):
+        clone = diamond.copy()
+        assert clone == diamond
+        assert hash(clone) == hash(diamond)
+        clone.set_link_cost(0, 3)
+        assert clone != diamond
+        assert diamond.__eq__("nope") is NotImplemented
+
+
+class TestRouting:
+    def test_shortest_by_cost(self, diamond):
+        # 0→3 via 1: cost 1+2=3; via 2: 2+1=3 — tie broken by fewer hops
+        # (equal) then lowest node id: the path through node 1 wins.
+        assert diamond.route(0, 3) == (0, 2)
+
+    def test_route_endpoints_validated(self, diamond):
+        with pytest.raises(PlatformError):
+            diamond.route(0, 99)
+
+    def test_route_to_self_empty(self, diamond):
+        assert diamond.route(2, 2) == ()
+
+    def test_route_cost_is_bottleneck(self, diamond):
+        assert diamond.route_cost((0, 2)) == 2
+        assert diamond.route_cost(()) == 0
+
+    def test_hop_count_breaks_cost_ties(self):
+        # 0-3 direct (cost 2) vs 0-1-3 (1+1=2): same cost, fewer hops wins.
+        g = PlatformGraph([1, 1, 1, 1],
+                          [(0, 1, 1), (1, 3, 1), (0, 3, 2), (0, 2, 1)])
+        assert g.route(0, 3) == (2,)
+
+
+class TestOverlay:
+    def test_tree_roundtrip_is_identity(self):
+        tree = PlatformTree([4, 2, 6, 8], [(0, 1, 1), (0, 2, 3), (2, 3, 5)])
+        overlay = PlatformGraph.from_tree(tree).overlay()
+        assert overlay.tree == tree
+        assert overlay.hosts == (0, 1, 2, 3)
+        assert overlay.routes == ((), (0,), (1,), (2,))
+
+    def test_nonzero_root_tree_relabelled(self):
+        tree = PlatformTree([1, 2], [(1, 0, 3)], root=1)
+        overlay = PlatformGraph.from_tree(tree).overlay()
+        # Overlay ids: root first, then ascending graph id.
+        assert overlay.hosts == (1, 0)
+        assert overlay.tree.root == 0
+        assert overlay.tree.w == [2, 1]
+
+    def test_relay_rule_on_chain(self):
+        g = PlatformGraph.chain([1, 2, 3], [10, 20])
+        overlay = g.overlay()
+        # Every interior host is a store-and-forward agent.
+        assert overlay.tree.parent == [None, 0, 1]
+        assert overlay.tree.c == [0, 10, 20]
+
+    def test_switch_interior_collapses_to_fork(self):
+        # Hosts hang off a switch: the relay overlay is a one-level fork
+        # under the root, with bottleneck route costs as edge weights.
+        g = PlatformGraph([2, None, 3, 4],
+                          [(0, 1, 1), (1, 2, 5), (1, 3, 2)])
+        overlay = g.overlay()
+        assert overlay.tree.parent == [None, 0, 0]
+        assert overlay.tree.c == [0, 5, 2]
+        assert overlay.routes == ((), (0, 1), (0, 2))
+
+    def test_overlay_edge_cost_is_route_bottleneck(self, diamond):
+        overlay = diamond.overlay()
+        # Host 3's overlay parent is host 1 (last host on the 0→3 path);
+        # its route is the single 1-3 link.
+        assert overlay.tree.parent[3] == 1
+        assert overlay.tree.c[3] == 2
+
+
+class TestGenerators:
+    def test_star_degenerates_to_fork(self):
+        g = PlatformGraph.star(2, [(1, 4), (5, 8)])
+        assert g.overlay().tree == PlatformTree.fork(2, [(1, 4), (5, 8)])
+        assert g.meta["kind"] == "star"
+
+    def test_chain_degenerates_to_linear_chain(self):
+        g = PlatformGraph.chain([1, 2, 3], [10, 20])
+        assert g.overlay().tree == PlatformTree.linear_chain([1, 2, 3],
+                                                             [10, 20])
+
+    def test_chain_cost_count_validated(self):
+        with pytest.raises(PlatformError):
+            PlatformGraph.chain([1, 2, 3], [10])
+
+    def test_leaf_spine_layout(self):
+        g = PlatformGraph.leaf_spine([1, 2, 3, 4, 5], hosts_per_leaf=2,
+                                     num_spines=2)
+        # 5 hosts, 3 leaves, 2 spines; hosts first, then leaves, spines.
+        assert g.num_nodes == 10
+        assert g.hosts == [0, 1, 2, 3, 4]
+        assert g.switches == [5, 6, 7, 8, 9]
+        # access links in host order, then leaf-spine fabric leaf-major
+        assert g.num_links == 5 + 3 * 2
+        assert g.adj[0][5] == 0          # host 0 → leaf 0
+        assert g.adj[4][7] == 4          # host 4 → leaf 2
+        assert g.meta["num_leaves"] == 3
+
+    def test_leaf_spine_validation(self):
+        with pytest.raises(PlatformError):
+            PlatformGraph.leaf_spine([], hosts_per_leaf=2)
+        with pytest.raises(PlatformError):
+            PlatformGraph.leaf_spine([1], hosts_per_leaf=0)
+        with pytest.raises(PlatformError):
+            PlatformGraph.leaf_spine([1, 1], hosts_per_leaf=2, num_spines=0)
+        with pytest.raises(PlatformError):
+            PlatformGraph.leaf_spine([1, 1], hosts_per_leaf=2,
+                                     access_costs=[1])
+
+    @pytest.mark.parametrize("topology", ["star", "chain", "leafspine"])
+    def test_generate_platform_seeded(self, topology):
+        a = generate_platform(topology, seed=11)
+        b = generate_platform(topology, seed=11)
+        c = generate_platform(topology, seed=12)
+        assert a == b
+        assert a != c
+        assert a.meta["kind"] == topology
+
+    def test_generate_platform_unknown_topology(self):
+        with pytest.raises(PlatformError):
+            generate_platform("torus", seed=1)
+
+    def test_generate_platform_seed_xor_rng(self):
+        import random
+        with pytest.raises(PlatformError):
+            generate_platform("star", seed=1, rng=random.Random(1))
+
+
+class TestSerialization:
+    def test_graph_roundtrip(self, diamond):
+        doc = to_dict(diamond)
+        assert doc["kind"] == "graph"
+        assert from_json(to_json(diamond)) == diamond
+
+    def test_meta_and_switches_roundtrip(self):
+        g = PlatformGraph.leaf_spine([1, 2, 3], hosts_per_leaf=2,
+                                     contention="fairshare")
+        back = from_json(to_json(g))
+        assert back == g
+        assert back.meta == g.meta
+        assert back.contention == "fairshare"
+        assert back.w[3] is None  # switch weight survives as null
+
+    def test_legacy_tree_documents_still_load(self):
+        tree = PlatformTree([4, 2], [(0, 1, 3)])
+        back = from_json(to_json(tree))
+        assert isinstance(back, PlatformTree)
+        assert back == tree
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(PlatformError, match="kind"):
+            from_json('{"kind": "hypercube", "root": 0, "nodes": [], '
+                      '"links": []}')
+
+    def test_graph_dot_export(self, diamond):
+        dot = to_dot(diamond)
+        assert dot.startswith("graph platform {")
+        assert "n0 -- n1" in dot
+        switchy = PlatformGraph([1, None, 2], [(0, 1, 1), (1, 2, 1)])
+        assert 'label="S1" shape=box' in to_dot(switchy)

@@ -26,8 +26,12 @@ class TestMutation:
             Mutation(node=1, attribute="z", value=3, after_tasks=1)
 
     def test_invalid_value(self):
+        # Zero and negative weights must be rejected at construction —
+        # they would otherwise reach the engine as 1/value link rates.
         with pytest.raises(PlatformError):
             Mutation(node=1, attribute="c", value=0, after_tasks=1)
+        with pytest.raises(PlatformError):
+            Mutation(node=1, attribute="w", value=-2, after_tasks=1)
 
     def test_negative_triggers(self):
         with pytest.raises(PlatformError):

@@ -220,3 +220,49 @@ class TestPruning:
     def test_original_untouched(self, small_tree):
         small_tree.pruned_many([2])
         assert small_tree.num_nodes == 4
+
+
+class TestForestRejection:
+    def test_two_component_edge_list_names_unreachable_nodes(self):
+        # Regression: a forest (edges forming two components) used to be
+        # reported with the generic edge-count message; the error must say
+        # exactly which nodes cannot be reached from the root.
+        with pytest.raises(PlatformError,
+                           match=r"unreachable from root 0: \[3, 4, 5\]"):
+            PlatformTree([1, 1, 1, 1, 1, 1],
+                         [(0, 1, 1), (0, 2, 1), (3, 4, 1), (3, 5, 1)])
+
+    def test_isolated_node_named(self):
+        with pytest.raises(PlatformError, match=r"\[2\]"):
+            PlatformTree([1, 1, 1], [(0, 1, 1)])
+
+    def test_cycle_caught_as_double_parent(self):
+        # Closing a cycle necessarily gives some node a second parent,
+        # which is rejected before reachability is even checked.
+        with pytest.raises(PlatformError, match="two parents"):
+            PlatformTree([1, 1, 1], [(0, 1, 1), (0, 2, 1), (1, 2, 1)])
+
+
+class TestFromEdges:
+    def test_sequence_weights(self, small_tree):
+        built = PlatformTree.from_edges(
+            [(0, 1, 1), (0, 2, 3), (2, 3, 5)], [4, 2, 6, 8])
+        assert built == small_tree
+
+    def test_dict_weights_infer_node_count(self, small_tree):
+        built = PlatformTree.from_edges(
+            [(0, 1, 1), (0, 2, 3), (2, 3, 5)], {0: 4, 1: 2, 2: 6, 3: 8})
+        assert built == small_tree
+
+    def test_missing_dict_weight_rejected(self):
+        with pytest.raises(PlatformError, match="weight"):
+            PlatformTree.from_edges([(0, 1, 1), (0, 2, 3)], {0: 4, 1: 2})
+
+    def test_forest_edges_rejected_with_names(self):
+        with pytest.raises(PlatformError, match=r"\[2, 3\]"):
+            PlatformTree.from_edges([(0, 1, 1), (2, 3, 1)], [1, 1, 1, 1])
+
+    def test_nonzero_root(self):
+        built = PlatformTree.from_edges([(1, 0, 3)], [2, 1], root=1)
+        assert built.root == 1
+        assert built.parent == [1, None]

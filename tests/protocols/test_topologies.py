@@ -1,0 +1,84 @@
+"""Tests for per-topology protocol adaptations (star, chain, leaf-spine)."""
+
+import pytest
+
+from repro.errors import PlatformError
+from repro.platform import PlatformGraph
+from repro.protocols import (
+    ProtocolConfig,
+    chain_relay_config,
+    leaf_spine_overlay,
+    star_service_order,
+    topology_overlay,
+)
+
+
+class TestStarServiceOrder:
+    def test_sorted_by_link_cost(self):
+        g = PlatformGraph.star(2, [(5, 1), (1, 2), (3, 3)])
+        # hosts 1..3 with access costs 5, 1, 3 → serve 2, then 3, then 1
+        assert star_service_order(g) == [2, 3, 1]
+
+    def test_cost_ties_break_by_node_id(self):
+        g = PlatformGraph.star(1, [(2, 1), (2, 1), (1, 1)])
+        assert star_service_order(g) == [3, 1, 2]
+
+    def test_rejects_non_star(self):
+        g = PlatformGraph.chain([1, 2, 3], [1, 1])
+        with pytest.raises(PlatformError, match="not a star"):
+            star_service_order(g)
+
+
+class TestChainRelayConfig:
+    def test_fixed_buffer_config_gains_growth(self):
+        base = ProtocolConfig.non_interruptible(3, buffer_growth=False)
+        adapted = chain_relay_config(base)
+        assert adapted.buffer_growth is True
+        assert adapted.initial_buffers == base.initial_buffers
+        assert base.buffer_growth is False  # original untouched
+
+    def test_growing_config_passes_through(self):
+        base = ProtocolConfig.non_interruptible()
+        assert chain_relay_config(base) is base
+
+
+class TestLeafSpineOverlay:
+    def test_head_election_structure(self):
+        g = PlatformGraph.leaf_spine([1, 2, 3, 4, 5, 6], hosts_per_leaf=2,
+                                     num_spines=2)
+        overlay = leaf_spine_overlay(g)
+        # Root (host 0) heads rack 0; heads 2 and 4 parent to the root,
+        # rack-mates parent to their head.  Overlay ids == graph host ids
+        # here (hosts are 0..5 and the root is 0).
+        assert overlay.hosts == (0, 1, 2, 3, 4, 5)
+        tree = overlay.tree
+        assert tree.parent[1] == 0   # root's rack-mate → root
+        assert tree.parent[2] == 0   # head of rack 1 → root
+        assert tree.parent[3] == 2   # rack-mate → head
+        assert tree.parent[4] == 0   # head of rack 2 → root
+        assert tree.parent[5] == 4
+
+    def test_head_routes_cross_fabric(self):
+        g = PlatformGraph.leaf_spine([1, 2, 3, 4], hosts_per_leaf=2)
+        overlay = leaf_spine_overlay(g)
+        # A head's route to the root crosses access + two fabric links;
+        # a rack-mate's route stays inside the rack (two access links).
+        assert len(overlay.routes[2]) == 4
+        assert len(overlay.routes[3]) == 2
+
+    def test_rejects_multi_homed_hosts(self):
+        g = PlatformGraph([1, None, None, 2],
+                          [(0, 1, 1), (0, 2, 1), (1, 3, 1), (2, 3, 1)])
+        with pytest.raises(PlatformError, match="switch links"):
+            leaf_spine_overlay(g)
+
+
+class TestTopologyOverlayDispatch:
+    def test_leafspine_meta_gets_head_election(self):
+        g = PlatformGraph.leaf_spine([1, 2, 3, 4], hosts_per_leaf=2)
+        assert topology_overlay(g) == leaf_spine_overlay(g)
+
+    def test_other_shapes_get_relay_overlay(self):
+        for g in (PlatformGraph.star(1, [(1, 1)]),
+                  PlatformGraph.chain([1, 2], [3])):
+            assert topology_overlay(g) == g.overlay()
