@@ -1,0 +1,18 @@
+"""Benchmark — the multi-application coordinator's shared-platform path.
+
+Two prioritized applications split a 2000-task bag on one 60-node tree:
+two full agent sets share one calendar, and every transfer runs as a
+fluid flow through the shared contention manager under the selfish
+(strict-priority) allocator.  The workload body lives in ``workloads.py``
+so ``perf.py`` (and the committed ``BENCH_kernel.json`` baseline)
+measures the same code.
+"""
+
+from workloads import run_engine_multiapp
+
+
+def test_bench_multiapp(benchmark):
+    events = benchmark.pedantic(run_engine_multiapp, args=(2_000,),
+                                rounds=1, iterations=1)
+    # A contended 2-app run processes well over one event per task.
+    assert events >= 4_000

@@ -21,7 +21,8 @@ from repro.platform import (
     PlatformTree,
     figure1_tree,
 )
-from repro.protocols import ProtocolConfig, simulate
+from repro import simulate
+from repro.protocols import ProtocolConfig
 from repro.steady_state import solve_tree
 
 NUM_TASKS = 3000
@@ -49,7 +50,7 @@ def main() -> None:
     print(f"  + cluster  (t=300) : {float(solve_tree(phase2).rate):.4f}")
     print(f"  - worker 1 (t=800) : {float(solve_tree(phase3).rate):.4f}")
 
-    result = simulate(base, CONFIG, NUM_TASKS, churn=events)
+    result = simulate(base, NUM_TASKS, CONFIG, churn=events)
     times = result.completion_times
 
     def slope(t_lo, t_hi):

@@ -14,7 +14,8 @@ Run:  python examples/grid_deployment.py
 from fractions import Fraction
 
 from repro.platform import Mutation, MutationSchedule, figure1_tree
-from repro.protocols import ProtocolConfig, simulate
+from repro import simulate
+from repro.protocols import ProtocolConfig
 from repro.steady_state import solve_tree
 
 NUM_TASKS = 1000
@@ -38,7 +39,7 @@ def report(name, mutation):
     mutated = schedule.phases(tree)[-1][1]
     optimal_after = solve_tree(mutated).rate
 
-    result = simulate(tree, CONFIG, NUM_TASKS, mutations=schedule)
+    result = simulate(tree, NUM_TASKS, CONFIG, mutations=schedule)
     before, after = phase_rates(result, CHANGE_AT)
 
     print(f"\n=== {name} ===")

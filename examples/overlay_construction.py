@@ -13,7 +13,8 @@ Run:  python examples/overlay_construction.py
 
 from repro.metrics import window_rate
 from repro.platform.overlay import PhysicalTopology, compare_overlays
-from repro.protocols import ProtocolConfig, simulate
+from repro import simulate
+from repro.protocols import ProtocolConfig
 from repro.steady_state import solve_tree
 
 NUM_TASKS = 3000
@@ -39,7 +40,7 @@ def build_topology() -> PhysicalTopology:
 
 
 def measured_rate(tree) -> float:
-    result = simulate(tree, ProtocolConfig.interruptible(3), NUM_TASKS)
+    result = simulate(tree, NUM_TASKS, ProtocolConfig.interruptible(3))
     x = NUM_TASKS // 3
     return float(window_rate(result.completion_times, x))
 

@@ -13,7 +13,8 @@ from fractions import Fraction
 
 from repro.metrics import detect_onset, window_rate
 from repro.platform import PlatformTree
-from repro.protocols import ProtocolConfig, simulate
+from repro import simulate
+from repro.protocols import ProtocolConfig
 from repro.steady_state import allocate, solve_tree
 
 
@@ -43,7 +44,7 @@ def main() -> None:
     # ---- Practice: the autonomous protocol ------------------------------
     num_tasks = 5000
     config = ProtocolConfig.interruptible(buffers=3)
-    result = simulate(tree, config, num_tasks)
+    result = simulate(tree, num_tasks, config)
 
     mid_window = num_tasks // 3
     measured = window_rate(result.completion_times, mid_window)

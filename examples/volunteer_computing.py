@@ -20,14 +20,15 @@ from fractions import Fraction
 
 from repro.metrics import detect_onset, reached_optimal, window_rate
 from repro.platform import generate_tree
-from repro.protocols import ProtocolConfig, simulate
+from repro import simulate
+from repro.protocols import ProtocolConfig
 from repro.steady_state import solve_tree
 
 NUM_TASKS = 4000
 
 
 def evaluate(tree, config, optimal):
-    result = simulate(tree, config, NUM_TASKS)
+    result = simulate(tree, NUM_TASKS, config)
     x = NUM_TASKS // 3
     steady = window_rate(result.completion_times, x)
     onset = detect_onset(result.completion_times, optimal)

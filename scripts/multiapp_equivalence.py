@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""CI gate: multi-app engine (N=1) vs single-app engine fingerprints.
+
+Runs every cell twice — once through the single-application engine
+(tree engine on trees, graph engine on graph platforms) and once through
+:class:`~repro.apps.MultiAppEngine` with one default application — and
+demands bit-identical ``SimulationResult.fingerprint()``.  This is the
+contract that lets the multi-application coordinator exist at all: with
+one lane nothing is shared with anyone, and the run *is* the single-app
+run, event for event.
+
+Exit status 0 iff every cell matches.  Usage::
+
+    PYTHONPATH=src python scripts/multiapp_equivalence.py
+"""
+
+import sys
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401 — probe only
+except ImportError:
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.apps import MultiAppEngine
+from repro.platform.generator import generate_tree
+from repro.platform.graph import generate_platform
+from repro.protocols import ProtocolConfig, simulate, simulate_graph
+
+SEEDS = (1, 7, 42)
+SCALES = (200, 500)  # tasks
+SHAPES = ("star", "chain", "leafspine")
+CONFIGS = (
+    ProtocolConfig.interruptible(3),
+    ProtocolConfig.non_interruptible(),
+    ProtocolConfig.non_interruptible(buffer_decay=True),
+)
+
+
+def _check(label: str, want: str, got: str) -> bool:
+    ok = got == want
+    print(f"{label} {'ok' if ok else 'MISMATCH'}")
+    if not ok:
+        print(f"  single   : {want}\n  multi N=1: {got}")
+    return ok
+
+
+def main() -> int:
+    failures = 0
+    cells = 0
+    for seed in SEEDS:
+        tree = generate_tree(seed=seed)
+        for tasks in SCALES:
+            for config in CONFIGS:
+                cells += 1
+                want = simulate(tree, config, tasks).fingerprint()
+                got = MultiAppEngine(tree, tasks, config).run().fingerprint()
+                failures += not _check(
+                    f"tree      seed={seed:<3} tasks={tasks:<5} "
+                    f"{config.label:<28}", want, got)
+    for shape in SHAPES:
+        graph = generate_platform(shape, seed=7)
+        for config in CONFIGS:
+            cells += 1
+            want = simulate_graph(graph, config, 300).fingerprint()
+            got = MultiAppEngine(graph, 300, config).run().fingerprint()
+            failures += not _check(
+                f"{shape:<9} seed=7   tasks=300   {config.label:<28}",
+                want, got)
+    print(f"\n{cells - failures}/{cells} cells bit-identical")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -28,15 +28,23 @@ Quickstart::
 
     tree = generate_tree(seed=7)
     optimal = solve_tree(tree)
-    result = simulate(tree, ProtocolConfig.interruptible(buffers=3), num_tasks=2000)
+    result = simulate(tree, 2000, ProtocolConfig.interruptible(buffers=3))
     print(result.makespan, float(optimal.rate))
+
+Concurrent applications share the platform through the same front door::
+
+    from repro import Application
+
+    apps = [Application(1000, name="alpha"), Application(1000, name="beta")]
+    result = simulate(tree, apps, config, allocator="selfish")
+    print(result.jain_index, result.price_of_anarchy)
 
 Fault injection and recovery metrics are first-class::
 
     from repro import CrashEvent, FaultSchedule, recovery_report
 
     faults = FaultSchedule([CrashEvent(at_time=200, node=3)])
-    report = recovery_report(simulate(tree, config, 2000, faults=faults))
+    report = recovery_report(simulate(tree, 2000, config, faults=faults))
 """
 
 from importlib import import_module
@@ -64,6 +72,7 @@ _LAZY_EXPORTS = {
     "LinkContention": "repro.platform.contention",
     "max_min_rates": "repro.platform.contention",
     "fair_share_rates": "repro.platform.contention",
+    "selfish_rates": "repro.platform.contention",
     "generate_tree": "repro.platform.generator",
     "TreeGeneratorParams": "repro.platform.generator",
     "Mutation": "repro.platform.mutation",
@@ -81,9 +90,18 @@ _LAZY_EXPORTS = {
     "solve_fork": "repro.steady_state",
     "SteadyStateSolution": "repro.steady_state",
     "ForkSolution": "repro.steady_state",
+    # unified simulation front door (legacy shapes keep working via
+    # DeprecationWarning shims inside repro.api)
+    "simulate": "repro.api",
+    "simulate_graph": "repro.api",
+    # multi-application scheduling
+    "Application": "repro.apps",
+    "Workload": "repro.apps",
+    "AppResult": "repro.apps",
+    "MultiAppEngine": "repro.apps",
+    "jain_index": "repro.apps",
+    "price_of_anarchy": "repro.apps",
     # protocols
-    "simulate": "repro.protocols",
-    "simulate_graph": "repro.protocols",
     "ProtocolConfig": "repro.protocols",
     "ProtocolEngine": "repro.protocols",
     "GraphProtocolEngine": "repro.protocols",

@@ -1,0 +1,165 @@
+"""The public simulation front door: one :func:`simulate` for everything.
+
+The repo's entry points had forked — ``repro.protocols.simulate`` (tree
+engine), ``simulate_graph`` (graph engine), ``analyze.simulate_tree``
+(CLI report) — and multi-application scheduling would have added a
+fourth.  This module is the redesign: **one** public
+``repro.simulate(platform, workload, config)`` that dispatches on
+
+* the platform type — :class:`~repro.platform.tree.PlatformTree` runs
+  the original tree engine, :class:`~repro.platform.graph.PlatformGraph`
+  the overlay + contention engine;
+* the workload shape — a plain int (the legacy ``num_tasks``) keeps the
+  fast single-app path, while a :class:`~repro.apps.Workload`, an
+  :class:`~repro.apps.Application`, or a list of them runs the
+  multi-application engine (bit-identical for one default app).
+
+The legacy argument order ``simulate(tree, config, num_tasks)`` and the
+legacy :func:`simulate_graph` entry point keep working behind
+:class:`DeprecationWarning` shims.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Optional, Union
+
+from .errors import ProtocolError
+from .platform.graph import Overlay, PlatformGraph
+from .platform.tree import PlatformTree
+from .protocols import graph_engine as _graph_engine
+from .protocols.config import ProtocolConfig
+from .protocols.engine import ProtocolEngine
+from .protocols.result import SimulationResult
+
+__all__ = ["simulate", "simulate_graph"]
+
+
+def simulate(platform: Union[PlatformTree, PlatformGraph],
+             workload=None, config: Optional[ProtocolConfig] = None, *,
+             mutations=None, churn=None, faults=None,
+             overlay: Optional[Overlay] = None,
+             allocator: Optional[str] = None,
+             tracer=None,
+             record_buffer_timeline: bool = False,
+             record_completion_times: bool = True) -> SimulationResult:
+    """Run one protocol simulation on any platform with any workload.
+
+    Parameters
+    ----------
+    platform:
+        A :class:`PlatformTree` (the paper's model) or a
+        :class:`PlatformGraph` (overlay + shared-link contention).
+    workload:
+        A plain int (that many unit tasks, the legacy shape), an
+        :class:`~repro.apps.Application`, a list of applications, or a
+        :class:`~repro.apps.Workload`.
+    config:
+        The protocol configuration shared by every application.
+    mutations / churn / faults:
+        Dynamic platform schedules — tree-engine features, rejected on
+        graph platforms and multi-application workloads.
+    overlay:
+        Optional explicit overlay for graph platforms (default: the
+        shape-appropriate one via
+        :func:`~repro.protocols.topologies.topology_overlay`).
+    allocator:
+        Per-app bandwidth split for multi-application runs (``selfish``,
+        ``maxmin`` or ``fairshare``; default: the platform's contention
+        mode).  Rejected on single-app paths, where the platform's own
+        contention mode already decides.
+    tracer:
+        Optional :class:`~repro.protocols.trace.Tracer` attached before
+        the run (per-node activity lanes for Perfetto export).  On a
+        multi-application workload, pass a sequence of tracers — one per
+        application, giving each app its own lane set — or a single
+        tracer shared by every application.
+    """
+    if isinstance(workload, ProtocolConfig):
+        # Legacy order: simulate(tree, config, num_tasks).
+        warnings.warn(
+            "simulate(platform, config, num_tasks) is deprecated; call "
+            "simulate(platform, workload, config) — e.g. "
+            "simulate(tree, 2000, config)",
+            DeprecationWarning, stacklevel=2)
+        workload, config = config, workload
+    if config is None:
+        raise ProtocolError("simulate() needs a ProtocolConfig")
+
+    from .apps import MultiAppEngine, Workload
+    workload = Workload.of(workload if workload is not None else 0)
+
+    dynamic = mutations or churn or faults
+    if workload.is_multi:
+        if dynamic:
+            raise ProtocolError(
+                "dynamic platform schedules (mutations/churn/faults) are "
+                "single-application tree-engine features")
+        engine = MultiAppEngine(
+            platform, workload, config, allocator=allocator,
+            overlay=overlay,
+            record_buffer_timeline=record_buffer_timeline,
+            record_completion_times=record_completion_times)
+        if tracer is not None:
+            if isinstance(tracer, (list, tuple)):
+                if len(tracer) != len(engine.lanes):
+                    raise ProtocolError(
+                        f"got {len(tracer)} tracers for "
+                        f"{len(engine.lanes)} applications")
+                for lane, lane_tracer in zip(engine.lanes, tracer):
+                    lane.tracer = lane_tracer
+            else:
+                for lane in engine.lanes:
+                    lane.tracer = tracer
+        return engine.run()
+
+    if allocator is not None:
+        raise ProtocolError(
+            "allocator= selects the per-app bandwidth split of a "
+            "multi-application run; single-app graph runs use the "
+            "platform's own contention mode")
+    if isinstance(platform, PlatformGraph):
+        if dynamic:
+            raise ProtocolError(
+                "dynamic platform schedules (mutations/churn/faults) are "
+                "tree-engine features; graph platforms do not support them")
+        if overlay is None:
+            from .protocols.topologies import topology_overlay
+            overlay = topology_overlay(platform)
+        engine = _graph_engine.GraphProtocolEngine(
+            platform, config, workload.total_tasks, overlay=overlay,
+            record_buffer_timeline=record_buffer_timeline,
+            record_completion_times=record_completion_times)
+    else:
+        if overlay is not None:
+            raise ProtocolError("overlay= only applies to graph platforms")
+        engine = ProtocolEngine(
+            platform, config, workload.total_tasks,
+            mutations=mutations, churn=churn, faults=faults,
+            record_buffer_timeline=record_buffer_timeline,
+            record_completion_times=record_completion_times)
+    if tracer is not None:
+        if isinstance(tracer, (list, tuple)):
+            # A 1-list is accepted so callers can treat single- and
+            # multi-app runs uniformly (one tracer per application).
+            if len(tracer) != 1:
+                raise ProtocolError(
+                    f"got {len(tracer)} tracers for 1 application")
+            tracer = tracer[0]
+        engine.tracer = tracer
+    return engine.run()
+
+
+def simulate_graph(platform, config: ProtocolConfig, num_tasks: int, *,
+                   overlay: Optional[Overlay] = None,
+                   record_buffer_timeline: bool = False,
+                   record_completion_times: bool = True) -> SimulationResult:
+    """Deprecated shim — call :func:`repro.simulate` instead."""
+    warnings.warn(
+        "repro.simulate_graph() is deprecated; repro.simulate() dispatches "
+        "on the platform type itself",
+        DeprecationWarning, stacklevel=2)
+    return _graph_engine.simulate_graph(
+        platform, config, num_tasks, overlay=overlay,
+        record_buffer_timeline=record_buffer_timeline,
+        record_completion_times=record_completion_times)

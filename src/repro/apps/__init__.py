@@ -1,0 +1,16 @@
+"""Multi-application scheduling: specs, fairness metrics, and the
+shared-platform engine.
+
+See :mod:`repro.apps.engine` for the execution model and
+``docs/architecture.md`` ("Multi-application scheduling") for the
+design rationale.
+"""
+
+from .engine import MultiAppEngine
+from .metrics import jain_index, price_of_anarchy, steady_window_rate
+from .spec import Application, AppResult, Workload
+
+__all__ = [
+    "Application", "AppResult", "Workload", "MultiAppEngine",
+    "jain_index", "price_of_anarchy", "steady_window_rate",
+]

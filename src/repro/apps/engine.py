@@ -1,0 +1,266 @@
+"""Multi-application protocol engine: N bandwidth-centric agent sets
+sharing one platform.
+
+Each application gets a full, independent set of protocol agents over
+the *same* overlay tree (so every physical node runs N autonomous
+bandwidth-centric schedulers, one per app — Legrand & Touati's
+non-cooperative regime), and all their transfers are fluid flows through
+**one shared** :class:`~repro.platform.contention.LinkContention`
+manager over the physical links.  The per-app bandwidth split is the
+manager's allocator policy:
+
+* ``selfish`` — strict-priority filling by ``(app priority, app
+  index)``: each app grabs bandwidth greedily in priority order, the
+  literal multi-app reading of bandwidth-centric autonomy;
+* ``maxmin`` / ``fairshare`` — the PR 6 cooperative allocators, applied
+  across all apps' flows at once.
+
+Every lane is a :class:`~repro.protocols.graph_engine.GraphProtocolEngine`
+that (a) shares the coordinator's calendar via ``_make_env`` and (b)
+shares the coordinator's contention manager, so cross-app rate changes
+reschedule exactly the timers they must — on one lane (N=1) nothing is
+shared with anyone, no behaviour changes, and the run is bit-identical
+by fingerprint to the single-app engine (the property-test anchor, same
+pattern as the tree-vs-graph equivalence suite).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import sys
+from fractions import Fraction
+from typing import List, Optional, Sequence, Union
+
+from ..errors import ProtocolError
+from ..platform.contention import LinkContention
+from ..platform.graph import Overlay, PlatformGraph
+from ..platform.tree import PlatformTree
+from ..protocols.config import ProtocolConfig
+from ..protocols.engine import _MIN_RECURSION_LIMIT
+from ..protocols.agents import Transfer
+from ..protocols.graph_engine import GraphNodeAgent, GraphProtocolEngine
+from ..protocols.result import SimulationResult
+from ..protocols.trace import Tracer
+from ..sim import Environment
+from ..sim.warp import REASON_MULTI_APP, WarpSummary
+from ..steady_state import solve_tree
+from .metrics import steady_window_rate
+from .spec import Application, AppResult, Workload
+
+__all__ = ["MultiAppEngine"]
+
+
+class _AppLaneAgent(GraphNodeAgent):
+    """Graph agent whose transfer volume is the lane's task size."""
+
+    __slots__ = ()
+
+    def _new_transfer(self, child):
+        # Size 1 (an int) makes this byte-for-byte the graph agent's
+        # ``Transfer(child, 1)`` — the N=1 bit-identity lever.
+        return Transfer(child, self.engine._task_size)
+
+
+class _AppLane(GraphProtocolEngine):
+    """One application's agent set, on the coordinator's shared calendar
+    and contention manager."""
+
+    _agent_class = _AppLaneAgent
+    _warp_stand_down = REASON_MULTI_APP
+
+    def __init__(self, owner: "MultiAppEngine", app: Application,
+                 index: int):
+        self._shared_env = owner.env
+        self._task_size = app.size
+        if owner.allocator == "selfish":
+            self._flow_priority = (app.priority, index)
+        self.app = app
+        self.app_index = index
+        super().__init__(
+            owner.graph, owner.config, app.tasks,
+            overlay=owner.overlay,
+            record_buffer_timeline=owner.record_buffer_timeline,
+            record_completion_times=owner.record_completion_times,
+            contention=owner.contention)
+        if app.source is not None and app.source != self.tree.root:
+            raise ProtocolError(
+                f"application {app.label(index)!r} sources at node "
+                f"{app.source}, but only the repository root "
+                f"({self.tree.root}) can host a bag")
+        # Links are shared *dynamically* through the contention manager;
+        # CPUs are shared *statically* — every physical CPU time-shares
+        # equally among the task-bearing apps, so each lane sees its
+        # compute weights scaled by that count (times the app's task
+        # size).  This keeps aggregate compute capacity at the physical
+        # 1/w, which is what makes price-of-anarchy ≥ 1 meaningful.
+        scale = app.size * owner.cpu_share
+        if scale != 1:
+            # Transfer volume scales with size alone (agent class);
+            # refreshing the cached priority keys only matters under
+            # compute-centric ordering.
+            for agent in self.nodes:
+                agent.w = agent.w * scale
+                agent._refresh_prio_key()
+            for agent in self.nodes:
+                agent.resort_children()
+
+    def _make_env(self) -> Environment:
+        return self._shared_env
+
+
+class MultiAppEngine:
+    """One simulation of N concurrent applications on a shared platform.
+
+    Accepts a :class:`PlatformTree` or :class:`PlatformGraph` plus a
+    :class:`Workload` (or anything :meth:`Workload.of` coerces).  Runs
+    every application's agents on one calendar, collects a per-app
+    :class:`AppResult` slice, and merges them into a single
+    :class:`SimulationResult` whose ``apps``/``cooperative_rate`` fields
+    feed the Jain-index and price-of-anarchy properties.
+
+    Dynamic platform schedules (mutations, churn, faults) are single-app
+    tree-engine features and are not accepted here.
+    """
+
+    def __init__(self, platform: Union[PlatformGraph, PlatformTree],
+                 workload, config: ProtocolConfig, *,
+                 allocator: Optional[str] = None,
+                 overlay: Optional[Overlay] = None,
+                 record_buffer_timeline: bool = False,
+                 record_completion_times: bool = True):
+        workload = Workload.of(workload)
+        self.workload = workload
+        self.apps = workload.applications
+        self.config = config
+        self.record_buffer_timeline = record_buffer_timeline
+        self.record_completion_times = record_completion_times
+        if isinstance(platform, PlatformTree):
+            platform = PlatformGraph.from_tree(platform)
+        self.graph = platform
+        if overlay is None:
+            from ..protocols.topologies import topology_overlay
+            overlay = topology_overlay(platform)
+        self.overlay = overlay
+        self.allocator = allocator if allocator is not None \
+            else platform.contention
+        #: How many ways each physical CPU is time-shared (apps with no
+        #: tasks never compute, so they claim no CPU slice).
+        self.cpu_share = sum(1 for a in self.apps if a.tasks > 0) or 1
+        self.env = Environment()
+        self.contention = LinkContention(platform.link_capacities(),
+                                         self.allocator)
+        self.lanes: List[_AppLane] = [
+            _AppLane(self, app, i) for i, app in enumerate(self.apps)]
+        self._finished = False
+
+    @property
+    def num_tasks(self) -> int:
+        return self.workload.total_tasks
+
+    def attach_tracers(self) -> List[Tracer]:
+        """Give every lane its own protocol tracer (per-app Perfetto
+        lanes); returns them in application order."""
+        tracers = []
+        for lane in self.lanes:
+            tracer = Tracer()
+            lane.tracer = tracer
+            tracers.append(tracer)
+        return tracers
+
+    # ----------------------------------------------------------------- run
+    def run(self) -> SimulationResult:
+        if self._finished:
+            raise ProtocolError("engine already ran; build a new one")
+        self._finished = True
+        for lane in self.lanes:
+            lane._finished = True
+            lane._resolve_warp()
+
+        limit = sys.getrecursionlimit()
+        if limit < _MIN_RECURSION_LIMIT:
+            sys.setrecursionlimit(_MIN_RECURSION_LIMIT)
+        try:
+            for lane in self.lanes:
+                if lane.app.arrival == 0:
+                    lane._arm()
+                else:
+                    self.env.call_at(lane.app.arrival, lane._arm)
+            self.env.run()
+        finally:
+            sys.setrecursionlimit(limit)
+        return self._collect()
+
+    # ------------------------------------------------------------- results
+    def _collect(self) -> SimulationResult:
+        lane_results = [lane._collect() for lane in self.lanes]
+        cooperative = solve_tree(self.lanes[0].tree).rate
+        app_results = tuple(
+            self._app_result(lane, result)
+            for lane, result in zip(self.lanes, lane_results))
+
+        if len(self.lanes) == 1:
+            # The degenerate case IS the single-app run: reuse its result
+            # record verbatim (apps of length 1 stay out of the
+            # fingerprint, so bit-identity is preserved by construction).
+            return dataclasses.replace(
+                lane_results[0], apps=app_results,
+                cooperative_rate=cooperative)
+
+        merged_completions = sorted(
+            t for result in lane_results for t in result.completion_times)
+        sampler_fires = sum(lane.probe.sampler_fires for lane in self.lanes
+                            if lane.probe is not None)
+        exhausted = [r.repository_exhausted_at for r in lane_results]
+        warp = None
+        if self.config.warp:
+            warp = WarpSummary(applied=False, reason=REASON_MULTI_APP)
+        return SimulationResult(
+            tree=self.lanes[0].tree,
+            config=self.config,
+            num_tasks=self.num_tasks,
+            completion_times=tuple(merged_completions),
+            per_node_computed=_sum_rows(
+                [r.per_node_computed for r in lane_results]),
+            per_node_max_buffers=_sum_rows(
+                [r.per_node_max_buffers for r in lane_results]),
+            per_node_max_held=_sum_rows(
+                [r.per_node_max_held for r in lane_results]),
+            buffer_high_water_at_completion=(),
+            held_high_water_at_completion=(),
+            departed_node_ids=(),
+            buffers_decayed=sum(r.buffers_decayed for r in lane_results),
+            preemptions=sum(r.preemptions for r in lane_results),
+            transfers=sum(r.transfers for r in lane_results),
+            events_processed=self.env.processed_count - sampler_fires,
+            repository_exhausted_at=(max(exhausted)
+                                     if all(t is not None for t in exhausted)
+                                     else None),
+            last_completion_time=max(
+                (r.last_completion_time for r in lane_results), default=0),
+            warp=warp,
+            telemetry=None,
+            apps=app_results,
+            cooperative_rate=cooperative,
+        )
+
+    def _app_result(self, lane: _AppLane,
+                    result: SimulationResult) -> AppResult:
+        app = lane.app
+        return AppResult(
+            app=app,
+            index=lane.app_index,
+            completion_times=result.completion_times,
+            per_node_computed=result.per_node_computed,
+            makespan=result.makespan,
+            steady_rate=steady_window_rate(
+                result.completion_times, num_tasks=app.tasks,
+                arrival=app.arrival, makespan=result.makespan),
+            preemptions=result.preemptions,
+            transfers=result.transfers,
+            telemetry=result.telemetry,
+        )
+
+
+def _sum_rows(rows: Sequence[Sequence[int]]) -> tuple:
+    """Elementwise sum of equal-length per-node tuples."""
+    return tuple(sum(col) for col in zip(*rows))

@@ -1,0 +1,63 @@
+"""Fairness and efficiency metrics over per-application rates.
+
+Small and dependency-free on purpose: the :class:`~repro.protocols.result.
+SimulationResult` properties delegate here, and the multi-app ablation
+aggregates these across seeds.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Optional, Sequence, Tuple
+
+__all__ = ["jain_index", "price_of_anarchy", "steady_window_rate"]
+
+
+def jain_index(rates: Sequence) -> float:
+    """Jain's fairness index ``(Σx)² / (n·Σx²)`` over per-app rates.
+
+    1.0 when every application gets the same rate, ``1/n`` when a single
+    app takes everything.  All-zero rates (nobody ran) count as perfectly
+    fair.  Exact arithmetic until the final float conversion.
+    """
+    if not rates:
+        return 1.0
+    total = sum(Fraction(r) for r in rates)
+    squares = sum(Fraction(r) * Fraction(r) for r in rates)
+    if squares == 0:
+        return 1.0
+    return float(total * total / (len(rates) * squares))
+
+
+def price_of_anarchy(rates: Sequence, cooperative_rate) -> Optional[float]:
+    """Cooperative optimal aggregate rate / achieved aggregate rate.
+
+    ≥ 1 when the selfish split wastes throughput; ``None`` when nothing
+    was achieved (the ratio would be infinite).
+    """
+    achieved = sum(Fraction(r) for r in rates)
+    if achieved <= 0:
+        return None
+    return float(Fraction(cooperative_rate) / achieved)
+
+
+def steady_window_rate(completion_times: Sequence[int],
+                       num_tasks: int = 0, arrival: int = 0,
+                       makespan: int = 0) -> Fraction:
+    """Steady-state rate estimated over the middle third of completions.
+
+    Start-up ramp and wind-down tail are discarded the same way the
+    figure-4 threshold metrics do; with fewer than 3 recorded completions
+    (or a degenerate window) falls back to the mean rate
+    ``num_tasks / (makespan - arrival)``, and to 0 for trivial runs.
+    """
+    n = len(completion_times)
+    if n >= 3:
+        lo, hi = n // 3, (2 * n) // 3
+        span = completion_times[hi] - completion_times[lo]
+        if span > 0:
+            return Fraction(hi - lo, span)
+    span = makespan - arrival
+    if num_tasks > 0 and span > 0:
+        return Fraction(num_tasks, span)
+    return Fraction(0)

@@ -24,11 +24,13 @@ from fractions import Fraction
 from functools import partial
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+from ..errors import ExperimentError
 from ..harness import HarnessConfig, RunCoverage, run_seeds
 from ..metrics import detect_onset, percentage_reached
 from ..platform.generator import PAPER_DEFAULTS, TreeGeneratorParams, generate_tree
 from ..platform.overlay import PhysicalTopology, compare_overlays
-from ..protocols import PriorityRule, ProtocolConfig, simulate
+from ..api import simulate
+from ..protocols import PriorityRule, ProtocolConfig
 from ..steady_state import solve_tree
 from .common import ExperimentScale
 from .reporting import fmt_num, fmt_pct, format_table
@@ -49,6 +51,9 @@ __all__ = [
     "FaultRecoveryResult",
     "fault_recovery",
     "format_fault_result",
+    "MultiAppAblationResult",
+    "multi_app",
+    "format_multi_app_result",
 ]
 
 def _map_seeds(worker: Callable, seeds: Sequence[int], progress,
@@ -101,7 +106,7 @@ def _priority_seed(seed: int, *, params: TreeGeneratorParams, tasks: int,
     optimal = solve_tree(tree).rate
     out: Dict[str, Tuple[Optional[int], float]] = {}
     for config in PRIORITY_CONFIGS:
-        result = simulate(tree, config, tasks)
+        result = simulate(tree, tasks, config)
         onset = detect_onset(result.completion_times, optimal, threshold)
         times = result.completion_times
         x = len(times) // 3
@@ -282,7 +287,7 @@ def _decay_seed(seed: int, *, params: TreeGeneratorParams, tasks: int,
     optimal = solve_tree(tree).rate
     out: Dict[str, Tuple[Optional[int], int, int]] = {}
     for label, config in _DECAY_VARIANTS:
-        result = simulate(tree, config, tasks)
+        result = simulate(tree, tasks, config)
         onset = detect_onset(result.completion_times, optimal, threshold)
         out[label] = (onset, result.max_buffers, result.buffers_decayed)
     return out
@@ -364,7 +369,7 @@ def _churn_seed(seed: int, *, params: TreeGeneratorParams,
     join = ChurnSchedule([
         JoinEvent(at_time=200, parent=base.root, subtree=cluster,
                   attach_cost=1)])
-    result = simulate(base, config, tasks, churn=join)
+    result = simulate(base, tasks, config, churn=join)
     grown_optimal = solve_tree(result.tree).rate
     times = result.completion_times
     lo, hi = tasks // 2, (3 * tasks) // 4
@@ -374,7 +379,7 @@ def _churn_seed(seed: int, *, params: TreeGeneratorParams,
 
     victim = base.children[base.root][0]
     leave = ChurnSchedule([LeaveEvent(at_time=200, node=victim)])
-    leave_result = simulate(base, config, tasks, churn=leave)
+    leave_result = simulate(base, tasks, config, churn=leave)
     conserved &= sum(leave_result.per_node_computed) == tasks
     departed = len(leave_result.departed_node_ids) >= 1
     return norm, conserved, departed
@@ -462,7 +467,7 @@ def _fault_seed(seed: int, *, params: TreeGeneratorParams, tasks: int
     if len(root_children) > 1:
         events.append(LinkFailureEvent(at_time=150, node=root_children[1]))
         events.append(LinkRepairEvent(at_time=450, node=root_children[1]))
-    result = simulate(tree, config, tasks, faults=FaultSchedule(events))
+    result = simulate(tree, tasks, config, faults=FaultSchedule(events))
     completed = sum(result.per_node_computed) == tasks
     report = recovery_report(result)
     return (report.post_recovery_efficiency,
@@ -521,3 +526,109 @@ def format_fault_result(result: FaultRecoveryResult) -> str:
         f"post-recovery rate / surviving optimal    : mean "
         f"{result.mean_efficiency:.3f}, >=95% on "
         f"{result.within_five_percent}/{len(result.efficiencies)} trees")
+
+
+MULTI_APP_CONFIG = ProtocolConfig.interruptible(3)
+
+
+@dataclass(frozen=True)
+class MultiAppAblationResult:
+    """Per-allocator fairness/efficiency of N concurrent applications."""
+
+    scale: ExperimentScale
+    apps: int
+    allocators: Tuple[str, ...]
+    #: allocator → mean steady-state rate of each app (application order).
+    mean_app_rates: Dict[str, Tuple[float, ...]]
+    #: allocator → mean Jain fairness index across the ensemble.
+    mean_jain: Dict[str, float]
+    #: allocator → mean price of anarchy (``None`` if never defined).
+    mean_poa: Dict[str, Optional[float]]
+    #: Crash-safety coverage report (``None`` when run without a harness).
+    coverage: Optional[RunCoverage] = None
+
+
+def _multi_app_seed(seed: int, *, params: TreeGeneratorParams, tasks: int,
+                    apps: int, allocators: Tuple[str, ...]
+                    ) -> Dict[str, Tuple[Tuple[float, ...], float,
+                                         Optional[float]]]:
+    """Per-tree multi-app measurements (picklable).
+
+    Apps get ascending priorities (app0 most urgent) so ``selfish`` and
+    the cooperative allocators genuinely disagree.
+    """
+    from ..apps import Application, Workload
+
+    tree = generate_tree(params, seed=seed)
+    per_app = max(2, tasks // apps)
+    workload = Workload.of([
+        Application(per_app, name=f"app{i}", priority=i)
+        for i in range(apps)])
+    out: Dict[str, Tuple[Tuple[float, ...], float, Optional[float]]] = {}
+    for allocator in allocators:
+        result = simulate(tree, workload, MULTI_APP_CONFIG,
+                          allocator=allocator)
+        rates = tuple(float(a.steady_rate) for a in result.apps)
+        out[allocator] = (rates, result.jain_index, result.price_of_anarchy)
+    return out
+
+
+def multi_app(scale: ExperimentScale = ExperimentScale(),
+              params: TreeGeneratorParams = PAPER_DEFAULTS,
+              *, apps: int = 2,
+              allocators: Sequence[str] = ("selfish", "maxmin"),
+              progress=None, workers: int = 1,
+              harness: Optional[HarnessConfig] = None
+              ) -> MultiAppAblationResult:
+    """Compare per-app bandwidth allocators over a random ensemble.
+
+    ``scale.tasks`` is split evenly across ``apps`` concurrent
+    applications with ascending priorities; every allocator runs on the
+    same trees, and the result aggregates per-app steady rates, the Jain
+    fairness index, and the price of anarchy vs the cooperative optimum.
+    """
+    if apps < 2:
+        raise ExperimentError(f"multi_app needs >= 2 apps, got {apps}")
+    allocators = tuple(allocators)
+    worker = partial(_multi_app_seed, params=params, tasks=scale.tasks,
+                     apps=apps, allocators=allocators)
+    seeds = [scale.base_seed + i for i in range(scale.trees)]
+    per_seed, coverage = _map_seeds(
+        worker, seeds, progress, workers, harness=harness,
+        experiment="multi_app",
+        config_parts=(params, scale.tasks, apps, allocators))
+    mean_app_rates: Dict[str, Tuple[float, ...]] = {}
+    mean_jain: Dict[str, float] = {}
+    mean_poa: Dict[str, Optional[float]] = {}
+    for allocator in allocators:
+        rate_rows = [row[allocator][0] for row in per_seed]
+        jains = [row[allocator][1] for row in per_seed]
+        poas = [row[allocator][2] for row in per_seed
+                if row[allocator][2] is not None]
+        mean_app_rates[allocator] = tuple(
+            sum(col) / len(col) for col in zip(*rate_rows))
+        mean_jain[allocator] = sum(jains) / len(jains)
+        mean_poa[allocator] = sum(poas) / len(poas) if poas else None
+    return MultiAppAblationResult(
+        scale=scale, apps=apps, allocators=allocators,
+        mean_app_rates=mean_app_rates, mean_jain=mean_jain,
+        mean_poa=mean_poa, coverage=coverage)
+
+
+def format_multi_app_result(result: MultiAppAblationResult) -> str:
+    headers = (["allocator"]
+               + [f"app{i} rate" for i in range(result.apps)]
+               + ["Jain index", "price of anarchy"])
+    rows = []
+    for allocator in result.allocators:
+        rates = result.mean_app_rates[allocator]
+        poa = result.mean_poa[allocator]
+        rows.append([allocator]
+                    + [f"{r:.5f}" for r in rates]
+                    + [fmt_num(result.mean_jain[allocator]),
+                       fmt_num(poa) if poa is not None else "-"])
+    return format_table(
+        headers, rows,
+        title=(f"Ablation — multi-application allocators "
+               f"({result.apps} apps, {result.scale.trees} trees, "
+               f"{result.scale.tasks} tasks split evenly, IC/FB=3)"))

@@ -9,15 +9,17 @@ protocol on it and compares achieved throughput against the optimum.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import replace
 from fractions import Fraction
 from typing import Dict, Optional
 
+from ..api import simulate
+from ..apps import Application
 from ..errors import ExperimentError
 from ..metrics import detect_onset, phase_breakdown, window_rate
 from ..platform import PlatformGraph, PlatformTree, from_json
-from ..protocols import (GraphProtocolEngine, ProtocolConfig, ProtocolEngine,
-                         Tracer, topology_overlay)
+from ..protocols import ProtocolConfig, Tracer, topology_overlay
 from ..telemetry.config import TelemetryConfig
 from ..steady_state import (
     allocate,
@@ -27,7 +29,8 @@ from ..steady_state import (
 )
 from .reporting import fmt_num, fmt_opt, format_table
 
-__all__ = ["PROTOCOL_PRESETS", "load_tree", "analyze_tree", "simulate_tree"]
+__all__ = ["PROTOCOL_PRESETS", "load_tree", "analyze_tree",
+           "simulation_report", "simulate_tree"]
 
 #: Named protocol presets accepted by the CLI.
 PROTOCOL_PRESETS: Dict[str, ProtocolConfig] = {
@@ -116,9 +119,11 @@ def analyze_tree(platform) -> str:
     return report
 
 
-def simulate_tree(platform, protocol: str, tasks: int,
-                  telemetry: Optional[TelemetryConfig] = None,
-                  telemetry_out: Optional[str] = None) -> str:
+def simulation_report(platform, protocol: str, tasks: int,
+                      telemetry: Optional[TelemetryConfig] = None,
+                      telemetry_out: Optional[str] = None, *,
+                      apps: int = 1,
+                      allocator: Optional[str] = None) -> str:
     """Run a named protocol preset on the platform and report the outcome.
 
     With ``telemetry`` set the run carries probes and the report gains
@@ -126,6 +131,11 @@ def simulate_tree(platform, protocol: str, tasks: int,
     Chrome trace-event JSON by default (a :class:`~repro.protocols.trace.
     Tracer` is attached so the trace has per-node activity lanes), JSONL
     or CSV by file extension.
+
+    ``apps > 1`` splits the bag over that many concurrent applications
+    (ascending priorities, ``allocator`` choosing the per-app bandwidth
+    split) and adds per-app rate, Jain-index, and price-of-anarchy rows;
+    trace exports then carry one Perfetto process group per application.
     """
     if protocol not in PROTOCOL_PRESETS:
         raise ExperimentError(
@@ -133,21 +143,30 @@ def simulate_tree(platform, protocol: str, tasks: int,
             f"{sorted(PROTOCOL_PRESETS)}")
     if tasks < 2:
         raise ExperimentError(f"tasks must be >= 2, got {tasks}")
+    if apps < 1:
+        raise ExperimentError(f"apps must be >= 1, got {apps}")
+    if apps == 1 and allocator is not None:
+        raise ExperimentError(
+            "--allocator selects the per-app bandwidth split; it needs "
+            "--apps >= 2")
     config = PROTOCOL_PRESETS[protocol]
     if telemetry is not None:
         config = replace(config, telemetry=telemetry)
     overlay, tree = _as_overlay_tree(platform)
     optimal = solve_tree(tree).rate
-    if overlay is not None:
-        engine = GraphProtocolEngine(platform, config, tasks, overlay=overlay)
+
+    if apps == 1:
+        workload = tasks
     else:
-        engine = ProtocolEngine(tree, config, tasks)
-    tracer = None
-    if telemetry_out and not (telemetry_out.endswith(".jsonl")
-                              or telemetry_out.endswith(".csv")):
-        tracer = Tracer()
-        engine.tracer = tracer
-    result = engine.run()
+        per_app = max(2, tasks // apps)
+        workload = [Application(per_app, name=f"app{i}", priority=i)
+                    for i in range(apps)]
+        tasks = per_app * apps
+    want_trace = bool(telemetry_out) and not (
+        telemetry_out.endswith(".jsonl") or telemetry_out.endswith(".csv"))
+    tracers = [Tracer() for _ in range(apps)] if want_trace else None
+    result = simulate(platform, workload, config, allocator=allocator,
+                      tracer=tracers)
 
     x = max(1, tasks // 3)
     steady = window_rate(result.completion_times, x)
@@ -173,6 +192,17 @@ def simulate_tree(platform, protocol: str, tasks: int,
         ["max buffers occupied", result.max_held],
         ["preemptions", result.preemptions],
     ]
+    if len(result.apps) > 1:
+        rows.append(["applications", len(result.apps)])
+        for app_result in result.apps:
+            rows.append([f"{app_result.name} steady rate",
+                         fmt_num(float(app_result.steady_rate), 5)])
+        poa = result.price_of_anarchy
+        rows.extend([
+            ["Jain fairness index", fmt_num(result.jain_index, 4)],
+            ["price of anarchy",
+             fmt_num(poa, 4) if poa is not None else "-"],
+        ])
     snapshot = result.telemetry
     if snapshot is not None:
         util = snapshot.utilization()
@@ -185,8 +215,35 @@ def simulate_tree(platform, protocol: str, tasks: int,
     text = format_table(["metric", "value"], rows,
                         title="Protocol simulation report")
     if telemetry_out:
-        from ..telemetry.export import export_auto
-
-        written = export_auto(telemetry_out, snapshot or [], tracer=tracer)
+        written = _export_run(telemetry_out, result, tracers, want_trace)
         text += f"\n[telemetry written to {telemetry_out} ({written} records)]"
     return text
+
+
+def _export_run(telemetry_out: str, result, tracers, want_trace: bool) -> int:
+    """Export one report run: per-app Perfetto process groups for
+    multi-application trace exports, :func:`export_auto` otherwise."""
+    from ..telemetry.export import export_auto, write_multi_app_trace
+
+    if len(result.apps) > 1:
+        if want_trace:
+            entries = [(app_result.name, app_result.telemetry, tracer)
+                       for app_result, tracer in zip(result.apps, tracers)]
+            return write_multi_app_trace(telemetry_out, entries)
+        snapshots = [a.telemetry for a in result.apps
+                     if a.telemetry is not None]
+        return export_auto(telemetry_out, snapshots)
+    return export_auto(telemetry_out, result.telemetry or [],
+                       tracer=tracers[0] if want_trace else None)
+
+
+def simulate_tree(platform, protocol: str, tasks: int,
+                  telemetry: Optional[TelemetryConfig] = None,
+                  telemetry_out: Optional[str] = None) -> str:
+    """Deprecated shim — call :func:`simulation_report` instead."""
+    warnings.warn(
+        "analyze.simulate_tree() is deprecated; use "
+        "analyze.simulation_report() (same report, plus multi-application "
+        "support)", DeprecationWarning, stacklevel=2)
+    return simulation_report(platform, protocol, tasks, telemetry,
+                             telemetry_out)

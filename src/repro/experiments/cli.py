@@ -125,6 +125,8 @@ EXPERIMENTS: Dict[str, ExperimentSpec] = {spec.name: spec for spec in (
                    ablation.format_churn_result),
     ExperimentSpec("faults", ablation.fault_recovery,
                    ablation.format_fault_result),
+    ExperimentSpec("apps", ablation.multi_app,
+                   ablation.format_multi_app_result),
 )}
 
 
@@ -165,6 +167,16 @@ def build_parser() -> argparse.ArgumentParser:
                              "graph platforms run through the contention-"
                              "aware graph engine with the shape's protocol "
                              "adaptation")
+    parser.add_argument("--apps", type=int, default=None, metavar="N",
+                        help="concurrent applications sharing each "
+                             "platform, for the 'apps' ablation (default "
+                             "2) and 'simulate' (default 1); the bag is "
+                             "split evenly with ascending priorities")
+    parser.add_argument("--allocator", action="append", default=None,
+                        choices=["selfish", "maxmin", "fairshare"],
+                        help="per-app bandwidth allocator; repeatable for "
+                             "the 'apps' ablation (default: selfish and "
+                             "maxmin), single-valued for 'simulate'")
     parser.add_argument("--warp", action="store_true",
                         help="enable steady-state warp: fast-forward the "
                              "periodic middle of each run (results are "
@@ -268,7 +280,7 @@ def resolve_harness(args: argparse.Namespace) -> HarnessConfig:
 
 
 def _run_tree_command(args) -> str:
-    from .analyze import analyze_tree, load_tree, simulate_tree
+    from .analyze import analyze_tree, load_tree, simulation_report
 
     if not args.tree:
         raise SystemExit(f"'{args.experiment}' requires --tree FILE")
@@ -288,8 +300,14 @@ def _run_tree_command(args) -> str:
         sample_dt = getattr(args, "telemetry_sample_dt", None)
         telemetry = (TelemetryConfig.tracing() if sample_dt is None
                      else TelemetryConfig.tracing(sample_dt=sample_dt))
-    return simulate_tree(tree, args.protocol, tasks, telemetry=telemetry,
-                         telemetry_out=getattr(args, "telemetry_out", None))
+    allocators = getattr(args, "allocator", None)
+    if allocators and len(allocators) > 1:
+        raise SystemExit("'simulate' takes a single --allocator")
+    return simulation_report(
+        tree, args.protocol, tasks, telemetry=telemetry,
+        telemetry_out=getattr(args, "telemetry_out", None),
+        apps=args.apps if args.apps is not None else 1,
+        allocator=allocators[0] if allocators else None)
 
 
 def main(argv: Optional[list] = None) -> int:
@@ -310,6 +328,18 @@ def main(argv: Optional[list] = None) -> int:
         sys.stderr.write("--profile forces --workers 1\n")
         workers = 1
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    experiments = dict(EXPERIMENTS)
+    if args.apps is not None or args.allocator:
+        # --apps / --allocator parameterize the multi-app ablation; every
+        # other ensemble experiment is single-application by design.
+        from functools import partial
+
+        spec = experiments["apps"]
+        experiments["apps"] = replace(spec, run=partial(
+            spec.run,
+            apps=args.apps if args.apps is not None else 2,
+            allocators=tuple(args.allocator) if args.allocator
+            else ("selfish", "maxmin")))
     reports = []
     for name in names:
         start = time.time()
@@ -320,7 +350,7 @@ def main(argv: Optional[list] = None) -> int:
             profiler = cProfile.Profile()
             profiler.enable()
             try:
-                report, svg_text = EXPERIMENTS[name](
+                report, svg_text = experiments[name](
                     scale, workers=workers, svg=args.svg is not None,
                     harness=harness, telemetry_out=args.telemetry_out)
             finally:
@@ -328,7 +358,7 @@ def main(argv: Optional[list] = None) -> int:
                 stats = pstats.Stats(profiler, stream=sys.stderr)
                 stats.sort_stats("cumulative").print_stats(25)
         else:
-            report, svg_text = EXPERIMENTS[name](scale, workers=workers,
+            report, svg_text = experiments[name](scale, workers=workers,
                                                  svg=args.svg is not None,
                                                  harness=harness,
                                                  telemetry_out=args.telemetry_out)

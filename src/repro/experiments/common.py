@@ -13,12 +13,14 @@ from dataclasses import dataclass, field, replace
 from fractions import Fraction
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..api import simulate
+from ..apps import Workload
 from ..errors import ExperimentError
 from ..harness import HarnessConfig, RunCoverage, run_seeds
 from ..metrics import default_threshold, detect_onset
 from ..platform.generator import PAPER_DEFAULTS, TreeGeneratorParams, generate_tree
 from ..platform.graph import GRAPH_TOPOLOGIES, generate_platform
-from ..protocols import ProtocolConfig, simulate, simulate_graph
+from ..protocols import ProtocolConfig
 from ..protocols.topologies import topology_overlay
 from ..steady_state import solve_tree
 from ..telemetry.config import TelemetryConfig
@@ -56,6 +58,11 @@ class ExperimentScale:
     #: ``chain``, ``leafspine``) run through the graph engine with the
     #: shape's protocol adaptation.  Non-tree sweeps checkpoint separately.
     topology: str = "tree"
+    #: Explicit workload (multi-application or sized/staggered bags).
+    #: ``None`` — the default — runs ``tasks`` unit tasks as one
+    #: application, exactly as before; sweeps with an explicit workload
+    #: checkpoint separately.
+    workload: Optional[Workload] = None
 
     def __post_init__(self):
         if self.trees < 1:
@@ -66,6 +73,14 @@ class ExperimentScale:
             raise ExperimentError(
                 f"unknown topology {self.topology!r}; choose 'tree' or one "
                 f"of {GRAPH_TOPOLOGIES}")
+
+    @property
+    def effective_workload(self) -> Workload:
+        """The workload each run gets: the explicit one, else ``tasks``
+        unit tasks as a single default application."""
+        if self.workload is not None:
+            return self.workload
+        return Workload(tasks=self.tasks)
 
     @property
     def threshold(self) -> int:
@@ -161,13 +176,13 @@ def run_case(seed: int, params: TreeGeneratorParams,
             config = replace(config, warp=True)
         if scale.telemetry is not None and config.telemetry is None:
             config = replace(config, telemetry=scale.telemetry)
+        workload = scale.effective_workload
         if graph is None:
-            result = simulate(tree, config, scale.tasks,
+            result = simulate(tree, workload, config,
                               record_buffer_timeline=record_buffers)
         else:
-            result = simulate_graph(graph, config, scale.tasks,
-                                    overlay=overlay,
-                                    record_buffer_timeline=record_buffers)
+            result = simulate(graph, workload, config, overlay=overlay,
+                              record_buffer_timeline=record_buffers)
         onset = detect_onset(result.completion_times, optimal, scale.threshold)
         samples: Dict[int, Optional[int]] = {}
         if record_buffers:
@@ -245,12 +260,14 @@ def sweep(configs: Sequence[ProtocolConfig], scale: ExperimentScale,
         # ``scale.telemetry`` is included: snapshots live inside the
         # journalled outcomes, so probe-on and probe-off sweeps must not
         # share checkpoints the way warped and exact sweeps do.
-        # ``scale.topology`` joins only when non-default so pre-existing
-        # tree-sweep journals keep their checkpoint digests.
+        # ``scale.topology`` / ``scale.workload`` join only when
+        # non-default so pre-existing tree-sweep journals keep their
+        # checkpoint digests.
         config_parts=(params, tuple(configs), scale.tasks,
                       scale.threshold, bool(record_buffers),
                       tuple(sample_counts), scale.telemetry)
-        + ((scale.topology,) if scale.topology != "tree" else ()),
+        + ((scale.topology,) if scale.topology != "tree" else ())
+        + ((scale.workload,) if scale.workload is not None else ()),
         harness=harness, workers=workers, progress=progress,
         meta={"scale": {"trees": scale.trees, "tasks": scale.tasks,
                         "base_seed": scale.base_seed,

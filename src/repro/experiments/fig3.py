@@ -19,7 +19,8 @@ from ..errors import ExperimentError
 from ..harness import HarnessConfig, RunCoverage, run_seeds
 from ..metrics import detect_onset, normalized_window_rates
 from ..platform.generator import PAPER_DEFAULTS, TreeGeneratorParams, generate_tree
-from ..protocols import ProtocolConfig, simulate
+from ..api import simulate
+from ..protocols import ProtocolConfig
 from ..steady_state import solve_tree
 from .common import ExperimentScale
 from .reporting import fmt_num, format_table
@@ -52,7 +53,7 @@ def _series_for(seed: int, scale: ExperimentScale,
                 params: TreeGeneratorParams):
     tree = generate_tree(params, seed=seed)
     optimal = solve_tree(tree).rate
-    result = simulate(tree, CONFIG, scale.tasks)
+    result = simulate(tree, scale.tasks, CONFIG)
     normalized = normalized_window_rates(result.completion_times, optimal)
     onset = detect_onset(result.completion_times, optimal, scale.threshold)
     return normalized, onset

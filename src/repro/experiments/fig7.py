@@ -25,7 +25,8 @@ from ..errors import ExperimentError
 from ..harness import HarnessConfig, RunCoverage, run_seeds
 from ..metrics import window_rate
 from ..platform import Mutation, MutationSchedule, figure1_tree
-from ..protocols import ProtocolConfig, simulate
+from ..api import simulate
+from ..protocols import ProtocolConfig
 from ..steady_state import solve_tree
 from .common import ExperimentScale
 from .reporting import fmt_num, format_table
@@ -70,7 +71,7 @@ def _run_scenario(name: str, mutation: Optional[Mutation],
     phases = schedule.phases(tree)
     optimal_after = solve_tree(phases[-1][1]).rate
 
-    result = simulate(tree, CONFIG, num_tasks, mutations=schedule)
+    result = simulate(tree, num_tasks, CONFIG, mutations=schedule)
     times = result.completion_times
     step = max(1, len(times) // sample_points)
     curve = tuple((times[i], i + 1) for i in range(step - 1, len(times), step))

@@ -32,7 +32,8 @@ from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
 
 from ..errors import PlatformError
 
-__all__ = ["max_min_rates", "fair_share_rates", "LinkContention"]
+__all__ = ["max_min_rates", "fair_share_rates", "selfish_rates",
+           "LinkContention"]
 
 FlowId = Hashable
 
@@ -126,7 +127,41 @@ def fair_share_rates(flows: Mapping[FlowId, Sequence[int]],
     return rates
 
 
-_ALLOCATORS = {"maxmin": max_min_rates, "fairshare": fair_share_rates}
+def selfish_rates(flows: Mapping[FlowId, Sequence[int]],
+                  capacities: Mapping[int, Fraction],
+                  priorities: Optional[Mapping[FlowId, object]] = None,
+                  ) -> Dict[FlowId, Fraction]:
+    """Strict-priority filling: higher-priority flows grab bandwidth first.
+
+    Flows are grouped by priority tag (lower sorts first = more urgent,
+    matching the protocol's bandwidth-centric ``(c, node id)`` keys) and
+    each class is max-min filled against whatever capacity the classes
+    before it left behind.  Untagged flows (priority ``None``) form the
+    last class.  With a single class this degenerates to plain
+    :func:`max_min_rates` — equal-priority apps therefore share fairly,
+    which is the deterministic tie-break.
+    """
+    priorities = priorities or {}
+    classes: Dict[object, Dict[FlowId, Sequence[int]]] = {}
+    for fid, route in flows.items():
+        classes.setdefault(priorities.get(fid), {})[fid] = route
+    # None (untagged) last; tagged classes in ascending priority order.
+    order = sorted((key for key in classes if key is not None)) \
+        + ([None] if None in classes else [])
+    remaining = dict(capacities)
+    rates: Dict[FlowId, Fraction] = {}
+    for key in order:
+        class_rates = max_min_rates(classes[key], remaining)
+        for fid, rate in class_rates.items():
+            rates[fid] = rate
+            for link in set(flows[fid]):
+                left = remaining[link] - rate
+                remaining[link] = left if left > 0 else Fraction(0)
+    return rates
+
+
+_ALLOCATORS = {"maxmin": max_min_rates, "fairshare": fair_share_rates,
+               "selfish": selfish_rates}
 
 
 class _Flow:
@@ -150,7 +185,7 @@ class LinkContention:
     Exact Fractions keep every settlement lossless.
     """
 
-    __slots__ = ("capacities", "_alloc", "_flows",
+    __slots__ = ("capacities", "mode", "_alloc", "_flows", "_priorities",
                  "reallocations", "rate_changes")
 
     def __init__(self, capacities: Mapping[int, Fraction],
@@ -161,8 +196,10 @@ class LinkContention:
             raise PlatformError(
                 f"unknown contention mode {mode!r}; "
                 f"choose from {tuple(_ALLOCATORS)}") from None
+        self.mode = mode
         self.capacities = dict(capacities)
         self._flows: Dict[FlowId, _Flow] = {}
+        self._priorities: Dict[FlowId, object] = {}
         self.reallocations = 0      # allocator invocations (telemetry)
         self.rate_changes = 0       # flows whose rate changed mid-flight
 
@@ -181,16 +218,19 @@ class LinkContention:
         return _exact(flow.volume - flow.rate * (now - flow.since))
 
     def start(self, fid: FlowId, route: Sequence[int], volume,
-              now) -> List[Tuple[FlowId, object, object]]:
+              now, priority=None) -> List[Tuple[FlowId, object, object]]:
         """Register a flow; returns rate updates (see :meth:`_reallocate`).
 
         The new flow itself is always included in the updates with its
-        initial rate and full volume.
+        initial rate and full volume.  ``priority`` tags the flow for the
+        ``selfish`` allocator (lower sorts first); other modes ignore it.
         """
         if fid in self._flows:
             raise PlatformError(f"flow {fid!r} already active")
         flow = _Flow(tuple(route), volume, Fraction(0), now)
         self._flows[fid] = flow
+        if priority is not None:
+            self._priorities[fid] = priority
         updates = self._reallocate(now)
         if all(u[0] != fid for u in updates):
             updates.append((fid, flow.rate, _exact(flow.volume)))
@@ -201,6 +241,7 @@ class LinkContention:
         if fid not in self._flows:
             raise PlatformError(f"no active flow {fid!r}")
         del self._flows[fid]
+        self._priorities.pop(fid, None)
         return self._reallocate(now)
 
     def pause(self, fid: FlowId, now):
@@ -219,7 +260,10 @@ class LinkContention:
         """
         self.reallocations += 1
         routes = {fid: flow.route for fid, flow in self._flows.items()}
-        new_rates = self._alloc(routes, self.capacities)
+        if self.mode == "selfish":
+            new_rates = self._alloc(routes, self.capacities, self._priorities)
+        else:
+            new_rates = self._alloc(routes, self.capacities)
         updates: List[Tuple[FlowId, object, object]] = []
         for fid, flow in self._flows.items():
             new_rate = _exact(new_rates[fid])

@@ -23,7 +23,8 @@ from ..platform.faults import (CrashEvent, FaultSchedule, LinkFailureEvent,
 from ..platform.mutation import Mutation, MutationSchedule
 from ..platform.tree import PlatformTree
 from ..sim import Environment
-from ..sim.warp import WarpController, WarpSummary
+from ..sim.warp import (REASON_CONTENTION, REASON_DYNAMIC, REASON_TELEMETRY,
+                        REASON_TRACING, WarpController, WarpSummary)
 from . import trace as _trace
 from .agents import NodeAgent
 from .config import PriorityRule, ProtocolConfig
@@ -60,6 +61,10 @@ class ProtocolEngine:
     #: contention breaks the quiescent-periodicity argument, so the graph
     #: engine stands warp down.
     _supports_warp = True
+    #: Stand-down reason reported when ``_supports_warp`` is False — always
+    #: one of :data:`repro.sim.warp.STAND_DOWN_REASONS` (the multi-app
+    #: engine substitutes its own member of the set).
+    _warp_stand_down = REASON_CONTENTION
 
     def __init__(self, tree: PlatformTree, config: ProtocolConfig,
                  num_tasks: int,
@@ -90,7 +95,7 @@ class ProtocolEngine:
         self.record_buffer_timeline = record_buffer_timeline
         self.record_completion_times = record_completion_times
 
-        self.env = Environment()
+        self.env = self._make_env()
         self._tracer = None
         #: Effective trace recorder agents fan protocol events into: the
         #: user's tracer, the telemetry event tap, a fanout of both, or
@@ -133,6 +138,11 @@ class ProtocolEngine:
         self.reclaim_times: List[int] = []
 
         self._build_agents()
+
+    def _make_env(self) -> Environment:
+        """Calendar this engine runs on.  The multi-app engine overrides
+        this so several per-application agent sets share one calendar."""
+        return Environment()
 
     # ------------------------------------------------------------- tracing
     @property
@@ -388,75 +398,88 @@ class ProtocolEngine:
             root._maybe_preempt()
 
     # ----------------------------------------------------------------- run
+    def _resolve_warp(self) -> None:
+        """Apply the warp guard chain: either build the controller or stand
+        down with one of the shared :data:`~repro.sim.warp.
+        STAND_DOWN_REASONS` constants."""
+        if not self.config.warp:
+            return
+        # The warp is sound only for the quiescent base model: any
+        # dynamic platform schedule breaks periodicity, and tracing
+        # observes the very events the warp would skip.
+        if not self._supports_warp:
+            self._warp_summary = WarpSummary(
+                applied=False, reason=self._warp_stand_down)
+        elif self.mutations or self.churn or self.faults:
+            self._warp_summary = WarpSummary(
+                applied=False, reason=REASON_DYNAMIC)
+        elif self._recorder is not None or self.env.trace_hook is not None:
+            self._warp_summary = WarpSummary(
+                applied=False, reason=REASON_TRACING)
+        elif self.probe is not None:
+            # Sampling probes observe intermediate state at times the
+            # warp would skip straight over.
+            self._warp_summary = WarpSummary(
+                applied=False, reason=REASON_TELEMETRY)
+        else:
+            self._warp = WarpController(self)
+
+    def _arm(self) -> None:
+        """Register schedules, announce t=0 demand, and kick scheduling.
+
+        Split from :meth:`run` so the multi-app engine can arm several
+        agent sets (one per application, possibly at staggered arrival
+        times) on one shared calendar before running it once.
+        """
+        for mutation in self.mutations.time_triggered():
+            self.env.call_at(mutation.at_time, self._apply_mutation, mutation)
+        for event in self.churn:
+            handler = (self._apply_join if isinstance(event, JoinEvent)
+                       else self._apply_leave)
+            self.env.call_at(event.at_time, handler, event)
+        for event in self.faults:
+            if isinstance(event, CrashEvent):
+                fault_handler = self._apply_crash
+            elif isinstance(event, LinkFailureEvent):
+                fault_handler = self._apply_link_failure
+            else:
+                fault_handler = self._apply_link_repair
+            self.env.call_at(event.at_time, fault_handler, event)
+
+        # Phase 1: every node registers its initial requests.
+        for agent in self.nodes:
+            agent.send_initial_requests()
+        # Phase 2: scheduling starts with full knowledge of t=0 demand.
+        for agent in self.nodes:
+            agent.try_start_compute()
+            agent.try_send()
+        if self.faults:
+            # Liveness sweeps only exist when faults can happen, so a
+            # fault-free run keeps a bit-identical event calendar.
+            for agent in self.nodes:
+                agent._start_sweep()
+        if self.probe is not None:
+            self.probe.start()
+
     def run(self) -> SimulationResult:
         """Execute the simulation to completion and return its result."""
         if self._finished:
             raise ProtocolError("engine already ran; build a new one")
         self._finished = True
-
-        if self.config.warp:
-            # The warp is sound only for the quiescent base model: any
-            # dynamic platform schedule breaks periodicity, and tracing
-            # observes the very events the warp would skip.
-            if not self._supports_warp:
-                self._warp_summary = WarpSummary(
-                    applied=False,
-                    reason="disabled: shared-link contention breaks "
-                           "periodicity")
-            elif self.mutations or self.churn or self.faults:
-                self._warp_summary = WarpSummary(
-                    applied=False,
-                    reason="disabled: dynamic platform schedule active")
-            elif self._recorder is not None or self.env.trace_hook is not None:
-                self._warp_summary = WarpSummary(
-                    applied=False, reason="disabled: tracing active")
-            elif self.probe is not None:
-                # Sampling probes observe intermediate state at times the
-                # warp would skip straight over.
-                self._warp_summary = WarpSummary(
-                    applied=False,
-                    reason="disabled: telemetry sampling active")
-            else:
-                self._warp = WarpController(self)
+        self._resolve_warp()
 
         limit = sys.getrecursionlimit()
         if limit < _MIN_RECURSION_LIMIT:
             sys.setrecursionlimit(_MIN_RECURSION_LIMIT)
         try:
-            for mutation in self.mutations.time_triggered():
-                self.env.call_at(mutation.at_time, self._apply_mutation, mutation)
-            for event in self.churn:
-                handler = (self._apply_join if isinstance(event, JoinEvent)
-                           else self._apply_leave)
-                self.env.call_at(event.at_time, handler, event)
-            for event in self.faults:
-                if isinstance(event, CrashEvent):
-                    fault_handler = self._apply_crash
-                elif isinstance(event, LinkFailureEvent):
-                    fault_handler = self._apply_link_failure
-                else:
-                    fault_handler = self._apply_link_repair
-                self.env.call_at(event.at_time, fault_handler, event)
-
-            # Phase 1: every node registers its initial requests.
-            for agent in self.nodes:
-                agent.send_initial_requests()
-            # Phase 2: scheduling starts with full knowledge of t=0 demand.
-            for agent in self.nodes:
-                agent.try_start_compute()
-                agent.try_send()
-            if self.faults:
-                # Liveness sweeps only exist when faults can happen, so a
-                # fault-free run keeps a bit-identical event calendar.
-                for agent in self.nodes:
-                    agent._start_sweep()
-            if self.probe is not None:
-                self.probe.start()
-
+            self._arm()
             self.env.run()
         finally:
             sys.setrecursionlimit(limit)
+        return self._collect()
 
+    def _collect(self) -> SimulationResult:
+        """Check the conservation invariant and assemble the result."""
         if self.completed != self.num_tasks:  # pragma: no cover - invariant
             raise ProtocolError(
                 f"run ended with {self.completed}/{self.num_tasks} tasks "

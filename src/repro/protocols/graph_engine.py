@@ -74,7 +74,8 @@ class GraphNodeAgent(NodeAgent):
         engine = self.engine
         self.current_transfer = transfer
         updates = engine.contention.start(
-            transfer, transfer.child.route, transfer.remaining, self.env.now)
+            transfer, transfer.child.route, transfer.remaining, self.env.now,
+            priority=engine._flow_priority)
         engine._apply_rate_updates(updates)
 
     def _send_done(self, transfer: Transfer) -> None:
@@ -101,7 +102,8 @@ class GraphNodeAgent(NodeAgent):
             # just has a later calendar sequence number): let it finish.
             return
         remaining, updates = engine.contention.pause(current, env.now)
-        current.timer.cancel()
+        if current.timer is not None:  # a starved flow stalls timer-less
+            current.timer.cancel()
         current.remaining = remaining
         current.started_at = None
         current.timer = None
@@ -128,18 +130,27 @@ class GraphProtocolEngine(ProtocolEngine):
 
     _agent_class = GraphNodeAgent
     _supports_warp = False
+    #: Priority tag attached to every flow this engine starts.  ``None``
+    #: under the single-app allocators; the multi-app engine sets a per
+    #: application ``(priority, app index)`` tuple for the ``selfish``
+    #: allocator's strict-priority filling.
+    _flow_priority = None
 
     def __init__(self, platform: Union[PlatformGraph, PlatformTree],
                  config: ProtocolConfig, num_tasks: int,
                  overlay: Optional[Overlay] = None,
                  record_buffer_timeline: bool = False,
-                 record_completion_times: bool = True):
+                 record_completion_times: bool = True,
+                 contention: Optional[LinkContention] = None):
         if isinstance(platform, PlatformTree):
             platform = PlatformGraph.from_tree(platform)
         self.graph = platform
         self.overlay = overlay if overlay is not None else platform.overlay()
-        self.contention = LinkContention(platform.link_capacities(),
-                                         platform.contention)
+        # A caller-supplied manager lets several engines (one per
+        # application) contend for the same physical links.
+        self.contention = (contention if contention is not None
+                           else LinkContention(platform.link_capacities(),
+                                               platform.contention))
         super().__init__(self.overlay.tree, config, num_tasks,
                          record_buffer_timeline=record_buffer_timeline,
                          record_completion_times=record_completion_times)
@@ -160,6 +171,13 @@ class GraphProtocolEngine(ProtocolEngine):
                 transfer.timer.cancel()
             transfer.remaining = volume
             transfer.started_at = env.now
+            if volume > 0 and rate == 0:
+                # Starved outright (the selfish allocator gives strictly
+                # higher-priority classes everything): the flow stalls
+                # with no timer; the reallocation that frees capacity
+                # reports it again and reschedules it here.
+                transfer.timer = None
+                continue
             sender = transfer.child.parent
             duration = _leg_duration(volume, rate) if volume > 0 else 0
             transfer.timer = env.call_in(duration, sender._send_done, transfer)

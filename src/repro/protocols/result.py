@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
+from fractions import Fraction
 from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 from ..platform.tree import PlatformTree
@@ -11,6 +12,7 @@ from ..sim.warp import WarpSummary
 from .config import ProtocolConfig
 
 if TYPE_CHECKING:  # annotation-only: the telemetry package imports protocols
+    from ..apps.spec import AppResult
     from ..telemetry.probes import TelemetrySnapshot
 
 __all__ = ["SimulationResult"]
@@ -81,6 +83,15 @@ class SimulationResult:
     #: :attr:`events_processed`, so a telemetry-on run fingerprints
     #: identically to its telemetry-off twin.
     telemetry: Optional["TelemetrySnapshot"] = None
+    #: Per-application results of a multi-application run, in application
+    #: order.  A single-app run through the legacy engines leaves this
+    #: empty; the multi-app engine fills it even for N=1 (where the rest
+    #: of the record is bit-identical to the single-app engine's).
+    apps: Tuple["AppResult", ...] = ()
+    #: Aggregate steady-state rate of the cooperative optimum
+    #: (:func:`repro.steady_state.solve_tree` on the shared platform) —
+    #: the denominator-side reference for :attr:`price_of_anarchy`.
+    cooperative_rate: Optional[Fraction] = None
 
     @property
     def makespan(self) -> int:
@@ -145,7 +156,42 @@ class SimulationResult:
         for part in parts:
             digest.update(repr(part).encode("utf-8"))
             digest.update(b"\x1f")
+        if len(self.apps) > 1:
+            # N=1 multi-app runs must fingerprint bit-identically to the
+            # single-app engine, so per-app parts only enter the digest
+            # when there genuinely is more than one application.
+            for app in self.apps:
+                for part in app.fingerprint_parts():
+                    digest.update(repr(part).encode("utf-8"))
+                    digest.update(b"\x1f")
         return digest.hexdigest()
+
+    @property
+    def jain_index(self) -> Optional[float]:
+        """Jain fairness index over per-app steady-state rates.
+
+        ``(Σx)² / (n·Σx²)`` — 1.0 when every application achieves the
+        same rate, ``1/n`` when one app starves the rest.  ``None``
+        unless this was a multi-application run.
+        """
+        if len(self.apps) < 2:
+            return None
+        from ..apps.metrics import jain_index
+        return jain_index([app.steady_rate for app in self.apps])
+
+    @property
+    def price_of_anarchy(self) -> Optional[float]:
+        """Cooperative optimal aggregate rate / achieved aggregate rate.
+
+        ≥ 1; how much total throughput the non-cooperative split left on
+        the table.  ``None`` unless the run recorded a cooperative
+        reference rate and at least one per-app rate is positive.
+        """
+        if not self.apps or self.cooperative_rate is None:
+            return None
+        from ..apps.metrics import price_of_anarchy
+        return price_of_anarchy(
+            [app.steady_rate for app in self.apps], self.cooperative_rate)
 
     def surviving_tree(self) -> PlatformTree:
         """The platform with every crashed subtree pruned — what the

@@ -64,7 +64,31 @@ from .core import Timer
 if TYPE_CHECKING:  # pragma: no cover
     from ..protocols.engine import ProtocolEngine
 
-__all__ = ["WarpSummary", "WarpController", "LEDGER_CAP", "FAR_HORIZON"]
+__all__ = ["WarpSummary", "WarpController", "LEDGER_CAP", "FAR_HORIZON",
+           "REASON_CONTENTION", "REASON_DYNAMIC", "REASON_TRACING",
+           "REASON_TELEMETRY", "REASON_MULTI_APP", "STAND_DOWN_REASONS"]
+
+# Stand-down reasons shared by every engine (tree, graph, multi-app).
+# Engines must report *these* strings — never ad-hoc ones — so callers can
+# compare ``result.warp.reason`` against the constants instead of matching
+# substrings, and the set below stays the single source of truth.
+REASON_CONTENTION = ("disabled: shared-link contention breaks periodicity")
+REASON_DYNAMIC = "disabled: dynamic platform schedule active"
+REASON_TRACING = "disabled: tracing active"
+REASON_TELEMETRY = "disabled: telemetry sampling active"
+REASON_MULTI_APP = ("disabled: concurrent applications break "
+                    "single-job periodicity")
+
+#: Every reason an engine may stand the warp down with *before* the search
+#: even starts (controller-side reasons — "no recurrence found", "completed
+#: before warp" — are run outcomes, not stand-downs, and are not listed).
+STAND_DOWN_REASONS = frozenset({
+    REASON_CONTENTION,
+    REASON_DYNAMIC,
+    REASON_TRACING,
+    REASON_TELEMETRY,
+    REASON_MULTI_APP,
+})
 
 #: Fingerprints remembered before the search is abandoned.  A run whose
 #: period is not found within this many completions simply stays exact.

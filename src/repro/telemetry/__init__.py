@@ -11,7 +11,8 @@ from .aggregate import (aggregate_snapshots, format_telemetry_summary,
                         percentile, summarize)
 from .config import TelemetryConfig
 from .export import (chrome_trace, dump_csv, dump_jsonl, export_auto,
-                     iter_jsonl, load_jsonl, write_chrome_trace)
+                     iter_jsonl, load_jsonl, multi_app_trace,
+                     write_chrome_trace, write_multi_app_trace)
 from .probes import TelemetryProbe, TelemetrySnapshot
 from .registry import (NULL_REGISTRY, Counter, Gauge, Histogram,
                        MetricsRegistry, NullRegistry, TimeSeries)
@@ -22,7 +23,8 @@ __all__ = [
     "Counter", "Gauge", "Histogram", "TimeSeries",
     "MetricsRegistry", "NullRegistry", "NULL_REGISTRY",
     "dump_jsonl", "iter_jsonl", "load_jsonl", "dump_csv",
-    "chrome_trace", "write_chrome_trace", "export_auto",
+    "chrome_trace", "write_chrome_trace", "multi_app_trace",
+    "write_multi_app_trace", "export_auto",
     "aggregate_snapshots", "summarize", "percentile",
     "format_telemetry_summary",
 ]

@@ -29,7 +29,8 @@ from ..protocols import trace as _trace
 from .probes import TelemetrySnapshot
 
 __all__ = ["dump_jsonl", "load_jsonl", "iter_jsonl", "dump_csv",
-           "chrome_trace", "write_chrome_trace", "export_auto"]
+           "chrome_trace", "multi_app_trace", "write_chrome_trace",
+           "write_multi_app_trace", "export_auto"]
 
 _JSONL_VERSION = 1
 
@@ -186,20 +187,12 @@ def _lane_events(tracer, pid: int) -> List[Dict]:
     return events
 
 
-def chrome_trace(snapshot: Optional[TelemetrySnapshot] = None,
-                 tracer=None) -> Dict:
-    """Build a Chrome trace-event document (Perfetto-loadable).
-
-    Either input may be omitted: a snapshot alone gives counter tracks,
-    a tracer alone gives activity lanes; together they give the full
-    timeline.  One virtual timestep maps to one trace microsecond.
-    """
-    if snapshot is None and tracer is None:
-        raise ReproError("chrome_trace needs a snapshot and/or a tracer")
-    pid = 0
+def _trace_events(snapshot, tracer, pid: int,
+                  process_name: str) -> List[Dict]:
+    """All trace events of one (snapshot, tracer) pair under one pid."""
     events: List[Dict] = [{
         "name": "process_name", "ph": "M", "pid": pid,
-        "args": {"name": "simulation"},
+        "args": {"name": process_name},
     }]
 
     num_nodes = snapshot.num_nodes if snapshot is not None else (
@@ -228,7 +221,20 @@ def chrome_trace(snapshot: Optional[TelemetrySnapshot] = None,
                     events.append({"name": track, "cat": "telemetry",
                                    "ph": "C", "ts": time, "pid": pid,
                                    "args": {"value": value}})
+    return events
 
+
+def chrome_trace(snapshot: Optional[TelemetrySnapshot] = None,
+                 tracer=None) -> Dict:
+    """Build a Chrome trace-event document (Perfetto-loadable).
+
+    Either input may be omitted: a snapshot alone gives counter tracks,
+    a tracer alone gives activity lanes; together they give the full
+    timeline.  One virtual timestep maps to one trace microsecond.
+    """
+    if snapshot is None and tracer is None:
+        raise ReproError("chrome_trace needs a snapshot and/or a tracer")
+    events = _trace_events(snapshot, tracer, 0, "simulation")
     doc: Dict = {"traceEvents": events, "displayTimeUnit": "ms"}
     if snapshot is not None:
         doc["otherData"] = {
@@ -239,6 +245,29 @@ def chrome_trace(snapshot: Optional[TelemetrySnapshot] = None,
     return doc
 
 
+def multi_app_trace(entries) -> Dict:
+    """Build one Perfetto document with a process group per application.
+
+    ``entries`` is a sequence of ``(label, snapshot, tracer)`` triples in
+    application order (either of snapshot/tracer may be ``None``, not
+    both).  Application *i* becomes trace process ``pid=i`` named by its
+    label, keeping the familiar per-node thread lanes inside each group —
+    in the Perfetto UI every app reads as its own process whose rows are
+    the same physical nodes, so cross-app bandwidth hand-offs line up
+    vertically.
+    """
+    entries = list(entries)
+    if not entries:
+        raise ReproError("multi_app_trace needs at least one application")
+    events: List[Dict] = []
+    for pid, (label, snapshot, tracer) in enumerate(entries):
+        if snapshot is None and tracer is None:
+            raise ReproError(
+                f"application {label!r} has neither snapshot nor tracer")
+        events.extend(_trace_events(snapshot, tracer, pid, str(label)))
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
 def write_chrome_trace(path_or_file: Union[str, IO],
                        snapshot: Optional[TelemetrySnapshot] = None,
                        tracer=None) -> int:
@@ -247,6 +276,18 @@ def write_chrome_trace(path_or_file: Union[str, IO],
     Returns the number of trace events written.
     """
     doc = chrome_trace(snapshot=snapshot, tracer=tracer)
+    return _write_trace_doc(path_or_file, doc)
+
+
+def write_multi_app_trace(path_or_file: Union[str, IO], entries) -> int:
+    """Serialize :func:`multi_app_trace` to a ``.trace.json`` file.
+
+    Returns the number of trace events written.
+    """
+    return _write_trace_doc(path_or_file, multi_app_trace(entries))
+
+
+def _write_trace_doc(path_or_file: Union[str, IO], doc: Dict) -> int:
     fh, close = _open_maybe(path_or_file, "w")
     try:
         json.dump(doc, fh, separators=(",", ":"))

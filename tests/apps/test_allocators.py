@@ -1,0 +1,110 @@
+"""Per-app bandwidth allocators under multi-application edge cases.
+
+The selfish allocator is strict-priority progressive filling: flows are
+grouped by priority tag, each class max-min filled against what the
+higher classes left.  Equal priorities therefore degenerate to plain
+max-min — the deterministic tie-break — and the PR 6 work-conservation
+counterexample separates ``maxmin`` from ``fairshare`` even when the
+flows belong to different applications.
+"""
+
+from fractions import Fraction as F
+
+from repro.apps import Application, MultiAppEngine
+from repro.platform.contention import (fair_share_rates, max_min_rates,
+                                       selfish_rates)
+from repro.platform.generator import TreeGeneratorParams, generate_tree
+from repro.protocols import ProtocolConfig
+
+SMALL = TreeGeneratorParams(min_nodes=12, max_nodes=18)
+CONFIG = ProtocolConfig.interruptible(3)
+
+
+class TestSelfishRates:
+    def test_strict_priority_starves_the_lower_class(self):
+        flows = {("app0", 1): (0,), ("app1", 1): (0,)}
+        rates = selfish_rates(flows, {0: F(1)},
+                              {("app0", 1): (0, 0), ("app1", 1): (1, 1)})
+        assert rates == {("app0", 1): F(1), ("app1", 1): F(0)}
+
+    def test_equal_priorities_degenerate_to_maxmin(self):
+        flows = {"a": (0,), "b": (0,), "c": (0, 1)}
+        caps = {0: F(3), 1: F(1)}
+        tagged = {fid: (5, 0) for fid in flows}
+        assert selfish_rates(flows, caps, tagged) == max_min_rates(flows, caps)
+
+    def test_untagged_flows_fill_last(self):
+        flows = {"tagged": (0,), "untagged": (0,)}
+        rates = selfish_rates(flows, {0: F(4)}, {"tagged": (0, 0)})
+        assert rates == {"tagged": F(4), "untagged": F(0)}
+
+    def test_lower_class_takes_the_leftovers(self):
+        # High priority is bottlenecked elsewhere; low mops up the rest.
+        flows = {"hi": (0, 1), "lo": (0,)}
+        rates = selfish_rates(flows, {0: F(4), 1: F(1)},
+                              {"hi": (0, 0), "lo": (1, 0)})
+        assert rates == {"hi": F(1), "lo": F(3)}
+
+    def test_no_priorities_is_plain_maxmin(self):
+        flows = {"a": (0,), "b": (0,)}
+        caps = {0: F(1)}
+        assert selfish_rates(flows, caps) == max_min_rates(flows, caps)
+
+
+def test_maxmin_vs_fairshare_disagree_across_apps():
+    """The PR 6 work-conservation counterexample, with app-labeled flows:
+    max-min hands app0 the bandwidth app1's bottleneck cannot use,
+    fair share leaves it idle."""
+    flows = {("app0", 0): (1,), ("app1", 0): (1, 0)}
+    caps = {0: F(1), 1: F(4)}
+    assert max_min_rates(flows, caps) == {("app0", 0): F(3),
+                                          ("app1", 0): F(1)}
+    assert fair_share_rates(flows, caps) == {("app0", 0): F(2),
+                                             ("app1", 0): F(1)}
+
+
+class TestEngineTieBreaks:
+    def test_identical_priorities_tie_break_by_app_index(self):
+        """Two same-priority apps on the same saturated links: the
+        selfish allocator's ``(priority, index)`` tag breaks the tie
+        deterministically in favour of the earlier application."""
+        tree = generate_tree(SMALL, seed=5)
+        apps = [Application(60, name="a"), Application(60, name="b")]
+        result = MultiAppEngine(tree, list(apps), CONFIG,
+                                allocator="selfish").run()
+        assert result.apps[0].makespan <= result.apps[1].makespan
+
+    def test_identical_priorities_are_deterministic(self):
+        tree = generate_tree(SMALL, seed=5)
+        runs = [
+            MultiAppEngine(
+                tree, [Application(60, name="a"), Application(60, name="b")],
+                CONFIG, allocator="selfish").run().fingerprint()
+            for _ in range(2)
+        ]
+        assert runs[0] == runs[1]
+
+    def test_distinct_priorities_change_the_run(self):
+        tree = generate_tree(SMALL, seed=5)
+        flat = MultiAppEngine(
+            tree, [Application(60), Application(60)], CONFIG,
+            allocator="selfish").run()
+        tiered = MultiAppEngine(
+            tree, [Application(60, priority=0), Application(60, priority=1)],
+            CONFIG, allocator="selfish").run()
+        assert flat.fingerprint() != tiered.fingerprint()
+        # Priority 0 sorts first: the favoured app finishes no later.
+        assert tiered.apps[0].makespan <= tiered.apps[1].makespan
+
+
+def test_zero_task_app_releases_all_bandwidth():
+    """An application with an empty bag claims no CPU share and starts
+    no flows: its partner runs exactly as if it were alone."""
+    tree = generate_tree(SMALL, seed=9)
+    solo = MultiAppEngine(tree, 80, CONFIG).run()
+    paired = MultiAppEngine(
+        tree, [Application(80, name="real"), Application(0, name="idle")],
+        CONFIG, allocator="maxmin").run()
+    assert paired.makespan == solo.makespan
+    assert paired.apps[1].completion_times == ()
+    assert paired.apps[1].steady_rate == 0

@@ -1,0 +1,127 @@
+"""Multi-application runs end to end through the public front door."""
+
+import pytest
+
+from repro import simulate
+from repro.apps import Application, MultiAppEngine
+from repro.apps.engine import _AppLane
+from repro.errors import ProtocolError
+from repro.platform.faults import CrashEvent, FaultSchedule
+from repro.platform.generator import TreeGeneratorParams, generate_tree
+from repro.protocols import ProtocolConfig
+from repro.protocols.engine import ProtocolEngine
+from repro.protocols.graph_engine import GraphProtocolEngine
+from repro.sim.warp import REASON_MULTI_APP, STAND_DOWN_REASONS
+
+SMALL = TreeGeneratorParams(min_nodes=12, max_nodes=18)
+CONFIG = ProtocolConfig.interruptible(3)
+
+
+def _two_apps(tasks=60):
+    return [Application(tasks, name="alpha", priority=0),
+            Application(tasks, name="beta", priority=1)]
+
+
+class TestTwoAppRun:
+    @pytest.fixture(scope="class")
+    def result(self):
+        tree = generate_tree(SMALL, seed=11)
+        return simulate(tree, _two_apps(), CONFIG, allocator="selfish")
+
+    def test_per_app_slices(self, result):
+        assert [a.name for a in result.apps] == ["alpha", "beta"]
+        assert all(len(a.completion_times) == 60 for a in result.apps)
+        assert all(a.steady_rate > 0 for a in result.apps)
+
+    def test_merged_result_is_consistent(self, result):
+        assert len(result.completion_times) == 120
+        assert result.num_tasks == 120
+        assert result.makespan == max(a.makespan for a in result.apps)
+        assert sum(result.per_node_computed) == 120
+
+    def test_fairness_metrics(self, result):
+        assert 0 < result.jain_index <= 1.0
+        assert result.cooperative_rate > 0
+        assert result.price_of_anarchy is not None
+        assert result.price_of_anarchy > 0
+
+    def test_fingerprint_covers_app_slices(self, result):
+        # N > 1 folds per-app parts in: dropping them must change it.
+        import dataclasses
+
+        stripped = dataclasses.replace(result, apps=result.apps[:1])
+        assert stripped.fingerprint() != result.fingerprint()
+
+
+def test_staggered_arrival_starts_late():
+    tree = generate_tree(SMALL, seed=11)
+    apps = [Application(60, name="early"),
+            Application(60, name="late", arrival=500)]
+    result = simulate(tree, apps, CONFIG, allocator="maxmin")
+    late = result.apps[1]
+    assert min(late.completion_times) > 500
+    assert late.duration == late.makespan - 500
+
+
+def test_allocator_default_is_platform_contention():
+    tree = generate_tree(SMALL, seed=11)
+    engine = MultiAppEngine(tree, _two_apps(), CONFIG)
+    # PlatformGraph.from_tree defaults to maxmin.
+    assert engine.allocator == "maxmin"
+
+
+class TestFrontDoorValidation:
+    def test_faults_rejected_for_multi_app(self):
+        tree = generate_tree(SMALL, seed=11)
+        faults = FaultSchedule([CrashEvent(at_time=50, node=1)])
+        with pytest.raises(ProtocolError, match="single-application"):
+            simulate(tree, _two_apps(), CONFIG, faults=faults)
+
+    def test_allocator_rejected_for_single_app(self):
+        tree = generate_tree(SMALL, seed=11)
+        with pytest.raises(ProtocolError, match="allocator"):
+            simulate(tree, 100, CONFIG, allocator="maxmin")
+
+    def test_missing_config_is_an_error(self):
+        tree = generate_tree(SMALL, seed=11)
+        with pytest.raises(ProtocolError, match="ProtocolConfig"):
+            simulate(tree, 100)
+
+    def test_non_root_source_rejected(self):
+        tree = generate_tree(SMALL, seed=11)
+        apps = [Application(10, source=2), Application(10)]
+        with pytest.raises(ProtocolError, match="source"):
+            simulate(tree, apps, CONFIG)
+
+    def test_tracer_count_must_match_apps(self):
+        from repro.protocols import Tracer
+
+        tree = generate_tree(SMALL, seed=11)
+        with pytest.raises(ProtocolError, match="tracers"):
+            simulate(tree, _two_apps(), CONFIG, tracer=[Tracer()])
+
+
+class TestWarpStandDown:
+    def test_multi_app_reports_the_shared_constant(self):
+        tree = generate_tree(SMALL, seed=11)
+        config = ProtocolConfig.interruptible(3, warp=True)
+        result = simulate(tree, _two_apps(20), config)
+        assert result.warp is not None
+        assert not result.warp.applied
+        assert result.warp.reason == REASON_MULTI_APP
+
+    def test_engines_use_the_shared_reason_set(self):
+        """Satellite contract: every engine's stand-down string comes
+        from the one constant set in ``repro.sim.warp``."""
+        assert ProtocolEngine._warp_stand_down in STAND_DOWN_REASONS
+        assert GraphProtocolEngine._warp_stand_down in STAND_DOWN_REASONS
+        assert _AppLane._warp_stand_down in STAND_DOWN_REASONS
+
+    def test_contended_graph_reason_is_in_the_set(self):
+        from repro.platform.graph import generate_platform
+        from repro.protocols import simulate_graph
+
+        graph = generate_platform("leafspine", seed=7)
+        config = ProtocolConfig.interruptible(3, warp=True)
+        result = simulate_graph(graph, config, 100)
+        assert result.warp.reason in STAND_DOWN_REASONS

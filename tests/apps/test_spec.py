@@ -1,0 +1,81 @@
+"""Application / Workload / AppResult spec contracts."""
+
+import pytest
+
+from repro.apps import Application, Workload
+from repro.apps.metrics import (jain_index, price_of_anarchy,
+                                steady_window_rate)
+from repro.errors import ProtocolError
+
+from fractions import Fraction as F
+
+
+class TestApplication:
+    def test_defaults(self):
+        app = Application(100)
+        assert (app.tasks, app.size, app.arrival, app.priority) == \
+            (100, 1, 0, 0)
+        assert app.source is None
+
+    def test_label_prefers_name(self):
+        assert Application(1, name="alpha").label(3) == "alpha"
+        assert Application(1).label(3) == "app3"
+
+    @pytest.mark.parametrize("kwargs", [
+        {"tasks": -1},
+        {"tasks": 1, "size": 0},
+        {"tasks": 1, "size": -2},
+        {"tasks": 1, "arrival": -5},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ProtocolError):
+            Application(**kwargs)
+
+
+class TestWorkload:
+    def test_of_int(self):
+        workload = Workload.of(500)
+        assert not workload.is_multi
+        assert workload.total_tasks == 500
+        apps = workload.applications
+        assert len(apps) == 1 and apps[0].tasks == 500
+
+    def test_of_application(self):
+        workload = Workload.of(Application(10, name="x"))
+        assert workload.is_multi
+        assert workload.applications[0].name == "x"
+
+    def test_of_sequence(self):
+        workload = Workload.of([Application(10), Application(20)])
+        assert workload.is_multi
+        assert workload.total_tasks == 30
+
+    def test_of_workload_is_identity(self):
+        workload = Workload(tasks=7)
+        assert Workload.of(workload) is workload
+
+    def test_of_empty_sequence_is_an_error(self):
+        with pytest.raises(ProtocolError):
+            Workload.of([])
+
+
+class TestMetrics:
+    def test_jain_bounds(self):
+        assert jain_index([F(1), F(1), F(1)]) == pytest.approx(1.0)
+        # One active app out of n drives Jain to 1/n.
+        assert jain_index([F(1), F(0), F(0), F(0)]) == pytest.approx(0.25)
+        assert jain_index([]) == 1.0
+        assert jain_index([F(0), F(0)]) == 1.0
+
+    def test_price_of_anarchy(self):
+        assert price_of_anarchy([F(1), F(1)], F(4)) == pytest.approx(2.0)
+        assert price_of_anarchy([F(0)], F(4)) is None
+
+    def test_steady_window_rate_middle_third(self):
+        completions = tuple(range(10, 110, 10))  # 10 tasks, one per 10 steps
+        assert steady_window_rate(completions) == F(1, 10)
+
+    def test_steady_window_rate_falls_back_to_mean(self):
+        assert steady_window_rate((5, 9), num_tasks=2, arrival=1,
+                                  makespan=9) == F(2, 8)
+        assert steady_window_rate((), num_tasks=0) == F(0)

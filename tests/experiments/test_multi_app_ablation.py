@@ -1,0 +1,90 @@
+"""The multi-application allocator ablation and its CLI surface."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import ablation
+from repro.experiments.cli import build_parser, main
+from repro.experiments.common import ExperimentScale
+from repro.platform.generator import TreeGeneratorParams
+
+SMALL = TreeGeneratorParams(min_nodes=12, max_nodes=18)
+SCALE = ExperimentScale(trees=2, tasks=120)
+
+
+class TestMultiAppAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ablation.multi_app(SCALE, SMALL)
+
+    def test_shape(self, result):
+        assert result.apps == 2
+        assert result.allocators == ("selfish", "maxmin")
+        for allocator in result.allocators:
+            assert len(result.mean_app_rates[allocator]) == 2
+            assert 0 < result.mean_jain[allocator] <= 1.0
+
+    def test_table(self, result):
+        text = ablation.format_multi_app_result(result)
+        assert "selfish" in text and "maxmin" in text
+        assert "Jain index" in text and "price of anarchy" in text
+        assert "app0 rate" in text and "app1 rate" in text
+
+    def test_custom_allocators(self):
+        result = ablation.multi_app(SCALE, SMALL, allocators=("fairshare",))
+        assert result.allocators == ("fairshare",)
+
+    def test_needs_two_apps(self):
+        with pytest.raises(ExperimentError, match="apps"):
+            ablation.multi_app(SCALE, SMALL, apps=1)
+
+
+class TestCLI:
+    def test_apps_experiment_listed(self):
+        args = build_parser().parse_args(["apps"])
+        assert args.experiment == "apps"
+        assert args.apps is None and args.allocator is None
+
+    def test_allocator_choices(self):
+        args = build_parser().parse_args(
+            ["apps", "--apps", "3", "--allocator", "selfish",
+             "--allocator", "fairshare"])
+        assert args.apps == 3
+        assert args.allocator == ["selfish", "fairshare"]
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["apps", "--allocator", "greedy"])
+
+    def test_apps_run_end_to_end(self, capsys):
+        assert main(["apps", "--trees", "2", "--tasks", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "selfish" in out and "maxmin" in out
+        assert "price of anarchy" in out
+
+    def test_allocator_flag_narrows_the_table(self, capsys):
+        assert main(["apps", "--trees", "2", "--tasks", "60",
+                     "--allocator", "maxmin"]) == 0
+        out = capsys.readouterr().out
+        assert "maxmin" in out and "selfish" not in out
+
+    def test_simulate_single_allocator_only(self, tmp_path):
+        from repro.platform.generator import generate_tree
+        from repro.platform.serialize import to_json
+
+        tree_path = tmp_path / "t.json"
+        tree_path.write_text(to_json(generate_tree(SMALL, seed=3)))
+        with pytest.raises(SystemExit, match="single"):
+            main(["simulate", "--tree", str(tree_path), "--tasks", "60",
+                  "--apps", "2", "--allocator", "maxmin",
+                  "--allocator", "selfish"])
+
+    def test_simulate_with_apps_reports_fairness(self, tmp_path, capsys):
+        from repro.platform.generator import generate_tree
+        from repro.platform.serialize import to_json
+
+        tree_path = tmp_path / "t.json"
+        tree_path.write_text(to_json(generate_tree(SMALL, seed=3)))
+        assert main(["simulate", "--tree", str(tree_path), "--tasks", "60",
+                     "--apps", "2", "--allocator", "selfish"]) == 0
+        out = capsys.readouterr().out
+        assert "Jain fairness index" in out
+        assert "app0 steady rate" in out and "app1 steady rate" in out

@@ -132,3 +132,65 @@ class TestExportAuto:
     def test_nothing_to_export(self, tmp_path):
         with pytest.raises(ReproError):
             export_auto(str(tmp_path / "out.trace.json"), [])
+
+
+class TestMultiAppTrace:
+    """One Perfetto process group per application."""
+
+    @pytest.fixture(scope="class")
+    def two_app_traced(self):
+        from repro import simulate
+        from repro.apps import Application
+
+        tree = generate_tree(TreeGeneratorParams(min_nodes=12, max_nodes=18),
+                             seed=11)
+        config = replace(ProtocolConfig.interruptible(3),
+                         telemetry=TelemetryConfig.tracing(sample_dt=10))
+        tracers = [Tracer(), Tracer()]
+        result = simulate(
+            tree, [Application(40, name="alpha"), Application(40, name="beta")],
+            config, allocator="selfish", tracer=tracers)
+        return result, tracers
+
+    def test_one_pid_per_app(self, two_app_traced):
+        from repro.telemetry.export import multi_app_trace
+
+        result, tracers = two_app_traced
+        entries = [(a.name, a.telemetry, t)
+                   for a, t in zip(result.apps, tracers)]
+        doc = multi_app_trace(entries)
+        names = {e["pid"]: e["args"]["name"]
+                 for e in doc["traceEvents"] if e["name"] == "process_name"}
+        assert names == {0: "alpha", 1: "beta"}
+        by_pid = defaultdict(set)
+        for event in doc["traceEvents"]:
+            by_pid[event["pid"]].add(event["ph"])
+        # Both apps carry activity slices and counter tracks.
+        assert {"X", "C"} <= by_pid[0] and {"X", "C"} <= by_pid[1]
+
+    def test_write_multi_app_trace(self, two_app_traced, tmp_path):
+        from repro.telemetry.export import write_multi_app_trace
+
+        result, tracers = two_app_traced
+        entries = [(a.name, a.telemetry, t)
+                   for a, t in zip(result.apps, tracers)]
+        path = tmp_path / "apps.trace.json"
+        count = write_multi_app_trace(str(path), entries)
+        doc = json.loads(path.read_text())
+        assert len(doc["traceEvents"]) == count
+
+    def test_rejects_empty_and_bare_entries(self):
+        from repro.telemetry.export import multi_app_trace
+
+        with pytest.raises(ReproError):
+            multi_app_trace([])
+        with pytest.raises(ReproError):
+            multi_app_trace([("ghost", None, None)])
+
+    def test_single_app_trace_unchanged(self, traced_run):
+        """The single-app exporter still emits pid 0 / "simulation"."""
+        result, tracer = traced_run
+        doc = chrome_trace(result.telemetry, tracer=tracer)
+        meta = [e for e in doc["traceEvents"] if e["name"] == "process_name"]
+        assert meta == [{"name": "process_name", "ph": "M", "pid": 0,
+                         "args": {"name": "simulation"}}]

@@ -36,6 +36,9 @@ NEW_NAMES = [
     "RecoveryReport", "recovery_report", "recovery_latencies",
     "post_recovery_rate", "degraded_windows",
     "ExperimentScale",
+    "simulate_graph", "selfish_rates",
+    "Application", "Workload", "AppResult", "MultiAppEngine",
+    "jain_index", "price_of_anarchy",
 ]
 
 
@@ -84,6 +87,57 @@ class TestFig7Shims:
         with warnings.catch_warnings():
             warnings.simplefilter("error", DeprecationWarning)
             fig7.run(ExperimentScale(trees=1, tasks=300))
+
+
+class TestSimulateFrontDoor:
+    """The unified ``repro.simulate()`` and its legacy-shape shims."""
+
+    def _tree(self):
+        from repro.platform.generator import TreeGeneratorParams, generate_tree
+
+        return generate_tree(TreeGeneratorParams(min_nodes=12, max_nodes=18),
+                             seed=4)
+
+    def test_legacy_argument_order_warns_and_matches(self):
+        tree = self._tree()
+        config = repro.ProtocolConfig.interruptible(3)
+        new = repro.simulate(tree, 200, config).fingerprint()
+        with pytest.warns(DeprecationWarning, match="simulate"):
+            old = repro.simulate(tree, config, 200).fingerprint()
+        assert old == new
+
+    def test_workload_object_matches_int(self):
+        tree = self._tree()
+        config = repro.ProtocolConfig.interruptible(3)
+        via_int = repro.simulate(tree, 200, config).fingerprint()
+        via_workload = repro.simulate(
+            tree, repro.Workload(tasks=200), config).fingerprint()
+        assert via_int == via_workload
+
+    def test_simulate_graph_shim_warns_and_matches(self):
+        from repro.platform.graph import generate_platform
+
+        graph = generate_platform("star", seed=3)
+        config = repro.ProtocolConfig.interruptible(3)
+        new = repro.simulate(graph, 150, config).fingerprint()
+        with pytest.warns(DeprecationWarning, match="simulate_graph"):
+            old = repro.simulate_graph(graph, config, 150).fingerprint()
+        assert old == new
+
+    def test_analyze_simulate_tree_shim_warns_and_matches(self):
+        from repro.experiments.analyze import simulate_tree, simulation_report
+
+        tree = self._tree()
+        new = simulation_report(tree, "ic3", 150)
+        with pytest.warns(DeprecationWarning, match="simulation_report"):
+            old = simulate_tree(tree, "ic3", 150)
+        assert old == new
+
+    def test_new_style_does_not_warn(self):
+        tree = self._tree()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            repro.simulate(tree, 100, repro.ProtocolConfig.interruptible(3))
 
 
 class TestOverlayShims:

@@ -26,8 +26,8 @@ class TestLazyExports:
         assert repro.ForkSolution is not None
 
     def test_protocol_exports(self):
-        result = repro.simulate(repro.PlatformTree.single_node(2),
-                                repro.ProtocolConfig.interruptible(3), 5)
+        result = repro.simulate(repro.PlatformTree.single_node(2), 5,
+                                repro.ProtocolConfig.interruptible(3))
         assert isinstance(result, repro.SimulationResult)
 
     def test_harness_exports(self):
@@ -42,9 +42,9 @@ class TestLazyExports:
     def test_simulation_result_fingerprint(self):
         tree = repro.PlatformTree.single_node(2)
         config = repro.ProtocolConfig.interruptible(3)
-        a = repro.simulate(tree, config, 5).fingerprint()
-        b = repro.simulate(tree, config, 5).fingerprint()
-        c = repro.simulate(tree, config, 6).fingerprint()
+        a = repro.simulate(tree, 5, config).fingerprint()
+        b = repro.simulate(tree, 5, config).fingerprint()
+        c = repro.simulate(tree, 6, config).fingerprint()
         assert a == b  # deterministic reruns match exactly
         assert a != c
         assert len(a) == 64  # sha256 hex
