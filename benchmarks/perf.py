@@ -38,6 +38,7 @@ except ImportError:  # running from a checkout without PYTHONPATH=src
     sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from workloads import (
+    run_engine_graph_faults,
     run_engine_graph_leafspine,
     run_engine_ic,
     run_engine_multiapp,
@@ -103,6 +104,7 @@ KERNEL_WORKLOADS = [
     ("engine_ic_fb3", run_engine_ic, 2_000, "events"),
     ("engine_non_ic_fb2", run_engine_non_ic, 2_000, "events"),
     ("engine_graph_leafspine", run_engine_graph_leafspine, 2_000, "events"),
+    ("engine_graph_faults", run_engine_graph_faults, 2_000, "events"),
     ("engine_multiapp", run_engine_multiapp, 2_000, "events"),
     ("engine_ic_10k", run_engine_ic_10k, 10_000, "tasks"),
     ("engine_ic_10k_warp", run_engine_ic_10k_warp, 10_000, "tasks"),

@@ -7,11 +7,17 @@ lives in ``workloads.py`` so ``perf.py`` (and the committed
 ``BENCH_kernel.json`` baseline, once regenerated) measures the same code.
 """
 
-from workloads import run_engine_graph_leafspine
+from workloads import run_engine_graph_faults, run_engine_graph_leafspine
 
 
 def test_bench_graph_leafspine(benchmark):
     events = benchmark.pedantic(run_engine_graph_leafspine, args=(2_000,),
                                 rounds=1, iterations=1)
     # A 2000-task contended run processes well over one event per task.
+    assert events >= 4_000
+
+
+def test_bench_graph_faults(benchmark):
+    events = benchmark.pedantic(run_engine_graph_faults, args=(2_000,),
+                                rounds=1, iterations=1)
     assert events >= 4_000

@@ -183,3 +183,23 @@ def run_engine_graph_leafspine(num_tasks: int = 2000) -> int:
         graph, ProtocolConfig.interruptible(3), num_tasks,
         overlay=topology_overlay(graph))
     return engine.run().events_processed
+
+
+def run_engine_graph_faults(num_tasks: int = 2000) -> int:
+    """The leaf-spine run under a seeded chaos fault schedule.
+
+    Same fabric and overlay as ``run_engine_graph_leafspine``, plus the
+    routed fault path: flow kills on failed links, Dijkstra route
+    recomputation, overlay re-election after a rack-head crash, and
+    suspect/probe recovery in the agents.  Paired with the fault-free
+    workload so the baseline gate catches regressions in the fault
+    plumbing itself, not just in the clean path.
+    """
+    from repro.platform.faults import chaos_schedule
+
+    graph = generate_platform("leafspine", seed=7)
+    engine = GraphProtocolEngine(
+        graph, ProtocolConfig.interruptible(3), num_tasks,
+        overlay=topology_overlay(graph),
+        faults=chaos_schedule(graph, seed=11, events=6))
+    return engine.run().events_processed

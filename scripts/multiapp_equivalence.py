@@ -23,6 +23,7 @@ except ImportError:
     sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.apps import MultiAppEngine
+from repro.platform.faults import chaos_schedule
 from repro.platform.generator import generate_tree
 from repro.platform.graph import generate_platform
 from repro.protocols import ProtocolConfig, simulate, simulate_graph
@@ -67,6 +68,23 @@ def main() -> int:
             failures += not _check(
                 f"{shape:<9} seed=7   tasks=300   {config.label:<28}",
                 want, got)
+    # The identity must survive fault injection: one lane under the
+    # shared GraphFaultDriver is the single-app fault run, event for
+    # event (the chaos schedule is regenerated per engine — the driver
+    # mutates its private graph copy, never the schedule).
+    config = ProtocolConfig.interruptible(3)
+    for shape in SHAPES:
+        graph = generate_platform(shape, seed=7)
+        cells += 1
+        want = simulate_graph(
+            graph, config, 300, faults=chaos_schedule(graph, seed=11),
+            check_invariants=True).fingerprint()
+        got = MultiAppEngine(
+            graph, 300, config, faults=chaos_schedule(graph, seed=11),
+            check_invariants=True).run().fingerprint()
+        failures += not _check(
+            f"{shape:<9} seed=7   tasks=300   chaos(seed=11) N=1      ",
+            want, got)
     print(f"\n{cells - failures}/{cells} cells bit-identical")
     return 1 if failures else 0
 

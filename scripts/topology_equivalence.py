@@ -22,7 +22,9 @@ except ImportError:
     sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.platform.generator import generate_tree
-from repro.protocols import ProtocolConfig, simulate, simulate_graph
+from repro.platform.graph import generate_platform
+from repro.protocols import (ProtocolConfig, ProtocolEngine, simulate,
+                             simulate_graph)
 
 SEEDS = (1, 7, 42)
 SCALES = (200, 500, 1000)  # tasks
@@ -31,6 +33,51 @@ CONFIGS = (
     ProtocolConfig.non_interruptible(),
     ProtocolConfig.non_interruptible(buffer_decay=True),
 )
+
+#: Pinned fault-free fingerprints (seed=7, 300 tasks) on every topology.
+#: The fault subsystem added in PR-8 must leave fault-free runs
+#: bit-identical — any drift here means the graph fault plumbing leaked
+#: into the clean path.
+GOLDEN_FAULT_FREE = {
+    ("tree", "ic3"):
+        "cebd219dfd3aab8e44cff6fad99c9ba156e2660e986724d24e255f054e66f4b0",
+    ("star", "ic3"):
+        "20af3da9be2af79b49e80b89a729128dd95df6d43a408f5a054a88a7a210097e",
+    ("chain", "ic3"):
+        "14e8bf63cb2d3d7a6c19eb3ac2c08dd34fb18a53593a517c530148eb568d0443",
+    ("leafspine", "ic3"):
+        "658f24b9f8e8da7b5d4ac0c8bf5138746979106890661483ecffaf9407a981bc",
+    ("tree", "nonic"):
+        "85f1b181f1c4c745ca98dfe33f7c5fb5f4712596a4fc3a79bd60adca57e2ca13",
+    ("star", "nonic"):
+        "a564a9ca672dbd51089b1c5a997893a2a58ac4c3f1add369d4a9bb903d5af556",
+    ("chain", "nonic"):
+        "a0610bb55c411ed3ee8f77d86e76d5cf67d5b836584e1114cf2a88ec3a694651",
+    ("leafspine", "nonic"):
+        "c2760dff1b08fe3d03f30b2eee601a9e87061f2305d4663be0e61824fe69c486",
+}
+_GOLDEN_CONFIGS = {"ic3": ProtocolConfig.interruptible(3),
+                   "nonic": ProtocolConfig.non_interruptible()}
+
+
+def check_golden() -> int:
+    """Fault-free runs must reproduce the pinned fingerprints exactly."""
+    failures = 0
+    for (topology, preset), want in sorted(GOLDEN_FAULT_FREE.items()):
+        config = _GOLDEN_CONFIGS[preset]
+        if topology == "tree":
+            got = ProtocolEngine(generate_tree(seed=7), config,
+                                 300).run().fingerprint()
+        else:
+            got = simulate_graph(generate_platform(topology, seed=7),
+                                 config, 300).fingerprint()
+        ok = got == want
+        failures += not ok
+        print(f"golden {topology:<9} {preset:<6} "
+              f"{'ok' if ok else 'DRIFTED'}")
+        if not ok:
+            print(f"  pinned: {want}\n  got   : {got}")
+    return failures
 
 
 def main() -> int:
@@ -50,6 +97,10 @@ def main() -> int:
                       f"{config.label:<28} {status}")
                 if not ok:
                     print(f"  tree : {want}\n  graph: {got}")
+    print()
+    golden_failures = check_golden()
+    failures += golden_failures
+    cells += len(GOLDEN_FAULT_FREE)
     print(f"\n{cells - failures}/{cells} cells bit-identical")
     return 1 if failures else 0
 

@@ -80,11 +80,17 @@ _LAZY_EXPORTS = {
     "ChurnSchedule": "repro.platform.churn",
     "JoinEvent": "repro.platform.churn",
     "LeaveEvent": "repro.platform.churn",
-    # fault injection (PR-1 surface)
+    # fault injection (PR-1 surface; graph events and chaos in PR-8)
     "FaultSchedule": "repro.platform.faults",
     "CrashEvent": "repro.platform.faults",
     "LinkFailureEvent": "repro.platform.faults",
     "LinkRepairEvent": "repro.platform.faults",
+    "EdgeFailureEvent": "repro.platform.faults",
+    "EdgeRepairEvent": "repro.platform.faults",
+    "SwitchCrashEvent": "repro.platform.faults",
+    "DegradeEvent": "repro.platform.faults",
+    "chaos_schedule": "repro.platform.faults",
+    "GraphFaultDriver": "repro.protocols.graph_engine",
     # steady-state theory
     "solve_tree": "repro.steady_state",
     "solve_fork": "repro.steady_state",
@@ -101,6 +107,7 @@ _LAZY_EXPORTS = {
     "MultiAppEngine": "repro.apps",
     "jain_index": "repro.apps",
     "price_of_anarchy": "repro.apps",
+    "fault_fairness": "repro.apps",
     # protocols
     "ProtocolConfig": "repro.protocols",
     "ProtocolEngine": "repro.protocols",

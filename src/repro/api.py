@@ -42,7 +42,8 @@ def simulate(platform: Union[PlatformTree, PlatformGraph],
              allocator: Optional[str] = None,
              tracer=None,
              record_buffer_timeline: bool = False,
-             record_completion_times: bool = True) -> SimulationResult:
+             record_completion_times: bool = True,
+             check_invariants: bool = False) -> SimulationResult:
     """Run one protocol simulation on any platform with any workload.
 
     Parameters
@@ -56,9 +57,21 @@ def simulate(platform: Union[PlatformTree, PlatformGraph],
         :class:`~repro.apps.Workload`.
     config:
         The protocol configuration shared by every application.
-    mutations / churn / faults:
+    mutations / churn:
         Dynamic platform schedules — tree-engine features, rejected on
         graph platforms and multi-application workloads.
+    faults:
+        A :class:`~repro.platform.faults.FaultSchedule`.  Trees take the
+        node-addressed events; graph platforms additionally take the
+        edge-addressed ones (:class:`~repro.platform.faults.
+        EdgeFailureEvent`, ``EdgeRepairEvent``, ``SwitchCrashEvent``,
+        ``DegradeEvent``), consumed by a routed
+        :class:`~repro.protocols.graph_engine.GraphFaultDriver` — on
+        multi-application workloads one shared driver hits every app.
+    check_invariants:
+        Run the task-conservation checker after every fault delivery and
+        loss reclamation (the chaos-harness invariant; off by default —
+        it walks every agent).
     overlay:
         Optional explicit overlay for graph platforms (default: the
         shape-appropriate one via
@@ -89,17 +102,17 @@ def simulate(platform: Union[PlatformTree, PlatformGraph],
     from .apps import MultiAppEngine, Workload
     workload = Workload.of(workload if workload is not None else 0)
 
-    dynamic = mutations or churn or faults
     if workload.is_multi:
-        if dynamic:
+        if mutations or churn:
             raise ProtocolError(
-                "dynamic platform schedules (mutations/churn/faults) are "
+                "dynamic platform schedules (mutations/churn) are "
                 "single-application tree-engine features")
         engine = MultiAppEngine(
             platform, workload, config, allocator=allocator,
             overlay=overlay,
             record_buffer_timeline=record_buffer_timeline,
-            record_completion_times=record_completion_times)
+            record_completion_times=record_completion_times,
+            faults=faults, check_invariants=check_invariants)
         if tracer is not None:
             if isinstance(tracer, (list, tuple)):
                 if len(tracer) != len(engine.lanes):
@@ -119,9 +132,9 @@ def simulate(platform: Union[PlatformTree, PlatformGraph],
             "multi-application run; single-app graph runs use the "
             "platform's own contention mode")
     if isinstance(platform, PlatformGraph):
-        if dynamic:
+        if mutations or churn:
             raise ProtocolError(
-                "dynamic platform schedules (mutations/churn/faults) are "
+                "dynamic platform schedules (mutations/churn) are "
                 "tree-engine features; graph platforms do not support them")
         if overlay is None:
             from .protocols.topologies import topology_overlay
@@ -129,7 +142,8 @@ def simulate(platform: Union[PlatformTree, PlatformGraph],
         engine = _graph_engine.GraphProtocolEngine(
             platform, config, workload.total_tasks, overlay=overlay,
             record_buffer_timeline=record_buffer_timeline,
-            record_completion_times=record_completion_times)
+            record_completion_times=record_completion_times,
+            faults=faults, check_invariants=check_invariants)
     else:
         if overlay is not None:
             raise ProtocolError("overlay= only applies to graph platforms")
@@ -137,7 +151,8 @@ def simulate(platform: Union[PlatformTree, PlatformGraph],
             platform, config, workload.total_tasks,
             mutations=mutations, churn=churn, faults=faults,
             record_buffer_timeline=record_buffer_timeline,
-            record_completion_times=record_completion_times)
+            record_completion_times=record_completion_times,
+            check_invariants=check_invariants)
     if tracer is not None:
         if isinstance(tracer, (list, tuple)):
             # A 1-list is accepted so callers can treat single- and
@@ -153,7 +168,9 @@ def simulate(platform: Union[PlatformTree, PlatformGraph],
 def simulate_graph(platform, config: ProtocolConfig, num_tasks: int, *,
                    overlay: Optional[Overlay] = None,
                    record_buffer_timeline: bool = False,
-                   record_completion_times: bool = True) -> SimulationResult:
+                   record_completion_times: bool = True,
+                   faults=None,
+                   check_invariants: bool = False) -> SimulationResult:
     """Deprecated shim — call :func:`repro.simulate` instead."""
     warnings.warn(
         "repro.simulate_graph() is deprecated; repro.simulate() dispatches "
@@ -162,4 +179,5 @@ def simulate_graph(platform, config: ProtocolConfig, num_tasks: int, *,
     return _graph_engine.simulate_graph(
         platform, config, num_tasks, overlay=overlay,
         record_buffer_timeline=record_buffer_timeline,
-        record_completion_times=record_completion_times)
+        record_completion_times=record_completion_times,
+        faults=faults, check_invariants=check_invariants)

@@ -7,10 +7,12 @@ design rationale.
 """
 
 from .engine import MultiAppEngine
-from .metrics import jain_index, price_of_anarchy, steady_window_rate
+from .metrics import (fault_fairness, jain_index, price_of_anarchy,
+                      steady_window_rate)
 from .spec import Application, AppResult, Workload
 
 __all__ = [
     "Application", "AppResult", "Workload", "MultiAppEngine",
     "jain_index", "price_of_anarchy", "steady_window_rate",
+    "fault_fairness",
 ]

@@ -33,12 +33,14 @@ from typing import List, Optional, Sequence, Union
 
 from ..errors import ProtocolError
 from ..platform.contention import LinkContention
+from ..platform.faults import FaultSchedule
 from ..platform.graph import Overlay, PlatformGraph
 from ..platform.tree import PlatformTree
-from ..protocols.config import ProtocolConfig
+from ..protocols.config import PriorityRule, ProtocolConfig
 from ..protocols.engine import _MIN_RECURSION_LIMIT
 from ..protocols.agents import Transfer
-from ..protocols.graph_engine import GraphNodeAgent, GraphProtocolEngine
+from ..protocols.graph_engine import (GraphFaultDriver, GraphNodeAgent,
+                                      GraphProtocolEngine)
 from ..protocols.result import SimulationResult
 from ..protocols.trace import Tracer
 from ..sim import Environment
@@ -81,7 +83,9 @@ class _AppLane(GraphProtocolEngine):
             overlay=owner.overlay,
             record_buffer_timeline=owner.record_buffer_timeline,
             record_completion_times=owner.record_completion_times,
-            contention=owner.contention)
+            contention=owner.contention,
+            check_invariants=owner.check_invariants,
+            fault_driver=owner.fault_driver)
         if app.source is not None and app.source != self.tree.root:
             raise ProtocolError(
                 f"application {app.label(index)!r} sources at node "
@@ -118,8 +122,12 @@ class MultiAppEngine:
     :class:`SimulationResult` whose ``apps``/``cooperative_rate`` fields
     feed the Jain-index and price-of-anarchy properties.
 
-    Dynamic platform schedules (mutations, churn, faults) are single-app
-    tree-engine features and are not accepted here.
+    A ``faults`` schedule is consumed by one shared
+    :class:`~repro.protocols.graph_engine.GraphFaultDriver`: a physical
+    fault (link, switch or host) hits every application at once, and each
+    lane's agents recover independently — per-app lanes reclaim their own
+    losses and re-route on the same healed fabric.  Platform mutations and
+    churn remain single-app tree-engine features.
     """
 
     def __init__(self, platform: Union[PlatformGraph, PlatformTree],
@@ -127,15 +135,26 @@ class MultiAppEngine:
                  allocator: Optional[str] = None,
                  overlay: Optional[Overlay] = None,
                  record_buffer_timeline: bool = False,
-                 record_completion_times: bool = True):
+                 record_completion_times: bool = True,
+                 faults: Optional[FaultSchedule] = None,
+                 check_invariants: bool = False):
         workload = Workload.of(workload)
         self.workload = workload
         self.apps = workload.applications
         self.config = config
         self.record_buffer_timeline = record_buffer_timeline
         self.record_completion_times = record_completion_times
+        self.check_invariants = check_invariants
         if isinstance(platform, PlatformTree):
             platform = PlatformGraph.from_tree(platform)
+        if faults:
+            if config.priority_rule is PriorityRule.FIFO:
+                raise ProtocolError(
+                    "faults with FIFO ordering are unsupported (reconciling "
+                    "a failed node's queued requests is ill-defined)")
+            # One private copy, mutated by the shared driver, seen by all
+            # lanes.
+            platform = platform.copy()
         self.graph = platform
         if overlay is None:
             from ..protocols.topologies import topology_overlay
@@ -149,6 +168,12 @@ class MultiAppEngine:
         self.env = Environment()
         self.contention = LinkContention(platform.link_capacities(),
                                          self.allocator)
+        self.fault_driver: Optional[GraphFaultDriver] = None
+        if faults:
+            faults.validate_graph(platform, self.overlay)
+            self.fault_driver = GraphFaultDriver(
+                platform, self.overlay, faults, self.contention,
+                check_invariants=check_invariants)
         self.lanes: List[_AppLane] = [
             _AppLane(self, app, i) for i, app in enumerate(self.apps)]
         self._finished = False
@@ -180,6 +205,11 @@ class MultiAppEngine:
         if limit < _MIN_RECURSION_LIMIT:
             sys.setrecursionlimit(_MIN_RECURSION_LIMIT)
         try:
+            if self.fault_driver is not None:
+                # Arm here rather than in the first lane's ``_arm``:
+                # staggered arrivals must not delay fault delivery (the
+                # fabric can fail before a late app even starts).
+                self.fault_driver.arm(self.env)
             for lane in self.lanes:
                 if lane.app.arrival == 0:
                     lane._arm()
@@ -239,6 +269,17 @@ class MultiAppEngine:
                 (r.last_completion_time for r in lane_results), default=0),
             warp=warp,
             telemetry=None,
+            # Physical faults are shared: every lane books the same crash
+            # list at the same instants, so take lane 0's copy; the
+            # recovery work (re-executions, wasted transfers, reclaim
+            # instants) is per-lane and sums/merges.  Fault-free runs
+            # keep the empty defaults and an unchanged fingerprint.
+            crashed_node_ids=lane_results[0].crashed_node_ids,
+            crash_times=lane_results[0].crash_times,
+            tasks_reexecuted=sum(r.tasks_reexecuted for r in lane_results),
+            transfers_wasted=sum(r.transfers_wasted for r in lane_results),
+            reclaim_times=tuple(sorted(
+                t for r in lane_results for t in r.reclaim_times)),
             apps=app_results,
             cooperative_rate=cooperative,
         )

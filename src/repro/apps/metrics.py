@@ -10,7 +10,8 @@ from __future__ import annotations
 from fractions import Fraction
 from typing import Optional, Sequence, Tuple
 
-__all__ = ["jain_index", "price_of_anarchy", "steady_window_rate"]
+__all__ = ["jain_index", "price_of_anarchy", "steady_window_rate",
+           "fault_fairness"]
 
 
 def jain_index(rates: Sequence) -> float:
@@ -61,3 +62,39 @@ def steady_window_rate(completion_times: Sequence[int],
     if num_tasks > 0 and span > 0:
         return Fraction(num_tasks, span)
     return Fraction(0)
+
+
+def _window_rate(completion_times: Sequence, lo, hi) -> Fraction:
+    """Mean completion rate of one app inside the window ``[lo, hi)``."""
+    if hi <= lo:
+        return Fraction(0)
+    done = sum(1 for t in completion_times if lo <= t < hi)
+    return Fraction(done, hi - lo)
+
+
+def fault_fairness(app_completion_times: Sequence[Sequence],
+                   crash_times: Sequence,
+                   reclaim_times: Sequence,
+                   makespan) -> Tuple[Optional[float], Optional[float]]:
+    """Jain fairness of per-app rates before the first fault and after
+    the last recovery.
+
+    The pre window is ``[0, first crash)``; the post window is
+    ``[last reclaim, makespan)`` — i.e. after every lost task has been
+    folded back into the repository, when the protocol should have
+    re-converged.  Returns ``(pre, post)``; either is ``None`` when its
+    window is empty (no faults, or the run ended mid-recovery).
+    """
+    if not crash_times:
+        return (None, None)
+    first_crash = min(crash_times)
+    pre = None
+    if first_crash > 0:
+        pre = jain_index([_window_rate(ct, 0, first_crash)
+                          for ct in app_completion_times])
+    post = None
+    recovered_at = max(reclaim_times) if reclaim_times else max(crash_times)
+    if makespan > recovered_at:
+        post = jain_index([_window_rate(ct, recovered_at, makespan)
+                           for ct in app_completion_times])
+    return (pre, post)

@@ -123,7 +123,9 @@ def simulation_report(platform, protocol: str, tasks: int,
                       telemetry: Optional[TelemetryConfig] = None,
                       telemetry_out: Optional[str] = None, *,
                       apps: int = 1,
-                      allocator: Optional[str] = None) -> str:
+                      allocator: Optional[str] = None,
+                      faults=None,
+                      check_invariants: bool = False) -> str:
     """Run a named protocol preset on the platform and report the outcome.
 
     With ``telemetry`` set the run carries probes and the report gains
@@ -136,6 +138,12 @@ def simulation_report(platform, protocol: str, tasks: int,
     (ascending priorities, ``allocator`` choosing the per-app bandwidth
     split) and adds per-app rate, Jain-index, and price-of-anarchy rows;
     trace exports then carry one Perfetto process group per application.
+
+    ``faults`` is a :class:`~repro.platform.faults.FaultSchedule`, or an
+    int seed for :func:`~repro.platform.faults.chaos_schedule` on this
+    platform; the report gains crash/recovery rows (and, with multiple
+    apps, pre/post-fault fairness).  ``check_invariants`` arms the task
+    conservation checker at every fault delivery.
     """
     if protocol not in PROTOCOL_PRESETS:
         raise ExperimentError(
@@ -152,6 +160,10 @@ def simulation_report(platform, protocol: str, tasks: int,
     config = PROTOCOL_PRESETS[protocol]
     if telemetry is not None:
         config = replace(config, telemetry=telemetry)
+    if isinstance(faults, int):
+        from ..platform.faults import chaos_schedule
+
+        faults = chaos_schedule(platform, seed=faults)
     overlay, tree = _as_overlay_tree(platform)
     optimal = solve_tree(tree).rate
 
@@ -166,7 +178,8 @@ def simulation_report(platform, protocol: str, tasks: int,
         telemetry_out.endswith(".jsonl") or telemetry_out.endswith(".csv"))
     tracers = [Tracer() for _ in range(apps)] if want_trace else None
     result = simulate(platform, workload, config, allocator=allocator,
-                      tracer=tracers)
+                      tracer=tracers, faults=faults,
+                      check_invariants=check_invariants)
 
     x = max(1, tasks // 3)
     steady = window_rate(result.completion_times, x)
@@ -192,6 +205,14 @@ def simulation_report(platform, protocol: str, tasks: int,
         ["max buffers occupied", result.max_held],
         ["preemptions", result.preemptions],
     ]
+    if faults is not None:
+        rows.extend([
+            ["fault events", len(faults)],
+            ["crashed nodes",
+             ", ".join(f"P{n}" for n in result.crashed_node_ids) or "-"],
+            ["tasks re-executed", result.tasks_reexecuted],
+            ["transfers wasted", result.transfers_wasted],
+        ])
     if len(result.apps) > 1:
         rows.append(["applications", len(result.apps)])
         for app_result in result.apps:
@@ -203,6 +224,18 @@ def simulation_report(platform, protocol: str, tasks: int,
             ["price of anarchy",
              fmt_num(poa, 4) if poa is not None else "-"],
         ])
+        if faults is not None:
+            from ..apps.metrics import fault_fairness
+
+            pre, post = fault_fairness(
+                [a.completion_times for a in result.apps],
+                result.crash_times, result.reclaim_times, result.makespan)
+            rows.extend([
+                ["pre-fault fairness",
+                 fmt_num(pre, 4) if pre is not None else "-"],
+                ["post-recovery fairness",
+                 fmt_num(post, 4) if post is not None else "-"],
+            ])
     snapshot = result.telemetry
     if snapshot is not None:
         util = snapshot.utilization()

@@ -177,6 +177,15 @@ def build_parser() -> argparse.ArgumentParser:
                         help="per-app bandwidth allocator; repeatable for "
                              "the 'apps' ablation (default: selfish and "
                              "maxmin), single-valued for 'simulate'")
+    parser.add_argument("--faults", type=int, default=None, metavar="SEED",
+                        help="inject a seeded chaos fault schedule "
+                             "(crashes, link failures/repairs, degrades) "
+                             "into 'simulate'; graph platforms get the "
+                             "routed edge/switch events")
+    parser.add_argument("--check-invariants", action="store_true",
+                        help="assert task conservation after every fault "
+                             "delivery and loss reclamation ('simulate' "
+                             "with --faults)")
     parser.add_argument("--warp", action="store_true",
                         help="enable steady-state warp: fast-forward the "
                              "periodic middle of each run (results are "
@@ -282,9 +291,18 @@ def resolve_harness(args: argparse.Namespace) -> HarnessConfig:
 def _run_tree_command(args) -> str:
     from .analyze import analyze_tree, load_tree, simulation_report
 
-    if not args.tree:
-        raise SystemExit(f"'{args.experiment}' requires --tree FILE")
-    tree = load_tree(args.tree)
+    if args.tree:
+        tree = load_tree(args.tree)
+    elif getattr(args, "topology", "tree") != "tree":
+        # No file needed for the generated graph shapes: --topology
+        # picks the generator, --seed the instance.
+        from ..platform.graph import generate_platform
+
+        tree = generate_platform(args.topology, seed=args.seed)
+    else:
+        raise SystemExit(
+            f"'{args.experiment}' requires --tree FILE (or --topology "
+            f"star/chain/leafspine to generate a platform)")
     if args.experiment == "analyze":
         return analyze_tree(tree)
     tasks = args.tasks if args.tasks is not None else 2000
@@ -307,7 +325,9 @@ def _run_tree_command(args) -> str:
         tree, args.protocol, tasks, telemetry=telemetry,
         telemetry_out=getattr(args, "telemetry_out", None),
         apps=args.apps if args.apps is not None else 1,
-        allocator=allocators[0] if allocators else None)
+        allocator=allocators[0] if allocators else None,
+        faults=getattr(args, "faults", None),
+        check_invariants=getattr(args, "check_invariants", False))
 
 
 def main(argv: Optional[list] = None) -> int:

@@ -29,7 +29,9 @@ from .generator import (
 from .examples import figure1_tree, figure2a_tree, figure2b_tree
 from .mutation import Mutation, MutationSchedule
 from .churn import ChurnSchedule, JoinEvent, LeaveEvent
-from .faults import CrashEvent, FaultSchedule, LinkFailureEvent, LinkRepairEvent
+from .faults import (CrashEvent, DegradeEvent, EdgeFailureEvent,
+                     EdgeRepairEvent, FaultSchedule, LinkFailureEvent,
+                     LinkRepairEvent, SwitchCrashEvent, chaos_schedule)
 from .serialize import from_dict, from_json, to_dict, to_dot, to_json
 from . import overlay
 
@@ -60,7 +62,12 @@ __all__ = [
     "CrashEvent",
     "LinkFailureEvent",
     "LinkRepairEvent",
+    "EdgeFailureEvent",
+    "EdgeRepairEvent",
+    "SwitchCrashEvent",
+    "DegradeEvent",
     "FaultSchedule",
+    "chaos_schedule",
     "to_dict",
     "from_dict",
     "to_json",

@@ -251,6 +251,33 @@ class LinkContention:
         updates = self.finish(fid, now)
         return remaining, updates
 
+    def kill_crossing(self, links, now):
+        """Drop every flow whose route crosses any of ``links`` (a failed
+        link set), then reallocate the survivors once.
+
+        Returns ``(killed, updates)``: the dropped flow ids in their
+        deterministic insertion order (their in-flight volume is lost —
+        the caller books the task loss), and the usual rate updates for
+        the flows that remain.
+        """
+        link_set = set(links)
+        killed = [fid for fid, flow in self._flows.items()
+                  if link_set.intersection(flow.route)]
+        for fid in killed:
+            del self._flows[fid]
+            self._priorities.pop(fid, None)
+        updates = self._reallocate(now) if killed else []
+        return killed, updates
+
+    def set_capacity(self, link, cap,
+                     now) -> List[Tuple[FlowId, object, object]]:
+        """Change one link's capacity (degrade/restore) and re-settle the
+        flows crossing it; returns the usual rate updates."""
+        if link not in self.capacities:
+            raise PlatformError(f"no link {link!r}")
+        self.capacities[link] = cap
+        return self._reallocate(now)
+
     def _reallocate(self, now) -> List[Tuple[FlowId, object, object]]:
         """Re-run the allocator; settle and report rate-changed flows.
 

@@ -103,7 +103,7 @@ class PlatformGraph:
     """
 
     __slots__ = ("w", "link_u", "link_v", "link_c", "adj", "root",
-                 "contention", "meta", "_route_cache")
+                 "contention", "meta", "_route_cache", "link_up", "_degrade")
 
     def __init__(self, w: Sequence[Optional[Weight]],
                  links: Iterable[Tuple[int, int, Weight]], root: int = 0,
@@ -136,6 +136,7 @@ class PlatformGraph:
         self.contention = contention
         self.meta: Dict[str, Any] = dict(meta) if meta else {}
         self._route_cache: Dict[int, Tuple[list, list]] = {}
+        self._degrade: Dict[int, Fraction] = {}
 
         for u, v, cost in links:
             if not (0 <= u < n and 0 <= v < n):
@@ -157,6 +158,7 @@ class PlatformGraph:
             self.link_c.append(cost)
             self.adj[u][v] = link_id
             self.adj[v][u] = link_id
+        self.link_up: List[bool] = [True] * len(self.link_c)
 
         unreachable = self._unreachable_from(root)
         if unreachable:
@@ -188,8 +190,11 @@ class PlatformGraph:
             yield (i, self.link_u[i], self.link_v[i], self.link_c[i])
 
     def capacity(self, link_id: int) -> Fraction:
-        """Link bandwidth in tasks per timestep (``1 / cost``)."""
-        return Fraction(1, 1) / Fraction(self.link_c[link_id])
+        """Link bandwidth in tasks per timestep (``1 / cost``), scaled by
+        any active :class:`~repro.platform.faults.DegradeEvent` factor."""
+        base = Fraction(1, 1) / Fraction(self.link_c[link_id])
+        factor = self._degrade.get(link_id)
+        return base * factor if factor is not None else base
 
     def link_capacities(self) -> Dict[int, Fraction]:
         """``link id → capacity`` for the contention allocators."""
@@ -233,6 +238,8 @@ class PlatformGraph:
                 if done[v]:
                     continue
                 link = self.adj[u][v]
+                if not self.link_up[link]:
+                    continue
                 key = (d + self.link_c[link], hops + 1)
                 if dist[v] is None or key < dist[v]:
                     dist[v] = key
@@ -249,6 +256,21 @@ class PlatformGraph:
         prev_node, prev_link = self._shortest_from(src)
         if dst != src and prev_node[dst] is None:
             raise PlatformError(f"no route from {src} to {dst}")
+        links: List[int] = []
+        node = dst
+        while node != src:
+            links.append(prev_link[node])
+            node = prev_node[node]
+        return tuple(reversed(links))
+
+    def route_or_none(self, src: int, dst: int) -> Optional[Tuple[int, ...]]:
+        """Like :meth:`route`, but ``None`` when ``dst`` is unreachable
+        over the currently-up links (deterministic partition detection)."""
+        if not (0 <= src < self.num_nodes and 0 <= dst < self.num_nodes):
+            raise PlatformError(f"route endpoints ({src}, {dst}) out of range")
+        prev_node, prev_link = self._shortest_from(src)
+        if dst != src and prev_node[dst] is None:
+            return None
         links: List[int] = []
         node = dst
         while node != src:
@@ -388,6 +410,49 @@ class PlatformGraph:
         self.link_c[link_id] = cost
         self._route_cache.clear()
 
+    # --------------------------------------------------------------- faults
+    def fail_link(self, link_id: int) -> None:
+        """Take link ``link_id`` down; routes recompute on next lookup."""
+        if not 0 <= link_id < self.num_links:
+            raise PlatformError(f"no link {link_id}")
+        if not self.link_up[link_id]:
+            raise PlatformError(f"link {link_id} is already down")
+        self.link_up[link_id] = False
+        self._route_cache.clear()
+
+    def repair_link(self, link_id: int) -> None:
+        """Bring link ``link_id`` back up; routes recompute on next lookup."""
+        if not 0 <= link_id < self.num_links:
+            raise PlatformError(f"no link {link_id}")
+        if self.link_up[link_id]:
+            raise PlatformError(f"link {link_id} is already up")
+        self.link_up[link_id] = True
+        self._route_cache.clear()
+
+    def crash_node(self, node: int) -> List[int]:
+        """Permanently down every link incident to ``node`` (a crashed
+        host or switch).  Returns the newly-downed link ids, ascending."""
+        if not 0 <= node < self.num_nodes:
+            raise PlatformError(f"no node {node}")
+        downed: List[int] = []
+        for link_id in sorted(self.adj[node].values()):
+            if self.link_up[link_id]:
+                self.link_up[link_id] = False
+                downed.append(link_id)
+        if downed:
+            self._route_cache.clear()
+        return downed
+
+    def set_degrade(self, link_id: int, factor: Optional[Fraction]) -> None:
+        """Apply (or with ``None`` clear) a bandwidth-degrade factor on
+        ``link_id``.  Routing is unaffected — only :meth:`capacity`."""
+        if not 0 <= link_id < self.num_links:
+            raise PlatformError(f"no link {link_id}")
+        if factor is None:
+            self._degrade.pop(link_id, None)
+        else:
+            self._degrade[link_id] = factor
+
     def set_compute_weight(self, node_id: int, w: Weight) -> None:
         """Set host ``node_id``'s per-task compute time (in place)."""
         if not 0 <= node_id < self.num_nodes:
@@ -410,6 +475,8 @@ class PlatformGraph:
         clone.contention = self.contention
         clone.meta = dict(self.meta)
         clone._route_cache = {}
+        clone.link_up = list(self.link_up)
+        clone._degrade = dict(self._degrade)
         return clone
 
     # ------------------------------------------------------------- dunder

@@ -11,11 +11,13 @@ High-level entry point::
 from .config import PriorityRule, ProtocolConfig, ProtocolVariant
 from .agents import NodeAgent, Transfer
 from .engine import ProtocolEngine, simulate
-from .graph_engine import GraphNodeAgent, GraphProtocolEngine, simulate_graph
+from .graph_engine import (GraphFaultDriver, GraphNodeAgent,
+                           GraphProtocolEngine, simulate_graph)
 from .result import SimulationResult
 from .topologies import (
     chain_relay_config,
     leaf_spine_overlay,
+    reassign_orphans,
     star_service_order,
     topology_overlay,
 )
@@ -28,6 +30,7 @@ __all__ = [
     "PriorityRule",
     "ProtocolEngine",
     "GraphProtocolEngine",
+    "GraphFaultDriver",
     "NodeAgent",
     "GraphNodeAgent",
     "Transfer",
@@ -38,6 +41,7 @@ __all__ = [
     "chain_relay_config",
     "leaf_spine_overlay",
     "topology_overlay",
+    "reassign_orphans",
     "Tracer",
     "TraceEvent",
     "ascii_gantt",

@@ -324,6 +324,12 @@ class NodeAgent:
         tracer = self.tracer
         if tracer is not None:
             tracer.record(self.env.now, _trace.REQUEST, child.id, self.id)
+        if child.id in self.suspect:
+            # A suspected-but-alive child (graph runs: its flow was killed
+            # by a fabric fault but a reroute may revive it) keeps its
+            # demand in `deferred_requests`; counting it here *and* again
+            # wholesale at readmission would double-book the request.
+            return
         self.child_requests += 1
         if self.fifo_queue is not None:
             self.fifo_queue.append(child)

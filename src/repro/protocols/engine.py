@@ -72,7 +72,8 @@ class ProtocolEngine:
                  churn: Optional[ChurnSchedule] = None,
                  faults: Optional[FaultSchedule] = None,
                  record_buffer_timeline: bool = False,
-                 record_completion_times: bool = True):
+                 record_completion_times: bool = True,
+                 check_invariants: bool = False):
         if num_tasks < 0:
             raise ProtocolError(f"num_tasks must be >= 0, got {num_tasks}")
         self.tree = tree.copy()  # mutations must not leak into caller's tree
@@ -94,6 +95,10 @@ class ProtocolEngine:
                 "failed node's queued requests is ill-defined)")
         self.record_buffer_timeline = record_buffer_timeline
         self.record_completion_times = record_completion_times
+        #: Run the task-conservation checker after every fault event (and
+        #: every pending-loss flush).  Off by default: the check walks all
+        #: agents, which is pure overhead on healthy runs.
+        self.check_invariants = check_invariants
 
         self.env = self._make_env()
         self._tracer = None
@@ -328,6 +333,8 @@ class ProtocolEngine:
             # Nobody is left to detect this death (the subtree was already
             # partitioned or detached): the loss surfaces immediately.
             self._flush_pending_losses(victim)
+        if self.check_invariants:
+            self._check_conservation()
 
     def _apply_link_failure(self, event: LinkFailureEvent) -> None:
         agent = self._fault_agent(event)
@@ -356,6 +363,8 @@ class ProtocolEngine:
                 self._pending_lost.get(agent.id, 0) + 1)
             parent._mark_suspect(agent)
             parent.try_send()
+        if self.check_invariants:
+            self._check_conservation()
 
     def _apply_link_repair(self, event: LinkRepairEvent) -> None:
         agent = self._fault_agent(event)
@@ -377,6 +386,8 @@ class ProtocolEngine:
                 elif parent.interruptible:
                     parent._maybe_preempt()
         self._flush_pending_losses(agent)
+        if self.check_invariants:
+            self._check_conservation()
 
     def _flush_pending_losses(self, agent: NodeAgent, extra: int = 0) -> None:
         """Reclaim task instances destroyed around ``agent`` into the
@@ -396,6 +407,36 @@ class ProtocolEngine:
             root.try_send()
         elif root.interruptible:
             root._maybe_preempt()
+        if self.check_invariants:
+            self._check_conservation()
+
+    def _check_conservation(self) -> None:
+        """Runtime task-conservation invariant: every instance of the bag
+        is in exactly one place — completed, undispensed at the root,
+        buffered, on a CPU, in flight on a port, shelved mid-send, or
+        pooled as a pending loss awaiting reclamation.  A leak here is a
+        bug in fault bookkeeping that would otherwise only surface as a
+        hung run or a short count at collection time."""
+        in_buffers = in_cpu = in_flight = shelved = 0
+        for agent in self.nodes:
+            in_buffers += agent.tasks_held
+            if agent.cpu_busy:
+                in_cpu += 1
+            if agent.current_transfer is not None:
+                in_flight += 1
+            shelved += len(agent.shelf)
+        pending = sum(self._pending_lost.values())
+        undispensed = self.nodes[self.tree.root].undispensed
+        total = (self.completed + undispensed + in_buffers + in_cpu
+                 + in_flight + shelved + pending)
+        if total != self.num_tasks:
+            raise ProtocolError(
+                f"task conservation violated at t={self.env.now}: "
+                f"completed={self.completed} + undispensed={undispensed} "
+                f"+ buffered={in_buffers} + computing={in_cpu} "
+                f"+ in-flight={in_flight} + shelved={shelved} "
+                f"+ pending-lost={pending} = {total} != "
+                f"num_tasks={self.num_tasks}")
 
     # ----------------------------------------------------------------- run
     def _resolve_warp(self) -> None:
@@ -525,10 +566,12 @@ def simulate(tree: PlatformTree, config: ProtocolConfig, num_tasks: int,
              churn: Optional[ChurnSchedule] = None,
              faults: Optional[FaultSchedule] = None,
              record_buffer_timeline: bool = False,
-             record_completion_times: bool = True) -> SimulationResult:
+             record_completion_times: bool = True,
+             check_invariants: bool = False) -> SimulationResult:
     """Run one protocol simulation (one-line convenience wrapper)."""
     engine = ProtocolEngine(tree, config, num_tasks, mutations=mutations,
                             churn=churn, faults=faults,
                             record_buffer_timeline=record_buffer_timeline,
-                            record_completion_times=record_completion_times)
+                            record_completion_times=record_completion_times,
+                            check_invariants=check_invariants)
     return engine.run()

@@ -33,19 +33,25 @@ former and stands the warp down.
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import List, Optional, Union
+from typing import Dict, List, Optional, Set, Union
 
 from ..errors import ProtocolError
 from ..platform.contention import LinkContention, _exact
+from ..platform.faults import (CrashEvent, DegradeEvent, EdgeFailureEvent,
+                               EdgeRepairEvent, FaultSchedule,
+                               LinkFailureEvent, SwitchCrashEvent)
 from ..platform.graph import Overlay, PlatformGraph
 from ..platform.tree import PlatformTree
+from ..sim.warp import REASON_GRAPH_FAULTS
 from . import trace as _trace
 from .agents import NodeAgent, Transfer
-from .config import ProtocolConfig
+from .config import PriorityRule, ProtocolConfig
 from .engine import ProtocolEngine
 from .result import SimulationResult
+from .topologies import reassign_orphans
 
-__all__ = ["GraphNodeAgent", "GraphProtocolEngine", "simulate_graph"]
+__all__ = ["GraphNodeAgent", "GraphProtocolEngine", "GraphFaultDriver",
+           "simulate_graph"]
 
 
 def _leg_duration(volume, rate):
@@ -117,6 +123,332 @@ class GraphNodeAgent(NodeAgent):
         self.try_send()
 
 
+class GraphFaultDriver:
+    """Consumes a :class:`FaultSchedule` against a routed graph run.
+
+    The tree engine's fault path is "a node or its parent link"; on a
+    graph a fault is *routed*: one failed fabric link kills every flow
+    crossing it (in any lane of a multi-app run), shortest paths
+    recompute around it, overlay edges re-route, and hosts with no
+    remaining route to the repository *park* until the partition heals.
+    The driver owns the shared physical state (the engine's private
+    graph copy and the contention manager) and drives every registered
+    lane — one for a single-app run, one per application under
+    :class:`~repro.apps.engine.MultiAppEngine` — through the same
+    deterministic recovery sequence:
+
+    1. mutate the graph (link up/down, node crash, degrade factor);
+    2. kill exactly the flows crossing a failed link and book each loss
+       (the task instance pools under the node whose unreachability the
+       survivors will detect; the receiving agent re-requests);
+    3. host crash only: destroy the victim agent in every lane, then
+       re-parent its orphaned overlay children
+       (:func:`~repro.protocols.topologies.reassign_orphans` — rack-head
+       re-election on leaf-spine fabrics);
+    4. refresh every overlay route in two phases — first recompute all
+       routes/costs and park newly unreachable hosts, then readmit or
+       re-announce healed ones — so no transfer ever starts on a stale
+       route;
+    5. kick every alive agent in deterministic (lane, id) order so the
+       protocol reacts autonomously (suspect/probe/backoff against the
+       next hop, pending-loss reclamation into the repository);
+    6. optionally run the per-lane task-conservation checker.
+
+    Recovery itself is the *unmodified* autonomous protocol: the driver
+    only injects the physical facts; detection (suspicion, probing with
+    exponential backoff, declaring death, re-admission) happens in the
+    agents, exactly as on trees.
+    """
+
+    def __init__(self, graph: PlatformGraph, overlay: Overlay,
+                 schedule: FaultSchedule, contention: LinkContention,
+                 check_invariants: bool = False):
+        self.graph = graph
+        self.overlay = overlay
+        self.schedule = schedule
+        self.contention = contention
+        self.check_invariants = check_invariants
+        self.lanes: List["GraphProtocolEngine"] = []
+        self.env = None
+        self._armed = False
+        #: graph host id -> overlay node id (= agent index in every lane).
+        self._oid: Dict[int, int] = {h: i
+                                     for i, h in enumerate(overlay.hosts)}
+
+    def register_lane(self, lane: "GraphProtocolEngine") -> None:
+        self.lanes.append(lane)
+
+    # ------------------------------------------------------------- arming
+    def _host_access_link(self, host: int) -> int:
+        """Physical link behind a tree-addressed link event's target
+        (validated single-hop by ``FaultSchedule.validate_graph``)."""
+        return self.overlay.routes[self._oid[host]][0]
+
+    def arm(self, env) -> None:
+        """Register every event on the calendar (idempotent: the first
+        lane to arm — or the multi-app coordinator — wins)."""
+        if self._armed:
+            return
+        self._armed = True
+        self.env = env
+        for event in self.schedule:
+            if isinstance(event, EdgeFailureEvent):
+                env.call_at(event.at_time, self._on_edge_failure, event.link)
+            elif isinstance(event, EdgeRepairEvent):
+                env.call_at(event.at_time, self._on_edge_repair, event.link)
+            elif isinstance(event, DegradeEvent):
+                env.call_at(event.at_time, self._on_degrade, event)
+                env.call_at(event.ends_at, self._on_degrade_end, event)
+            elif isinstance(event, SwitchCrashEvent):
+                env.call_at(event.at_time, self._on_switch_crash, event.node)
+            elif isinstance(event, CrashEvent):
+                env.call_at(event.at_time, self._on_host_crash, event.node)
+            elif isinstance(event, LinkFailureEvent):
+                env.call_at(event.at_time, self._on_edge_failure,
+                            self._host_access_link(event.node))
+            else:  # LinkRepairEvent
+                env.call_at(event.at_time, self._on_edge_repair,
+                            self._host_access_link(event.node))
+
+    # ----------------------------------------------------------- handlers
+    def _on_edge_failure(self, link: int) -> None:
+        self.graph.fail_link(link)
+        self._kill_crossing([link])
+        self._refresh_routes(peer=link)
+        self._kick()
+        self._check()
+
+    def _on_edge_repair(self, link: int) -> None:
+        self.graph.repair_link(link)
+        # In-flight flows keep the (still valid) route they started on;
+        # only new legs — and unparked hosts — use the improved paths.
+        self._refresh_routes(peer=link)
+        self._kick()
+        self._check()
+
+    def _on_switch_crash(self, node: int) -> None:
+        downed = self.graph.crash_node(node)
+        self._kill_crossing(downed)
+        self._refresh_routes()
+        self._kick()
+        self._check()
+
+    def _on_degrade(self, event: DegradeEvent) -> None:
+        self.graph.set_degrade(event.link, event.factor)
+        self._resettle(event.link)
+
+    def _on_degrade_end(self, event: DegradeEvent) -> None:
+        self.graph.set_degrade(event.link, None)
+        self._resettle(event.link)
+
+    def _on_host_crash(self, host: int) -> None:
+        now = self.env.now
+        oid = self._oid[host]
+        victims = [lane.nodes[oid] for lane in self.lanes
+                   if lane.nodes[oid].alive]
+        downed = self.graph.crash_node(host)
+        self._kill_crossing(downed, dying=set(victims))
+        for victim in victims:
+            lane = victim.engine
+            parent = victim.parent
+            pending = 0
+            if parent is not None and parent.alive:
+                if parent.shelf.pop(victim.id, None) is not None:
+                    # The parent's half-sent task dies with the victim.
+                    pending += 1
+                    lane.transfers_wasted += 1
+                if victim in parent.children:
+                    parent._mark_suspect(victim)
+            # The victim's own shelved half-sends: their receivers
+            # survive and re-request (announced — the request transfers
+            # to the new parent at re-parenting below).
+            for cid in sorted(victim.shelf):
+                child = victim.shelf[cid].child
+                pending += 1
+                lane.transfers_wasted += 1
+                child.incoming -= 1
+                child.requested += 1
+            victim.shelf.clear()
+            pending += victim._crash()
+            pending += lane._pending_lost.pop(victim.id, 0)
+            lane.crashed_node_ids.append(victim.id)
+            lane.crash_times.append(now)
+            if lane._recorder is not None:
+                lane._recorder.record(now, _trace.CRASH, victim.id)
+            lane._pending_lost[victim.id] = pending
+            # Unlike a tree crash, the victim's overlay children survive:
+            # re-parent them (leaf-spine racks re-elect a head).
+            orphans = sorted(victim.children, key=lambda a: a.id)
+            victim.children = []
+            if orphans:
+                hosts = self.overlay.hosts
+                grandparent = (hosts[parent.id] if parent is not None
+                               else self.graph.root)
+                mapping = reassign_orphans(
+                    self.graph, host, [hosts[o.id] for o in orphans],
+                    grandparent)
+                gained: List[NodeAgent] = []
+                for orphan in orphans:
+                    new_parent = lane.nodes[self._oid[mapping[hosts[orphan.id]]]]
+                    orphan.parent = new_parent
+                    new_parent.children.append(orphan)
+                    new_parent.child_requests += (orphan.requested
+                                                  - orphan.deferred_requests)
+                    if new_parent not in gained:
+                        gained.append(new_parent)
+                for new_parent in gained:
+                    new_parent.resort_children()
+            if parent is None or not parent.alive \
+                    or victim not in parent.children:
+                # Detached before death (e.g. declared dead while
+                # parked): nobody probes it, surface the loss now.
+                lane._flush_pending_losses(victim)
+        self._refresh_routes()
+        self._kick()
+        self._check()
+
+    # ------------------------------------------------------------ plumbing
+    def _apply_updates(self, updates) -> None:
+        if updates:
+            self.lanes[0]._apply_rate_updates(updates)
+
+    def _kill_crossing(self, links, dying: Set[NodeAgent] = frozenset()):
+        """Kill every flow crossing ``links`` and book each lost task.
+
+        A killed flow's task instance pools as a pending loss under the
+        node whose unreachability the surviving agents will detect: the
+        receiving child for an ordinary outage (its parent suspects it —
+        the next-hop suspicion of the tree protocol), or the dying host
+        for a crash (its parent's probes detect the death).
+        """
+        now = self.env.now
+        killed, updates = self.contention.kill_crossing(links, now)
+        for transfer in killed:
+            child = transfer.child
+            sender = child.parent
+            lane = child.engine
+            if transfer.timer is not None:
+                transfer.timer.cancel()
+                transfer.timer = None
+            # Active flows always sit on their sender's port (a child is
+            # re-parented only after its old parent's flows were killed).
+            sender.current_transfer = None
+            lane.transfers_wasted += 1
+            if child in dying:
+                # Flow *into* a crashing host: the instance dies with it.
+                lane._pending_lost[child.id] = (
+                    lane._pending_lost.get(child.id, 0) + 1)
+            elif sender in dying:
+                # Flow *out of* a crashing host: pooled under the victim;
+                # the receiver re-requests, announced (it re-parents).
+                lane._pending_lost[sender.id] = (
+                    lane._pending_lost.get(sender.id, 0) + 1)
+                child.incoming -= 1
+                child.requested += 1
+            else:
+                # Ordinary routed outage: the receiver re-requests but the
+                # request stays deferred until readmission re-counts it.
+                child.incoming -= 1
+                child.requested += 1
+                child.deferred_requests += 1
+                lane._pending_lost[child.id] = (
+                    lane._pending_lost.get(child.id, 0) + 1)
+                sender._mark_suspect(child)
+        self._apply_updates(updates)
+        return killed
+
+    def _refresh_routes(self, peer: Optional[int] = None) -> None:
+        """Two-phase overlay route refresh against the mutated graph.
+
+        Phase A recomputes every overlay edge's route and cost, parks
+        hosts with no route to their parent (deterministic partition
+        detection), and re-sorts schedules whose priorities changed;
+        phase B readmits/re-announces unparked hosts.  Splitting the
+        phases guarantees no readmission-triggered send can start on a
+        route that is still stale.
+        """
+        graph = self.graph
+        hosts = self.overlay.hosts
+        now = self.env.now
+        unparked: List[NodeAgent] = []
+        resort: List[NodeAgent] = []
+        for lane in self.lanes:
+            for agent in lane.nodes:
+                if agent.is_root or not agent.alive:
+                    continue
+                parent = agent.parent
+                if parent is None or not parent.alive:
+                    continue
+                route = graph.route_or_none(hosts[parent.id], hosts[agent.id])
+                if route is None:
+                    if not agent.link_down:
+                        agent.link_down = True
+                        if lane._recorder is not None:
+                            lane._recorder.record(now, _trace.LINK_DOWN,
+                                                  agent.id)
+                    continue
+                if agent.link_down:
+                    unparked.append(agent)
+                if route != agent.route:
+                    agent.route = route
+                    cost = graph.route_cost(route)
+                    if cost != agent.c:
+                        agent.c = cost
+                        agent._refresh_prio_key()
+                        if parent not in resort:
+                            resort.append(parent)
+                    if lane._recorder is not None:
+                        lane._recorder.record(now, _trace.REROUTE,
+                                              agent.id, peer)
+        for parent in resort:
+            parent.resort_children()
+        for agent in unparked:
+            agent.link_down = False
+            lane = agent.engine
+            if lane._recorder is not None:
+                lane._recorder.record(now, _trace.LINK_UP, agent.id)
+            parent = agent.parent
+            if parent is not None and parent.alive:
+                if agent.id in parent.suspect or agent not in parent.children:
+                    parent._readmit_child(agent)
+                elif agent.deferred_requests:
+                    parent.child_requests += agent.deferred_requests
+                    agent.deferred_requests = 0
+            lane._flush_pending_losses(agent)
+
+    def _resettle(self, link: int) -> None:
+        """Re-settle flows after a capacity change (degrade/restore)."""
+        updates = self.contention.set_capacity(
+            link, self.graph.capacity(link), self.env.now)
+        self._apply_updates(updates)
+        for lane in self.lanes:
+            if lane._recorder is None:
+                continue
+            for agent in lane.nodes:
+                if (not agent.is_root and agent.alive
+                        and link in agent.route):
+                    lane._recorder.record(self.env.now, _trace.DEGRADE,
+                                          agent.id, link)
+        self._check()
+
+    def _kick(self) -> None:
+        """Deterministic full scheduling pass: every alive agent, in
+        (lane, overlay id) order, reconsiders its port."""
+        for lane in self.lanes:
+            for agent in lane.nodes:
+                if not agent.alive:
+                    continue
+                if agent.current_transfer is None:
+                    agent.try_send()
+                elif agent.interruptible:
+                    agent._maybe_preempt()
+
+    def _check(self) -> None:
+        if self.check_invariants:
+            for lane in self.lanes:
+                lane._check_conservation()
+
+
 class GraphProtocolEngine(ProtocolEngine):
     """One simulation of ``num_tasks`` tasks on a :class:`PlatformGraph`.
 
@@ -141,9 +473,25 @@ class GraphProtocolEngine(ProtocolEngine):
                  overlay: Optional[Overlay] = None,
                  record_buffer_timeline: bool = False,
                  record_completion_times: bool = True,
-                 contention: Optional[LinkContention] = None):
+                 contention: Optional[LinkContention] = None,
+                 faults: Optional[FaultSchedule] = None,
+                 check_invariants: bool = False,
+                 fault_driver: Optional[GraphFaultDriver] = None):
         if isinstance(platform, PlatformTree):
             platform = PlatformGraph.from_tree(platform)
+        if fault_driver is not None:
+            # Multi-app: the coordinator's driver already owns a private
+            # graph copy shared by every lane.
+            platform = fault_driver.graph
+            faults = None
+        elif faults:
+            if config.priority_rule is PriorityRule.FIFO:
+                raise ProtocolError(
+                    "faults with FIFO ordering are unsupported (reconciling "
+                    "a failed node's queued requests is ill-defined)")
+            # Fault events mutate link state in place; the caller's graph
+            # must not see them.
+            platform = platform.copy()
         self.graph = platform
         self.overlay = overlay if overlay is not None else platform.overlay()
         # A caller-supplied manager lets several engines (one per
@@ -151,12 +499,37 @@ class GraphProtocolEngine(ProtocolEngine):
         self.contention = (contention if contention is not None
                            else LinkContention(platform.link_capacities(),
                                                platform.contention))
+        if faults:
+            faults.validate_graph(platform, self.overlay)
+            fault_driver = GraphFaultDriver(
+                platform, self.overlay, faults, self.contention,
+                check_invariants=check_invariants)
         super().__init__(self.overlay.tree, config, num_tasks,
                          record_buffer_timeline=record_buffer_timeline,
-                         record_completion_times=record_completion_times)
+                         record_completion_times=record_completion_times,
+                         check_invariants=check_invariants)
         routes = self.overlay.routes
         for agent in self.nodes:
             agent.route = routes[agent.id]
+        self._fault_driver = fault_driver
+        if fault_driver is not None:
+            fault_driver.register_lane(self)
+            self._warp_stand_down = REASON_GRAPH_FAULTS
+            for agent in self.nodes:
+                agent.enable_fault_recovery()
+
+    def _arm(self) -> None:
+        driver = self._fault_driver
+        if driver is not None:
+            # Fault events register before the t=0 demand announcements,
+            # mirroring the tree engine's schedule-then-phases order.
+            driver.arm(self.env)
+        super()._arm()
+        if driver is not None:
+            # Liveness sweeps (base class arms them only for its own tree
+            # fault path, which is inert here).
+            for agent in self.nodes:
+                agent._start_sweep()
 
     def _apply_rate_updates(self, updates) -> None:
         """Reschedule the completion timer of every rate-changed flow.
@@ -187,13 +560,18 @@ def simulate_graph(platform: Union[PlatformGraph, PlatformTree],
                    config: ProtocolConfig, num_tasks: int, *,
                    overlay: Optional[Overlay] = None,
                    record_buffer_timeline: bool = False,
-                   record_completion_times: bool = True) -> SimulationResult:
+                   record_completion_times: bool = True,
+                   faults: Optional[FaultSchedule] = None,
+                   check_invariants: bool = False) -> SimulationResult:
     """Run one protocol simulation on a graph platform.
 
     With no explicit ``overlay``, the platform's generator shape picks its
     protocol adaptation via
     :func:`repro.protocols.topologies.topology_overlay` (e.g. per-leaf
     head election on leaf-spine fabrics); pass an overlay to override.
+    A ``faults`` schedule may address fabric links directly
+    (:class:`~repro.platform.faults.EdgeFailureEvent` and friends) or use
+    the tree-addressed events for single-hop overlay edges.
     """
     if overlay is None:
         from .topologies import topology_overlay
@@ -202,5 +580,6 @@ def simulate_graph(platform: Union[PlatformGraph, PlatformTree],
     engine = GraphProtocolEngine(
         platform, config, num_tasks, overlay=overlay,
         record_buffer_timeline=record_buffer_timeline,
-        record_completion_times=record_completion_times)
+        record_completion_times=record_completion_times,
+        faults=faults, check_invariants=check_invariants)
     return engine.run()

@@ -33,7 +33,7 @@ from ..platform.graph import Overlay, PlatformGraph, build_overlay
 from .config import ProtocolConfig
 
 __all__ = ["star_service_order", "chain_relay_config", "leaf_spine_overlay",
-           "topology_overlay"]
+           "topology_overlay", "reassign_orphans"]
 
 
 def star_service_order(graph: PlatformGraph) -> List[int]:
@@ -97,6 +97,32 @@ def leaf_spine_overlay(graph: PlatformGraph) -> Overlay:
         head = heads[rack_of[h]]
         parent_of[h] = root if h == head else head
     return build_overlay(graph, parent_of)
+
+
+def reassign_orphans(graph: PlatformGraph, victim_host: int,
+                     orphan_hosts: List[int],
+                     grandparent_host: int) -> dict:
+    """Deterministic overlay re-election after a host crash.
+
+    ``orphan_hosts`` are the graph hosts whose overlay parent
+    ``victim_host`` just died; returns ``{orphan host: new parent host}``.
+    On leaf-spine fabrics the dead node was a rack head, so the rack
+    re-elects: the lowest-id surviving orphan becomes the new head (it
+    re-parents to the victim's old parent — normally the repository) and
+    the remaining rack-mates parent to it, preserving the one-flow-per-
+    rack overlay shape.  Every other topology flattens: all orphans
+    re-parent to the victim's old parent.
+    """
+    if not orphan_hosts:
+        return {}
+    if graph.meta.get("kind") == "leafspine":
+        new_head = min(orphan_hosts)
+        mapping = {new_head: grandparent_host}
+        for h in orphan_hosts:
+            if h != new_head:
+                mapping[h] = new_head
+        return mapping
+    return {h: grandparent_host for h in orphan_hosts}
 
 
 def topology_overlay(graph: PlatformGraph) -> Overlay:

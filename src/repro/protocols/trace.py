@@ -31,6 +31,7 @@ __all__ = [
     "REQUEST", "GROW", "SEND_START", "SEND_RESUME", "SEND_DONE", "PREEMPT",
     "COMPUTE_START", "COMPUTE_DONE", "MUTATION",
     "CRASH", "LINK_DOWN", "LINK_UP", "SUSPECT", "READMIT", "RECLAIM",
+    "REROUTE", "DEGRADE",
     "ALL_KINDS", "TraceEvent", "Tracer", "ascii_gantt",
 ]
 
@@ -55,11 +56,18 @@ READMIT = "readmit"
 #: ``peer`` lost tasks were reclaimed into the root's repository after
 #: ``node`` (the suspecting parent's child) was declared dead or healed.
 RECLAIM = "reclaim"
+#: ``node``'s overlay route from its parent changed after a fabric fault
+#: (graph runs only; ``peer`` is the failed/repaired physical link id).
+REROUTE = "reroute"
+#: A link on ``node``'s overlay route was bandwidth-degraded or restored
+#: (graph runs only; ``peer`` is the physical link id).
+DEGRADE = "degrade"
 
 ALL_KINDS: frozenset = frozenset({
     REQUEST, GROW, SEND_START, SEND_RESUME, SEND_DONE, PREEMPT,
     COMPUTE_START, COMPUTE_DONE, MUTATION,
     CRASH, LINK_DOWN, LINK_UP, SUSPECT, READMIT, RECLAIM,
+    REROUTE, DEGRADE,
 })
 
 

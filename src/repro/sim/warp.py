@@ -66,7 +66,8 @@ if TYPE_CHECKING:  # pragma: no cover
 
 __all__ = ["WarpSummary", "WarpController", "LEDGER_CAP", "FAR_HORIZON",
            "REASON_CONTENTION", "REASON_DYNAMIC", "REASON_TRACING",
-           "REASON_TELEMETRY", "REASON_MULTI_APP", "STAND_DOWN_REASONS"]
+           "REASON_TELEMETRY", "REASON_MULTI_APP", "REASON_GRAPH_FAULTS",
+           "STAND_DOWN_REASONS"]
 
 # Stand-down reasons shared by every engine (tree, graph, multi-app).
 # Engines must report *these* strings — never ad-hoc ones — so callers can
@@ -78,6 +79,8 @@ REASON_TRACING = "disabled: tracing active"
 REASON_TELEMETRY = "disabled: telemetry sampling active"
 REASON_MULTI_APP = ("disabled: concurrent applications break "
                     "single-job periodicity")
+REASON_GRAPH_FAULTS = ("disabled: graph fault schedule active "
+                       "(reroute/partition events break periodicity)")
 
 #: Every reason an engine may stand the warp down with *before* the search
 #: even starts (controller-side reasons — "no recurrence found", "completed
@@ -88,6 +91,7 @@ STAND_DOWN_REASONS = frozenset({
     REASON_TRACING,
     REASON_TELEMETRY,
     REASON_MULTI_APP,
+    REASON_GRAPH_FAULTS,
 })
 
 #: Fingerprints remembered before the search is abandoned.  A run whose

@@ -22,6 +22,7 @@ Three formats, three audiences:
 from __future__ import annotations
 
 import json
+from fractions import Fraction
 from typing import Dict, IO, Iterator, List, Optional, Union
 
 from ..errors import ReproError
@@ -36,7 +37,8 @@ _JSONL_VERSION = 1
 
 #: Tracer kinds rendered as instant markers on a node's lane.
 _INSTANT_KINDS = (_trace.PREEMPT, _trace.MUTATION, _trace.CRASH,
-                  _trace.LINK_DOWN, _trace.LINK_UP, _trace.RECLAIM)
+                  _trace.LINK_DOWN, _trace.LINK_UP, _trace.RECLAIM,
+                  _trace.REROUTE, _trace.DEGRADE)
 
 
 def _open_maybe(path_or_file: Union[str, IO], mode: str):
@@ -47,6 +49,15 @@ def _open_maybe(path_or_file: Union[str, IO], mode: str):
 
 
 # ---------------------------------------------------------------- JSONL
+def _json_default(value):
+    """``json.dumps`` fallback: Fractions degrade to floats (integral
+    ones back to int); anything else is a genuine serialization error."""
+    if isinstance(value, Fraction):
+        return int(value) if value.denominator == 1 else float(value)
+    raise TypeError(
+        f"Object of type {type(value).__name__} is not JSON serializable")
+
+
 def _snapshot_record(snapshot: TelemetrySnapshot) -> Dict:
     return {
         "type": "snapshot",
@@ -102,8 +113,11 @@ def dump_jsonl(snapshots, path_or_file: Union[str, IO]) -> int:
     written = 0
     try:
         for snapshot in snapshots:
+            # Graph runs can carry Fraction times/values; JSON has no
+            # rational type, so they degrade to floats on export.
             fh.write(json.dumps(_snapshot_record(snapshot),
-                                separators=(",", ":")) + "\n")
+                                separators=(",", ":"),
+                                default=_json_default) + "\n")
             written += 1
     finally:
         if close:
@@ -163,6 +177,14 @@ def dump_csv(snapshot: TelemetrySnapshot,
 
 
 # --------------------------------------------------- Chrome trace events
+def _num(value):
+    """JSON-safe number: contended graph runs produce exact ``Fraction``
+    virtual times, which become floats (integral ones back to int)."""
+    if isinstance(value, Fraction):
+        return int(value) if value.denominator == 1 else float(value)
+    return value
+
+
 def _lane_events(tracer, pid: int) -> List[Dict]:
     """Per-node compute/send slices and instant markers from a tracer."""
     events: List[Dict] = []
@@ -170,16 +192,16 @@ def _lane_events(tracer, pid: int) -> List[Dict]:
     for node in nodes:
         for start, end in tracer.compute_intervals(node):
             events.append({"name": "compute", "cat": "cpu", "ph": "X",
-                           "ts": start, "dur": end - start,
+                           "ts": _num(start), "dur": _num(end - start),
                            "pid": pid, "tid": node})
         for start, end in tracer.send_intervals(node):
             events.append({"name": "send", "cat": "net", "ph": "X",
-                           "ts": start, "dur": end - start,
+                           "ts": _num(start), "dur": _num(end - start),
                            "pid": pid, "tid": node})
     for event in tracer.events:
         if event.kind in _INSTANT_KINDS:
             entry = {"name": event.kind, "cat": "protocol", "ph": "i",
-                     "ts": event.time, "pid": pid, "tid": event.node,
+                     "ts": _num(event.time), "pid": pid, "tid": event.node,
                      "s": "t"}
             if event.peer is not None:
                 entry["args"] = {"peer": event.peer}
@@ -210,8 +232,8 @@ def _trace_events(snapshot, tracer, pid: int,
             times, values = snapshot.series[name]
             for time, value in zip(times, values):
                 events.append({"name": name, "cat": "telemetry", "ph": "C",
-                               "ts": time, "pid": pid,
-                               "args": {"value": value}})
+                               "ts": _num(time), "pid": pid,
+                               "args": {"value": _num(value)}})
         for name in sorted(snapshot.node_series):
             per_node = snapshot.node_series[name]
             for node in sorted(per_node):
@@ -219,8 +241,8 @@ def _trace_events(snapshot, tracer, pid: int,
                 track = f"{name}/node{node}"
                 for time, value in zip(times, values):
                     events.append({"name": track, "cat": "telemetry",
-                                   "ph": "C", "ts": time, "pid": pid,
-                                   "args": {"value": value}})
+                                   "ph": "C", "ts": _num(time), "pid": pid,
+                                   "args": {"value": _num(value)}})
     return events
 
 
@@ -238,7 +260,7 @@ def chrome_trace(snapshot: Optional[TelemetrySnapshot] = None,
     doc: Dict = {"traceEvents": events, "displayTimeUnit": "ms"}
     if snapshot is not None:
         doc["otherData"] = {
-            "makespan": snapshot.makespan,
+            "makespan": _num(snapshot.makespan),
             "num_nodes": snapshot.num_nodes,
             "sample_dt": snapshot.sample_dt,
         }

@@ -1,0 +1,41 @@
+"""Pre-fault / post-recovery Jain fairness windows."""
+
+import pytest
+
+from repro.apps import fault_fairness
+
+
+class TestFaultFairness:
+    def test_no_faults_no_windows(self):
+        assert fault_fairness([[1, 2], [1, 2]], (), (), 10) == (None, None)
+
+    def test_equal_rates_are_fair_in_both_windows(self):
+        # Both apps complete one task per 10 steps before the crash at 40
+        # and after the reclaim at 60.
+        times = [10, 20, 30, 70, 80, 90]
+        pre, post = fault_fairness([times, times], (40,), (60,), 100)
+        assert pre == pytest.approx(1.0)
+        assert post == pytest.approx(1.0)
+
+    def test_starved_app_drops_post_fairness(self):
+        fast = [10, 20, 30, 70, 80, 90]
+        starved = [10, 20, 30]  # nothing after recovery
+        pre, post = fault_fairness([fast, starved], (40,), (60,), 100)
+        assert pre == pytest.approx(1.0)
+        assert post == pytest.approx(0.5)  # one of two apps active
+
+    def test_crash_at_zero_has_no_pre_window(self):
+        pre, post = fault_fairness([[5, 6], [5, 7]], (0,), (2,), 10)
+        assert pre is None
+        assert post is not None
+
+    def test_run_ending_mid_recovery_has_no_post_window(self):
+        pre, post = fault_fairness([[5, 6], [5, 7]], (40,), (100,), 100)
+        assert pre is not None
+        assert post is None
+
+    def test_recovery_defaults_to_last_crash_without_reclaims(self):
+        times = [10, 20, 80, 90]
+        pre, post = fault_fairness([times, times], (40, 50), (), 100)
+        assert pre == pytest.approx(1.0)
+        assert post == pytest.approx(1.0)

@@ -71,11 +71,24 @@ def test_allocator_default_is_platform_contention():
 
 
 class TestFrontDoorValidation:
-    def test_faults_rejected_for_multi_app(self):
+    def test_mutations_rejected_for_multi_app(self):
+        from repro.platform.mutation import Mutation, MutationSchedule
+
+        tree = generate_tree(SMALL, seed=11)
+        mutations = MutationSchedule(
+            [Mutation(node=1, attribute="w", value=tree.w[1], at_time=50)])
+        with pytest.raises(ProtocolError, match="single-application"):
+            simulate(tree, _two_apps(), CONFIG, mutations=mutations)
+
+    def test_faults_now_run_for_multi_app(self):
+        # PR-8 replaced the old rejection with a shared GraphFaultDriver.
         tree = generate_tree(SMALL, seed=11)
         faults = FaultSchedule([CrashEvent(at_time=50, node=1)])
-        with pytest.raises(ProtocolError, match="single-application"):
-            simulate(tree, _two_apps(), CONFIG, faults=faults)
+        result = simulate(tree, _two_apps(), CONFIG, faults=faults,
+                          check_invariants=True)
+        assert result.crashed_node_ids == (1,)
+        assert sum(len(a.completion_times) for a in result.apps) \
+            == result.num_tasks
 
     def test_allocator_rejected_for_single_app(self):
         tree = generate_tree(SMALL, seed=11)

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import ProtocolError
+from repro.errors import PlatformError, ProtocolError
 from repro.metrics.faults import (post_recovery_rate, recovery_latencies,
                                   recovery_report)
 from repro.platform import (ChurnSchedule, CrashEvent, FaultSchedule,
@@ -160,15 +160,26 @@ class TestRecoverySemantics:
 
     def test_crash_of_partitioned_subtree(self):
         # The subtree is unreachable when it dies; no live parent can
-        # detect the crash, so the loss must surface via the engine.
+        # detect the crash, so the loss must surface via the engine
+        # (probes declare the silent child dead after max_retries).
+        faults = FaultSchedule([
+            LinkFailureEvent(at_time=40, node=2),
+            CrashEvent(at_time=60, node=2),
+        ])
+        result = simulate(figure1_tree(), IC3, 1000, faults=faults)
+        assert len(result.completion_times) == 1000
+        assert set(result.crashed_node_ids) == {2, 3, 4}
+
+    def test_post_crash_link_events_rejected(self):
+        # A repair addressed to a node that already crashed would fire
+        # against a dead subtree; validate() now rejects the schedule.
         faults = FaultSchedule([
             LinkFailureEvent(at_time=40, node=2),
             CrashEvent(at_time=60, node=2),
             LinkRepairEvent(at_time=400, node=2),
         ])
-        result = simulate(figure1_tree(), IC3, 1000, faults=faults)
-        assert len(result.completion_times) == 1000
-        assert set(result.crashed_node_ids) == {2, 3, 4}
+        with pytest.raises(PlatformError, match="after the node's crash"):
+            simulate(figure1_tree(), IC3, 1000, faults=faults)
 
     def test_all_root_children_crash(self):
         faults = FaultSchedule([
