@@ -2,8 +2,9 @@
 
 Two suites:
 
-* ``kernel`` — the four micro-workloads from ``workloads.py`` plus two
-  protocol-engine runs, reported as events/sec.
+* ``kernel`` — the micro-workloads from ``workloads.py`` plus the
+  protocol-engine runs and the contention-churn pair, reported as
+  units/sec (events, tasks, or solver ops).
 * ``sweep``  — end-to-end figure experiments at smoke scale (fig4, fig7,
   fault recovery), reported as tasks/sec and wall seconds per figure.
 
@@ -38,10 +39,14 @@ except ImportError:  # running from a checkout without PYTHONPATH=src
     sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from workloads import (
+    run_contention_churn,
+    run_contention_churn_reference,
     run_engine_graph_faults,
     run_engine_graph_leafspine,
+    run_engine_graph_leafspine_big,
     run_engine_ic,
     run_engine_multiapp,
+    run_engine_multiapp_contended,
     run_engine_ic_10k,
     run_engine_ic_10k_telemetry,
     run_engine_ic_10k_warp,
@@ -105,7 +110,16 @@ KERNEL_WORKLOADS = [
     ("engine_non_ic_fb2", run_engine_non_ic, 2_000, "events"),
     ("engine_graph_leafspine", run_engine_graph_leafspine, 2_000, "events"),
     ("engine_graph_faults", run_engine_graph_faults, 2_000, "events"),
+    ("engine_graph_leafspine_big", run_engine_graph_leafspine_big, 2_000,
+     "events"),
     ("engine_multiapp", run_engine_multiapp, 2_000, "events"),
+    ("engine_multiapp_contended", run_engine_multiapp_contended, 1_800,
+     "events"),
+    # The churn pair drives LinkContention directly (no calendar); their
+    # per_sec ratio is the incremental-kernel speedup the CI gate checks.
+    ("contention_churn", run_contention_churn, 20_000, "ops"),
+    ("contention_churn_reference", run_contention_churn_reference, 1_200,
+     "ops"),
     ("engine_ic_10k", run_engine_ic_10k, 10_000, "tasks"),
     ("engine_ic_10k_warp", run_engine_ic_10k_warp, 10_000, "tasks"),
     ("engine_ic_10k_telemetry", run_engine_ic_10k_telemetry, 10_000, "tasks"),

@@ -8,9 +8,11 @@ trajectory writer — guarantees the committed ``BENCH_*.json`` baselines
 measure exactly what the pytest benchmarks measure.
 """
 
+import random
 from dataclasses import replace
 
 from repro.sim import Environment, Interrupt, PreemptiveResource, Store
+from repro.platform.contention import LinkContention
 from repro.platform.generator import TreeGeneratorParams, generate_tree
 from repro.platform.graph import generate_platform
 from repro.protocols import GraphProtocolEngine, ProtocolConfig, ProtocolEngine
@@ -203,3 +205,98 @@ def run_engine_graph_faults(num_tasks: int = 2000) -> int:
         overlay=topology_overlay(graph),
         faults=chaos_schedule(graph, seed=11, events=6))
     return engine.run().events_processed
+
+
+#: 320-host leaf-spine (40 leaves, 2 spines, 400 links) — roughly twice the
+#: fabric of the seed-7 workload, so per-event solver cost, not task count,
+#: dominates.
+_BIG_LEAFSPINE_PARAMS = TreeGeneratorParams(min_nodes=320, max_nodes=320)
+
+
+def run_engine_graph_leafspine_big(num_tasks: int = 2000) -> int:
+    """IC/FB=3 on a 320-host leaf-spine fabric through the graph engine.
+
+    Same protocol as ``run_engine_graph_leafspine`` on ~2x the fabric:
+    more racks in flight means wider overlay fan-out and more concurrent
+    flows per reallocation, which is exactly the regime where the
+    incremental solver's dirty-region bound matters.  Events are the
+    denominator.
+    """
+    graph = generate_platform("leafspine", _BIG_LEAFSPINE_PARAMS, seed=21)
+    engine = GraphProtocolEngine(
+        graph, ProtocolConfig.interruptible(3), num_tasks,
+        overlay=topology_overlay(graph))
+    return engine.run().events_processed
+
+
+def run_engine_multiapp_contended(num_tasks: int = 1800) -> int:
+    """Three mixed-size apps under the fair-share allocator on the 60-node tree.
+
+    Heavier contention than ``run_engine_multiapp``: three full agent
+    sets (one per app) share every link, and the size-2/size-3 bags
+    introduce non-unit volumes so transfers overlap rather than
+    completing in lockstep.  Events are the denominator.
+    """
+    from repro.apps import Application, MultiAppEngine
+
+    tree = generate_tree(TreeGeneratorParams(min_nodes=60, max_nodes=60),
+                         seed=7)
+    apps = [Application(num_tasks // 3, name=f"app{i}", size=i + 1,
+                        priority=i)
+            for i in range(3)]
+    engine = MultiAppEngine(tree, apps, ProtocolConfig.interruptible(3),
+                            allocator="fairshare")
+    return engine.run().events_processed
+
+
+def _contention_churn(ops: int, incremental: bool) -> int:
+    """Rack-local flow churn driven straight at the contention kernel.
+
+    No calendar, no agents: each op either starts a flow between two
+    hosts (95% within one rack, 5% across the fabric) or finishes a
+    random active one, holding ~64 flows in flight on the seed-7
+    leaf-spine.  This isolates the solver from event dispatch — the
+    per_sec ratio of the incremental run to its ``incremental=False``
+    twin is the kernel speedup the CI contention gate enforces.
+    """
+    graph = generate_platform("leafspine", seed=7)
+    manager = LinkContention(graph.link_capacities(), graph.contention,
+                             incremental=incremental)
+    rng = random.Random(13)
+    num_hosts = sum(1 for w in graph.w if w is not None)
+    per_leaf = graph.meta["hosts_per_leaf"]
+    active = []
+    fid = 0
+    for now in range(1, ops + 1):
+        if active and (len(active) >= 64 or rng.random() < 0.48):
+            manager.finish(active.pop(rng.randrange(len(active))), now)
+        else:
+            if rng.random() < 0.05:
+                a = rng.randrange(num_hosts)
+                b = rng.randrange(num_hosts)
+            else:
+                rack = rng.randrange(num_hosts // per_leaf) * per_leaf
+                a = rack + rng.randrange(per_leaf)
+                b = rack + rng.randrange(per_leaf)
+            if a == b:
+                b = (b + 1) % num_hosts
+            fid += 1
+            manager.start(f"f{fid}", graph.route(a, b), 10**6, now)
+            active.append(f"f{fid}")
+    return ops
+
+
+def run_contention_churn(ops: int = 20_000) -> int:
+    """The churn workload on the incremental kernel (ops as units)."""
+    return _contention_churn(ops, incremental=True)
+
+
+def run_contention_churn_reference(ops: int = 1200) -> int:
+    """The identical churn on the from-scratch reference solver.
+
+    Fewer ops than the incremental twin — the reference re-solves the
+    whole fabric per op, so 1200 ops already takes seconds — but
+    ``per_sec`` normalizes by op count, so the pair's ratio is still the
+    kernel speedup.
+    """
+    return _contention_churn(ops, incremental=False)

@@ -14,6 +14,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, replace
 from typing import Callable, Dict, Optional
 
@@ -23,6 +24,25 @@ from . import ablation, fig3, fig4, fig5, fig6, fig7, table1, table2
 
 __all__ = ["main", "build_parser", "resolve_harness", "ExperimentSpec",
            "EXPERIMENTS"]
+
+
+@contextmanager
+def _profiled(enabled: bool):
+    """cProfile the enclosed block; top 25 by cumulative time to stderr."""
+    if not enabled:
+        yield
+        return
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        yield
+    finally:
+        profiler.disable()
+        stats = pstats.Stats(profiler, stream=sys.stderr)
+        stats.sort_stats("cumulative").print_stats(25)
 
 
 def _progress(label: str):
@@ -333,7 +353,11 @@ def _run_tree_command(args) -> str:
 def main(argv: Optional[list] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.experiment in ("analyze", "simulate"):
-        text = _run_tree_command(args)
+        # Single-run commands profile too: ``simulate --topology
+        # leafspine --profile`` is the first place to look when the
+        # contention kernel shows up hot.
+        with _profiled(args.profile):
+            text = _run_tree_command(args)
         print(text)
         if args.out:
             with open(args.out, "w") as handle:
@@ -363,25 +387,10 @@ def main(argv: Optional[list] = None) -> int:
     reports = []
     for name in names:
         start = time.time()
-        if args.profile:
-            import cProfile
-            import pstats
-
-            profiler = cProfile.Profile()
-            profiler.enable()
-            try:
-                report, svg_text = experiments[name](
-                    scale, workers=workers, svg=args.svg is not None,
-                    harness=harness, telemetry_out=args.telemetry_out)
-            finally:
-                profiler.disable()
-                stats = pstats.Stats(profiler, stream=sys.stderr)
-                stats.sort_stats("cumulative").print_stats(25)
-        else:
-            report, svg_text = experiments[name](scale, workers=workers,
-                                                 svg=args.svg is not None,
-                                                 harness=harness,
-                                                 telemetry_out=args.telemetry_out)
+        with _profiled(args.profile):
+            report, svg_text = experiments[name](
+                scale, workers=workers, svg=args.svg is not None,
+                harness=harness, telemetry_out=args.telemetry_out)
         elapsed = time.time() - start
         if args.svg and svg_text is not None:
             import os

@@ -25,7 +25,7 @@ from heapq import heapify, heappop, heappush
 from typing import Any, Callable, Iterable, Optional, Union
 
 from ..errors import SimulationError
-from .events import AllOf, AnyOf, Event, Timeout, PENDING
+from .events import AllOf, AnyOf, Event, Timeout, PENDING, _Entry
 
 __all__ = ["Environment", "Timer", "Infinity", "NORMAL", "URGENT"]
 
@@ -99,6 +99,12 @@ def _noop(*_args: Any) -> None:
     return None
 
 
+def _cancelled_entry(entry) -> bool:
+    """``True`` for a tombstoned Timer slot (either calendar shape)."""
+    item = entry[3] if entry.__class__ is tuple else entry.item
+    return item.__class__ is Timer and item.cancelled
+
+
 def _fired(*_args: Any) -> None:  # sentinel assigned after a timer runs
     return None
 
@@ -131,7 +137,13 @@ class Environment:
 
     def __init__(self, initial_time: Union[int, float] = 0):
         self._now = initial_time
-        self._heap: list[tuple] = []
+        #: Calendar entries — a mixed heap of two slot shapes sharing the
+        #: ``(time, priority, seq)`` total order: plain tuples for
+        #: integer times (the common case; comparisons stay entirely in
+        #: C) and :class:`~repro.sim.events._Entry` objects for
+        #: non-integer times (their cached integer-ratio comparison beats
+        #: ``Fraction`` dispatch on contended graph runs).
+        self._heap: list = []
         self._seq = 0
         self._cancelled = 0  # tombstoned timers still sitting in the heap
         #: Number of calendar entries processed so far (monitoring hook).
@@ -156,12 +168,15 @@ class Environment:
         heap = self._heap
         while heap:
             entry = heap[0]
-            item = entry[3]
+            if entry.__class__ is tuple:
+                time, _prio, _seq, item = entry
+            else:
+                time, item = entry.time, entry.item
             if item.__class__ is Timer and item.cancelled:
                 heappop(heap)
                 self._cancelled -= 1
                 continue
-            return entry[0]
+            return time
         return Infinity
 
     def is_empty(self) -> bool:
@@ -182,7 +197,10 @@ class Environment:
         seq = self._seq + 1
         self._seq = seq
         timer = Timer(self, time, seq, fn, args)
-        heappush(self._heap, (time, NORMAL, seq, timer))
+        if time.__class__ is int:
+            heappush(self._heap, (time, NORMAL, seq, timer))
+        else:
+            heappush(self._heap, _Entry(time, NORMAL, seq, timer))
         return timer
 
     def call_in(self, delay, fn: Callable[..., Any], *args: Any) -> Timer:
@@ -198,7 +216,10 @@ class Environment:
         seq = self._seq + 1
         self._seq = seq
         timer = Timer(self, time, seq, fn, args)
-        heappush(self._heap, (time, NORMAL, seq, timer))
+        if time.__class__ is int:
+            heappush(self._heap, (time, NORMAL, seq, timer))
+        else:
+            heappush(self._heap, _Entry(time, NORMAL, seq, timer))
         return timer
 
     # ---------------------------------------------------------- high level
@@ -212,7 +233,11 @@ class Environment:
         if delay < 0:
             raise SimulationError(f"negative delay {delay!r}")
         self._seq += 1
-        heappush(self._heap, (self._now + delay, priority, self._seq, event))
+        time = self._now + delay
+        if time.__class__ is int:
+            heappush(self._heap, (time, priority, self._seq, event))
+        else:
+            heappush(self._heap, _Entry(time, priority, self._seq, event))
 
     def event(self) -> Event:
         """Create a new untriggered :class:`Event` bound to this environment."""
@@ -248,7 +273,11 @@ class Environment:
         while True:
             if not heap:
                 raise SimulationError("step() on an empty calendar")
-            time, _prio, _seq, item = heappop(heap)
+            entry = heappop(heap)
+            if entry.__class__ is tuple:
+                time, _prio, _seq, item = entry
+            else:
+                time, item = entry.time, entry.item
             if item.__class__ is Timer:
                 if item.cancelled:
                     self._cancelled -= 1
@@ -297,7 +326,10 @@ class Environment:
             stop_event = None
             self._seq += 1
             timer = Timer(self, until, self._seq, self._stop_at, ())
-            heappush(self._heap, (until, URGENT, self._seq, timer))
+            if until.__class__ is int:
+                heappush(self._heap, (until, URGENT, self._seq, timer))
+            else:
+                heappush(self._heap, _Entry(until, URGENT, self._seq, timer))
 
         # The event loop proper.  This duplicates :meth:`step` deliberately:
         # inlining the dispatch into one tight loop (with the heap and
@@ -308,9 +340,14 @@ class Environment:
         heap = self._heap
         pop = heappop
         timer_cls = Timer
+        tuple_cls = tuple
         try:
             while heap:
-                time, _prio, _seq, item = pop(heap)
+                entry = pop(heap)
+                if entry.__class__ is tuple_cls:
+                    time, _prio, _seq, item = entry
+                else:
+                    time, item = entry.time, entry.item
                 if item.__class__ is timer_cls:
                     if item.cancelled:
                         self._cancelled -= 1
@@ -356,8 +393,7 @@ class Environment:
         heap = self._heap
         # In-place so the list object keeps its identity: the inlined loop in
         # :meth:`run` holds a local reference to it across callbacks.
-        heap[:] = [entry for entry in heap
-                   if not (entry[3].__class__ is Timer and entry[3].cancelled)]
+        heap[:] = [entry for entry in heap if not _cancelled_entry(entry)]
         heapify(heap)
         self._cancelled = 0
 

@@ -26,6 +26,95 @@ __all__ = ["Event", "Timeout", "Condition", "AllOf", "AnyOf", "ConditionValue", 
 _NORMAL = 1
 
 
+class _Entry:
+    """A calendar slot for a *non-integer* time, ordered by
+    ``(time, priority, sequence)``.
+
+    Lives here (not in :mod:`repro.sim.core`) because the zero-delay
+    trigger path below pushes entries too and core imports this module.
+
+    The calendar is a mixed heap: integer-time slots are plain
+    ``(time, prio, seq, item)`` tuples whose comparisons run entirely in
+    C, and only non-integer times (Fraction times on contended graph
+    runs, float times in user code) get one of these.  Tuple entries pay
+    ``Fraction.__eq__`` *and* ``Fraction.__lt__`` — each a
+    generic-dispatch call — per sift step once fractional times appear,
+    which is the kernel's single hottest operation on contended runs.
+    The entry instead caches the time's exact integer ratio at
+    construction and compares by integer cross-multiplication, with a
+    float pre-filter in front: float division of two ints is correctly
+    rounded, and correct rounding is monotone, so ``approx(a) <
+    approx(b)`` already proves ``a < b`` — only *equal* approximations
+    fall through to the exact cross-multiply.
+
+    Cross-type comparisons ride Python's reflected-operator fallback:
+    ``tuple.__lt__`` returns ``NotImplemented`` for a non-tuple operand,
+    so ``tuple < entry`` lands in :meth:`__gt__` below.  Every order is
+    mathematically identical to the pure-tuple order for int, float and
+    Fraction times alike (``as_integer_ratio`` is exact for all three),
+    which is what keeps calendars — and fingerprints — bit-identical.
+    """
+
+    __slots__ = ("approx", "num", "den", "prio", "seq", "time", "item")
+
+    def __init__(self, time, prio, seq, item):
+        self.time = time
+        self.prio = prio
+        self.seq = seq
+        self.item = item
+        try:
+            num, den = time.as_integer_ratio()
+        except (OverflowError, ValueError):
+            # Infinite (or NaN) float time: den == 0 makes the exact
+            # comparison below rank it after every finite time.
+            num, den = (1 if time > 0 else -1), 0
+        self.num = num
+        self.den = den
+        try:
+            self.approx = num / den
+        except (OverflowError, ZeroDivisionError):
+            self.approx = float("inf") if num > 0 else float("-inf")
+
+    def __lt__(self, other) -> bool:
+        if other.__class__ is tuple:  # int-time slot
+            lhs = self.num
+            rhs = other[0] * self.den
+            if lhs != rhs:
+                return lhs < rhs
+            if self.prio != other[1]:
+                return self.prio < other[1]
+            return self.seq < other[2]
+        a = self.approx
+        b = other.approx
+        if a < b:
+            return True
+        if b < a:
+            return False
+        lhs = self.num * other.den
+        rhs = other.num * self.den
+        if lhs != rhs:
+            return lhs < rhs
+        if self.prio != other.prio:
+            return self.prio < other.prio
+        return self.seq < other.seq
+
+    def __gt__(self, other) -> bool:
+        # Reflected form of ``tuple < entry`` (and ``sorted`` symmetry).
+        if other.__class__ is tuple:
+            lhs = self.num
+            rhs = other[0] * self.den
+            if lhs != rhs:
+                return lhs > rhs
+            if self.prio != other[1]:
+                return self.prio > other[1]
+            return self.seq > other[2]
+        return other.__lt__(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<_Entry t={self.time!r} prio={self.prio} "
+                f"seq={self.seq} {self.item!r}>")
+
+
 class _Pending:
     """Sentinel for 'no value yet'."""
 
@@ -101,7 +190,11 @@ class Event:
         env = self.env
         seq = env._seq + 1
         env._seq = seq
-        heappush(env._heap, (env._now, _NORMAL, seq, self))
+        now = env._now
+        if now.__class__ is int:
+            heappush(env._heap, (now, _NORMAL, seq, self))
+        else:
+            heappush(env._heap, _Entry(now, _NORMAL, seq, self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -115,7 +208,11 @@ class Event:
         env = self.env
         seq = env._seq + 1
         env._seq = seq
-        heappush(env._heap, (env._now, _NORMAL, seq, self))
+        now = env._now
+        if now.__class__ is int:
+            heappush(env._heap, (now, _NORMAL, seq, self))
+        else:
+            heappush(env._heap, _Entry(now, _NORMAL, seq, self))
         return self
 
     def trigger(self, event: "Event") -> None:
@@ -172,7 +269,11 @@ class Timeout(Event):
         self._value = value
         seq = env._seq + 1
         env._seq = seq
-        heappush(env._heap, (env._now + delay, _NORMAL, seq, self))
+        time = env._now + delay
+        if time.__class__ is int:
+            heappush(env._heap, (time, _NORMAL, seq, self))
+        else:
+            heappush(env._heap, _Entry(time, _NORMAL, seq, self))
 
 
 class ConditionValue:

@@ -59,7 +59,7 @@ from dataclasses import dataclass
 from heapq import heapify
 from typing import Optional, Set, TYPE_CHECKING
 
-from .core import Timer
+from .core import Timer, _Entry
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..protocols.engine import ProtocolEngine
@@ -319,7 +319,11 @@ class WarpController:
         calendar = []
         far = []
         try:
-            for time, prio, _seq, item in sorted(env._heap):
+            for entry in sorted(env._heap):
+                if entry.__class__ is tuple:
+                    time, prio, _seq, item = entry
+                else:  # upgraded (non-int-time) calendar: _Entry objects
+                    time, prio, item = entry.time, entry.prio, entry.item
                 if item.__class__ is not Timer:
                     raise _Foreign(item)
                 if item.cancelled:
@@ -419,14 +423,22 @@ class WarpController:
         # timers keep their absolute times — the exact run's skipped span
         # never touches them, so shifting them would diverge from it.
         live = []
-        for time, prio, seq, item in env._heap:
+        for entry in env._heap:
+            if entry.__class__ is tuple:
+                time, prio, seq, item = entry
+            else:  # upgraded calendar (see Environment._upgrade)
+                time, prio, seq, item = (entry.time, entry.prio,
+                                         entry.seq, entry.item)
             if item.cancelled:
                 continue
             if time - now > FAR_HORIZON:
-                live.append((time, prio, seq, item))
+                live.append(entry)
             else:
                 item.time += shift
-                live.append((time + shift, prio, seq, item))
+                if entry.__class__ is tuple:
+                    live.append((time + shift, prio, seq, item))
+                else:
+                    live.append(_Entry(time + shift, prio, seq, item))
         env._heap[:] = live
         heapify(env._heap)
         env._cancelled = 0

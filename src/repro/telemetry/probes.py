@@ -126,6 +126,11 @@ class TelemetryProbe:
         self._busy_time: List[int] = []
         self._starve_time: List[int] = []
 
+        # Contention-solver counter tracks, created on first sample: the
+        # graph engine assigns ``engine.contention`` *after* the base
+        # constructor builds this probe, so the lookup must be lazy.
+        self._contention_series: Optional[tuple] = None
+
     # -------------------------------------------------------------- tap
     @property
     def tap(self):
@@ -195,6 +200,17 @@ class TelemetryProbe:
                 reg.series("queue_depth", node=i,
                            max_samples=cap).append(now, agent.child_requests)
 
+        manager = getattr(engine, "contention", None)
+        if manager is not None:
+            tracks = self._contention_series
+            if tracks is None:
+                tracks = self._contention_series = (
+                    reg.series("contention_solves", max_samples=cap),
+                    reg.series("contention_memo_hits", max_samples=cap))
+            tracks[0].append(
+                now, manager.settles_full + manager.settles_incremental)
+            tracks[1].append(now, manager.memo_hits)
+
         series = self._global
         series["completed"].append(now, engine.completed)
         # The sampler's own firings are excluded so the series matches
@@ -229,6 +245,15 @@ class TelemetryProbe:
         counters["preemptions"] = sum(a.preemptions for a in nodes)
         counters["transfers"] = sum(a.transfers_started for a in nodes)
         counters["samples"] = self.sampler_fires
+
+        # Contention-solver statistics (graph engines only): every stat
+        # lands as a ``contention.*`` counter so kernel regressions —
+        # memo hit rate collapsing, the integer path falling back to
+        # Fractions — are visible in exported snapshots and traces.
+        manager = getattr(engine, "contention", None)
+        if manager is not None:
+            for name, value in manager.stats().items():
+                counters[f"contention.{name}"] = value
 
         if self.config.trace_events:
             compute_busy = tuple(
