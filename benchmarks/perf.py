@@ -41,6 +41,9 @@ except ImportError:  # running from a checkout without PYTHONPATH=src
 from workloads import (
     run_contention_churn,
     run_contention_churn_reference,
+    run_engine_arrivals_10k,
+    run_engine_arrivals_10k_warp,
+    run_engine_arrivals_diurnal,
     run_engine_graph_faults,
     run_engine_graph_leafspine,
     run_engine_graph_leafspine_big,
@@ -123,6 +126,14 @@ KERNEL_WORKLOADS = [
     ("engine_ic_10k", run_engine_ic_10k, 10_000, "tasks"),
     ("engine_ic_10k_warp", run_engine_ic_10k_warp, 10_000, "tasks"),
     ("engine_ic_10k_telemetry", run_engine_ic_10k_telemetry, 10_000, "tasks"),
+    # Service-mode (open-loop) runs: the diurnal day measures the exact
+    # arrival/admission/sketch hot path; the periodic pair's per_sec
+    # ratio is the open-loop warp speedup the CI gate checks.
+    ("engine_arrivals_diurnal", run_engine_arrivals_diurnal, 40_000,
+     "events"),
+    ("engine_arrivals_10k", run_engine_arrivals_10k, 10_000, "tasks"),
+    ("engine_arrivals_10k_warp", run_engine_arrivals_10k_warp, 10_000,
+     "tasks"),
 ]
 
 

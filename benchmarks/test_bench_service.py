@@ -1,0 +1,32 @@
+"""Benchmark — the open-loop service driver's streaming hot path.
+
+One diurnal traffic day on the 60-node warp tree: a three-phase rate
+profile through a token bucket, so every layer of service mode is on the
+measured path — the lazy arrival generator, the admission refill-kick,
+and the per-completion latency-sketch fold.  Plus the periodic exact/warp
+pair whose per_sec ratio is the open-loop warp speedup.  The workload
+bodies live in ``workloads.py`` so ``perf.py`` (and the committed
+``BENCH_kernel.json`` baseline) measures the same code.
+"""
+
+from workloads import (
+    run_engine_arrivals_10k,
+    run_engine_arrivals_10k_warp,
+    run_engine_arrivals_diurnal,
+)
+
+
+def test_bench_arrivals_diurnal(benchmark):
+    events = benchmark.pedantic(run_engine_arrivals_diurnal, args=(40_000,),
+                                rounds=1, iterations=1)
+    # Thousands of admitted tasks each cost several calendar events.
+    assert events >= 10_000
+
+
+def test_bench_arrivals_periodic_pair(benchmark):
+    completed = benchmark.pedantic(run_engine_arrivals_10k_warp,
+                                   args=(10_000,), rounds=1, iterations=1)
+    assert completed == 10_000
+    # The warped run must deliver the identical task count as the exact
+    # twin — the speedup itself is gated in CI via BENCH_kernel.json.
+    assert run_engine_arrivals_10k(2_000) == 2_000

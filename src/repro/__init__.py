@@ -20,7 +20,12 @@ Bandwidth-Centric Scheduling of Independent-task Applications"*
   resume of interrupted ensembles (:class:`~repro.harness.HarnessConfig`),
 * :mod:`repro.telemetry` — disabled-by-default observability: a metrics
   registry, read-only run probes, JSONL/CSV/Perfetto exporters, and
-  ensemble aggregation (:class:`~repro.telemetry.TelemetryConfig`).
+  ensemble aggregation (:class:`~repro.telemetry.TelemetryConfig`),
+* :mod:`repro.service` — service mode: open-loop streaming arrival
+  processes, admission control, and O(1)-memory latency SLO folds
+  (:class:`~repro.service.PoissonArrivals`,
+  :class:`~repro.service.TokenBucket`,
+  :class:`~repro.service.ServiceStats`).
 
 Quickstart::
 
@@ -129,6 +134,20 @@ _LAZY_EXPORTS = {
     "recovery_latencies": "repro.metrics.faults",
     "post_recovery_rate": "repro.metrics.faults",
     "degraded_windows": "repro.metrics.faults",
+    # service mode: open-loop arrivals, admission control, latency SLOs
+    "ArrivalProcess": "repro.service",
+    "PoissonArrivals": "repro.service",
+    "BurstArrivals": "repro.service",
+    "DiurnalArrivals": "repro.service",
+    "PeriodicArrivals": "repro.service",
+    "parse_arrivals": "repro.service",
+    "AdmissionPolicy": "repro.service",
+    "AlwaysAdmit": "repro.service",
+    "QueueDepthBound": "repro.service",
+    "TokenBucket": "repro.service",
+    "parse_admission": "repro.service",
+    "LatencySketch": "repro.service",
+    "ServiceStats": "repro.service",
     # telemetry subsystem
     "TelemetryConfig": "repro.telemetry",
     "TelemetrySnapshot": "repro.telemetry",

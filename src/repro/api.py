@@ -143,7 +143,8 @@ def simulate(platform: Union[PlatformTree, PlatformGraph],
             platform, config, workload.total_tasks, overlay=overlay,
             record_buffer_timeline=record_buffer_timeline,
             record_completion_times=record_completion_times,
-            faults=faults, check_invariants=check_invariants)
+            faults=faults, check_invariants=check_invariants,
+            arrivals=workload.arrivals, admission=workload.admission)
     else:
         if overlay is not None:
             raise ProtocolError("overlay= only applies to graph platforms")
@@ -152,7 +153,8 @@ def simulate(platform: Union[PlatformTree, PlatformGraph],
             mutations=mutations, churn=churn, faults=faults,
             record_buffer_timeline=record_buffer_timeline,
             record_completion_times=record_completion_times,
-            check_invariants=check_invariants)
+            check_invariants=check_invariants,
+            arrivals=workload.arrivals, admission=workload.admission)
     if tracer is not None:
         if isinstance(tracer, (list, tuple)):
             # A 1-list is accepted so callers can treat single- and

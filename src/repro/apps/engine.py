@@ -80,17 +80,13 @@ class _AppLane(GraphProtocolEngine):
         self.app_index = index
         super().__init__(
             owner.graph, owner.config, app.tasks,
-            overlay=owner.overlay,
+            overlay=owner.lane_overlay(app),
             record_buffer_timeline=owner.record_buffer_timeline,
             record_completion_times=owner.record_completion_times,
             contention=owner.contention,
             check_invariants=owner.check_invariants,
-            fault_driver=owner.fault_driver)
-        if app.source is not None and app.source != self.tree.root:
-            raise ProtocolError(
-                f"application {app.label(index)!r} sources at node "
-                f"{app.source}, but only the repository root "
-                f"({self.tree.root}) can host a bag")
+            fault_driver=owner.fault_driver,
+            arrivals=app.arrivals, admission=app.admission)
         # Links are shared *dynamically* through the contention manager;
         # CPUs are shared *statically* — every physical CPU time-shares
         # equally among the task-bearing apps, so each lane sees its
@@ -162,9 +158,22 @@ class MultiAppEngine:
         self.overlay = overlay
         self.allocator = allocator if allocator is not None \
             else platform.contention
+        if faults and any(a.source is not None and a.source != platform.root
+                          for a in self.apps):
+            # The shared GraphFaultDriver maps fabric events through ONE
+            # overlay; a lane re-rooted at a different source would see
+            # fault effects through the wrong host mapping.
+            raise ProtocolError(
+                "faults with non-root application sources are unsupported")
         #: How many ways each physical CPU is time-shared (apps with no
-        #: tasks never compute, so they claim no CPU slice).
-        self.cpu_share = sum(1 for a in self.apps if a.tasks > 0) or 1
+        #: tasks never compute, so they claim no CPU slice — but an
+        #: open-loop app computes even though its initial bag is empty).
+        self.cpu_share = sum(1 for a in self.apps
+                             if a.tasks > 0 or a.arrivals is not None) or 1
+        #: Relay overlays re-rooted at non-default source nodes, shared
+        #: by same-source lanes (host set identical to the canonical
+        #: overlay's, so per-node rows remap positionally at collect).
+        self._source_overlays = {}
         self.env = Environment()
         self.contention = LinkContention(platform.link_capacities(),
                                          self.allocator)
@@ -176,7 +185,26 @@ class MultiAppEngine:
                 check_invariants=check_invariants)
         self.lanes: List[_AppLane] = [
             _AppLane(self, app, i) for i, app in enumerate(self.apps)]
+        canon_index = {h: i for i, h in enumerate(self.overlay.hosts)}
+        for lane in self.lanes:
+            #: Position of each lane row in canonical-overlay host order
+            #: (``None`` = identity, the all-apps-source-at-root case).
+            lane.host_remap = (
+                None if lane.overlay is self.overlay
+                else [canon_index[h] for h in lane.overlay.hosts])
         self._finished = False
+
+    def lane_overlay(self, app: Application) -> Overlay:
+        """The overlay an application's lane runs on: the canonical one,
+        or a relay overlay re-rooted at the app's source node."""
+        source = app.source
+        if source is None or source == self.graph.root:
+            return self.overlay
+        cached = self._source_overlays.get(source)
+        if cached is None:
+            cached = self._source_overlays[source] = (
+                self.graph.overlay(root=source))
+        return cached
 
     @property
     def num_tasks(self) -> int:
@@ -223,7 +251,7 @@ class MultiAppEngine:
     # ------------------------------------------------------------- results
     def _collect(self) -> SimulationResult:
         lane_results = [lane._collect() for lane in self.lanes]
-        cooperative = solve_tree(self.lanes[0].tree).rate
+        cooperative = solve_tree(self.overlay.tree).rate
         app_results = tuple(
             self._app_result(lane, result)
             for lane, result in zip(self.lanes, lane_results))
@@ -244,17 +272,33 @@ class MultiAppEngine:
         warp = None
         if self.config.warp:
             warp = WarpSummary(applied=False, reason=REASON_MULTI_APP)
+        last_completion = max(
+            (r.last_completion_time for r in lane_results), default=0)
+        services = [r.service for r in lane_results if r.service is not None]
+        merged_service = None
+        if services:
+            from ..service.slo import ServiceStats
+            merged_service = ServiceStats.merged(services,
+                                                 makespan=last_completion)
+        # Lanes re-rooted at a distinct source index their per-node rows
+        # in their own overlay's host order; remap into canonical order
+        # before summing (identity when every app sources at the root).
+        rows = [
+            [_remap_row(r.per_node_computed, lane.host_remap)
+             for lane, r in zip(self.lanes, lane_results)],
+            [_remap_row(r.per_node_max_buffers, lane.host_remap)
+             for lane, r in zip(self.lanes, lane_results)],
+            [_remap_row(r.per_node_max_held, lane.host_remap)
+             for lane, r in zip(self.lanes, lane_results)],
+        ]
         return SimulationResult(
-            tree=self.lanes[0].tree,
+            tree=self.overlay.tree,
             config=self.config,
             num_tasks=self.num_tasks,
             completion_times=tuple(merged_completions),
-            per_node_computed=_sum_rows(
-                [r.per_node_computed for r in lane_results]),
-            per_node_max_buffers=_sum_rows(
-                [r.per_node_max_buffers for r in lane_results]),
-            per_node_max_held=_sum_rows(
-                [r.per_node_max_held for r in lane_results]),
+            per_node_computed=_sum_rows(rows[0]),
+            per_node_max_buffers=_sum_rows(rows[1]),
+            per_node_max_held=_sum_rows(rows[2]),
             buffer_high_water_at_completion=(),
             held_high_water_at_completion=(),
             departed_node_ids=(),
@@ -269,6 +313,7 @@ class MultiAppEngine:
                 (r.last_completion_time for r in lane_results), default=0),
             warp=warp,
             telemetry=None,
+            service=merged_service,
             # Physical faults are shared: every lane books the same crash
             # list at the same instants, so take lane 0's copy; the
             # recovery work (re-executions, wasted transfers, reclaim
@@ -287,6 +332,7 @@ class MultiAppEngine:
     def _app_result(self, lane: _AppLane,
                     result: SimulationResult) -> AppResult:
         app = lane.app
+        driver = lane.service_driver
         return AppResult(
             app=app,
             index=lane.app_index,
@@ -294,14 +340,30 @@ class MultiAppEngine:
             per_node_computed=result.per_node_computed,
             makespan=result.makespan,
             steady_rate=steady_window_rate(
-                result.completion_times, num_tasks=app.tasks,
+                result.completion_times,
+                # Open-loop lanes stream their bag; the realized task
+                # count is whatever admission let through.
+                num_tasks=(app.tasks if driver is None
+                           else driver.admitted),
                 arrival=app.arrival, makespan=result.makespan),
             preemptions=result.preemptions,
             transfers=result.transfers,
             telemetry=result.telemetry,
+            service=result.service,
         )
 
 
 def _sum_rows(rows: Sequence[Sequence[int]]) -> tuple:
     """Elementwise sum of equal-length per-node tuples."""
     return tuple(sum(col) for col in zip(*rows))
+
+
+def _remap_row(row: Sequence[int], remap) -> Sequence[int]:
+    """Reorder a lane row so entry ``i`` lands at canonical position
+    ``remap[i]``; identity when ``remap`` is None."""
+    if remap is None or not row:
+        return row
+    out = [0] * len(row)
+    for value, pos in zip(row, remap):
+        out[pos] = value
+    return tuple(out)

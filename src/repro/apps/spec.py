@@ -30,8 +30,9 @@ class Application:
     priority, sourced at the repository root.
     """
 
-    #: Number of tasks in the bag (the finite workload).
-    tasks: int
+    #: Number of tasks in the bag (the finite workload).  0 is only
+    #: meaningful together with ``arrivals`` (open-loop apps stream).
+    tasks: int = 0
     #: Display name (defaults to ``app<i>`` at result time).
     name: str = ""
     #: Relative task size: scales both the per-task compute time and the
@@ -44,9 +45,15 @@ class Application:
     #: matching the protocol's ascending ``(c, node id)`` keys.  Ignored
     #: by ``maxmin``/``fairshare``.
     priority: int = 0
-    #: Source node hosting the bag's repository.  Only the platform root
-    #: is currently supported; ``None`` means the root.
+    #: Source node hosting the bag's repository.  ``None`` means the
+    #: platform root; any other host makes the bag's tasks fan out from
+    #: that node over shortest routes (graph platforms).
     source: Optional[int] = None
+    #: Open-loop arrival process replacing the finite bag (service
+    #: mode).  Mutually exclusive with a non-zero ``tasks``.
+    arrivals: Optional[object] = None
+    #: Admission policy for open-loop arrivals (default: admit all).
+    admission: Optional[object] = None
 
     def __post_init__(self):
         if self.tasks < 0:
@@ -58,10 +65,30 @@ class Application:
         if self.arrival < 0:
             raise ProtocolError(
                 f"application arrival must be >= 0, got {self.arrival}")
+        if self.arrivals is not None and self.tasks:
+            raise ProtocolError(
+                "an open-loop application streams its tasks: pass "
+                f"arrivals= with tasks=0, not tasks={self.tasks}")
+        if self.admission is not None and self.arrivals is None:
+            raise ProtocolError("admission= requires arrivals=")
 
     def label(self, index: int) -> str:
         """Display name, falling back to ``app<index>``."""
         return self.name or f"app{index}"
+
+    def __repr__(self):
+        # Stable repr contract: checkpoint journals digest workload
+        # reprs, so fields added after the multi-app release only
+        # appear when set — a closed-bag spec digests exactly as it
+        # did before service mode existed.
+        parts = [f"tasks={self.tasks!r}", f"name={self.name!r}",
+                 f"size={self.size!r}", f"arrival={self.arrival!r}",
+                 f"priority={self.priority!r}", f"source={self.source!r}"]
+        if self.arrivals is not None:
+            parts.append(f"arrivals={self.arrivals!r}")
+        if self.admission is not None:
+            parts.append(f"admission={self.admission!r}")
+        return f"Application({', '.join(parts)})"
 
 
 @dataclass(frozen=True)
@@ -78,11 +105,37 @@ class Workload:
     tasks: int = 0
     #: Explicit applications; empty means the single default app.
     apps: Tuple[Application, ...] = ()
+    #: Open-loop arrival process for the single default application
+    #: (service mode).  Mutually exclusive with ``apps`` — per-app
+    #: streams go on the :class:`Application` specs instead.
+    arrivals: Optional[object] = None
+    #: Admission policy paired with ``arrivals``.
+    admission: Optional[object] = None
 
     def __post_init__(self):
         if not self.apps and self.tasks < 0:
             raise ProtocolError(
                 f"workload tasks must be >= 0, got {self.tasks}")
+        if self.arrivals is not None:
+            if self.apps:
+                raise ProtocolError(
+                    "per-app arrival processes go on the Application "
+                    "specs, not the Workload")
+            if self.tasks:
+                raise ProtocolError(
+                    "an open-loop workload streams its tasks: pass "
+                    f"arrivals= with tasks=0, not tasks={self.tasks}")
+        elif self.admission is not None:
+            raise ProtocolError("admission= requires arrivals=")
+
+    def __repr__(self):
+        # Same stable-repr contract as Application (checkpoint digests).
+        parts = [f"tasks={self.tasks!r}", f"apps={self.apps!r}"]
+        if self.arrivals is not None:
+            parts.append(f"arrivals={self.arrivals!r}")
+        if self.admission is not None:
+            parts.append(f"admission={self.admission!r}")
+        return f"Workload({', '.join(parts)})"
 
     @classmethod
     def of(cls, value) -> "Workload":
@@ -111,7 +164,8 @@ class Workload:
         from ``tasks`` when none were given explicitly."""
         if self.apps:
             return self.apps
-        return (Application(tasks=self.tasks),)
+        return (Application(tasks=self.tasks, arrivals=self.arrivals,
+                            admission=self.admission),)
 
     @property
     def is_multi(self) -> bool:
@@ -147,6 +201,8 @@ class AppResult:
     #: Per-app telemetry snapshot (``None`` unless telemetry was on).
     #: Excluded from :meth:`fingerprint_parts` like the run-level one.
     telemetry: Optional[object] = None
+    #: Per-app service stats (``None`` unless the app is open-loop).
+    service: Optional[object] = None
 
     @property
     def name(self) -> str:
@@ -162,8 +218,15 @@ class AppResult:
     def fingerprint_parts(self) -> tuple:
         """Deterministic parts folded into the run fingerprint (N > 1
         only — see :meth:`SimulationResult.fingerprint`)."""
-        return (self.name, self.index, self.app.tasks, self.app.size,
-                self.app.arrival, self.app.priority,
-                self.completion_times, self.per_node_computed,
-                self.makespan, self.steady_rate,
-                self.preemptions, self.transfers)
+        parts = (self.name, self.index, self.app.tasks, self.app.size,
+                 self.app.arrival, self.app.priority,
+                 self.completion_times, self.per_node_computed,
+                 self.makespan, self.steady_rate,
+                 self.preemptions, self.transfers)
+        # Post-multi-app fields fold in only when set, so pre-service
+        # fingerprints are preserved bit-for-bit.
+        if self.app.source is not None:
+            parts += ("source", self.app.source)
+        if self.service is not None:
+            parts += self.service.fingerprint_parts()
+        return parts

@@ -125,7 +125,9 @@ def simulation_report(platform, protocol: str, tasks: int,
                       apps: int = 1,
                       allocator: Optional[str] = None,
                       faults=None,
-                      check_invariants: bool = False) -> str:
+                      check_invariants: bool = False,
+                      arrivals=None,
+                      admission=None) -> str:
     """Run a named protocol preset on the platform and report the outcome.
 
     With ``telemetry`` set the run carries probes and the report gains
@@ -144,12 +146,32 @@ def simulation_report(platform, protocol: str, tasks: int,
     platform; the report gains crash/recovery rows (and, with multiple
     apps, pre/post-fault fairness).  ``check_invariants`` arms the task
     conservation checker at every fault delivery.
+
+    ``arrivals`` switches the run to service mode: tasks stream in from
+    an arrival process (a spec string for
+    :func:`~repro.service.parse_arrivals`, or a process object) gated by
+    ``admission`` (spec string for
+    :func:`~repro.service.parse_admission`, or a policy), and the report
+    gains latency/drop SLO rows.
     """
     if protocol not in PROTOCOL_PRESETS:
         raise ExperimentError(
             f"unknown protocol {protocol!r}; choose from "
             f"{sorted(PROTOCOL_PRESETS)}")
-    if tasks < 2:
+    if admission is not None and arrivals is None:
+        raise ExperimentError("--admission requires --arrivals")
+    if arrivals is not None:
+        if apps != 1:
+            raise ExperimentError(
+                "--arrivals streams a single open-loop application; it is "
+                "incompatible with --apps")
+        from ..service import parse_admission, parse_arrivals
+
+        if isinstance(arrivals, str):
+            arrivals = parse_arrivals(arrivals)
+        if isinstance(admission, str):
+            admission = parse_admission(admission)
+    elif tasks < 2:
         raise ExperimentError(f"tasks must be >= 2, got {tasks}")
     if apps < 1:
         raise ExperimentError(f"apps must be >= 1, got {apps}")
@@ -167,7 +189,11 @@ def simulation_report(platform, protocol: str, tasks: int,
     overlay, tree = _as_overlay_tree(platform)
     optimal = solve_tree(tree).rate
 
-    if apps == 1:
+    if arrivals is not None:
+        from ..apps import Workload
+
+        workload = Workload(arrivals=arrivals, admission=admission)
+    elif apps == 1:
         workload = tasks
     else:
         per_app = max(2, tasks // apps)
@@ -181,6 +207,8 @@ def simulation_report(platform, protocol: str, tasks: int,
                       tracer=tracers, faults=faults,
                       check_invariants=check_invariants)
 
+    if arrivals is not None:
+        tasks = result.service.completed
     x = max(1, tasks // 3)
     steady = window_rate(result.completion_times, x)
     onset = detect_onset(result.completion_times, optimal)
@@ -192,7 +220,8 @@ def simulation_report(platform, protocol: str, tasks: int,
                 else fmt_num(float(result.makespan), 2))
     rows = [
         ["protocol", config.label],
-        ["tasks", tasks],
+        ["tasks", tasks if arrivals is None
+         else f"{tasks} (streamed open-loop)"],
         ["makespan (steps)", makespan],
         ["optimal rate", fmt_num(float(optimal), 5)],
         ["steady-window rate", fmt_num(float(steady), 5)],
@@ -205,6 +234,26 @@ def simulation_report(platform, protocol: str, tasks: int,
         ["max buffers occupied", result.max_held],
         ["preemptions", result.preemptions],
     ]
+    stats = result.service
+    if stats is not None:
+        rows.extend([
+            ["arrivals", repr(arrivals)],
+            ["admission", repr(admission) if admission is not None
+             else "always admit"],
+            ["offered / admitted / dropped",
+             f"{stats.offered} / {stats.admitted} / {stats.dropped}"],
+            ["drop rate", fmt_num(float(stats.drop_rate), 4)],
+            ["latency p50 / p95 / p99",
+             " / ".join(fmt_opt(q if q is None else fmt_num(q, 1))
+                        for q in (stats.p50, stats.p95, stats.p99))],
+            ["latency mean / max",
+             f"{fmt_num(float(stats.latency_mean), 2)} / "
+             f"{stats.latency_max}"],
+            ["utilization (busy fraction)",
+             fmt_num(float(stats.utilization), 4)],
+            ["time in saturation", fmt_num(float(stats.saturation), 4)],
+            ["pending high water", stats.pending_high_water],
+        ])
     if faults is not None:
         rows.extend([
             ["fault events", len(faults)],

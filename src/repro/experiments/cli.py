@@ -197,6 +197,17 @@ def build_parser() -> argparse.ArgumentParser:
                         help="per-app bandwidth allocator; repeatable for "
                              "the 'apps' ablation (default: selfish and "
                              "maxmin), single-valued for 'simulate'")
+    parser.add_argument("--arrivals", type=str, default=None, metavar="SPEC",
+                        help="run 'simulate' open-loop: stream tasks from "
+                             "an arrival process instead of a finite bag "
+                             "(poisson:rate=R,horizon=H | burst:... | "
+                             "diurnal:rates=a/b/c,phase=P,horizon=H | "
+                             "periodic:interval=I,horizon=H); the report "
+                             "gains latency/drop SLO rows")
+    parser.add_argument("--admission", type=str, default=None, metavar="SPEC",
+                        help="admission policy for --arrivals (always | "
+                             "queue:limit=N | token:rate=R,burst=B; "
+                             "default: admit everything)")
     parser.add_argument("--faults", type=int, default=None, metavar="SEED",
                         help="inject a seeded chaos fault schedule "
                              "(crashes, link failures/repairs, degrades) "
@@ -347,7 +358,9 @@ def _run_tree_command(args) -> str:
         apps=args.apps if args.apps is not None else 1,
         allocator=allocators[0] if allocators else None,
         faults=getattr(args, "faults", None),
-        check_invariants=getattr(args, "check_invariants", False))
+        check_invariants=getattr(args, "check_invariants", False),
+        arrivals=getattr(args, "arrivals", None),
+        admission=getattr(args, "admission", None))
 
 
 def main(argv: Optional[list] = None) -> int:

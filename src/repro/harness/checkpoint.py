@@ -46,6 +46,11 @@ def config_digest(*parts: Any) -> str:
 
     ``parts`` may be any values with deterministic ``repr`` (dataclasses,
     tuples, primitives).  Two runs share a journal iff their digests match.
+
+    Workload/Application reprs fold their arrival-process and admission
+    specs in (only when set — the stable-repr contract), so an open-loop
+    sweep can never resume into a closed-bag journal or vice versa, and
+    pre-service-mode journals keep their digests.
     """
     blob = "\x1f".join(repr(part) for part in parts)
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()

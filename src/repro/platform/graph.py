@@ -284,7 +284,7 @@ class PlatformGraph:
         return max((self.link_c[l] for l in links), default=0)
 
     # ------------------------------------------------------------- overlay
-    def overlay(self) -> Overlay:
+    def overlay(self, *, root: Optional[int] = None) -> Overlay:
         """The default *relay* overlay: each host's overlay parent is the
         last host on its shortest path from the root.
 
@@ -292,15 +292,24 @@ class PlatformGraph:
         store-and-forward relays (every intermediate host is an agent); on
         a star or a switched fabric whose interior holds no hosts it
         degenerates to a one-level fork under the root.
+
+        ``root`` re-roots the overlay at another *host* (an application
+        source node): same host set, shortest paths recomputed from that
+        host, and overlay id 0 mapped to it.
         """
-        prev_node, _prev_link = self._shortest_from(self.root)
+        src = self.root if root is None else root
+        if src != self.root and (not 0 <= src < self.num_nodes
+                                 or self.w[src] is None):
+            raise PlatformError(
+                f"overlay root {src} is not a host of this platform")
+        prev_node, _prev_link = self._shortest_from(src)
         parent_of: Dict[int, int] = {}
         routes: Dict[int, Tuple[int, ...]] = {}
         for h in self.hosts:
-            if h == self.root:
+            if h == src:
                 continue
-            if h != self.root and prev_node[h] is None:
-                raise PlatformError(f"host {h} unreachable from the root")
+            if prev_node[h] is None:
+                raise PlatformError(f"host {h} unreachable from host {src}")
             # Walk the shortest path back to the previous host; the route
             # is exactly that path suffix (so relay routes compose into
             # the root's shortest-path tree).
@@ -314,7 +323,7 @@ class PlatformGraph:
                     break
             parent_of[h] = node
             routes[h] = tuple(reversed(links))
-        return build_overlay(self, parent_of, routes)
+        return build_overlay(self, parent_of, routes, root=src)
 
     @classmethod
     def from_tree(cls, tree: PlatformTree, *,
@@ -503,15 +512,21 @@ class PlatformGraph:
 
 
 def build_overlay(graph: PlatformGraph, parent_of: Dict[int, int],
-                  routes: Optional[Dict[int, Tuple[int, ...]]] = None) -> Overlay:
+                  routes: Optional[Dict[int, Tuple[int, ...]]] = None, *,
+                  root: Optional[int] = None) -> Overlay:
     """Assemble an :class:`Overlay` from a host parent map.
 
     ``parent_of`` maps every non-root host to its overlay parent host;
     ``routes`` optionally pins the physical route per child (defaulting to
     the graph's static shortest-path route).  Overlay edge costs are the
     route's bottleneck link cost (:meth:`PlatformGraph.route_cost`).
+    ``root`` overrides the graph root (a re-rooted overlay for an
+    application whose source is another host).
     """
-    root = graph.root
+    if root is None:
+        root = graph.root
+    elif root not in graph.hosts:
+        raise PlatformError(f"overlay root {root} is not a host")
     hosts = [root] + [h for h in sorted(graph.hosts) if h != root]
     new_id = {h: i for i, h in enumerate(hosts)}
     for h in graph.hosts:

@@ -22,9 +22,11 @@ from ..platform.faults import (CrashEvent, FaultSchedule, LinkFailureEvent,
                                LinkRepairEvent)
 from ..platform.mutation import Mutation, MutationSchedule
 from ..platform.tree import PlatformTree
+from ..service.driver import OpenLoopDriver
 from ..sim import Environment
-from ..sim.warp import (REASON_CONTENTION, REASON_DYNAMIC, REASON_TELEMETRY,
-                        REASON_TRACING, WarpController, WarpSummary)
+from ..sim.warp import (REASON_CONTENTION, REASON_DYNAMIC, REASON_OPEN_LOOP,
+                        REASON_TELEMETRY, REASON_TRACING, WarpController,
+                        WarpSummary)
 from . import trace as _trace
 from .agents import NodeAgent
 from .config import PriorityRule, ProtocolConfig
@@ -73,7 +75,8 @@ class ProtocolEngine:
                  faults: Optional[FaultSchedule] = None,
                  record_buffer_timeline: bool = False,
                  record_completion_times: bool = True,
-                 check_invariants: bool = False):
+                 check_invariants: bool = False,
+                 arrivals=None, admission=None):
         if num_tasks < 0:
             raise ProtocolError(f"num_tasks must be >= 0, got {num_tasks}")
         self.tree = tree.copy()  # mutations must not leak into caller's tree
@@ -99,6 +102,20 @@ class ProtocolEngine:
         #: every pending-loss flush).  Off by default: the check walks all
         #: agents, which is pure overhead on healthy runs.
         self.check_invariants = check_invariants
+        #: Open-loop service driver (``None`` for closed-bag runs).
+        self.service_driver: Optional[OpenLoopDriver] = None
+        if arrivals is not None:
+            if num_tasks:
+                raise ProtocolError(
+                    "open-loop runs stream their tasks: pass arrivals= "
+                    f"with an empty bag, not num_tasks={num_tasks}")
+            if self.mutations or self.churn or self.faults:
+                raise ProtocolError(
+                    "open-loop arrivals cannot be combined with "
+                    "mutation/churn/fault schedules")
+            self.service_driver = OpenLoopDriver(self, arrivals, admission)
+        elif admission is not None:
+            raise ProtocolError("admission= requires arrivals=")
 
         self.env = self._make_env()
         self._tracer = None
@@ -215,6 +232,11 @@ class ProtocolEngine:
             mutation = self._task_mutations[self._next_task_mutation]
             self._next_task_mutation += 1
             self._apply_mutation(mutation)
+        # The driver's latency fold must run before the warp hook: the
+        # warp's per-period template relies on seeing this completion's
+        # latency before it fingerprints the instant.
+        if self.service_driver is not None:
+            self.service_driver.on_completion(self.env.now)
         if self._warp is not None:
             self._warp.on_completion(node)
 
@@ -228,6 +250,8 @@ class ProtocolEngine:
 
     def _on_repository_exhausted(self) -> None:
         self.repository_exhausted_at = self.env.now
+        if self.service_driver is not None:
+            self.service_driver.on_repository_exhausted(self.env.now)
 
     def _apply_mutation(self, mutation: Mutation) -> None:
         mutation.apply(self.tree)  # keep the tree snapshot in sync
@@ -462,6 +486,13 @@ class ProtocolEngine:
             # warp would skip straight over.
             self._warp_summary = WarpSummary(
                 applied=False, reason=REASON_TELEMETRY)
+        elif (self.service_driver is not None
+              and not self.service_driver.arrivals.is_periodic):
+            # Stochastic arrival streams never recur, so the cycle
+            # detector would only burn fingerprints; exactly-periodic
+            # streams keep warp in play (arrival-phase recurrence).
+            self._warp_summary = WarpSummary(
+                applied=False, reason=REASON_OPEN_LOOP)
         else:
             self._warp = WarpController(self)
 
@@ -499,6 +530,8 @@ class ProtocolEngine:
             # fault-free run keeps a bit-identical event calendar.
             for agent in self.nodes:
                 agent._start_sweep()
+        if self.service_driver is not None:
+            self.service_driver.arm()
         if self.probe is not None:
             self.probe.start()
 
@@ -558,6 +591,8 @@ class ProtocolEngine:
             warp=self._warp_summary,
             telemetry=(self.probe.finalize()
                        if self.probe is not None else None),
+            service=(self.service_driver.finalize()
+                     if self.service_driver is not None else None),
         )
 
 
@@ -567,11 +602,13 @@ def simulate(tree: PlatformTree, config: ProtocolConfig, num_tasks: int,
              faults: Optional[FaultSchedule] = None,
              record_buffer_timeline: bool = False,
              record_completion_times: bool = True,
-             check_invariants: bool = False) -> SimulationResult:
+             check_invariants: bool = False,
+             arrivals=None, admission=None) -> SimulationResult:
     """Run one protocol simulation (one-line convenience wrapper)."""
     engine = ProtocolEngine(tree, config, num_tasks, mutations=mutations,
                             churn=churn, faults=faults,
                             record_buffer_timeline=record_buffer_timeline,
                             record_completion_times=record_completion_times,
-                            check_invariants=check_invariants)
+                            check_invariants=check_invariants,
+                            arrivals=arrivals, admission=admission)
     return engine.run()

@@ -476,9 +476,16 @@ class GraphProtocolEngine(ProtocolEngine):
                  contention: Optional[LinkContention] = None,
                  faults: Optional[FaultSchedule] = None,
                  check_invariants: bool = False,
-                 fault_driver: Optional[GraphFaultDriver] = None):
+                 fault_driver: Optional[GraphFaultDriver] = None,
+                 arrivals=None, admission=None):
         if isinstance(platform, PlatformTree):
             platform = PlatformGraph.from_tree(platform)
+        if arrivals is not None and (faults or fault_driver is not None):
+            # The base engine's guard only sees its own ``faults``
+            # schedule; graph faults arrive via the driver too.
+            raise ProtocolError(
+                "open-loop arrivals cannot be combined with "
+                "mutation/churn/fault schedules")
         if fault_driver is not None:
             # Multi-app: the coordinator's driver already owns a private
             # graph copy shared by every lane.
@@ -507,7 +514,8 @@ class GraphProtocolEngine(ProtocolEngine):
         super().__init__(self.overlay.tree, config, num_tasks,
                          record_buffer_timeline=record_buffer_timeline,
                          record_completion_times=record_completion_times,
-                         check_invariants=check_invariants)
+                         check_invariants=check_invariants,
+                         arrivals=arrivals, admission=admission)
         routes = self.overlay.routes
         for agent in self.nodes:
             agent.route = routes[agent.id]
@@ -562,7 +570,8 @@ def simulate_graph(platform: Union[PlatformGraph, PlatformTree],
                    record_buffer_timeline: bool = False,
                    record_completion_times: bool = True,
                    faults: Optional[FaultSchedule] = None,
-                   check_invariants: bool = False) -> SimulationResult:
+                   check_invariants: bool = False,
+                   arrivals=None, admission=None) -> SimulationResult:
     """Run one protocol simulation on a graph platform.
 
     With no explicit ``overlay``, the platform's generator shape picks its
@@ -581,5 +590,6 @@ def simulate_graph(platform: Union[PlatformGraph, PlatformTree],
         platform, config, num_tasks, overlay=overlay,
         record_buffer_timeline=record_buffer_timeline,
         record_completion_times=record_completion_times,
-        faults=faults, check_invariants=check_invariants)
+        faults=faults, check_invariants=check_invariants,
+        arrivals=arrivals, admission=admission)
     return engine.run()

@@ -13,6 +13,7 @@ from .config import ProtocolConfig
 
 if TYPE_CHECKING:  # annotation-only: the telemetry package imports protocols
     from ..apps.spec import AppResult
+    from ..service.slo import ServiceStats
     from ..telemetry.probes import TelemetrySnapshot
 
 __all__ = ["SimulationResult"]
@@ -83,6 +84,12 @@ class SimulationResult:
     #: :attr:`events_processed`, so a telemetry-on run fingerprints
     #: identically to its telemetry-off twin.
     telemetry: Optional["TelemetrySnapshot"] = None
+    #: Service-level stats of an open-loop run (``None`` for closed
+    #: bags).  *Included* in :meth:`fingerprint` when present: the warp
+    #: equivalence contract extends to the entire latency fold, so a
+    #: warped service run must reproduce the exact run's sketch
+    #: bit-for-bit.
+    service: Optional["ServiceStats"] = None
     #: Per-application results of a multi-application run, in application
     #: order.  A single-app run through the legacy engines leaves this
     #: empty; the multi-app engine fills it even for N=1 (where the rest
@@ -156,6 +163,13 @@ class SimulationResult:
         for part in parts:
             digest.update(repr(part).encode("utf-8"))
             digest.update(b"\x1f")
+        if self.service is not None:
+            # Closed-bag runs must fingerprint exactly as they did before
+            # service mode existed, so the service fold only enters the
+            # digest when an arrival process was actually driving.
+            for part in self.service.fingerprint_parts():
+                digest.update(repr(part).encode("utf-8"))
+                digest.update(b"\x1f")
         if len(self.apps) > 1:
             # N=1 multi-app runs must fingerprint bit-identically to the
             # single-app engine, so per-app parts only enter the digest

@@ -1,0 +1,23 @@
+"""Service mode: open-loop streaming arrivals, admission control, and
+latency SLOs.
+
+The closed-bag engines answer "how fast does this platform drain N
+tasks?"; this package answers the production question — "what latency
+and drop rate does this platform deliver under sustained traffic?".
+See ``docs/architecture.md`` (Service mode) for the design tour.
+"""
+
+from .admission import (AdmissionPolicy, AlwaysAdmit, QueueDepthBound,
+                        TokenBucket, parse_admission)
+from .arrivals import (ArrivalProcess, BurstArrivals, DiurnalArrivals,
+                       PeriodicArrivals, PoissonArrivals, parse_arrivals)
+from .driver import OpenLoopDriver
+from .slo import LatencySketch, ServiceStats
+
+__all__ = [
+    "AdmissionPolicy", "AlwaysAdmit", "QueueDepthBound", "TokenBucket",
+    "parse_admission",
+    "ArrivalProcess", "PoissonArrivals", "BurstArrivals",
+    "DiurnalArrivals", "PeriodicArrivals", "parse_arrivals",
+    "OpenLoopDriver", "LatencySketch", "ServiceStats",
+]

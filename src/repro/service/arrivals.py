@@ -1,0 +1,351 @@
+"""Seeded, deterministic arrival processes for open-loop service runs.
+
+The paper's engines drain a fixed finite bag; service mode replaces the
+bag with an **arrival process**: a lazy, seeded stream of ``(time,
+count)`` calendar events.  Laziness is the point — a diurnal "day" of a
+million tasks is generated one event at a time as the simulation reaches
+it, so the full arrival list never exists in memory (the per-region
+Poisson shards of SNIPPETS.md snippet 1, folded into one stream).
+
+Every process is a frozen dataclass with a deterministic ``repr`` (the
+checkpoint digests in :mod:`repro.harness.checkpoint` hash reprs, so an
+open-loop sweep can never silently share a journal with a closed-bag
+one) and an :meth:`ArrivalProcess.events` method returning a *fresh*
+iterator of strictly-increasing integer-time events — integer times keep
+the DES kernel on its int fast path.
+
+:class:`PeriodicArrivals` is the exactly-periodic special case the
+steady-state warp understands: its iterator is analytic (``skip(n)`` is
+O(1)), which is what lets the warp fast-forward thousands of periods
+without generating the skipped arrival events.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterator, Optional, Tuple
+
+__all__ = ["ArrivalProcess", "PoissonArrivals", "BurstArrivals",
+           "DiurnalArrivals", "PeriodicArrivals", "parse_arrivals"]
+
+#: One arrival event: ``count`` tasks offered at integer virtual ``time``.
+ArrivalEvent = Tuple[int, int]
+
+
+class ArrivalProcess:
+    """Base class: a deterministic stream of arrival events.
+
+    Subclasses implement :meth:`events`; each call returns a **fresh**
+    iterator (processes hold no per-run state, so one spec can drive many
+    runs and always produce the same stream).  Events are ``(time,
+    count)`` with strictly increasing integer times in ``[0, horizon)``
+    and ``count >= 1``.
+    """
+
+    #: True only for processes whose stream is exactly periodic — the
+    #: condition under which the steady-state warp may stay armed.
+    is_periodic = False
+
+    def events(self) -> Iterator[ArrivalEvent]:
+        raise NotImplementedError
+
+    @property
+    def num_events(self) -> Optional[int]:
+        """Total events the stream will emit, when analytically known
+        (``None`` for stochastic processes — the warp needs this to cap
+        its skip, which is why it only engages on periodic streams)."""
+        return None
+
+
+def _merge_floors(raw, horizon: int) -> Iterator[ArrivalEvent]:
+    """Floor continuous event times to ints, merging same-step events.
+
+    ``raw`` yields ``(continuous time, count)`` with non-decreasing
+    times; the output is the strictly-increasing integer-time stream the
+    calendar wants.  Cuts off at ``horizon`` (exclusive).
+    """
+    pending_time = -1
+    pending_count = 0
+    for t, count in raw:
+        it = int(t)
+        if it >= horizon:
+            break
+        if it == pending_time:
+            pending_count += count
+        else:
+            if pending_count:
+                yield (pending_time, pending_count)
+            pending_time = it
+            pending_count = count
+    if pending_count:
+        yield (pending_time, pending_count)
+
+
+@dataclass(frozen=True)
+class PoissonArrivals(ArrivalProcess):
+    """Homogeneous Poisson arrivals: ``rate`` tasks per timestep."""
+
+    rate: float
+    horizon: int
+    seed: int = 0
+
+    def __post_init__(self):
+        if not self.rate > 0:
+            raise ValueError(f"arrival rate must be > 0, got {self.rate!r}")
+        if self.horizon <= 0:
+            raise ValueError(f"horizon must be > 0, got {self.horizon!r}")
+
+    def events(self) -> Iterator[ArrivalEvent]:
+        def raw():
+            expo = random.Random(self.seed).expovariate
+            rate = float(self.rate)
+            t = 0.0
+            while True:
+                t += expo(rate)
+                yield (t, 1)
+
+        return _merge_floors(raw(), self.horizon)
+
+
+@dataclass(frozen=True)
+class BurstArrivals(ArrivalProcess):
+    """Batched/bursty arrivals: Poisson batch instants at ``rate``
+    batches per timestep, each delivering a uniform ``[min_size,
+    max_size]`` batch (request fan-in: one user action, many tasks)."""
+
+    rate: float
+    horizon: int
+    min_size: int = 1
+    max_size: int = 8
+    seed: int = 0
+
+    def __post_init__(self):
+        if not self.rate > 0:
+            raise ValueError(f"burst rate must be > 0, got {self.rate!r}")
+        if self.horizon <= 0:
+            raise ValueError(f"horizon must be > 0, got {self.horizon!r}")
+        if not 1 <= self.min_size <= self.max_size:
+            raise ValueError(
+                f"need 1 <= min_size <= max_size, got "
+                f"[{self.min_size}, {self.max_size}]")
+
+    def events(self) -> Iterator[ArrivalEvent]:
+        def raw():
+            rng = random.Random(self.seed)
+            rate = float(self.rate)
+            lo, hi = self.min_size, self.max_size
+            t = 0.0
+            while True:
+                t += rng.expovariate(rate)
+                yield (t, rng.randint(lo, hi))
+
+        return _merge_floors(raw(), self.horizon)
+
+
+@dataclass(frozen=True)
+class DiurnalArrivals(ArrivalProcess):
+    """Piecewise-rate (diurnal) Poisson arrivals.
+
+    ``rates[i]`` is the Poisson rate during the ``i``-th phase of length
+    ``phase_len`` timesteps; phases cycle, so a 3-rate profile with an
+    8-hour ``phase_len`` is one traffic day repeated until ``horizon``.
+    Sampled exactly by time-scaling a unit-rate Poisson process through
+    the piecewise-linear integrated intensity (no thinning, no bias at
+    phase edges); a zero rate silences its phase entirely.
+    """
+
+    rates: Tuple[float, ...]
+    phase_len: int
+    horizon: int
+    seed: int = 0
+
+    def __post_init__(self):
+        object.__setattr__(self, "rates", tuple(self.rates))
+        if not self.rates:
+            raise ValueError("diurnal profile needs at least one rate")
+        if any(r < 0 for r in self.rates):
+            raise ValueError(f"rates must be >= 0, got {self.rates!r}")
+        if not any(r > 0 for r in self.rates):
+            raise ValueError("diurnal profile needs a positive rate")
+        if self.phase_len <= 0:
+            raise ValueError(
+                f"phase_len must be > 0, got {self.phase_len!r}")
+        if self.horizon <= 0:
+            raise ValueError(f"horizon must be > 0, got {self.horizon!r}")
+
+    def events(self) -> Iterator[ArrivalEvent]:
+        def raw():
+            expo = random.Random(self.seed).expovariate
+            rates = [float(r) for r in self.rates]
+            n = len(rates)
+            plen = self.phase_len
+            horizon = self.horizon
+            t = 0.0          # continuous time within the profile
+            idx = 0          # current phase index
+            edge = float(plen)  # end of the current phase
+            while True:
+                e = expo(1.0)  # unit-rate increment of integrated intensity
+                while True:
+                    rate = rates[idx % n]
+                    if rate > 0.0:
+                        span = (edge - t) * rate
+                        if e < span:
+                            t += e / rate
+                            break
+                        e -= span
+                    t = edge
+                    edge += plen
+                    idx += 1
+                    if t >= horizon:
+                        return
+                yield (t, 1)
+
+        return _merge_floors(raw(), self.horizon)
+
+
+class _PeriodicIterator:
+    """Analytic iterator over a :class:`PeriodicArrivals` stream.
+
+    ``skip(n)`` advances ``n`` events in O(1) — the warp's lever for
+    fast-forwarding a skipped span without generating its arrivals.
+    """
+
+    __slots__ = ("_phase", "_interval", "_batch", "_index", "_total")
+
+    def __init__(self, process: "PeriodicArrivals"):
+        self._phase = process.phase
+        self._interval = process.interval
+        self._batch = process.batch
+        self._index = 0
+        self._total = process.num_events
+
+    def __iter__(self):
+        return self
+
+    def __next__(self) -> ArrivalEvent:
+        i = self._index
+        if i >= self._total:
+            raise StopIteration
+        self._index = i + 1
+        return (self._phase + i * self._interval, self._batch)
+
+    def skip(self, n: int) -> None:
+        self._index += n
+
+
+@dataclass(frozen=True)
+class PeriodicArrivals(ArrivalProcess):
+    """Exactly-periodic arrivals: ``batch`` tasks every ``interval``
+    steps starting at ``phase``, until ``horizon``.
+
+    The only process the steady-state warp keeps running under: its
+    recurrence structure is what the warp's cycle detector recognizes,
+    and its iterator supports O(1) ``skip``.
+    """
+
+    interval: int
+    horizon: int
+    batch: int = 1
+    phase: int = 0
+    is_periodic = True
+
+    def __post_init__(self):
+        if self.interval <= 0:
+            raise ValueError(f"interval must be > 0, got {self.interval!r}")
+        if self.horizon <= 0:
+            raise ValueError(f"horizon must be > 0, got {self.horizon!r}")
+        if self.batch <= 0:
+            raise ValueError(f"batch must be > 0, got {self.batch!r}")
+        if not 0 <= self.phase < self.horizon:
+            raise ValueError(
+                f"phase must be in [0, horizon), got {self.phase!r}")
+
+    @property
+    def num_events(self) -> int:
+        return len(range(self.phase, self.horizon, self.interval))
+
+    @property
+    def total_tasks(self) -> int:
+        return self.num_events * self.batch
+
+    def events(self) -> _PeriodicIterator:
+        return _PeriodicIterator(self)
+
+
+def _parse_kv(body: str, spec: str) -> dict:
+    fields = {}
+    for item in body.split(","):
+        if not item:
+            continue
+        key, sep, value = item.partition("=")
+        if not sep:
+            raise ValueError(
+                f"bad arrival spec {spec!r}: expected key=value, got {item!r}")
+        fields[key.strip()] = value.strip()
+    return fields
+
+
+def _pop_int(fields: dict, key: str, spec: str, default=None) -> int:
+    if key not in fields:
+        if default is None:
+            raise ValueError(f"arrival spec {spec!r} needs {key}=")
+        return default
+    return int(fields.pop(key))
+
+
+def parse_arrivals(spec: str) -> ArrivalProcess:
+    """Parse a CLI arrival spec string into a process.
+
+    Formats (``seed`` defaults to 0 where it applies)::
+
+        poisson:rate=0.05,horizon=100000[,seed=N]
+        burst:rate=0.01,horizon=100000[,min=1][,max=8][,seed=N]
+        diurnal:rates=0.01/0.2/0.05,phase=5000,horizon=100000[,seed=N]
+        periodic:interval=20,horizon=100000[,batch=1][,phase=0]
+    """
+    kind, sep, body = spec.partition(":")
+    if not sep:
+        raise ValueError(
+            f"bad arrival spec {spec!r}: expected kind:key=value,...")
+    kind = kind.strip()
+    fields = _parse_kv(body, spec)
+    try:
+        if kind == "poisson":
+            process = PoissonArrivals(
+                rate=float(fields.pop("rate")),
+                horizon=_pop_int(fields, "horizon", spec),
+                seed=_pop_int(fields, "seed", spec, 0))
+        elif kind == "burst":
+            process = BurstArrivals(
+                rate=float(fields.pop("rate")),
+                horizon=_pop_int(fields, "horizon", spec),
+                min_size=_pop_int(fields, "min", spec, 1),
+                max_size=_pop_int(fields, "max", spec, 8),
+                seed=_pop_int(fields, "seed", spec, 0))
+        elif kind == "diurnal":
+            process = DiurnalArrivals(
+                rates=tuple(float(r)
+                            for r in fields.pop("rates").split("/")),
+                phase_len=_pop_int(fields, "phase", spec),
+                horizon=_pop_int(fields, "horizon", spec),
+                seed=_pop_int(fields, "seed", spec, 0))
+        elif kind == "periodic":
+            process = PeriodicArrivals(
+                interval=_pop_int(fields, "interval", spec),
+                horizon=_pop_int(fields, "horizon", spec),
+                batch=_pop_int(fields, "batch", spec, 1),
+                phase=_pop_int(fields, "phase", spec, 0))
+        else:
+            raise ValueError(
+                f"unknown arrival kind {kind!r}; choose "
+                f"poisson/burst/diurnal/periodic")
+    except KeyError as missing:
+        raise ValueError(
+            f"arrival spec {spec!r} needs {missing.args[0]}=") from None
+    if fields:
+        raise ValueError(
+            f"arrival spec {spec!r} has unknown keys {sorted(fields)}")
+    return process

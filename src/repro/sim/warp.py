@@ -67,7 +67,7 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = ["WarpSummary", "WarpController", "LEDGER_CAP", "FAR_HORIZON",
            "REASON_CONTENTION", "REASON_DYNAMIC", "REASON_TRACING",
            "REASON_TELEMETRY", "REASON_MULTI_APP", "REASON_GRAPH_FAULTS",
-           "STAND_DOWN_REASONS"]
+           "REASON_OPEN_LOOP", "STAND_DOWN_REASONS"]
 
 # Stand-down reasons shared by every engine (tree, graph, multi-app).
 # Engines must report *these* strings — never ad-hoc ones — so callers can
@@ -81,6 +81,8 @@ REASON_MULTI_APP = ("disabled: concurrent applications break "
                     "single-job periodicity")
 REASON_GRAPH_FAULTS = ("disabled: graph fault schedule active "
                        "(reroute/partition events break periodicity)")
+REASON_OPEN_LOOP = ("disabled: aperiodic open-loop arrivals active "
+                    "(only exactly-periodic streams recur)")
 
 #: Every reason an engine may stand the warp down with *before* the search
 #: even starts (controller-side reasons — "no recurrence found", "completed
@@ -92,6 +94,7 @@ STAND_DOWN_REASONS = frozenset({
     REASON_TELEMETRY,
     REASON_MULTI_APP,
     REASON_GRAPH_FAULTS,
+    REASON_OPEN_LOOP,
 })
 
 #: Fingerprints remembered before the search is abandoned.  A run whose
@@ -142,9 +145,10 @@ class _Record:
     """Monotone-counter snapshot attached to one remembered fingerprint."""
 
     __slots__ = ("completed", "now", "undispensed", "processed", "per_node",
-                 "far")
+                 "far", "service")
 
-    def __init__(self, completed, now, undispensed, processed, per_node, far):
+    def __init__(self, completed, now, undispensed, processed, per_node, far,
+                 service=None):
         self.completed = completed
         self.now = now
         self.undispensed = undispensed
@@ -153,6 +157,8 @@ class _Record:
         #: Remaining-time deltas of the far (background) timers, aligned
         #: with the descriptor order hashed into the fingerprint.
         self.far = far
+        #: Open-loop driver counter snapshot (``None`` for closed bags).
+        self.service = service
 
 
 class _Foreign(Exception):
@@ -238,6 +244,9 @@ class WarpController:
         self._active = False
         self._ledger.clear()
         self._armed = None
+        driver = self.engine.service_driver
+        if driver is not None:
+            driver.discard_template()
         self.summary = WarpSummary(applied=applied, reason=reason,
                                    fingerprints_taken=self._taken, **counts)
 
@@ -262,8 +271,18 @@ class WarpController:
             self._finish(False, "disabled: tracing active")
             return
         root = engine.nodes[engine.tree.root]
-        if root.undispensed <= 0:
-            self._finish(False, "repository exhausted before a recurrence")
+        driver = engine.service_driver
+        if driver is None:
+            if root.undispensed <= 0:
+                self._finish(False,
+                             "repository exhausted before a recurrence")
+                return
+        elif driver.exhausted:
+            # Open loop: the repository legitimately drains between
+            # arrivals (that boundary is part of the periodic pattern),
+            # but once the arrival stream itself has ended the run is in
+            # its wind-down tail and no recurrence can be exploited.
+            self._finish(False, "arrival stream ended before a recurrence")
             return
         snapshot = self._fingerprint(node.id)
         if snapshot is None:
@@ -287,7 +306,15 @@ class WarpController:
                 engine.completed, env._now, root.undispensed,
                 env.processed_count,
                 tuple((a.computed, a.transfers_started, a.preemptions,
-                       a.buffers_decayed) for a in engine.nodes), far))
+                       a.buffers_decayed) for a in engine.nodes), far,
+                driver.warp_snapshot(env._now) if driver is not None
+                else None))
+            if driver is not None:
+                # Collect one period of sojourn latencies: every
+                # completion between now and the firing occurrence (the
+                # driver's fold runs before this hook, so the template
+                # spans exactly (t_armed, t_fire]).
+                driver.begin_template()
             return
         if len(self._ledger) >= LEDGER_CAP:
             self._finish(False, "ledger cap reached without a recurrence")
@@ -316,6 +343,13 @@ class WarpController:
         parts = [anchor_id, engine.buffer_high_water, engine.held_high_water]
         for agent in engine.nodes:
             parts.append(agent.fingerprint_state(now))
+        driver = engine.service_driver
+        if driver is not None:
+            # Open-loop state that must recur for true periodicity: the
+            # repository level (no longer monotone — arrivals refill it),
+            # pending sojourn ages, the next arrival's relative offset and
+            # size, and the admission policy's relative state.
+            parts.append(driver.fingerprint_state(now))
         calendar = []
         far = []
         try:
@@ -354,10 +388,18 @@ class WarpController:
         engine = self.engine
         env = self.env
         now = env._now
+        driver = engine.service_driver
         dt = now - prev.now
         dtasks = engine.completed - prev.completed
-        dispensed = prev.undispensed - root.undispensed
-        if dt <= 0 or dtasks <= 0 or dispensed != dtasks:
+        if driver is None:
+            # Closed bag: every completed task came out of the repository.
+            conserved = prev.undispensed - root.undispensed == dtasks
+        else:
+            # Open loop: the repository level recurs (it is in the
+            # fingerprint), so conservation means one period admits
+            # exactly as many tasks as it completes.
+            conserved = driver.admitted - prev.service[1] == dtasks
+        if dt <= 0 or dtasks <= 0 or not conserved:
             # A recurrence that moved no time/tasks, or that created or
             # destroyed task instances, is not a steady-state period.
             self._finish(False, "recurrence failed the conservation check")
@@ -370,11 +412,27 @@ class WarpController:
         if len(far) != len(prev.far) or any(
                 b != a - dt for a, b in zip(prev.far, far)):
             self._armed = None
+            if driver is not None:
+                driver.discard_template()
             return
-        # Keep the repository strictly positive through the skipped span
-        # (the exhaustion boundary changes behaviour), minus one spare
-        # period so the warm-down tail is always simulated exactly.
-        k = (root.undispensed - 1) // dtasks - 1
+        if driver is None:
+            # Keep the repository strictly positive through the skipped
+            # span (the exhaustion boundary changes behaviour), minus one
+            # spare period so the warm-down tail is always simulated
+            # exactly.
+            k = (root.undispensed - 1) // dtasks - 1
+        else:
+            if (driver.next_event_delta(now) or 0) > FAR_HORIZON:
+                # The arrival timer would be classed as a far timer and
+                # left unshifted — inconsistent with the driver's view.
+                # Pathological (arrival gaps beyond 1M steps); stay exact.
+                self._finish(False, "next arrival beyond the warp horizon")
+                return
+            # Cap by the arrival stream instead of the repository: leave
+            # one full period of events (plus the already-scheduled next
+            # one) so the stream's end is always simulated exactly.
+            k = driver.warp_periods_cap(
+                driver.events_emitted - prev.service[4])
         if k <= 0:
             self._finish(False, "recurrence found too close to the end")
             return
@@ -386,6 +444,8 @@ class WarpController:
             k = min(k, (min(far) - 1) // dt)
             if k <= 0:
                 self._armed = None
+                if driver is not None:
+                    driver.discard_template()
                 return
         shift = k * dt
         skipped = k * dtasks
@@ -408,7 +468,8 @@ class WarpController:
 
         # Monotone counters jump by k times their per-period delta.
         engine.completed += skipped
-        root.undispensed -= skipped
+        if driver is None:
+            root.undispensed -= skipped
         events = env.processed_count - prev.processed
         env.processed_count += k * events
         for agent, (c0, t0, p0, b0) in zip(engine.nodes, prev.per_node):
@@ -416,6 +477,13 @@ class WarpController:
             agent.transfers_started += k * (agent.transfers_started - t0)
             agent.preemptions += k * (agent.preemptions - p0)
             agent.buffers_decayed += k * (agent.buffers_decayed - b0)
+        if driver is not None:
+            # Scale the service counters, replay the period's latency
+            # template into the sketch with weight k, and translate the
+            # driver's timestamps (pending ages, admission state, next
+            # arrival) by the shift.  The arrival iterator skips the
+            # elided events analytically.
+            driver.warp_apply(k, shift, prev.service, now)
 
         # Shift the calendar.  A uniform shift preserves every pairwise
         # comparison, but dropping tombstones reorders the array, so the

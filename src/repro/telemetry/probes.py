@@ -130,6 +130,9 @@ class TelemetryProbe:
         # graph engine assigns ``engine.contention`` *after* the base
         # constructor builds this probe, so the lookup must be lazy.
         self._contention_series: Optional[tuple] = None
+        # Service-mode counter tracks (open-loop runs only), same lazy
+        # pattern: the driver is attached after probe construction.
+        self._service_series: Optional[tuple] = None
 
     # -------------------------------------------------------------- tap
     @property
@@ -211,6 +214,18 @@ class TelemetryProbe:
                 now, manager.settles_full + manager.settles_incremental)
             tracks[1].append(now, manager.memo_hits)
 
+        driver = getattr(engine, "service_driver", None)
+        if driver is not None:
+            tracks = self._service_series
+            if tracks is None:
+                tracks = self._service_series = (
+                    reg.series("service_in_system", max_samples=cap),
+                    reg.series("service_admitted", max_samples=cap),
+                    reg.series("service_dropped", max_samples=cap))
+            tracks[0].append(now, len(driver.pending))
+            tracks[1].append(now, driver.admitted)
+            tracks[2].append(now, driver.dropped)
+
         series = self._global
         series["completed"].append(now, engine.completed)
         # The sampler's own firings are excluded so the series matches
@@ -226,7 +241,11 @@ class TelemetryProbe:
             self._decimations_seen = self._lead.decimations
             self._dt = dt * 2
 
-        if engine.completed < engine.num_tasks:
+        # Open-loop runs grow ``num_tasks`` as arrivals are admitted:
+        # keep sampling while the stream has events left even if the
+        # current backlog happens to be drained.
+        if (engine.completed < engine.num_tasks
+                or (driver is not None and not driver.exhausted)):
             env.call_in(self._dt, self._sample)
 
     # ---------------------------------------------------------- finalize
@@ -254,6 +273,16 @@ class TelemetryProbe:
         if manager is not None:
             for name, value in manager.stats().items():
                 counters[f"contention.{name}"] = value
+
+        # Service-mode tallies (open-loop runs only): admission and
+        # latency-fold scalars as ``service.*`` counters.
+        driver = getattr(engine, "service_driver", None)
+        if driver is not None:
+            counters["service.offered"] = driver.offered
+            counters["service.admitted"] = driver.admitted
+            counters["service.dropped"] = driver.dropped
+            counters["service.completed"] = driver.completed
+            counters["service.pending_high_water"] = driver.pending_high_water
 
         if self.config.trace_events:
             compute_busy = tuple(

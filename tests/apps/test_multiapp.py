@@ -100,11 +100,22 @@ class TestFrontDoorValidation:
         with pytest.raises(ProtocolError, match="ProtocolConfig"):
             simulate(tree, 100)
 
-    def test_non_root_source_rejected(self):
+    def test_non_root_source_runs_rerooted(self):
+        # Once a PR 7 rejection; bags now fan out from their source via
+        # a re-rooted overlay (service-mode PR), trees included.
         tree = generate_tree(SMALL, seed=11)
         apps = [Application(10, source=2), Application(10)]
-        with pytest.raises(ProtocolError, match="source"):
-            simulate(tree, apps, CONFIG)
+        result = simulate(tree, apps, CONFIG)
+        assert sum(len(a.completion_times) for a in result.apps) == 20
+        both_root = simulate(tree, [Application(10), Application(10)],
+                             CONFIG)
+        assert result.fingerprint() != both_root.fingerprint()
+
+    def test_unknown_source_rejected(self):
+        tree = generate_tree(SMALL, seed=11)
+        with pytest.raises(Exception, match="host"):
+            simulate(tree, [Application(10, source=999),
+                            Application(10)], CONFIG)
 
     def test_tracer_count_must_match_apps(self):
         from repro.protocols import Tracer

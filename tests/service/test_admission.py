@@ -1,0 +1,86 @@
+"""Admission-policy semantics and the spec/state split."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.service import (AlwaysAdmit, QueueDepthBound, TokenBucket,
+                           parse_admission)
+
+
+class TestAlwaysAdmit:
+    def test_admits_everything(self):
+        state = AlwaysAdmit().state()
+        assert state.admit(0, 5, 0) == 5
+        assert state.admit(100, 3, 10**9) == 3
+        assert state.fingerprint_state(100) == ()
+
+
+class TestQueueDepthBound:
+    def test_bounds_in_system(self):
+        state = QueueDepthBound(limit=10).state()
+        assert state.admit(0, 4, 0) == 4
+        assert state.admit(1, 4, 8) == 2      # room-capped
+        assert state.admit(2, 4, 10) == 0     # full
+        assert state.admit(3, 4, 12) == 0     # over-full stays closed
+
+    def test_states_are_independent(self):
+        policy = QueueDepthBound(limit=1)
+        assert policy.state().admit(0, 1, 0) == 1
+        assert policy.state().admit(0, 1, 0) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QueueDepthBound(limit=0)
+
+
+class TestTokenBucket:
+    def test_starts_full_and_refills_exactly(self):
+        state = TokenBucket(rate="1/7", burst=3).state()
+        assert state.admit(0, 5, 0) == 3       # full bucket drained
+        assert state.admit(6, 5, 0) == 0       # 6/7 tokens: not yet one
+        assert state.admit(7, 5, 0) == 1       # exactly one banked
+        assert state.tokens == 0
+
+    def test_burst_caps_banked_tokens(self):
+        state = TokenBucket(rate=1, burst=4).state()
+        state.admit(0, 4, 0)
+        assert state.admit(100, 10, 0) == 4    # 100 steps bank only burst
+
+    def test_fractional_tokens_are_exact(self):
+        assert TokenBucket(rate="1/7", burst=1).rate == Fraction(1, 7)
+        state = TokenBucket(rate="1/3", burst=2).state()
+        state.admit(0, 2, 0)
+        granted = sum(state.admit(t, 1, 0) for t in range(1, 31))
+        assert granted == 10                   # 30 steps at 1/3: exactly 10
+
+    def test_fingerprint_is_time_relative(self):
+        state = TokenBucket(rate="1/7", burst=3).state()
+        state.admit(0, 5, 0)
+        before = state.fingerprint_state(3)
+        state.shift(1000)
+        assert state.fingerprint_state(1003) == before
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0, burst=1)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1, burst=0)
+
+
+class TestParse:
+    def test_round_trips(self):
+        assert parse_admission("always") == AlwaysAdmit()
+        assert parse_admission("queue:limit=64") == QueueDepthBound(limit=64)
+        assert parse_admission("token:rate=1/20,burst=16") == \
+            TokenBucket(rate=Fraction(1, 20), burst=16)
+
+    @pytest.mark.parametrize("spec", [
+        "queue",                       # missing limit
+        "token:rate=0.1",              # missing burst
+        "token:rate=0.1,burst=2,x=1",  # unknown key
+        "lottery:odds=1",              # unknown kind
+    ])
+    def test_bad_strings_rejected(self, spec):
+        with pytest.raises(ValueError):
+            parse_admission(spec)

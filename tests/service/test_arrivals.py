@@ -1,0 +1,127 @@
+"""Arrival-process contracts: determinism, laziness, stream shape."""
+
+import itertools
+
+import pytest
+
+from repro.service import (ArrivalProcess, BurstArrivals, DiurnalArrivals,
+                           PeriodicArrivals, PoissonArrivals, parse_arrivals)
+
+PROCESSES = [
+    PoissonArrivals(rate=0.05, horizon=5000, seed=3),
+    BurstArrivals(rate=0.01, horizon=5000, min_size=2, max_size=5, seed=9),
+    DiurnalArrivals(rates=(0.01, 0.2, 0.05), phase_len=700, horizon=5000,
+                    seed=4),
+    PeriodicArrivals(interval=17, horizon=5000, batch=3, phase=5),
+]
+
+
+@pytest.mark.parametrize("process", PROCESSES,
+                         ids=lambda p: type(p).__name__)
+class TestStreamShape:
+    def test_events_are_increasing_int_times(self, process):
+        events = list(process.events())
+        assert events, "stream should emit at least one event"
+        times = [t for t, _ in events]
+        assert all(isinstance(t, int) for t in times)
+        assert all(a < b for a, b in zip(times, times[1:]))
+        assert times[0] >= 0 and times[-1] < process.horizon
+        assert all(count >= 1 for _, count in events)
+
+    def test_fresh_iterators_are_identical(self, process):
+        assert list(process.events()) == list(process.events())
+
+    def test_stream_is_lazy(self, process):
+        # Consuming a prefix must not require materializing the rest.
+        iterator = process.events()
+        prefix = list(itertools.islice(iterator, 5))
+        assert len(prefix) == 5
+        assert list(iterator) == list(process.events())[5:]
+
+
+class TestSeeding:
+    def test_seed_changes_the_stream(self):
+        a = list(PoissonArrivals(rate=0.05, horizon=5000, seed=0).events())
+        b = list(PoissonArrivals(rate=0.05, horizon=5000, seed=1).events())
+        assert a != b
+
+    def test_rate_scales_volume(self):
+        slow = sum(c for _, c in
+                   PoissonArrivals(rate=0.01, horizon=50_000).events())
+        fast = sum(c for _, c in
+                   PoissonArrivals(rate=0.1, horizon=50_000).events())
+        assert 5 * slow < fast  # ~10x on average
+
+    def test_diurnal_phases_modulate_rate(self):
+        process = DiurnalArrivals(rates=(0.0, 0.5), phase_len=1000,
+                                  horizon=10_000, seed=2)
+        by_phase = [0, 0]
+        for t, count in process.events():
+            by_phase[(t // 1000) % 2] += count
+        assert by_phase[0] == 0  # silent phase stays silent
+        assert by_phase[1] > 100
+
+
+class TestPeriodic:
+    def test_analytic_counts(self):
+        process = PeriodicArrivals(interval=20, horizon=1000, batch=2,
+                                   phase=10)
+        events = list(process.events())
+        assert len(events) == process.num_events == 50
+        assert process.total_tasks == 100
+        assert events[0] == (10, 2) and events[1] == (30, 2)
+
+    def test_skip_matches_manual_advance(self):
+        process = PeriodicArrivals(interval=7, horizon=500, batch=1)
+        fast, slow = process.events(), process.events()
+        fast.skip(13)
+        for _ in range(13):
+            next(slow)
+        assert list(fast) == list(slow)
+
+    def test_is_periodic_flag(self):
+        assert PeriodicArrivals(interval=1, horizon=2).is_periodic
+        assert not PoissonArrivals(rate=1, horizon=2).is_periodic
+        assert ArrivalProcess.is_periodic is False
+
+
+class TestValidation:
+    @pytest.mark.parametrize("factory", [
+        lambda: PoissonArrivals(rate=0, horizon=10),
+        lambda: PoissonArrivals(rate=1, horizon=0),
+        lambda: BurstArrivals(rate=1, horizon=10, min_size=0),
+        lambda: BurstArrivals(rate=1, horizon=10, min_size=5, max_size=2),
+        lambda: DiurnalArrivals(rates=(), phase_len=10, horizon=10),
+        lambda: DiurnalArrivals(rates=(0.0,), phase_len=10, horizon=10),
+        lambda: DiurnalArrivals(rates=(0.1,), phase_len=0, horizon=10),
+        lambda: PeriodicArrivals(interval=0, horizon=10),
+        lambda: PeriodicArrivals(interval=3, horizon=10, batch=0),
+        lambda: PeriodicArrivals(interval=3, horizon=10, phase=10),
+    ])
+    def test_bad_specs_rejected(self, factory):
+        with pytest.raises(ValueError):
+            factory()
+
+
+class TestParse:
+    def test_round_trips(self):
+        assert parse_arrivals("poisson:rate=0.05,horizon=1000,seed=3") == \
+            PoissonArrivals(rate=0.05, horizon=1000, seed=3)
+        assert parse_arrivals("burst:rate=0.01,horizon=500,min=2,max=4") == \
+            BurstArrivals(rate=0.01, horizon=500, min_size=2, max_size=4)
+        assert parse_arrivals(
+            "diurnal:rates=0.01/0.2,phase=100,horizon=1000") == \
+            DiurnalArrivals(rates=(0.01, 0.2), phase_len=100, horizon=1000)
+        assert parse_arrivals("periodic:interval=20,horizon=400,batch=2") == \
+            PeriodicArrivals(interval=20, horizon=400, batch=2)
+
+    @pytest.mark.parametrize("spec", [
+        "poisson",                                # no body
+        "poisson:rate=0.1",                       # missing horizon
+        "poisson:rate=0.1,horizon=10,bogus=1",    # unknown key
+        "metronome:interval=5,horizon=10",        # unknown kind
+        "periodic:interval",                      # not key=value
+    ])
+    def test_bad_strings_rejected(self, spec):
+        with pytest.raises(ValueError):
+            parse_arrivals(spec)

@@ -1,0 +1,170 @@
+"""Property tests: the streaming quantile sketch vs exact statistics.
+
+Documented error bound (see :mod:`repro.service.slo`): for any stream,
+``LatencySketch.quantile(q)`` returns a value within **relative error
+``alpha``** of the exact order statistic ``sorted(stream)[int(q * (n -
+1))]`` — the bucket midpoint is at most a factor ``(1 + alpha)`` above
+and ``(1 - alpha)`` below every value in its bucket.  Against the
+interpolating ``statistics.quantiles(..., method="inclusive")`` the
+bound gains at most the gap to the next order statistic (interpolation
+never leaves the ``[sorted[r], sorted[r + 1]]`` bracket).
+"""
+
+import random
+import statistics
+
+import pytest
+
+try:
+    from hypothesis import given, settings, strategies as st
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - hypothesis ships in the test env
+    HAVE_HYPOTHESIS = False
+
+from repro.service import LatencySketch
+
+QS = (0.50, 0.95, 0.99)
+
+
+def exact_rank(values, q):
+    ordered = sorted(values)
+    return ordered[int(q * (len(ordered) - 1))]
+
+
+def assert_within_alpha(sketch, values):
+    alpha = sketch.alpha
+    for q in QS:
+        exact = exact_rank(values, q)
+        est = sketch.quantile(q)
+        assert abs(est - exact) <= alpha * abs(exact) + 1e-9, \
+            f"q={q}: estimate {est} vs exact {exact} (alpha={alpha})"
+
+
+def fill(values, alpha=0.01):
+    sketch = LatencySketch(alpha)
+    for v in values:
+        sketch.observe(v)
+    return sketch
+
+
+def _streams():
+    """Seeded stream shapes spanning seeds, burstiness, and lengths."""
+    cases = []
+    for seed in range(6):
+        rng = random.Random(seed)
+        n = rng.choice([3, 10, 100, 1000, 5000])
+        shape = seed % 3
+        if shape == 0:        # smooth exponential latencies
+            values = [rng.expovariate(0.01) for _ in range(n)]
+        elif shape == 1:      # bursty: bimodal fast/slow mix
+            values = [rng.randint(1, 5) if rng.random() < 0.8
+                      else rng.randint(1000, 5000) for _ in range(n)]
+        else:                 # heavy-tailed integer latencies
+            values = [int(rng.paretovariate(1.2) * 10) for _ in range(n)]
+        cases.append((f"seed{seed}-n{n}-shape{shape}", values))
+    return cases
+
+
+@pytest.mark.parametrize("label,values", _streams(),
+                         ids=[c[0] for c in _streams()])
+def test_quantiles_within_alpha_of_exact(label, values):
+    assert_within_alpha(fill(values), values)
+
+
+@pytest.mark.parametrize("alpha", [0.001, 0.01, 0.05])
+def test_alpha_parameter_is_honoured(alpha):
+    rng = random.Random(42)
+    values = [rng.expovariate(0.005) for _ in range(2000)]
+    assert_within_alpha(fill(values, alpha), values)
+
+
+def test_against_statistics_quantiles():
+    rng = random.Random(7)
+    values = sorted(rng.expovariate(0.01) for _ in range(999))
+    sketch = fill(values)
+    # statistics.quantiles with n=100 yields cut points at q = k/100;
+    # "inclusive" interpolates between adjacent order statistics.
+    cuts = statistics.quantiles(values, n=100, method="inclusive")
+    for q, cut in ((0.50, cuts[49]), (0.95, cuts[94]), (0.99, cuts[98])):
+        rank = int(q * (len(values) - 1))
+        gap = values[min(rank + 1, len(values) - 1)] - values[rank]
+        est = sketch.quantile(q)
+        assert abs(est - cut) <= sketch.alpha * cut + gap + 1e-9
+
+
+def test_exact_scalars_and_extremes():
+    values = [5, 1, 7, 3, 3]
+    sketch = fill(values)
+    assert sketch.count == 5
+    assert sketch.total == sum(values)   # exact int arithmetic
+    assert sketch.max == 7 and sketch.min == 1
+    assert sketch.quantile(0.0) <= 1 * 1.01
+    assert sketch.quantile(1.0) >= 7 * 0.99
+
+
+def test_zero_and_empty_handling():
+    assert LatencySketch().quantile(0.5) is None
+    sketch = fill([0, 0, 0, 10])
+    assert sketch.quantile(0.5) == 0.0   # zeros sort first
+    assert sketch.zero_count == 3
+
+
+def test_weighted_observe_equals_repetition():
+    a, b = LatencySketch(), LatencySketch()
+    for v, k in [(3, 4), (17, 2), (120, 9)]:
+        a.observe(v, k)
+        for _ in range(k):
+            b.observe(v)
+    assert a.canonical() == b.canonical()
+    assert (a.count, a.total, a.max, a.min) == (b.count, b.total, b.max,
+                                                b.min)
+    for q in QS:
+        assert a.quantile(q) == b.quantile(q)
+
+
+def test_merge_equals_union():
+    rng = random.Random(11)
+    left = [rng.expovariate(0.02) for _ in range(500)]
+    right = [rng.expovariate(0.002) for _ in range(300)]
+    merged = fill(left)
+    merged.merge(fill(right))
+    union = fill(left + right)
+    assert merged.canonical() == union.canonical()
+    assert merged.count == union.count
+    assert_within_alpha(merged, left + right)
+
+
+def test_merge_rejects_mismatched_alpha():
+    with pytest.raises(ValueError):
+        LatencySketch(0.01).merge(LatencySketch(0.02))
+
+
+def test_canonical_round_trip():
+    sketch = fill([1, 5, 5, 900, 0])
+    rebuilt = LatencySketch.from_canonical(sketch.alpha, sketch.canonical(),
+                                           sketch.zero_count)
+    assert rebuilt.canonical() == sketch.canonical()
+    assert rebuilt.count == sketch.count
+    for q in QS:
+        assert rebuilt.quantile(q) == sketch.quantile(q)
+
+
+if HAVE_HYPOTHESIS:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.one_of(
+        st.integers(min_value=1, max_value=10**6),
+        st.floats(min_value=1e-3, max_value=1e6, allow_nan=False,
+                  allow_infinity=False)),
+        min_size=1, max_size=400))
+    def test_property_quantiles_within_alpha(values):
+        assert_within_alpha(fill(values), values)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=10**5),
+                    min_size=1, max_size=200),
+           st.lists(st.integers(min_value=0, max_value=10**5),
+                    min_size=1, max_size=200))
+    def test_property_merge_equals_union(left, right):
+        merged = fill(left)
+        merged.merge(fill(right))
+        assert merged.canonical() == fill(left + right).canonical()
